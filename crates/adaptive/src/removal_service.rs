@@ -1,0 +1,313 @@
+//! The removal manager node: periodically applies a [`RetirePolicy`] to
+//! every BLOB's version catalog and executes the resulting
+//! [`GcPlan`]s — read the doomed leaves to learn replica locations,
+//! delete the chunk replicas, delete the metadata nodes, then retire the
+//! version record at the version manager.
+
+use std::collections::HashMap;
+
+use sads_blob::meta::{partition, MetaNode, NodeKey};
+use sads_blob::model::{BlobId, VersionId};
+use sads_blob::rpc::Msg;
+use sads_blob::services::{Env, Service};
+use sads_sim::{NodeId, SimDuration};
+
+use crate::removal::{gc_plan, select_retirees, GcPlan, RetirePolicy};
+
+/// Timer token: removal sweep.
+pub const TOKEN_GC_SWEEP: u64 = u64::MAX - 42;
+
+/// The data-removal manager node.
+pub struct RemovalManagerService {
+    vman: NodeId,
+    meta_providers: Vec<NodeId>,
+    policy: RetirePolicy,
+    sweep_every: SimDuration,
+    next_req: u64,
+    /// GetMeta correlation → the plan portion awaiting leaf descriptors.
+    pending_leaf_gets: HashMap<u64, ()>,
+    versions_retired: u64,
+}
+
+impl RemovalManagerService {
+    /// A removal manager applying `policy` every `sweep_every`.
+    pub fn new(
+        vman: NodeId,
+        meta_providers: Vec<NodeId>,
+        policy: RetirePolicy,
+        sweep_every: SimDuration,
+    ) -> Self {
+        assert!(!meta_providers.is_empty());
+        RemovalManagerService {
+            vman,
+            meta_providers,
+            policy,
+            sweep_every,
+            next_req: 1,
+            pending_leaf_gets: HashMap::new(),
+            versions_retired: 0,
+        }
+    }
+
+    /// Versions retired so far (post-run inspection).
+    pub fn versions_retired(&self) -> u64 {
+        self.versions_retired
+    }
+
+    fn req(&mut self) -> u64 {
+        let r = self.next_req;
+        self.next_req += 1;
+        r
+    }
+
+    fn execute(&mut self, env: &mut dyn Env, blob: BlobId, retire: VersionId, plan: GcPlan) {
+        // 1. Learn chunk replica locations from the doomed leaves, then
+        //    (on reply) delete the replicas. FIFO ordering per peer
+        //    guarantees the reads land before the node deletions below.
+        let mut leaf_batches: HashMap<NodeId, Vec<NodeKey>> = HashMap::new();
+        for c in &plan.chunks {
+            let key = NodeKey {
+                blob,
+                version: retire,
+                range: sads_blob::meta::NodeRange::new(c.page, 1),
+            };
+            let owner = self.meta_providers[partition(&key, self.meta_providers.len())];
+            leaf_batches.entry(owner).or_default().push(key);
+        }
+        let mut owners: Vec<NodeId> = leaf_batches.keys().copied().collect();
+        owners.sort();
+        for owner in owners {
+            let keys = leaf_batches.remove(&owner).expect("present");
+            let req = self.req();
+            self.pending_leaf_gets.insert(req, ());
+            env.send(owner, Msg::GetMeta { req, keys });
+        }
+        // 2. Delete the metadata nodes.
+        let mut node_batches: HashMap<NodeId, Vec<NodeKey>> = HashMap::new();
+        for k in &plan.nodes {
+            let owner = self.meta_providers[partition(k, self.meta_providers.len())];
+            node_batches.entry(owner).or_default().push(*k);
+        }
+        let mut owners: Vec<NodeId> = node_batches.keys().copied().collect();
+        owners.sort();
+        for owner in owners {
+            let keys = node_batches.remove(&owner).expect("present");
+            let req = self.req();
+            env.incr("gc.nodes_deleted", keys.len() as u64);
+            env.send(owner, Msg::DeleteMeta { req, keys });
+        }
+        // 3. Forget the version record.
+        let req = self.req();
+        env.send(self.vman, Msg::RetireVersion { req, blob, version: retire });
+        self.versions_retired += 1;
+        env.incr("gc.retired", 1);
+    }
+}
+
+impl Service for RemovalManagerService {
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn on_start(&mut self, env: &mut dyn Env) {
+        env.set_timer(self.sweep_every, TOKEN_GC_SWEEP);
+    }
+
+    fn on_msg(&mut self, env: &mut dyn Env, _from: NodeId, msg: Msg) {
+        match msg {
+            Msg::BlobList { blobs, .. } => {
+                for blob in blobs {
+                    let req = self.req();
+                    env.send(self.vman, Msg::ListVersions { req, blob });
+                }
+            }
+            Msg::VersionList { blob, page_size, versions, .. } => {
+                if versions.is_empty() || page_size == 0 {
+                    return;
+                }
+                let retirees = select_retirees(&versions, self.policy, env.now());
+                let retiring: std::collections::HashSet<VersionId> =
+                    retirees.iter().copied().collect();
+                // Plan against the full catalog before any retirement
+                // mutates it; execute oldest-first.
+                for retire in retirees {
+                    let plan = gc_plan(blob, &versions, page_size, retire, &retiring);
+                    self.execute(env, blob, retire, plan);
+                }
+            }
+            Msg::GetMetaOk { req, nodes } if self.pending_leaf_gets.remove(&req).is_some() => {
+                for (_, node) in nodes {
+                    if let Some(MetaNode::Leaf { chunk }) = node {
+                        for replica in &chunk.replicas {
+                            let req = self.req();
+                            env.send(*replica, Msg::DeleteChunk { req, key: chunk.key });
+                        }
+                        env.incr("gc.chunks_deleted", 1);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, env: &mut dyn Env, token: u64) {
+        if token == TOKEN_GC_SWEEP {
+            let req = self.req();
+            env.send(self.vman, Msg::ListBlobs { req });
+            env.set_timer(self.sweep_every, TOKEN_GC_SWEEP);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use sads_blob::model::{ChunkDescriptor, ChunkKey, PageInterval};
+    use sads_blob::vmanager::VersionSummary;
+    use sads_sim::SimTime;
+
+    struct TestEnv {
+        now: SimTime,
+        sent: Vec<(NodeId, Msg)>,
+        rng: SmallRng,
+    }
+    impl TestEnv {
+        fn new() -> Self {
+            TestEnv { now: SimTime(1_000_000_000_000), sent: vec![], rng: SmallRng::seed_from_u64(0) }
+        }
+    }
+    impl Env for TestEnv {
+        fn id(&self) -> NodeId {
+            NodeId(0)
+        }
+        fn now(&self) -> SimTime {
+            self.now
+        }
+        fn send(&mut self, to: NodeId, msg: Msg) {
+            self.sent.push((to, msg));
+        }
+        fn set_timer(&mut self, _d: SimDuration, _t: u64) {}
+        fn rng(&mut self) -> &mut SmallRng {
+            &mut self.rng
+        }
+    }
+
+    const PAGE: u64 = 8;
+
+    fn vs(v: u64, start: u64, len: u64, size_pages: u64) -> VersionSummary {
+        VersionSummary {
+            version: VersionId(v),
+            size: size_pages * PAGE,
+            interval: PageInterval::new(start, len),
+            published_at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn sweep_drives_the_full_gc_protocol() {
+        let mut env = TestEnv::new();
+        let mut m = RemovalManagerService::new(
+            NodeId(1),
+            vec![NodeId(5), NodeId(6)],
+            RetirePolicy::KeepLast(1),
+            SimDuration::from_secs(30),
+        );
+        m.on_start(&mut env);
+        m.on_timer(&mut env, TOKEN_GC_SWEEP);
+        assert!(matches!(env.sent[0].1, Msg::ListBlobs { .. }));
+        m.on_msg(&mut env, NodeId(1), Msg::BlobList { req: 1, blobs: vec![BlobId(1)] });
+        assert!(matches!(env.sent[1].1, Msg::ListVersions { blob: BlobId(1), .. }));
+        // v1 fully overwritten by v2 → retire v1.
+        m.on_msg(
+            &mut env,
+            NodeId(1),
+            Msg::VersionList {
+                req: 2,
+                blob: BlobId(1),
+                page_size: PAGE,
+                versions: vec![vs(0, 0, 0, 0), vs(1, 0, 4, 4), vs(2, 0, 4, 4)],
+            },
+        );
+        let get_meta = env
+            .sent
+            .iter()
+            .filter(|(_, m)| matches!(m, Msg::GetMeta { .. }))
+            .count();
+        assert!(get_meta >= 1, "leaf descriptors requested");
+        let delete_meta: u32 = env
+            .sent
+            .iter()
+            .filter_map(|(_, m)| match m {
+                Msg::DeleteMeta { keys, .. } => Some(keys.len() as u32),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(delete_meta, 7, "root + 2 inner + 4 leaves");
+        assert!(env
+            .sent
+            .iter()
+            .any(|(to, m)| *to == NodeId(1)
+                && matches!(m, Msg::RetireVersion { version: VersionId(1), .. })));
+        assert_eq!(m.versions_retired(), 1);
+        // Supply the leaf descriptors: chunk deletions go to the replicas.
+        let (owner, req, keys) = env
+            .sent
+            .iter()
+            .find_map(|(to, m)| match m {
+                Msg::GetMeta { req, keys } => Some((*to, *req, keys.clone())),
+                _ => None,
+            })
+            .unwrap();
+        let nodes = keys
+            .iter()
+            .map(|k| {
+                (
+                    *k,
+                    Some(sads_blob::meta::MetaNode::Leaf {
+                        chunk: ChunkDescriptor {
+                            key: ChunkKey {
+                                blob: BlobId(1),
+                                version: VersionId(1),
+                                page: k.range.start,
+                            },
+                            replicas: vec![NodeId(20), NodeId(21)],
+                            size: PAGE,
+                        },
+                    }),
+                )
+            })
+            .collect();
+        let before = env.sent.len();
+        m.on_msg(&mut env, owner, Msg::GetMetaOk { req, nodes });
+        let deletes = env.sent[before..]
+            .iter()
+            .filter(|(_, m)| matches!(m, Msg::DeleteChunk { .. }))
+            .count();
+        assert_eq!(deletes, keys.len() * 2, "one delete per replica");
+    }
+
+    #[test]
+    fn nothing_to_retire_sends_nothing() {
+        let mut env = TestEnv::new();
+        let mut m = RemovalManagerService::new(
+            NodeId(1),
+            vec![NodeId(5)],
+            RetirePolicy::KeepLast(5),
+            SimDuration::from_secs(30),
+        );
+        m.on_msg(
+            &mut env,
+            NodeId(1),
+            Msg::VersionList {
+                req: 2,
+                blob: BlobId(1),
+                page_size: PAGE,
+                versions: vec![vs(0, 0, 0, 0), vs(1, 0, 4, 4), vs(2, 0, 4, 4)],
+            },
+        );
+        assert!(env.sent.is_empty());
+        assert_eq!(m.versions_retired(), 0);
+    }
+}

@@ -1,0 +1,525 @@
+//! Self-optimization through automatic data replication (paper §V): "a
+//! data-management system has to automatically maintain the replication
+//! degree of data chunks and to support a dynamic adjustment of the
+//! replication degree, according to the load of the storage nodes and the
+//! applications access patterns".
+//!
+//! The replication manager reconstructs chunk placement from the
+//! monitoring stream (every replica write is an instrumented event),
+//! watches provider membership through the provider manager's directory,
+//! and on every sweep:
+//!
+//! * **repairs** chunks whose live replica count fell below the target
+//!   (provider crash / decommission) by commanding a surviving replica to
+//!   copy itself ([`Msg::ReplicateChunk`]) and then patching the
+//!   metadata leaf so readers see the new location,
+//! * **adjusts degree by heat**: BLOBs whose introspected read volume
+//!   exceeds a threshold get extra replicas; cooled-down BLOBs have the
+//!   extras deleted.
+
+use std::collections::{HashMap, HashSet};
+
+use sads_blob::meta::{partition, NodeKey, NodeRange};
+use sads_blob::model::{BlobId, ChunkKey};
+use sads_blob::rpc::Msg;
+use sads_blob::services::{Env, Service};
+use sads_introspect::{intro_msg, into_intro, IntroMsg};
+use sads_monitor::{mon_msg, ActivityKind, MonMsg};
+use sads_sim::{NodeId, SimDuration};
+
+/// Timer token: reconcile sweep.
+pub const TOKEN_REPL_SWEEP: u64 = u64::MAX - 41;
+
+/// Replication-manager tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct ReplicationConfig {
+    /// Target replicas per chunk unless overridden by heat.
+    pub base_degree: u32,
+    /// Extra replicas granted to hot BLOBs.
+    pub hot_extra: u32,
+    /// A BLOB is hot when its windowed read volume exceeds this (MB).
+    pub hot_threshold_mb: f64,
+    /// Sweep period.
+    pub sweep_every: SimDuration,
+    /// Maximum repairs dispatched per sweep (avoids repair storms).
+    pub max_repairs_per_sweep: usize,
+}
+
+impl Default for ReplicationConfig {
+    fn default() -> Self {
+        ReplicationConfig {
+            base_degree: 2,
+            hot_extra: 1,
+            hot_threshold_mb: 64.0,
+            sweep_every: SimDuration::from_secs(2),
+            max_repairs_per_sweep: 64,
+        }
+    }
+}
+
+/// The replication manager node.
+pub struct ReplicationManagerService {
+    storage: Vec<NodeId>,
+    pman: NodeId,
+    intro: Option<NodeId>,
+    cfg: ReplicationConfig,
+    /// Chunk → providers believed to hold a replica.
+    placement: HashMap<ChunkKey, Vec<NodeId>>,
+    /// Live data providers per the latest directory.
+    live: Vec<NodeId>,
+    /// Metadata providers per the latest directory (partition order).
+    meta_providers: Vec<NodeId>,
+    /// Per-BLOB degree overrides from heat.
+    blob_targets: HashMap<BlobId, u32>,
+    /// Chunks with a repair in flight.
+    repairing: HashSet<ChunkKey>,
+    /// Repair correlation: req → (chunk, new replica).
+    pending: HashMap<u64, (ChunkKey, NodeId)>,
+    cursors: HashMap<NodeId, u64>,
+    next_req: u64,
+    rr: usize,
+    repairs_done: u64,
+}
+
+impl ReplicationManagerService {
+    /// A manager polling the given monitoring storage servers, tracking
+    /// membership through `pman`, optionally heat through `intro`.
+    pub fn new(
+        storage: Vec<NodeId>,
+        pman: NodeId,
+        intro: Option<NodeId>,
+        cfg: ReplicationConfig,
+    ) -> Self {
+        ReplicationManagerService {
+            storage,
+            pman,
+            intro,
+            cfg,
+            placement: HashMap::new(),
+            live: Vec::new(),
+            meta_providers: Vec::new(),
+            blob_targets: HashMap::new(),
+            repairing: HashSet::new(),
+            pending: HashMap::new(),
+            cursors: HashMap::new(),
+            next_req: 1,
+            rr: 0,
+            repairs_done: 0,
+        }
+    }
+
+    /// Repairs completed so far (post-run inspection for E8).
+    pub fn repairs_done(&self) -> u64 {
+        self.repairs_done
+    }
+
+    /// The current placement view (tests).
+    pub fn placement(&self) -> &HashMap<ChunkKey, Vec<NodeId>> {
+        &self.placement
+    }
+
+    fn req(&mut self) -> u64 {
+        let r = self.next_req;
+        self.next_req += 1;
+        r
+    }
+
+    fn target_for(&self, blob: BlobId) -> u32 {
+        self.blob_targets.get(&blob).copied().unwrap_or(self.cfg.base_degree)
+    }
+
+    fn patch_leaf(&mut self, env: &mut dyn Env, key: ChunkKey, replicas: Vec<NodeId>) {
+        if self.meta_providers.is_empty() {
+            return;
+        }
+        let node_key = NodeKey {
+            blob: key.blob,
+            version: key.version,
+            range: NodeRange::new(key.page, 1),
+        };
+        let owner = self.meta_providers[partition(&node_key, self.meta_providers.len())];
+        let req = self.req();
+        env.send(owner, Msg::PatchLeaf { req, key: node_key, replicas });
+    }
+
+    fn reconcile(&mut self, env: &mut dyn Env) {
+        if self.live.is_empty() {
+            return;
+        }
+        let live: HashSet<NodeId> = self.live.iter().copied().collect();
+        let mut deficit = 0u64;
+        let mut repairs = 0usize;
+        let keys: Vec<ChunkKey> = self.placement.keys().copied().collect();
+        for key in keys {
+            let holders = self.placement.get_mut(&key).expect("present");
+            // Forget dead replicas.
+            holders.retain(|p| live.contains(p));
+            let holders = holders.clone();
+            if holders.is_empty() {
+                // Data lost: every replica died. Counted; nothing to do.
+                env.incr("repl.lost_chunks", 1);
+                self.placement.remove(&key);
+                continue;
+            }
+            let target = self.target_for(key.blob) as usize;
+            if holders.len() < target && !self.repairing.contains(&key) {
+                deficit += 1;
+                if repairs >= self.cfg.max_repairs_per_sweep {
+                    continue;
+                }
+                // Choose a destination that holds no replica yet.
+                let candidates: Vec<NodeId> = self
+                    .live
+                    .iter()
+                    .copied()
+                    .filter(|p| !holders.contains(p))
+                    .collect();
+                if candidates.is_empty() {
+                    continue;
+                }
+                let dest = candidates[self.rr % candidates.len()];
+                self.rr += 1;
+                let source = holders[0];
+                let req = self.req();
+                self.pending.insert(req, (key, dest));
+                self.repairing.insert(key);
+                env.send(source, Msg::ReplicateChunk { req, key, to: dest });
+                repairs += 1;
+            } else if holders.len() > target && !self.repairing.contains(&key) {
+                // Cooled down: drop one excess replica per sweep.
+                let victim = *holders.last().expect("nonempty");
+                let req = self.req();
+                env.send(victim, Msg::DeleteChunk { req, key });
+                let holders = self.placement.get_mut(&key).expect("present");
+                holders.retain(|p| *p != victim);
+                let new_set = holders.clone();
+                self.patch_leaf(env, key, new_set);
+                env.incr("repl.trimmed", 1);
+            }
+        }
+        env.record("repl.deficit", deficit as f64);
+        env.record("repl.tracked_chunks", self.placement.len() as f64);
+    }
+}
+
+impl Service for ReplicationManagerService {
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn on_start(&mut self, env: &mut dyn Env) {
+        env.set_timer(self.cfg.sweep_every, TOKEN_REPL_SWEEP);
+    }
+
+    fn on_msg(&mut self, env: &mut dyn Env, from: NodeId, msg: Msg) {
+        match msg {
+            Msg::Directory { meta_providers, data_providers, .. } => {
+                self.live = data_providers;
+                self.meta_providers = meta_providers;
+                self.reconcile(env);
+            }
+            Msg::ReplicateChunkOk { req, ok } => {
+                if let Some((key, dest)) = self.pending.remove(&req) {
+                    self.repairing.remove(&key);
+                    if ok {
+                        let holders = self.placement.entry(key).or_default();
+                        if !holders.contains(&dest) {
+                            holders.push(dest);
+                        }
+                        let set = holders.clone();
+                        self.repairs_done += 1;
+                        env.incr("repl.repairs", 1);
+                        self.patch_leaf(env, key, set);
+                    }
+                }
+            }
+            other => {
+                // Extension payloads: probe the concrete type before
+                // consuming, so a failed downcast never drops the message.
+                let is_mon = matches!(&other, Msg::Ext(p) if p.downcast_ref::<MonMsg>().is_some());
+                if is_mon {
+                    if let Some(MonMsg::ActivityBatch { records, last_seq, .. }) =
+                        sads_monitor::into_mon(other)
+                    {
+                        for r in &records {
+                            if r.kind == ActivityKind::ChunkWrite {
+                                if let (Some(chunk), Some(provider)) = (r.chunk, r.provider) {
+                                    let holders = self.placement.entry(chunk).or_default();
+                                    if !holders.contains(&provider) {
+                                        holders.push(provider);
+                                    }
+                                }
+                            }
+                        }
+                        self.cursors.insert(from, last_seq);
+                    }
+                } else if let Some(IntroMsg::Snapshot { snapshot, .. }) = into_intro(other) {
+                    self.blob_targets.clear();
+                    for (blob, view) in &snapshot.blobs {
+                        if view.read_mb > self.cfg.hot_threshold_mb {
+                            self.blob_targets
+                                .insert(*blob, self.cfg.base_degree + self.cfg.hot_extra);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, env: &mut dyn Env, token: u64) {
+        if token == TOKEN_REPL_SWEEP {
+            // Pull fresh placement knowledge, membership, and heat; the
+            // directory reply triggers the reconcile.
+            for s in self.storage.clone() {
+                let req = self.req();
+                let after_seq = self.cursors.get(&s).copied().unwrap_or(0);
+                env.send(s, mon_msg(MonMsg::QueryActivity { req, after_seq }));
+            }
+            if let Some(intro) = self.intro {
+                let req = self.req();
+                env.send(intro, intro_msg(IntroMsg::QuerySnapshot { req }));
+            }
+            let req = self.req();
+            env.send(self.pman, Msg::GetDirectory { req });
+            env.set_timer(self.cfg.sweep_every, TOKEN_REPL_SWEEP);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use sads_blob::model::{ClientId, VersionId};
+    use sads_monitor::ActivityRecord;
+    use sads_sim::SimTime;
+
+    struct TestEnv {
+        now: SimTime,
+        sent: Vec<(NodeId, Msg)>,
+        rng: SmallRng,
+    }
+    impl TestEnv {
+        fn new() -> Self {
+            TestEnv { now: SimTime::ZERO, sent: vec![], rng: SmallRng::seed_from_u64(0) }
+        }
+    }
+    impl Env for TestEnv {
+        fn id(&self) -> NodeId {
+            NodeId(0)
+        }
+        fn now(&self) -> SimTime {
+            self.now
+        }
+        fn send(&mut self, to: NodeId, msg: Msg) {
+            self.sent.push((to, msg));
+        }
+        fn set_timer(&mut self, _d: SimDuration, _t: u64) {}
+        fn rng(&mut self) -> &mut SmallRng {
+            &mut self.rng
+        }
+    }
+
+    fn chunk(page: u64) -> ChunkKey {
+        ChunkKey { blob: BlobId(1), version: VersionId(1), page }
+    }
+
+    fn write_record(page: u64, provider: u32) -> ActivityRecord {
+        ActivityRecord {
+            at: SimTime::ZERO,
+            client: ClientId(5),
+            kind: ActivityKind::ChunkWrite,
+            blob: Some(BlobId(1)),
+            provider: Some(NodeId(provider)),
+            chunk: Some(chunk(page)),
+            bytes: 100,
+        }
+    }
+
+    fn mgr() -> ReplicationManagerService {
+        ReplicationManagerService::new(
+            vec![NodeId(10)],
+            NodeId(1),
+            None,
+            ReplicationConfig { base_degree: 2, ..Default::default() },
+        )
+    }
+
+    fn feed_placement(m: &mut ReplicationManagerService, env: &mut TestEnv) {
+        // Chunk 0 on providers 20,21; chunk 1 on 21,22.
+        let records = vec![
+            write_record(0, 20),
+            write_record(0, 21),
+            write_record(1, 21),
+            write_record(1, 22),
+        ];
+        m.on_msg(env, NodeId(10), mon_msg(MonMsg::ActivityBatch { req: 1, records, last_seq: 4 }));
+    }
+
+    #[test]
+    fn placement_is_learned_from_activity() {
+        let mut env = TestEnv::new();
+        let mut m = mgr();
+        feed_placement(&mut m, &mut env);
+        assert_eq!(m.placement().len(), 2);
+        assert_eq!(m.placement()[&chunk(0)], vec![NodeId(20), NodeId(21)]);
+    }
+
+    #[test]
+    fn dead_provider_triggers_repair_and_leaf_patch() {
+        let mut env = TestEnv::new();
+        let mut m = mgr();
+        feed_placement(&mut m, &mut env);
+        // Provider 20 vanishes from the directory.
+        m.on_msg(
+            &mut env,
+            NodeId(1),
+            Msg::Directory {
+                req: 9,
+                meta_providers: vec![NodeId(30)],
+                data_providers: vec![NodeId(21), NodeId(22), NodeId(23)],
+            },
+        );
+        // A ReplicateChunk must go to the surviving holder (21) of chunk 0.
+        let (to, repair) = env
+            .sent
+            .iter()
+            .find(|(_, msg)| matches!(msg, Msg::ReplicateChunk { .. }))
+            .expect("repair dispatched");
+        assert_eq!(*to, NodeId(21));
+        let Msg::ReplicateChunk { req, key, to: dest } = repair else { unreachable!() };
+        assert_eq!(*key, chunk(0));
+        assert!(*dest == NodeId(22) || *dest == NodeId(23), "fresh destination");
+        // Completion updates the view and patches the leaf.
+        let req = *req;
+        let dest = *dest;
+        m.on_msg(&mut env, NodeId(21), Msg::ReplicateChunkOk { req, ok: true });
+        assert!(m.placement()[&chunk(0)].contains(&dest));
+        assert_eq!(m.repairs_done(), 1);
+        assert!(
+            env.sent.iter().any(|(to, msg)| *to == NodeId(30)
+                && matches!(msg, Msg::PatchLeaf { key, .. } if key.range == NodeRange::new(0, 1))),
+            "leaf patched on the owning metadata provider"
+        );
+    }
+
+    #[test]
+    fn failed_repair_is_retried_on_next_sweep() {
+        let mut env = TestEnv::new();
+        let mut m = mgr();
+        feed_placement(&mut m, &mut env);
+        m.on_msg(
+            &mut env,
+            NodeId(1),
+            Msg::Directory {
+                req: 9,
+                meta_providers: vec![NodeId(30)],
+                data_providers: vec![NodeId(21), NodeId(22), NodeId(23)],
+            },
+        );
+        let req = env
+            .sent
+            .iter()
+            .find_map(|(_, msg)| match msg {
+                Msg::ReplicateChunk { req, .. } => Some(*req),
+                _ => None,
+            })
+            .unwrap();
+        m.on_msg(&mut env, NodeId(21), Msg::ReplicateChunkOk { req, ok: false });
+        assert_eq!(m.repairs_done(), 0);
+        env.sent.clear();
+        // Next directory-triggered reconcile re-dispatches.
+        m.on_msg(
+            &mut env,
+            NodeId(1),
+            Msg::Directory {
+                req: 10,
+                meta_providers: vec![NodeId(30)],
+                data_providers: vec![NodeId(21), NodeId(22), NodeId(23)],
+            },
+        );
+        assert!(env.sent.iter().any(|(_, msg)| matches!(msg, Msg::ReplicateChunk { .. })));
+    }
+
+    #[test]
+    fn hot_blob_gets_extra_replicas_then_trims_when_cold() {
+        let mut env = TestEnv::new();
+        let mut m = mgr();
+        feed_placement(&mut m, &mut env);
+        // Mark blob 1 hot: target becomes 3.
+        let mut snapshot = sads_introspect::SystemSnapshot::default();
+        snapshot.blobs.insert(
+            BlobId(1),
+            sads_introspect::BlobView { read_mb: 1000.0, ..Default::default() },
+        );
+        m.on_msg(
+            &mut env,
+            NodeId(40),
+            intro_msg(IntroMsg::Snapshot { req: 1, snapshot: Box::new(snapshot) }),
+        );
+        m.on_msg(
+            &mut env,
+            NodeId(1),
+            Msg::Directory {
+                req: 9,
+                meta_providers: vec![NodeId(30)],
+                data_providers: vec![NodeId(20), NodeId(21), NodeId(22), NodeId(23)],
+            },
+        );
+        let repairs =
+            env.sent.iter().filter(|(_, m)| matches!(m, Msg::ReplicateChunk { .. })).count();
+        assert_eq!(repairs, 2, "both chunks get a third replica");
+        // Complete them; then the blob cools down (empty snapshot).
+        let reqs: Vec<u64> = env
+            .sent
+            .iter()
+            .filter_map(|(_, m)| match m {
+                Msg::ReplicateChunk { req, .. } => Some(*req),
+                _ => None,
+            })
+            .collect();
+        for r in reqs {
+            m.on_msg(&mut env, NodeId(21), Msg::ReplicateChunkOk { req: r, ok: true });
+        }
+        m.on_msg(
+            &mut env,
+            NodeId(40),
+            intro_msg(IntroMsg::Snapshot {
+                req: 2,
+                snapshot: Box::new(sads_introspect::SystemSnapshot::default()),
+            }),
+        );
+        env.sent.clear();
+        m.on_msg(
+            &mut env,
+            NodeId(1),
+            Msg::Directory {
+                req: 11,
+                meta_providers: vec![NodeId(30)],
+                data_providers: vec![NodeId(20), NodeId(21), NodeId(22), NodeId(23)],
+            },
+        );
+        let deletes =
+            env.sent.iter().filter(|(_, m)| matches!(m, Msg::DeleteChunk { .. })).count();
+        assert_eq!(deletes, 2, "one excess replica trimmed per chunk");
+    }
+
+    #[test]
+    fn total_loss_is_counted_not_repaired() {
+        let mut env = TestEnv::new();
+        let mut m = mgr();
+        feed_placement(&mut m, &mut env);
+        m.on_msg(
+            &mut env,
+            NodeId(1),
+            Msg::Directory {
+                req: 9,
+                meta_providers: vec![NodeId(30)],
+                data_providers: vec![NodeId(23)], // every holder died
+            },
+        );
+        assert!(env.sent.iter().all(|(_, m)| !matches!(m, Msg::ReplicateChunk { .. })));
+        assert!(m.placement().is_empty());
+    }
+}

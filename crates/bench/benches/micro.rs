@@ -1,0 +1,287 @@
+//! Criterion micro-benchmarks of the hot paths: metadata segment-tree
+//! construction and descent, allocation strategies, the chunk store, the
+//! monitoring filters and burst cache, the policy engine, and the raw
+//! event rate of the cluster simulator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use sads_blob::meta::{BaseSnapshot, MetaStore, NodeRef, TreeBuilder, TreeReader};
+use sads_blob::model::{
+    BlobId, BlobSpec, ChunkDescriptor, ChunkKey, ClientId, PageInterval, Payload, VersionId,
+};
+use sads_blob::pmanager::{
+    AllocationStrategy, LeastLoaded, ProviderKind, ProviderRegistry, RandomAlloc, RoundRobin,
+    TwoChoices,
+};
+use sads_blob::provider::ChunkStore;
+use sads_monitor::{ActivityKind, ActivityRecord, BurstCache, DataFilter, RateFilter};
+use sads_security::{scan, ActivityHistory, PolicySet, TrustConfig, TrustManager};
+use sads_sim::{NodeId, SimDuration, SimTime};
+
+const PAGE: u64 = 8;
+const BLOB: BlobId = BlobId(1);
+
+/// Build the full metadata for one write of `pages` pages on an empty
+/// blob, in memory.
+fn build_tree(pages: u64) -> (MetaStore, NodeRef) {
+    let mut store = MetaStore::new();
+    let mut b = TreeBuilder::new(
+        BLOB,
+        VersionId(1),
+        PageInterval::new(0, pages),
+        PAGE,
+        pages * PAGE,
+        BaseSnapshot { version: VersionId(0), size: 0, root: None },
+        vec![],
+    );
+    assert!(b.is_ready());
+    let chunks: Vec<ChunkDescriptor> = (0..pages)
+        .map(|page| ChunkDescriptor {
+            key: ChunkKey { blob: BLOB, version: VersionId(1), page },
+            replicas: vec![NodeId(0)],
+            size: PAGE,
+        })
+        .collect();
+    let (nodes, root) = b.build(&chunks);
+    for (k, n) in nodes {
+        store.put(k, n);
+    }
+    let _ = &mut b;
+    (store, root)
+}
+
+fn bench_tree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("segment_tree");
+    for pages in [16u64, 128, 1024] {
+        g.throughput(Throughput::Elements(pages));
+        g.bench_with_input(BenchmarkId::new("build_first_write", pages), &pages, |b, &pages| {
+            b.iter(|| build_tree(pages));
+        });
+        // Overwrite half the pages of an existing version (resolution
+        // against the base tree included).
+        let (store, root) = build_tree(pages);
+        g.bench_with_input(BenchmarkId::new("build_overwrite_half", pages), &pages, |b, &pages| {
+            b.iter(|| {
+                let mut tb = TreeBuilder::new(
+                    BLOB,
+                    VersionId(2),
+                    PageInterval::new(pages / 4, pages / 2),
+                    PAGE,
+                    pages * PAGE,
+                    BaseSnapshot { version: VersionId(1), size: pages * PAGE, root: Some(root) },
+                    vec![],
+                );
+                while !tb.is_ready() {
+                    for k in tb.needed_fetches() {
+                        let n = store.get(&k).unwrap().clone();
+                        tb.supply(k, &n);
+                    }
+                }
+                let chunks: Vec<ChunkDescriptor> = (pages / 4..pages / 4 + pages / 2)
+                    .map(|page| ChunkDescriptor {
+                        key: ChunkKey { blob: BLOB, version: VersionId(2), page },
+                        replicas: vec![NodeId(0)],
+                        size: PAGE,
+                    })
+                    .collect();
+                tb.build(&chunks)
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("read_full", pages), &pages, |b, &pages| {
+            b.iter(|| {
+                let mut r = TreeReader::new(BLOB, Some(root), PageInterval::new(0, pages));
+                while !r.is_done() {
+                    for k in r.needed_fetches() {
+                        let n = store.get(&k).unwrap().clone();
+                        r.supply(k, &n);
+                    }
+                }
+                r.into_sources()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_alloc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("allocation");
+    let mut registry = ProviderRegistry::new();
+    for i in 0..150 {
+        registry.register(NodeId(i), ProviderKind::Data, 1 << 40, SimTime::ZERO);
+    }
+    let strategies: Vec<Box<dyn AllocationStrategy>> = vec![
+        Box::<RoundRobin>::default(),
+        Box::<RandomAlloc>::default(),
+        Box::<LeastLoaded>::default(),
+        Box::<TwoChoices>::default(),
+    ];
+    for mut s in strategies {
+        let name = s.name();
+        g.throughput(Throughput::Elements(128));
+        g.bench_function(BenchmarkId::new("alloc_128x3", name), |b| {
+            let mut rng = SmallRng::seed_from_u64(1);
+            b.iter(|| s.allocate(&registry, 128, 3, 8 << 20, &mut rng).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_chunk_store(c: &mut Criterion) {
+    let mut g = c.benchmark_group("chunk_store");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("put_get_delete", |b| {
+        let mut store = ChunkStore::new(1 << 40);
+        let mut page = 0u64;
+        b.iter(|| {
+            page += 1;
+            let key = ChunkKey { blob: BLOB, version: VersionId(1), page };
+            store.put(key, Payload::Sim(8 << 20), SimTime::ZERO).unwrap();
+            let got = store.get(&key, SimTime::ZERO).unwrap();
+            store.delete(&key);
+            got.len()
+        });
+    });
+    g.finish();
+}
+
+fn bench_monitoring(c: &mut Criterion) {
+    let mut g = c.benchmark_group("monitoring");
+    // Filter ingest throughput.
+    let event = sads_blob::probe::ProbeEvent::ChunkWritten {
+        provider: NodeId(3),
+        client: ClientId(9),
+        key: ChunkKey { blob: BLOB, version: VersionId(1), page: 0 },
+        bytes: 8 << 20,
+    };
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("rate_filter_ingest_10k", |b| {
+        b.iter(|| {
+            let mut f = RateFilter::default();
+            for _ in 0..10_000 {
+                f.ingest(NodeId(3), &event, SimTime::ZERO);
+            }
+            f.flush(SimTime(1_000_000_000), 1.0)
+        });
+    });
+    g.bench_function("burst_cache_10k", |b| {
+        b.iter(|| {
+            let mut cache: BurstCache<u64> = BurstCache::new(100_000, 1e9, SimTime::ZERO);
+            for i in 0..10_000u64 {
+                cache.offer(i);
+            }
+            cache.drain(SimTime(1_000_000_000)).len()
+        });
+    });
+    g.finish();
+}
+
+fn bench_security(c: &mut Criterion) {
+    let mut g = c.benchmark_group("security");
+    let src = "policy dos { when rate(requests, window = 10s) > 200 and ratio(read_misses, requests, window = 10s) > 0.5 then block for 120s severity high }";
+    g.bench_function("policy_parse", |b| {
+        b.iter(|| PolicySet::parse(src).unwrap());
+    });
+
+    // Scan 50 clients × 200 events each against 3 policies.
+    let set = sads_security::default_dos_policies();
+    let mut history = ActivityHistory::new(SimDuration::from_secs(60));
+    let mut records = Vec::new();
+    for client in 0..50u64 {
+        for i in 0..200u64 {
+            records.push(ActivityRecord {
+                at: SimTime(i * 50_000_000),
+                client: ClientId(client),
+                kind: if i % 3 == 0 { ActivityKind::ChunkRead } else { ActivityKind::ChunkWrite },
+                blob: Some(BLOB),
+                provider: Some(NodeId((client % 16) as u32)),
+                chunk: None,
+                bytes: 8 << 20,
+            });
+        }
+    }
+    history.ingest(&records);
+    let trust = TrustManager::new(TrustConfig::default());
+    g.throughput(Throughput::Elements(50));
+    g.bench_function("engine_scan_50clients_10k_events", |b| {
+        b.iter(|| scan(&set, &history, &trust, SimTime(10_000_000_000)));
+    });
+    g.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    use sads_blob::runtime::sim::{add_service, BlobRef, ScriptStep, ScriptedClient};
+    use sads_blob::services::{
+        DataProviderService, MetaProviderService, ProviderManagerService, ServiceConfig,
+        VersionManagerService,
+    };
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+    // End-to-end: 4 clients write 256 MB each through a 8-provider world;
+    // measure wall time per simulated run (~events/sec of the DES).
+    g.bench_function("e2e_4clients_1gb_total", |b| {
+        b.iter(|| {
+            let mut world = sads_sim::World::with_seed(1);
+            let scfg = ServiceConfig::default();
+            let pman = add_service(
+                &mut world,
+                Box::new(ProviderManagerService::new(Box::<RoundRobin>::default())),
+                sads_sim::NodeConfig::unlimited(),
+            );
+            let vman = add_service(
+                &mut world,
+                Box::new(VersionManagerService::new(scfg)),
+                sads_sim::NodeConfig::unlimited(),
+            );
+            let meta = vec![add_service(
+                &mut world,
+                Box::new(MetaProviderService::new(pman, 1 << 30, scfg)),
+                sads_sim::NodeConfig::default(),
+            )];
+            for _ in 0..8 {
+                add_service(
+                    &mut world,
+                    Box::new(DataProviderService::new(pman, 1 << 40, scfg)),
+                    sads_sim::NodeConfig::default(),
+                );
+            }
+            let spec = BlobSpec { page_size: 8 << 20, replication: 1 };
+            for i in 0..4 {
+                world.add_node(
+                    Box::new(ScriptedClient::new(
+                        ClientId(10 + i),
+                        vman,
+                        pman,
+                        meta.clone(),
+                        sads_blob::ClientConfig::default(),
+                        vec![
+                            ScriptStep::Create(spec),
+                            ScriptStep::Write {
+                                blob: BlobRef::Created(0),
+                                kind: sads_blob::WriteKind::Append,
+                                bytes: 256 << 20,
+                            },
+                        ],
+                        "c",
+                    )),
+                    sads_sim::NodeConfig::default(),
+                );
+            }
+            world.run_for(SimDuration::from_secs(60), 10_000_000);
+            world.events_processed()
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tree,
+    bench_alloc,
+    bench_chunk_store,
+    bench_monitoring,
+    bench_security,
+    bench_simulator
+);
+criterion_main!(benches);

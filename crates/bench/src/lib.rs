@@ -1,0 +1,189 @@
+//! # sads-bench — experiment harness
+//!
+//! One binary per paper result (see `src/bin/exp_*.rs` and the experiment
+//! index in `DESIGN.md`), plus criterion micro-benchmarks
+//! (`benches/micro.rs`). Each experiment prints the same rows/series the
+//! paper reports and drops CSVs under `results/`.
+
+#![warn(missing_docs)]
+
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Directory experiment CSVs are written to (`results/`, created on
+/// demand).
+pub fn out_dir() -> PathBuf {
+    let dir = PathBuf::from("results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Write a CSV artifact and report its path.
+pub fn write_artifact(name: &str, content: &str) {
+    let path = out_dir().join(name);
+    let mut f = std::fs::File::create(&path).expect("create artifact");
+    f.write_all(content.as_bytes()).expect("write artifact");
+    println!("  -> wrote {}", path.display());
+}
+
+/// Render rows as an aligned table (first row = header).
+pub fn print_table(rows: &[Vec<String>]) {
+    print!("{}", sads_introspect::viz::table(rows));
+}
+
+/// Shorthand for building a row of strings.
+#[macro_export]
+macro_rules! row {
+    ($($cell:expr),* $(,)?) => {
+        vec![$(format!("{}", $cell)),*]
+    };
+}
+
+/// Mean of the values of a metric series restricted to a time window.
+pub fn window_mean(
+    metrics: &sads_sim::MetricSink,
+    name: &str,
+    from_s: f64,
+    to_s: f64,
+) -> Option<f64> {
+    let vals: Vec<f64> = metrics
+        .series(name)
+        .iter()
+        .filter(|x| x.at.as_secs_f64() >= from_s && x.at.as_secs_f64() < to_s)
+        .map(|x| x.value)
+        .collect();
+    if vals.is_empty() {
+        None
+    } else {
+        Some(vals.iter().sum::<f64>() / vals.len() as f64)
+    }
+}
+
+/// Shared DoS scenario builder used by experiments E2, E3 and E4
+/// (paper §IV-C).
+pub mod dos {
+    use sads_blob::model::{BlobId, BlobSpec, ChunkKey, ClientId, VersionId};
+    use sads_blob::runtime::sim::{BlobRef, ScriptStep};
+    use sads_blob::WriteKind;
+    use sads_core::{Deployment, DeploymentConfig};
+    use sads_security::{PolicySet, SecurityConfig};
+    use sads_sim::{NodeConfig, SimDuration, SimTime};
+    use sads_workloads::{staggered, writer_script, AttackConfig, AttackMode, DosAttacker};
+
+    /// Decimal megabyte.
+    pub const MB: u64 = 1_000_000;
+    /// BLOB page size used throughout the DoS experiments (8 MB).
+    pub const PAGE: u64 = 8 * MB;
+    /// When the attack begins.
+    pub const ATTACK_START_S: u64 = 30;
+
+    /// The DoS policy the experiments deploy, in the policy language.
+    pub fn policy_source() -> &'static str {
+        "policy dos_read_flood {\n  when rate(reads, window = 10s) > 30\n  then block for 300s severity high\n}"
+    }
+
+    /// Scenario parameters.
+    pub struct DosScenario {
+        /// RNG seed.
+        pub seed: u64,
+        /// Data providers (the paper's 70-node deployments).
+        pub data_providers: usize,
+        /// Correct writers.
+        pub writers: usize,
+        /// Malicious clients.
+        pub attackers: usize,
+        /// Deploy the security framework?
+        pub security: bool,
+        /// Stagger window for attacker start times (0 = simultaneous).
+        pub stagger: SimDuration,
+        /// Per-attacker request rate.
+        pub attack_rate: f64,
+        /// Bytes each correct writer streams.
+        pub writer_bytes: u64,
+        /// Bytes per write operation.
+        pub op_bytes: u64,
+    }
+
+    impl Default for DosScenario {
+        fn default() -> Self {
+            DosScenario {
+                seed: 7,
+                data_providers: 16,
+                writers: 8,
+                attackers: 6,
+                security: true,
+                stagger: SimDuration::ZERO,
+                attack_rate: 60.0,
+                writer_bytes: 8_000 * MB,
+                op_bytes: 64 * MB,
+            }
+        }
+    }
+
+    /// Build the deployment: a seeder publishes a 256 MB public BLOB,
+    /// writers stream appends from t = 10 s, attackers mount an
+    /// amplified-read flood from t = 30 s (optionally staggered).
+    pub fn build(s: &DosScenario) -> Deployment {
+        let mut cfg = DeploymentConfig {
+            seed: s.seed,
+            data_providers: s.data_providers,
+            meta_providers: 4,
+            monitors: 2,
+            storage_servers: 2,
+            ..DeploymentConfig::default()
+        };
+        if s.security {
+            cfg.security = Some((
+                PolicySet::parse(policy_source()).unwrap(),
+                SecurityConfig { scan_every: SimDuration::from_secs(5), ..Default::default() },
+            ));
+        }
+        let mut d = Deployment::build(cfg);
+        let spec = BlobSpec { page_size: PAGE, replication: 1 };
+        d.add_client(
+            ClientId(1),
+            vec![
+                ScriptStep::Create(spec),
+                ScriptStep::Write {
+                    blob: BlobRef::Created(0),
+                    kind: WriteKind::Append,
+                    bytes: 32 * PAGE,
+                },
+            ],
+            "seeder",
+        );
+        for i in 0..s.writers as u64 {
+            d.add_client(
+                ClientId(10 + i),
+                writer_script(spec, s.writer_bytes, s.op_bytes, SimTime(10_000_000_000)),
+                "writer",
+            );
+        }
+        let targets: Vec<(sads_sim::NodeId, ChunkKey)> = (0..32u64)
+            .map(|p| {
+                (
+                    d.data[(p as usize) % d.data.len()],
+                    ChunkKey { blob: BlobId(1), version: VersionId(1), page: p },
+                )
+            })
+            .collect();
+        let base = SimTime(ATTACK_START_S * 1_000_000_000);
+        for i in 0..s.attackers {
+            let start_at = staggered(base, s.stagger, i, s.attackers);
+            d.world.add_node(
+                Box::new(DosAttacker::new(
+                    ClientId(100 + i as u64),
+                    d.data.clone(),
+                    AttackConfig {
+                        start_at,
+                        stop_at: SimTime(600_000_000_000),
+                        mode: AttackMode::AmplifiedReads { targets: targets.clone() },
+                        rate_per_sec: s.attack_rate,
+                    },
+                )),
+                NodeConfig::default(),
+            );
+        }
+        d
+    }
+}

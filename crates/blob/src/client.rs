@@ -1,0 +1,1185 @@
+//! The BlobSeer client: protocol state machines for `create`, `write`,
+//! `append` and `read`, written as a resumable core ([`ClientCore`]) that
+//! both runtimes embed.
+//!
+//! A write proceeds through six phases, mirroring the real BlobSeer
+//! protocol: obtain a ticket from the version manager → obtain chunk
+//! placements from the provider manager → store chunk replicas on the data
+//! providers (all in parallel) → resolve the untouched-subtree references
+//! against the published metadata (O(log n) reads) → store the new tree
+//! nodes on the metadata providers → commit to the version manager, which
+//! acknowledges once the version publishes in order.
+
+use std::collections::{HashMap, HashSet};
+
+use bytes::BytesMut;
+use rand::Rng;
+use sads_sim::{NodeId, SimDuration, SimTime};
+
+use crate::meta::{
+    partition, MetaNode, NodeKey, PageSource, TreeBuilder, TreeReader,
+};
+use crate::model::{
+    pages_for, BlobError, BlobId, BlobSpec, ChunkDescriptor, ChunkKey, ClientId, PageInterval,
+    Payload, VersionId, VersionInfo,
+};
+use crate::rpc::{ChunkErr, Msg};
+use crate::services::Env;
+use crate::vmanager::{WriteKind, WriteTicket};
+
+/// Bit set on every timer token owned by the client core, so embedding
+/// actors can route timers.
+pub const CLIENT_TIMER_BIT: u64 = 1 << 63;
+
+/// Secondary namespace bit: per-chunk-fetch timeout tokens (the low bits
+/// carry the request id).
+const CHUNK_TIMEOUT_BIT: u64 = 1 << 62;
+
+/// An operation a client can perform.
+#[derive(Debug)]
+pub enum ClientOp {
+    /// Create a new BLOB.
+    Create {
+        /// BLOB parameters.
+        spec: BlobSpec,
+    },
+    /// Write (or append) data. Offsets and lengths must be multiples of
+    /// the BLOB page size.
+    Write {
+        /// Target BLOB.
+        blob: BlobId,
+        /// Offset or append.
+        kind: WriteKind,
+        /// Data (real bytes or simulated length).
+        data: Payload,
+    },
+    /// Read a byte range of a version (latest if `version` is `None`).
+    Read {
+        /// Target BLOB.
+        blob: BlobId,
+        /// Version to read, or latest.
+        version: Option<VersionId>,
+        /// Byte offset.
+        offset: u64,
+        /// Byte length (clamped to the version size).
+        len: u64,
+    },
+}
+
+/// Successful operation output.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpOutput {
+    /// BLOB created.
+    Created(BlobId),
+    /// Write published.
+    Written {
+        /// Target BLOB.
+        blob: BlobId,
+        /// The published version.
+        version: VersionId,
+        /// Byte offset written.
+        offset: u64,
+        /// Byte length written.
+        len: u64,
+    },
+    /// Read finished.
+    Read {
+        /// Assembled data (zeros for holes; `Payload::Sim` in simulation).
+        data: Payload,
+        /// The version that was read.
+        version: VersionId,
+    },
+}
+
+/// A finished operation, successful or not.
+#[derive(Debug)]
+pub struct Completion {
+    /// Caller-chosen tag from `start_op`.
+    pub tag: u64,
+    /// Outcome.
+    pub result: Result<OpOutput, BlobError>,
+    /// When the op started.
+    pub started: SimTime,
+    /// When it finished.
+    pub finished: SimTime,
+    /// Payload bytes moved (0 for create / failures).
+    pub bytes: u64,
+}
+
+impl Completion {
+    /// Throughput in MB/s (payload bytes over op duration), or 0.
+    pub fn throughput_mbps(&self) -> f64 {
+        let secs = self.finished.since(self.started).as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.bytes as f64 / 1e6 / secs
+        }
+    }
+}
+
+/// Client tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ClientConfig {
+    /// Per-operation deadline; the op fails with `Timeout` past it.
+    pub op_timeout: SimDuration,
+    /// Per-chunk-fetch deadline: an unresponsive replica (crashed or
+    /// drowning in backlog) triggers failover to the next replica.
+    pub chunk_timeout: SimDuration,
+    /// Real-data deployments set this so reads always materialize actual
+    /// zero bytes for holes (simulated deployments keep size-only
+    /// payloads).
+    pub materialize_zeros: bool,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            op_timeout: SimDuration::from_secs(600),
+            chunk_timeout: SimDuration::from_secs(15),
+            materialize_zeros: false,
+        }
+    }
+}
+
+#[derive(Debug)]
+enum WritePhase {
+    Ticket,
+    Alloc,
+    Chunks,
+    MetaResolve,
+    MetaPut,
+    Commit,
+}
+
+#[derive(Debug)]
+struct WriteSess {
+    blob: BlobId,
+    data: Payload,
+    ticket: Option<WriteTicket>,
+    chunks: Vec<ChunkDescriptor>,
+    builder: Option<TreeBuilder>,
+    root: Option<crate::meta::NodeRef>,
+    phase: WritePhase,
+}
+
+#[derive(Debug)]
+enum ReadPhase {
+    Version,
+    Meta,
+    Chunks,
+}
+
+#[derive(Debug)]
+struct ReadSess {
+    blob: BlobId,
+    offset: u64,
+    len: u64,
+    info: Option<VersionInfo>,
+    reader: Option<TreeReader>,
+    page0: u64,
+    parts: Vec<Option<Payload>>,
+    phase: ReadPhase,
+}
+
+#[derive(Debug)]
+enum SessKind {
+    Create,
+    // Boxed: write sessions embed the tree builder and are much larger
+    // than the other variants.
+    Write(Box<WriteSess>),
+    Read(ReadSess),
+}
+
+#[derive(Debug)]
+struct Session {
+    tag: u64,
+    started: SimTime,
+    kind: SessKind,
+    /// Request ids awaited in the current phase.
+    outstanding: HashSet<u64>,
+}
+
+/// Which sub-protocol a pending request id belongs to, plus retry state
+/// for chunk reads.
+#[derive(Debug)]
+enum ReqRole {
+    Plain,
+    /// A chunk fetch for read-part `idx`. `first` is the replica index
+    /// tried initially; `attempts` counts tries so far, and failover
+    /// walks `replicas[(first + attempts) % len]` until every replica
+    /// was tried once.
+    ChunkGet {
+        idx: usize,
+        desc: ChunkDescriptor,
+        first: usize,
+        attempts: usize,
+    },
+    /// A metadata fetch carrying the requested keys (during resolve).
+    MetaGet,
+}
+
+/// The embeddable client core. Drive it with `start_op`, feed it every
+/// incoming message/timer, and collect [`Completion`]s.
+pub struct ClientCore {
+    id: ClientId,
+    vman: NodeId,
+    pman: NodeId,
+    meta_providers: Vec<NodeId>,
+    cfg: ClientConfig,
+    sessions: HashMap<u64, Session>,
+    req_index: HashMap<u64, (u64, ReqRole)>,
+    next_req: u64,
+    next_sid: u64,
+}
+
+impl ClientCore {
+    /// A client of the deployment whose managers and (static) metadata
+    /// provider ring are given.
+    pub fn new(
+        id: ClientId,
+        vman: NodeId,
+        pman: NodeId,
+        meta_providers: Vec<NodeId>,
+        cfg: ClientConfig,
+    ) -> Self {
+        assert!(!meta_providers.is_empty(), "at least one metadata provider");
+        ClientCore {
+            id,
+            vman,
+            pman,
+            meta_providers,
+            cfg,
+            sessions: HashMap::new(),
+            req_index: HashMap::new(),
+            next_req: 1,
+            next_sid: 1,
+        }
+    }
+
+    /// This client's principal id.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    /// Operations currently in flight.
+    pub fn active_ops(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Does this timer token belong to the client core?
+    pub fn owns_timer(token: u64) -> bool {
+        token & CLIENT_TIMER_BIT != 0
+    }
+
+    fn fresh_req(&mut self, sid: u64, role: ReqRole) -> u64 {
+        let req = self.next_req;
+        self.next_req += 1;
+        self.req_index.insert(req, (sid, role));
+        req
+    }
+
+    /// Begin an operation; its completion will carry `tag`.
+    pub fn start_op(&mut self, env: &mut dyn Env, op: ClientOp, tag: u64) {
+        let sid = self.next_sid;
+        self.next_sid += 1;
+        let started = env.now();
+        env.set_timer(self.cfg.op_timeout, CLIENT_TIMER_BIT | sid);
+        let mut sess = Session { tag, started, kind: SessKind::Create, outstanding: HashSet::new() };
+        match op {
+            ClientOp::Create { spec } => {
+                let req = self.fresh_req(sid, ReqRole::Plain);
+                sess.outstanding.insert(req);
+                self.sessions.insert(sid, sess);
+                env.send(self.vman, Msg::CreateBlob { req, client: self.id, spec });
+            }
+            ClientOp::Write { blob, kind, data } => {
+                sess.kind = SessKind::Write(Box::new(WriteSess {
+                    blob,
+                    data,
+                    ticket: None,
+                    chunks: Vec::new(),
+                    builder: None,
+                    root: None,
+                    phase: WritePhase::Ticket,
+                }));
+                let len = match &sess.kind {
+                    SessKind::Write(w) => w.data.len(),
+                    _ => unreachable!(),
+                };
+                let req = self.fresh_req(sid, ReqRole::Plain);
+                sess.outstanding.insert(req);
+                self.sessions.insert(sid, sess);
+                env.send(self.vman, Msg::Ticket { req, client: self.id, blob, kind, len });
+            }
+            ClientOp::Read { blob, version, offset, len } => {
+                sess.kind = SessKind::Read(ReadSess {
+                    blob,
+                    offset,
+                    len,
+                    info: None,
+                    reader: None,
+                    page0: 0,
+                    parts: Vec::new(),
+                    phase: ReadPhase::Version,
+                });
+                let req = self.fresh_req(sid, ReqRole::Plain);
+                sess.outstanding.insert(req);
+                self.sessions.insert(sid, sess);
+                env.send(self.vman, Msg::GetVersion { req, client: self.id, blob, version });
+            }
+        }
+    }
+
+    /// Feed a timer owned by the client core (see [`ClientCore::owns_timer`]).
+    pub fn handle_timer(&mut self, env: &mut dyn Env, token: u64) -> Vec<Completion> {
+        if token & CHUNK_TIMEOUT_BIT != 0 {
+            // A chunk fetch went unanswered (replica crashed or drowned in
+            // backlog): synthesize a miss so the normal failover path
+            // tries the next replica. Stale timers (request already
+            // answered) fall out at the request-index lookup.
+            let req = token & !(CLIENT_TIMER_BIT | CHUNK_TIMEOUT_BIT);
+            if self.req_index.contains_key(&req) {
+                return self.handle_msg(
+                    env,
+                    NodeId::EXTERNAL,
+                    Msg::GetChunkErr { req, err: ChunkErr::NotFound },
+                );
+            }
+            return vec![];
+        }
+        let sid = token & !CLIENT_TIMER_BIT;
+        if let Some(sess) = self.sessions.remove(&sid) {
+            for req in &sess.outstanding {
+                self.req_index.remove(req);
+            }
+            return vec![Completion {
+                tag: sess.tag,
+                result: Err(BlobError::Timeout),
+                started: sess.started,
+                finished: env.now(),
+                bytes: 0,
+            }];
+        }
+        vec![]
+    }
+
+    /// Feed an incoming message. Returns any operations that completed.
+    pub fn handle_msg(&mut self, env: &mut dyn Env, _from: NodeId, msg: Msg) -> Vec<Completion> {
+        let Some(req) = req_of(&msg) else { return vec![] };
+        let Some((sid, role)) = self.req_index.remove(&req) else { return vec![] };
+        let Some(sess) = self.sessions.get_mut(&sid) else { return vec![] };
+        sess.outstanding.remove(&req);
+
+        let verdict = Self::advance(
+            self.id,
+            self.vman,
+            self.pman,
+            &self.meta_providers,
+            self.cfg.materialize_zeros,
+            self.cfg.chunk_timeout,
+            &mut self.next_req,
+            &mut self.req_index,
+            sid,
+            sess,
+            role,
+            msg,
+            env,
+        );
+        match verdict {
+            Step::Continue => vec![],
+            Step::Done(result, bytes) => {
+                let sess = self.sessions.remove(&sid).expect("present");
+                for r in &sess.outstanding {
+                    self.req_index.remove(r);
+                }
+                vec![Completion {
+                    tag: sess.tag,
+                    result,
+                    started: sess.started,
+                    finished: env.now(),
+                    bytes,
+                }]
+            }
+        }
+    }
+
+    /// One protocol step. Static to sidestep split borrows of `self`.
+    #[allow(clippy::too_many_arguments)]
+    fn advance(
+        client: ClientId,
+        vman: NodeId,
+        pman: NodeId,
+        meta_providers: &[NodeId],
+        materialize_zeros: bool,
+        chunk_timeout: SimDuration,
+        next_req: &mut u64,
+        req_index: &mut HashMap<u64, (u64, ReqRole)>,
+        sid: u64,
+        sess: &mut Session,
+        role: ReqRole,
+        msg: Msg,
+        env: &mut dyn Env,
+    ) -> Step {
+        let mut fresh = |outstanding: &mut HashSet<u64>, role: ReqRole| {
+            let req = *next_req;
+            *next_req += 1;
+            req_index.insert(req, (sid, role));
+            outstanding.insert(req);
+            req
+        };
+
+        match &mut sess.kind {
+            SessKind::Create => match msg {
+                Msg::CreateBlobOk { blob, .. } => Step::Done(Ok(OpOutput::Created(blob)), 0),
+                _ => Step::Done(Err(BlobError::Protocol("unexpected reply to create")), 0),
+            },
+
+            SessKind::Write(w) => match (std::mem::replace(&mut w.phase, WritePhase::Ticket), msg)
+            {
+                (WritePhase::Ticket, Msg::TicketOk { ticket, .. }) => {
+                    let pages = ticket.interval().len;
+                    let req = fresh(&mut sess.outstanding, ReqRole::Plain);
+                    env.send(
+                        pman,
+                        Msg::Alloc {
+                            req,
+                            client,
+                            chunks: pages as u32,
+                            replication: ticket.replication,
+                            chunk_size: ticket.page_size,
+                        },
+                    );
+                    w.ticket = Some(ticket);
+                    w.phase = WritePhase::Alloc;
+                    Step::Continue
+                }
+                (WritePhase::Ticket, Msg::TicketErr { err, .. }) => Step::Done(Err(err), 0),
+
+                (WritePhase::Alloc, Msg::AllocOk { placement, .. }) => {
+                    let ticket = w.ticket.as_ref().expect("ticket set");
+                    let interval = ticket.interval();
+                    debug_assert_eq!(placement.len() as u64, interval.len);
+                    let page = ticket.page_size;
+                    w.chunks = placement
+                        .iter()
+                        .enumerate()
+                        .map(|(i, replicas)| ChunkDescriptor {
+                            key: ChunkKey {
+                                blob: w.blob,
+                                version: ticket.version,
+                                page: interval.start + i as u64,
+                            },
+                            replicas: replicas.clone(),
+                            size: page,
+                        })
+                        .collect();
+                    for (i, desc) in w.chunks.iter().enumerate() {
+                        let slice = w.data.slice(i as u64 * page, page);
+                        for replica in &desc.replicas {
+                            let req = fresh(&mut sess.outstanding, ReqRole::Plain);
+                            env.send(
+                                *replica,
+                                Msg::PutChunk {
+                                    req,
+                                    client,
+                                    key: desc.key,
+                                    data: slice.clone(),
+                                },
+                            );
+                        }
+                    }
+                    w.phase = WritePhase::Chunks;
+                    Step::Continue
+                }
+                (WritePhase::Alloc, Msg::AllocErr { available, .. }) => Step::Done(
+                    Err(BlobError::AllocationFailed {
+                        requested: w.data.len().div_ceil(
+                            w.ticket.as_ref().map(|t| t.page_size).unwrap_or(1).max(1),
+                        ) as u32,
+                        available,
+                    }),
+                    0,
+                ),
+
+                (WritePhase::Chunks, Msg::PutChunkOk { .. }) => {
+                    if !sess.outstanding.is_empty() {
+                        w.phase = WritePhase::Chunks;
+                        return Step::Continue;
+                    }
+                    // All replicas stored: build metadata.
+                    let ticket = w.ticket.clone().expect("ticket set");
+                    let builder = TreeBuilder::new(
+                        w.blob,
+                        ticket.version,
+                        ticket.interval(),
+                        ticket.page_size,
+                        ticket.new_size,
+                        ticket.base,
+                        ticket.pending.clone(),
+                    );
+                    w.builder = Some(builder);
+                    Self::write_meta_step(client, meta_providers, &mut fresh, sess, env)
+                }
+                (WritePhase::Chunks, Msg::PutChunkErr { err, .. }) => {
+                    Step::Done(Err(chunk_err(err, client)), 0)
+                }
+
+                (WritePhase::MetaResolve, Msg::GetMetaOk { nodes, .. }) => {
+                    let builder = w.builder.as_mut().expect("builder set");
+                    for (k, n) in nodes {
+                        match n {
+                            Some(node) => builder.supply(k, &node),
+                            None => return Step::Done(Err(BlobError::MetaUnavailable), 0),
+                        }
+                    }
+                    if !sess.outstanding.is_empty() {
+                        w.phase = WritePhase::MetaResolve;
+                        return Step::Continue;
+                    }
+                    Self::write_meta_step(client, meta_providers, &mut fresh, sess, env)
+                }
+
+                (WritePhase::MetaPut, Msg::PutMetaOk { .. }) => {
+                    if !sess.outstanding.is_empty() {
+                        w.phase = WritePhase::MetaPut;
+                        return Step::Continue;
+                    }
+                    let ticket = w.ticket.as_ref().expect("ticket set");
+                    let req = fresh(&mut sess.outstanding, ReqRole::Plain);
+                    env.send(
+                        vman,
+                        Msg::Commit {
+                            req,
+                            client,
+                            blob: w.blob,
+                            version: ticket.version,
+                            root: w.root.expect("root set in meta phase"),
+                            size: ticket.new_size,
+                        },
+                    );
+                    w.phase = WritePhase::Commit;
+                    Step::Continue
+                }
+
+                (WritePhase::Commit, Msg::CommitOk { version, .. }) => {
+                    let ticket = w.ticket.as_ref().expect("ticket set");
+                    let bytes = ticket.len;
+                    Step::Done(
+                        Ok(OpOutput::Written {
+                            blob: w.blob,
+                            version,
+                            offset: ticket.offset,
+                            len: ticket.len,
+                        }),
+                        bytes,
+                    )
+                }
+                (WritePhase::Commit, Msg::TicketErr { err, .. }) => Step::Done(Err(err), 0),
+
+                (_, _) => Step::Done(Err(BlobError::Protocol("unexpected write reply")), 0),
+            },
+
+            SessKind::Read(r) => match (std::mem::replace(&mut r.phase, ReadPhase::Version), msg, role)
+            {
+                (ReadPhase::Version, Msg::GetVersionOk { info, .. }, _) => {
+                    if r.len == 0 {
+                        let data = if materialize_zeros {
+                            Payload::Data(bytes::Bytes::new())
+                        } else {
+                            Payload::Sim(0)
+                        };
+                        return Step::Done(
+                            Ok(OpOutput::Read { data, version: info.version }),
+                            0,
+                        );
+                    }
+                    if r.offset >= info.size {
+                        return Step::Done(
+                            Err(BlobError::OutOfBounds {
+                                offset: r.offset,
+                                len: r.len,
+                                size: info.size,
+                            }),
+                            0,
+                        );
+                    }
+                    let eff_len = r.len.min(info.size - r.offset);
+                    r.len = eff_len;
+                    let page = info.page_size;
+                    r.page0 = r.offset / page;
+                    let last = (r.offset + eff_len - 1) / page;
+                    let interval = PageInterval::new(r.page0, last - r.page0 + 1);
+                    let reader = TreeReader::new(r.blob, info.root, interval);
+                    r.parts = (0..interval.len).map(|_| None).collect();
+                    r.info = Some(info);
+                    r.reader = Some(reader);
+                    Self::read_meta_step(
+                        client,
+                        meta_providers,
+                        materialize_zeros,
+                        chunk_timeout,
+                        &mut fresh,
+                        sess,
+                        env,
+                    )
+                }
+                (ReadPhase::Version, Msg::GetVersionErr { err, .. }, _) => Step::Done(Err(err), 0),
+
+                (ReadPhase::Meta, Msg::GetMetaOk { nodes, .. }, _) => {
+                    let reader = r.reader.as_mut().expect("reader set");
+                    for (k, n) in nodes {
+                        match n {
+                            Some(node) => reader.supply(k, &node),
+                            None => return Step::Done(Err(BlobError::MetaUnavailable), 0),
+                        }
+                    }
+                    if !sess.outstanding.is_empty() {
+                        r.phase = ReadPhase::Meta;
+                        return Step::Continue;
+                    }
+                    Self::read_meta_step(
+                        client,
+                        meta_providers,
+                        materialize_zeros,
+                        chunk_timeout,
+                        &mut fresh,
+                        sess,
+                        env,
+                    )
+                }
+
+                (ReadPhase::Chunks, Msg::GetChunkOk { data, .. }, ReqRole::ChunkGet { idx, .. }) => {
+                    r.parts[idx] = Some(data);
+                    if sess.outstanding.is_empty() {
+                        return Self::assemble(sess, materialize_zeros);
+                    }
+                    r.phase = ReadPhase::Chunks;
+                    Step::Continue
+                }
+                (
+                    ReadPhase::Chunks,
+                    Msg::GetChunkErr { err, .. },
+                    ReqRole::ChunkGet { idx, desc, first, attempts },
+                ) => {
+                    if err == ChunkErr::Blocked {
+                        return Step::Done(Err(BlobError::Blocked(client)), 0);
+                    }
+                    if attempts < desc.replicas.len() {
+                        let target = desc.replicas[(first + attempts) % desc.replicas.len()];
+                        let key = desc.key;
+                        let req = fresh(
+                            &mut sess.outstanding,
+                            ReqRole::ChunkGet { idx, desc, first, attempts: attempts + 1 },
+                        );
+                        env.send(target, Msg::GetChunk { req, client, key });
+                        env.set_timer(chunk_timeout, CLIENT_TIMER_BIT | CHUNK_TIMEOUT_BIT | req);
+                        r.phase = ReadPhase::Chunks;
+                        return Step::Continue;
+                    }
+                    Step::Done(Err(BlobError::ChunkUnavailable(desc.key)), 0)
+                }
+
+                (_, _, _) => Step::Done(Err(BlobError::Protocol("unexpected read reply")), 0),
+            },
+        }
+    }
+
+    /// Issue the next round of metadata work for a write session: either
+    /// more base-tree fetches, or (once resolved) the node stores.
+    fn write_meta_step(
+        client: ClientId,
+        meta_providers: &[NodeId],
+        fresh: &mut dyn FnMut(&mut HashSet<u64>, ReqRole) -> u64,
+        sess: &mut Session,
+        env: &mut dyn Env,
+    ) -> Step {
+        let SessKind::Write(w) = &mut sess.kind else { unreachable!() };
+        let builder = w.builder.as_mut().expect("builder set");
+        if !builder.is_ready() {
+            let fetches = builder.needed_fetches();
+            debug_assert!(!fetches.is_empty());
+            for (target, keys) in group_by_partition(&fetches, meta_providers) {
+                let req = fresh(&mut sess.outstanding, ReqRole::MetaGet);
+                env.send(target, Msg::GetMeta { req, keys });
+            }
+            w.phase = WritePhase::MetaResolve;
+            return Step::Continue;
+        }
+        // Resolved: emit nodes and store them.
+        let (nodes, root) = builder.build(&w.chunks);
+        w.root = Some(root);
+        let mut per_provider: HashMap<NodeId, Vec<(NodeKey, MetaNode)>> = HashMap::new();
+        for (k, n) in nodes {
+            let target = meta_providers[partition(&k, meta_providers.len())];
+            per_provider.entry(target).or_default().push((k, n));
+        }
+        let mut targets: Vec<NodeId> = per_provider.keys().copied().collect();
+        targets.sort();
+        for target in targets {
+            let nodes = per_provider.remove(&target).expect("present");
+            let req = fresh(&mut sess.outstanding, ReqRole::Plain);
+            env.send(target, Msg::PutMeta { req, nodes });
+        }
+        let _ = client;
+        w.phase = WritePhase::MetaPut;
+        Step::Continue
+    }
+
+    /// Issue the next round of metadata fetches for a read session, or
+    /// start fetching chunks once the descent completes.
+    #[allow(clippy::too_many_arguments)]
+    fn read_meta_step(
+        client: ClientId,
+        meta_providers: &[NodeId],
+        materialize_zeros: bool,
+        chunk_timeout: SimDuration,
+        fresh: &mut dyn FnMut(&mut HashSet<u64>, ReqRole) -> u64,
+        sess: &mut Session,
+        env: &mut dyn Env,
+    ) -> Step {
+        let SessKind::Read(r) = &mut sess.kind else { unreachable!() };
+        let reader = r.reader.as_mut().expect("reader set");
+        if !reader.is_done() {
+            let fetches = reader.needed_fetches();
+            debug_assert!(!fetches.is_empty());
+            for (target, keys) in group_by_partition(&fetches, meta_providers) {
+                let req = fresh(&mut sess.outstanding, ReqRole::MetaGet);
+                env.send(target, Msg::GetMeta { req, keys });
+            }
+            r.phase = ReadPhase::Meta;
+            return Step::Continue;
+        }
+        let reader = r.reader.take().expect("reader set");
+        let info = r.info.as_ref().expect("info set");
+        let page = info.page_size;
+        let sources = reader.into_sources();
+        let mut any_chunk = false;
+        for (idx, src) in sources.into_iter().enumerate() {
+            match src {
+                PageSource::Hole { .. } => {
+                    // Holes are stored as size-only placeholders; assembly
+                    // turns them into real zero bytes when the read mixes
+                    // them with real-data chunks.
+                    r.parts[idx] = Some(Payload::Sim(page));
+                }
+                PageSource::Chunk(desc) if desc.replicas.is_empty() => {
+                    // A tombstone leaf written by stalled-write recovery:
+                    // the page was never stored, read it as zeros.
+                    r.parts[idx] = Some(Payload::Sim(page));
+                }
+                PageSource::Chunk(desc) => {
+                    any_chunk = true;
+                    let first = env.rng().random_range(0..desc.replicas.len());
+                    let target = desc.replicas[first];
+                    let key = desc.key;
+                    let req = fresh(
+                        &mut sess.outstanding,
+                        ReqRole::ChunkGet { idx, desc, first, attempts: 1 },
+                    );
+                    env.send(target, Msg::GetChunk { req, client, key });
+                    env.set_timer(chunk_timeout, CLIENT_TIMER_BIT | CHUNK_TIMEOUT_BIT | req);
+                }
+            }
+        }
+        if !any_chunk {
+            return Self::assemble(sess, materialize_zeros);
+        }
+        r.phase = ReadPhase::Chunks;
+        Step::Continue
+    }
+
+    /// All parts present: splice the requested byte range out of the page
+    /// row and complete the read.
+    fn assemble(sess: &mut Session, materialize_zeros: bool) -> Step {
+        let SessKind::Read(r) = &mut sess.kind else { unreachable!() };
+        let info = r.info.as_ref().expect("info set");
+        let page = info.page_size;
+        let skip = r.offset - r.page0 * page;
+        let total = r.len;
+        // Real bytes iff every non-hole part carries real bytes and the
+        // deployment stores real data; holes become zero bytes then.
+        let any_real = r.parts.iter().flatten().any(|p| matches!(p, Payload::Data(_)));
+        let data = if any_real || materialize_zeros {
+            let mut buf = BytesMut::with_capacity(total as usize);
+            let mut remaining = total;
+            let mut offset_in_part = skip;
+            for part in r.parts.iter().flatten() {
+                if remaining == 0 {
+                    break;
+                }
+                let avail = page - offset_in_part;
+                let take = avail.min(remaining);
+                match part {
+                    Payload::Data(b) => {
+                        let s = offset_in_part as usize;
+                        let e = ((offset_in_part + take) as usize).min(b.len());
+                        if s < b.len() {
+                            buf.extend_from_slice(&b[s..e]);
+                        }
+                        // Chunks are always full pages; pad defensively.
+                        let got = e.saturating_sub(s) as u64;
+                        if got < take {
+                            buf.extend(std::iter::repeat_n(0u8, (take - got) as usize));
+                        }
+                    }
+                    Payload::Sim(_) => {
+                        buf.extend(std::iter::repeat_n(0u8, take as usize));
+                    }
+                }
+                remaining -= take;
+                offset_in_part = 0;
+            }
+            Payload::Data(buf.freeze())
+        } else {
+            Payload::Sim(total)
+        };
+        let version = info.version;
+        let bytes = total;
+        Step::Done(Ok(OpOutput::Read { data, version }), bytes)
+    }
+}
+
+enum Step {
+    Continue,
+    Done(Result<OpOutput, BlobError>, u64),
+}
+
+/// Extract the correlation id of a reply message.
+fn req_of(msg: &Msg) -> Option<u64> {
+    Some(match msg {
+        Msg::AllocOk { req, .. }
+        | Msg::AllocErr { req, .. }
+        | Msg::Directory { req, .. }
+        | Msg::PutChunkOk { req }
+        | Msg::PutChunkErr { req, .. }
+        | Msg::GetChunkOk { req, .. }
+        | Msg::GetChunkErr { req, .. }
+        | Msg::DeleteChunkOk { req, .. }
+        | Msg::PutMetaOk { req }
+        | Msg::GetMetaOk { req, .. }
+        | Msg::DeleteMetaOk { req, .. }
+        | Msg::CreateBlobOk { req, .. }
+        | Msg::TicketOk { req, .. }
+        | Msg::TicketErr { req, .. }
+        | Msg::CommitOk { req, .. }
+        | Msg::GetVersionOk { req, .. }
+        | Msg::GetVersionErr { req, .. } => *req,
+        _ => return None,
+    })
+}
+
+fn chunk_err(err: ChunkErr, client: ClientId) -> BlobError {
+    match err {
+        ChunkErr::Blocked => BlobError::Blocked(client),
+        ChunkErr::Full => BlobError::ProviderFull,
+        ChunkErr::NotFound => BlobError::Protocol("put got NotFound"),
+    }
+}
+
+/// Group metadata keys by their owning provider.
+fn group_by_partition(
+    keys: &[NodeKey],
+    meta_providers: &[NodeId],
+) -> Vec<(NodeId, Vec<NodeKey>)> {
+    let mut map: HashMap<NodeId, Vec<NodeKey>> = HashMap::new();
+    for k in keys {
+        let target = meta_providers[partition(k, meta_providers.len())];
+        map.entry(target).or_default().push(*k);
+    }
+    let mut out: Vec<(NodeId, Vec<NodeKey>)> = map.into_iter().collect();
+    out.sort_by_key(|(n, _)| *n);
+    out
+}
+
+/// Number of chunks a write of `len` bytes needs at the given page size.
+pub fn chunks_for_write(len: u64, page_size: u64) -> u64 {
+    pages_for(len, page_size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meta::{MetaNode, NodeRange, NodeRef};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    struct TestEnv {
+        now: SimTime,
+        sent: Vec<(NodeId, Msg)>,
+        timers: Vec<(SimDuration, u64)>,
+        rng: SmallRng,
+    }
+
+    impl TestEnv {
+        fn new() -> Self {
+            TestEnv {
+                now: SimTime::ZERO,
+                sent: vec![],
+                timers: vec![],
+                rng: SmallRng::seed_from_u64(0),
+            }
+        }
+        fn take_sent(&mut self) -> Vec<(NodeId, Msg)> {
+            std::mem::take(&mut self.sent)
+        }
+    }
+
+    impl Env for TestEnv {
+        fn id(&self) -> NodeId {
+            NodeId(0)
+        }
+        fn now(&self) -> SimTime {
+            self.now
+        }
+        fn send(&mut self, to: NodeId, msg: Msg) {
+            self.sent.push((to, msg));
+        }
+        fn set_timer(&mut self, delay: SimDuration, token: u64) {
+            self.timers.push((delay, token));
+        }
+        fn rng(&mut self) -> &mut SmallRng {
+            &mut self.rng
+        }
+    }
+
+    const VMAN: NodeId = NodeId(1);
+    const PMAN: NodeId = NodeId(2);
+    const META: NodeId = NodeId(3);
+    const PROV_A: NodeId = NodeId(10);
+    const PROV_B: NodeId = NodeId(11);
+
+    fn core() -> ClientCore {
+        ClientCore::new(ClientId(7), VMAN, PMAN, vec![META], ClientConfig::default())
+    }
+
+    #[test]
+    fn create_roundtrip() {
+        let mut env = TestEnv::new();
+        let mut c = core();
+        c.start_op(&mut env, ClientOp::Create { spec: BlobSpec::default() }, 42);
+        let (to, msg) = env.take_sent().pop().expect("create sent");
+        assert_eq!(to, VMAN);
+        let Msg::CreateBlob { req, .. } = msg else { panic!("wrong msg {msg:?}") };
+        let done = c.handle_msg(&mut env, VMAN, Msg::CreateBlobOk { req, blob: BlobId(5) });
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].tag, 42);
+        assert_eq!(done[0].result.as_ref().unwrap(), &OpOutput::Created(BlobId(5)));
+        assert_eq!(c.active_ops(), 0);
+    }
+
+    #[test]
+    fn ticket_error_fails_the_op() {
+        let mut env = TestEnv::new();
+        let mut c = core();
+        c.start_op(
+            &mut env,
+            ClientOp::Write {
+                blob: BlobId(5),
+                kind: WriteKind::Append,
+                data: Payload::Sim(16),
+            },
+            1,
+        );
+        let (_, msg) = env.take_sent().pop().unwrap();
+        let Msg::Ticket { req, .. } = msg else { panic!() };
+        let done = c.handle_msg(
+            &mut env,
+            VMAN,
+            Msg::TicketErr { req, err: BlobError::Blocked(ClientId(7)) },
+        );
+        assert!(matches!(done[0].result, Err(BlobError::Blocked(_))));
+    }
+
+    #[test]
+    fn allocation_failure_fails_the_op() {
+        let mut env = TestEnv::new();
+        let mut c = core();
+        c.start_op(
+            &mut env,
+            ClientOp::Write { blob: BlobId(5), kind: WriteKind::At(0), data: Payload::Sim(16) },
+            1,
+        );
+        let (_, msg) = env.take_sent().pop().unwrap();
+        let Msg::Ticket { req, .. } = msg else { panic!() };
+        let ticket = WriteTicket {
+            blob: BlobId(5),
+            version: VersionId(1),
+            offset: 0,
+            len: 16,
+            page_size: 8,
+            replication: 3,
+            new_size: 16,
+            base: crate::meta::BaseSnapshot { version: VersionId(0), size: 0, root: None },
+            pending: vec![],
+        };
+        assert!(c.handle_msg(&mut env, VMAN, Msg::TicketOk { req, ticket }).is_empty());
+        let (to, msg) = env.take_sent().pop().unwrap();
+        assert_eq!(to, PMAN);
+        let Msg::Alloc { req, chunks, replication, .. } = msg else { panic!() };
+        assert_eq!((chunks, replication), (2, 3));
+        let done = c.handle_msg(&mut env, PMAN, Msg::AllocErr { req, available: 2 });
+        assert!(matches!(done[0].result, Err(BlobError::AllocationFailed { available: 2, .. })));
+    }
+
+    #[test]
+    fn op_timeout_fires_and_completes_with_error() {
+        let mut env = TestEnv::new();
+        let mut c = core();
+        c.start_op(
+            &mut env,
+            ClientOp::Read { blob: BlobId(5), version: None, offset: 0, len: 8 },
+            9,
+        );
+        // The op-deadline timer was armed.
+        let (delay, token) = env.timers[0];
+        assert_eq!(delay, ClientConfig::default().op_timeout);
+        assert!(ClientCore::owns_timer(token));
+        env.now = SimTime(1);
+        let done = c.handle_timer(&mut env, token);
+        assert_eq!(done.len(), 1);
+        assert!(matches!(done[0].result, Err(BlobError::Timeout)));
+        assert_eq!(c.active_ops(), 0);
+        // A stale reply afterwards is ignored.
+        assert!(c.handle_msg(&mut env, VMAN, Msg::GetVersionErr {
+            req: 1,
+            err: BlobError::UnknownBlob(BlobId(5)),
+        })
+        .is_empty());
+    }
+
+    #[test]
+    fn read_fails_over_to_next_replica_on_chunk_timeout() {
+        let mut env = TestEnv::new();
+        let mut c = core();
+        c.start_op(
+            &mut env,
+            ClientOp::Read { blob: BlobId(5), version: None, offset: 0, len: 8 },
+            3,
+        );
+        let (_, msg) = env.take_sent().pop().unwrap();
+        let Msg::GetVersion { req, .. } = msg else { panic!() };
+        // One-page blob whose root is a leaf with two replicas.
+        let root = NodeRef::Node { version: VersionId(1), range: NodeRange::new(0, 1) };
+        assert!(c
+            .handle_msg(
+                &mut env,
+                VMAN,
+                Msg::GetVersionOk {
+                    req,
+                    info: VersionInfo {
+                        version: VersionId(1),
+                        size: 8,
+                        page_size: 8,
+                        root: Some(root),
+                    },
+                },
+            )
+            .is_empty());
+        // Meta fetch for the leaf.
+        let (to, msg) = env.take_sent().pop().unwrap();
+        assert_eq!(to, META);
+        let Msg::GetMeta { req, keys } = msg else { panic!("{msg:?}") };
+        let leaf = MetaNode::Leaf {
+            chunk: ChunkDescriptor {
+                key: ChunkKey { blob: BlobId(5), version: VersionId(1), page: 0 },
+                replicas: vec![PROV_A, PROV_B],
+                size: 8,
+            },
+        };
+        assert!(c
+            .handle_msg(
+                &mut env,
+                META,
+                Msg::GetMetaOk { req, nodes: vec![(keys[0], Some(leaf))] },
+            )
+            .is_empty());
+        // A chunk fetch went out to one replica, with a failover timer.
+        let (first_target, msg) = env.take_sent().pop().unwrap();
+        assert!(first_target == PROV_A || first_target == PROV_B);
+        let Msg::GetChunk { .. } = msg else { panic!("{msg:?}") };
+        let (_, token) = *env.timers.last().unwrap();
+        assert!(ClientCore::owns_timer(token));
+        // The replica never answers: the chunk timer fires and the client
+        // retries another replica.
+        assert!(c.handle_timer(&mut env, token).is_empty());
+        let (second_target, msg) = env.take_sent().pop().unwrap();
+        let Msg::GetChunk { req, .. } = msg else { panic!("{msg:?}") };
+        assert_ne!(second_target, first_target, "failover goes to the other replica");
+        // That one answers: the read completes.
+        let done =
+            c.handle_msg(&mut env, second_target, Msg::GetChunkOk { req, data: Payload::Sim(8) });
+        assert_eq!(done.len(), 1);
+        let Ok(OpOutput::Read { data, version }) = &done[0].result else {
+            panic!("{:?}", done[0].result)
+        };
+        assert_eq!(data.len(), 8);
+        assert_eq!(*version, VersionId(1));
+    }
+
+    #[test]
+    fn read_of_out_of_bounds_offset_errors() {
+        let mut env = TestEnv::new();
+        let mut c = core();
+        c.start_op(
+            &mut env,
+            ClientOp::Read { blob: BlobId(5), version: None, offset: 100, len: 8 },
+            3,
+        );
+        let (_, msg) = env.take_sent().pop().unwrap();
+        let Msg::GetVersion { req, .. } = msg else { panic!() };
+        let done = c.handle_msg(
+            &mut env,
+            VMAN,
+            Msg::GetVersionOk {
+                req,
+                info: VersionInfo {
+                    version: VersionId(1),
+                    size: 8,
+                    page_size: 8,
+                    root: None,
+                },
+            },
+        );
+        assert!(matches!(done[0].result, Err(BlobError::OutOfBounds { .. })));
+    }
+
+    #[test]
+    fn zero_length_read_completes_immediately() {
+        let mut env = TestEnv::new();
+        let mut c = core();
+        c.start_op(
+            &mut env,
+            ClientOp::Read { blob: BlobId(5), version: None, offset: 0, len: 0 },
+            3,
+        );
+        let (_, msg) = env.take_sent().pop().unwrap();
+        let Msg::GetVersion { req, .. } = msg else { panic!() };
+        let done = c.handle_msg(
+            &mut env,
+            VMAN,
+            Msg::GetVersionOk {
+                req,
+                info: VersionInfo {
+                    version: VersionId(2),
+                    size: 8,
+                    page_size: 8,
+                    root: None,
+                },
+            },
+        );
+        assert_eq!(done.len(), 1);
+        let Ok(OpOutput::Read { data, .. }) = &done[0].result else { panic!() };
+        assert_eq!(data.len(), 0);
+    }
+
+    #[test]
+    fn replies_from_unknown_requests_are_ignored() {
+        let mut env = TestEnv::new();
+        let mut c = core();
+        assert!(c.handle_msg(&mut env, VMAN, Msg::PutChunkOk { req: 999 }).is_empty());
+        assert!(c
+            .handle_msg(&mut env, VMAN, Msg::CreateBlobOk { req: 1, blob: BlobId(1) })
+            .is_empty());
+    }
+}

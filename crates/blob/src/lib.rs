@@ -1,0 +1,41 @@
+//! # sads-blob — BlobSeer reimplementation
+//!
+//! A full Rust reimplementation of BlobSeer (Nicolae et al., JPDC 2010),
+//! the large-scale data-sharing platform the paper builds its
+//! self-adaptive cloud storage service on.
+//!
+//! BLOBs are huge byte sequences split into fixed-size pages; every write
+//! publishes a new immutable version; versions share unmodified pages and
+//! metadata subtrees. The five actors of the paper's §III-A are here:
+//!
+//! * [`services::DataProviderService`] — chunk storage,
+//! * [`services::MetaProviderService`] — distributed segment-tree nodes,
+//! * [`services::ProviderManagerService`] — membership + allocation
+//!   strategies ([`pmanager`]),
+//! * [`services::VersionManagerService`] — ticketing + ordered
+//!   publication ([`vmanager`]),
+//! * [`client::ClientCore`] — the client protocol state machines.
+//!
+//! All service logic is runtime-agnostic; [`runtime::sim`] drives it on
+//! the deterministic cluster simulator, [`runtime::threaded`] on real
+//! threads with real bytes.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod meta;
+pub mod model;
+pub mod pmanager;
+pub mod probe;
+pub mod provider;
+pub mod rpc;
+pub mod runtime;
+pub mod services;
+pub mod vmanager;
+
+pub use client::{ClientConfig, ClientCore, ClientOp, Completion, OpOutput};
+pub use model::{
+    BlobError, BlobId, BlobSpec, ChunkDescriptor, ChunkKey, ClientId, PageInterval, Payload,
+    VersionId, VersionInfo,
+};
+pub use vmanager::{WriteKind, WriteTicket};

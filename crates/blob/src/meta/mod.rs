@@ -1,0 +1,11 @@
+//! Distributed versioned metadata: the segment-tree algorithm
+//! ([`tree`]) and the metadata-provider storage/partitioning ([`store`]).
+
+pub mod store;
+pub mod tree;
+
+pub use store::{node_key_hash, partition, MetaStore};
+pub use tree::{
+    BaseSnapshot, MetaNode, NodeKey, NodeRange, NodeRef, PageSource, PendingWrite, TreeBuilder,
+    TreeReader,
+};

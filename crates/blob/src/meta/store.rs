@@ -1,0 +1,193 @@
+//! Metadata provider storage: the node map one metadata provider holds,
+//! and the static partitioning function that maps node keys onto the
+//! metadata provider ring.
+//!
+//! BlobSeer distributes tree nodes over a set of metadata providers using
+//! consistent key hashing; clients compute the owner locally from the key,
+//! so no directory lookup is needed on the metadata path.
+
+use std::collections::HashMap;
+
+use crate::meta::tree::{MetaNode, NodeKey};
+
+/// Deterministic 64-bit mix of a node key (SplitMix64-style finalizer).
+/// Used for partitioning; stability across runs matters for the
+/// deterministic simulator, so we do not use `std`'s randomized hasher.
+pub fn node_key_hash(key: &NodeKey) -> u64 {
+    let mut h = key
+        .blob
+        .0
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(key.version.0.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add(key.range.start.wrapping_mul(0x94D0_49BB_1331_11EB))
+        .wrapping_add(key.range.len);
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^= h >> 31;
+    h
+}
+
+/// Index of the metadata provider that owns `key`, out of `n` providers.
+pub fn partition(key: &NodeKey, n: usize) -> usize {
+    debug_assert!(n > 0, "at least one metadata provider");
+    (node_key_hash(key) % n as u64) as usize
+}
+
+/// The node map held by one metadata provider.
+///
+/// Nodes are immutable once written (versions are immutable), so `put` of
+/// an existing key is idempotent: retransmitted writes are accepted and
+/// the stored value kept.
+#[derive(Debug, Default)]
+pub struct MetaStore {
+    nodes: HashMap<NodeKey, MetaNode>,
+    bytes: u64,
+}
+
+impl MetaStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Store a node. Returns `false` if the key already existed (the
+    /// stored node is kept — nodes are immutable, so any retransmission
+    /// carries identical content).
+    pub fn put(&mut self, key: NodeKey, node: MetaNode) -> bool {
+        match self.nodes.entry(key) {
+            std::collections::hash_map::Entry::Occupied(_) => false,
+            std::collections::hash_map::Entry::Vacant(e) => {
+                self.bytes += node.wire_size();
+                e.insert(node);
+                true
+            }
+        }
+    }
+
+    /// Fetch a node.
+    pub fn get(&self, key: &NodeKey) -> Option<&MetaNode> {
+        self.nodes.get(key)
+    }
+
+    /// Remove a node (used by the data-removal strategies when reclaiming
+    /// whole versions). Returns whether it existed.
+    pub fn remove(&mut self, key: &NodeKey) -> bool {
+        if let Some(n) = self.nodes.remove(key) {
+            self.bytes -= n.wire_size();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of nodes stored.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Is the store empty?
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Approximate bytes held.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Iterate all keys (used by removal sweeps).
+    pub fn keys(&self) -> impl Iterator<Item = &NodeKey> {
+        self.nodes.keys()
+    }
+
+    /// Update the replica set stored in a leaf. Location metadata is
+    /// mutable (replication repair moves chunks around); version data is
+    /// not. Returns `false` if the key is absent or not a leaf.
+    pub fn patch_leaf(&mut self, key: &NodeKey, replicas: Vec<sads_sim::NodeId>) -> bool {
+        match self.nodes.get_mut(key) {
+            Some(MetaNode::Leaf { chunk }) => {
+                chunk.replicas = replicas;
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meta::tree::{NodeRange, NodeRef};
+    use crate::model::{BlobId, VersionId};
+
+    fn key(b: u64, v: u64, s: u64, l: u64) -> NodeKey {
+        NodeKey { blob: BlobId(b), version: VersionId(v), range: NodeRange::new(s, l) }
+    }
+
+    fn inner() -> MetaNode {
+        MetaNode::Inner { left: NodeRef::Hole, right: NodeRef::Hole }
+    }
+
+    #[test]
+    fn put_get_remove_roundtrip() {
+        let mut s = MetaStore::new();
+        let k = key(1, 1, 0, 4);
+        assert!(s.put(k, inner()));
+        assert_eq!(s.len(), 1);
+        assert!(s.bytes() > 0);
+        assert!(s.get(&k).is_some());
+        assert!(s.remove(&k));
+        assert!(!s.remove(&k));
+        assert!(s.is_empty());
+        assert_eq!(s.bytes(), 0);
+    }
+
+    #[test]
+    fn put_is_idempotent_for_retransmissions() {
+        let mut s = MetaStore::new();
+        let k = key(1, 1, 0, 4);
+        assert!(s.put(k, inner()));
+        let bytes = s.bytes();
+        assert!(!s.put(k, inner()), "duplicate put reports existing");
+        assert_eq!(s.bytes(), bytes, "no double accounting");
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn partition_is_stable_and_spread() {
+        let n = 16;
+        let mut counts = vec![0usize; n];
+        for b in 0..4 {
+            for v in 0..16 {
+                for s in 0..16 {
+                    let k = key(b, v, s, 1);
+                    let p = partition(&k, n);
+                    assert_eq!(p, partition(&k, n), "deterministic");
+                    counts[p] += 1;
+                }
+            }
+        }
+        let total: usize = counts.iter().sum();
+        assert_eq!(total, 4 * 16 * 16);
+        let expect = total / n;
+        for (i, c) in counts.iter().enumerate() {
+            assert!(
+                *c > expect / 4 && *c < expect * 4,
+                "partition {i} badly imbalanced: {c} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn different_keys_usually_hash_differently() {
+        let a = node_key_hash(&key(1, 1, 0, 1));
+        let b = node_key_hash(&key(1, 1, 1, 1));
+        let c = node_key_hash(&key(1, 2, 0, 1));
+        let d = node_key_hash(&key(2, 1, 0, 1));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+}

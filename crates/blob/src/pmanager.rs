@@ -1,0 +1,520 @@
+//! Provider manager logic: the registry of data/metadata providers and the
+//! pluggable chunk-allocation strategies that map new chunks onto
+//! providers (paper §III-A: "the provider manager keeps track of the
+//! existing data providers and implements the allocation strategies").
+
+use std::collections::BTreeMap;
+
+use rand::rngs::SmallRng;
+use rand::seq::IndexedRandom;
+use rand::Rng;
+use sads_sim::{NodeId, SimDuration, SimTime};
+
+/// What a provider stores.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ProviderKind {
+    /// Stores chunk payloads.
+    Data,
+    /// Stores metadata tree nodes.
+    Metadata,
+}
+
+/// Load snapshot a provider reports in its heartbeat.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct ProviderLoad {
+    /// Bytes stored.
+    pub used: u64,
+    /// Chunks (or nodes) stored.
+    pub items: u64,
+    /// Requests served since the previous heartbeat.
+    pub recent_ops: u64,
+    /// Fill ratio 0..=1.
+    pub fill: f64,
+}
+
+/// Registry entry for one provider.
+#[derive(Clone, Debug)]
+pub struct ProviderInfo {
+    /// The provider's node address.
+    pub node: NodeId,
+    /// Data or metadata.
+    pub kind: ProviderKind,
+    /// Capacity in bytes.
+    pub capacity: u64,
+    /// Last reported load.
+    pub load: ProviderLoad,
+    /// Bytes promised to in-flight allocations but not yet reported in a
+    /// heartbeat (avoids dog-piling the same provider between heartbeats).
+    pub reserved: u64,
+    /// When the last heartbeat arrived.
+    pub last_heartbeat: SimTime,
+    /// Draining providers receive no new allocations (decommission path).
+    pub draining: bool,
+}
+
+impl ProviderInfo {
+    /// Projected bytes in use, counting unreported reservations.
+    pub fn projected_used(&self) -> u64 {
+        self.load.used + self.reserved
+    }
+
+    /// Can this provider accept `bytes` more?
+    pub fn has_room(&self, bytes: u64) -> bool {
+        self.projected_used() + bytes <= self.capacity
+    }
+}
+
+/// The provider registry: membership, heartbeats, failure detection.
+#[derive(Debug, Default)]
+pub struct ProviderRegistry {
+    providers: BTreeMap<NodeId, ProviderInfo>,
+}
+
+impl ProviderRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or re-register) a provider.
+    pub fn register(&mut self, node: NodeId, kind: ProviderKind, capacity: u64, now: SimTime) {
+        self.providers.insert(
+            node,
+            ProviderInfo {
+                node,
+                kind,
+                capacity,
+                load: ProviderLoad::default(),
+                reserved: 0,
+                last_heartbeat: now,
+                draining: false,
+            },
+        );
+    }
+
+    /// Record a heartbeat. Unknown nodes are ignored (they must register
+    /// first). A heartbeat resets the reservation estimate, since the
+    /// reported `used` now includes completed transfers.
+    pub fn heartbeat(&mut self, node: NodeId, load: ProviderLoad, now: SimTime) {
+        if let Some(p) = self.providers.get_mut(&node) {
+            p.load = load;
+            p.reserved = 0;
+            p.last_heartbeat = now;
+        }
+    }
+
+    /// Drop providers whose heartbeat is older than `timeout`; returns the
+    /// expelled nodes (the replication manager repairs their chunks).
+    pub fn expire(&mut self, now: SimTime, timeout: SimDuration) -> Vec<NodeId> {
+        let dead: Vec<NodeId> = self
+            .providers
+            .values()
+            .filter(|p| now.since(p.last_heartbeat) > timeout)
+            .map(|p| p.node)
+            .collect();
+        for d in &dead {
+            self.providers.remove(d);
+        }
+        dead
+    }
+
+    /// Remove a provider explicitly (crash notification / decommission).
+    pub fn remove(&mut self, node: NodeId) -> bool {
+        self.providers.remove(&node).is_some()
+    }
+
+    /// Mark a provider as draining (no new allocations).
+    pub fn set_draining(&mut self, node: NodeId, draining: bool) {
+        if let Some(p) = self.providers.get_mut(&node) {
+            p.draining = draining;
+        }
+    }
+
+    /// Look up one provider.
+    pub fn get(&self, node: NodeId) -> Option<&ProviderInfo> {
+        self.providers.get(&node)
+    }
+
+    /// All providers of a kind (including draining ones).
+    pub fn of_kind(&self, kind: ProviderKind) -> impl Iterator<Item = &ProviderInfo> {
+        self.providers.values().filter(move |p| p.kind == kind)
+    }
+
+    /// Providers eligible for new allocations of a kind.
+    pub fn allocatable(&self, kind: ProviderKind) -> Vec<&ProviderInfo> {
+        self.providers.values().filter(|p| p.kind == kind && !p.draining).collect()
+    }
+
+    /// Number of registered providers of a kind.
+    pub fn count(&self, kind: ProviderKind) -> usize {
+        self.of_kind(kind).count()
+    }
+
+    /// Record that `bytes` were promised to `node` by an allocation.
+    pub fn reserve(&mut self, node: NodeId, bytes: u64) {
+        if let Some(p) = self.providers.get_mut(&node) {
+            p.reserved += bytes;
+        }
+    }
+
+    /// Mutable iterator (strategy-internal).
+    pub fn iter(&self) -> impl Iterator<Item = &ProviderInfo> {
+        self.providers.values()
+    }
+}
+
+/// Result of an allocation: for each chunk, the providers that will hold
+/// its replicas (all distinct).
+pub type Placement = Vec<Vec<NodeId>>;
+
+/// A pluggable strategy mapping `chunks × replication` placements onto the
+/// allocatable data providers.
+pub trait AllocationStrategy: Send {
+    /// Human-readable name (used in benches and reports).
+    fn name(&self) -> &'static str;
+
+    /// Choose placements. Returns `None` if fewer than `replication`
+    /// distinct providers have room.
+    fn allocate(
+        &mut self,
+        registry: &ProviderRegistry,
+        chunks: u32,
+        replication: u32,
+        chunk_size: u64,
+        rng: &mut SmallRng,
+    ) -> Option<Placement>;
+}
+
+/// Shared preamble: collect candidate providers with room for at least one
+/// more chunk, sorted by node id for determinism.
+fn candidates(registry: &ProviderRegistry, chunk_size: u64) -> Vec<&ProviderInfo> {
+    let mut c: Vec<&ProviderInfo> = registry
+        .allocatable(ProviderKind::Data)
+        .into_iter()
+        .filter(|p| p.has_room(chunk_size))
+        .collect();
+    c.sort_by_key(|p| p.node);
+    c
+}
+
+/// Round-robin over the provider ring — BlobSeer's default strategy;
+/// maximizes striping across providers.
+#[derive(Debug, Default)]
+pub struct RoundRobin {
+    cursor: usize,
+}
+
+impl AllocationStrategy for RoundRobin {
+    fn name(&self) -> &'static str {
+        "round_robin"
+    }
+
+    fn allocate(
+        &mut self,
+        registry: &ProviderRegistry,
+        chunks: u32,
+        replication: u32,
+        chunk_size: u64,
+        _rng: &mut SmallRng,
+    ) -> Option<Placement> {
+        let c = candidates(registry, chunk_size);
+        if c.len() < replication as usize {
+            return None;
+        }
+        let mut out = Vec::with_capacity(chunks as usize);
+        for _ in 0..chunks {
+            let mut replicas = Vec::with_capacity(replication as usize);
+            for r in 0..replication as usize {
+                let p = c[(self.cursor + r) % c.len()];
+                replicas.push(p.node);
+            }
+            self.cursor = (self.cursor + 1) % c.len();
+            out.push(replicas);
+        }
+        Some(out)
+    }
+}
+
+/// Uniformly random placement.
+#[derive(Debug, Default)]
+pub struct RandomAlloc;
+
+impl AllocationStrategy for RandomAlloc {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn allocate(
+        &mut self,
+        registry: &ProviderRegistry,
+        chunks: u32,
+        replication: u32,
+        chunk_size: u64,
+        rng: &mut SmallRng,
+    ) -> Option<Placement> {
+        let c = candidates(registry, chunk_size);
+        if c.len() < replication as usize {
+            return None;
+        }
+        let mut out = Vec::with_capacity(chunks as usize);
+        for _ in 0..chunks {
+            // Sample `replication` distinct providers.
+            let mut picks: Vec<usize> = Vec::with_capacity(replication as usize);
+            while picks.len() < replication as usize {
+                let i = rng.random_range(0..c.len());
+                if !picks.contains(&i) {
+                    picks.push(i);
+                }
+            }
+            out.push(picks.into_iter().map(|i| c[i].node).collect());
+        }
+        Some(out)
+    }
+}
+
+/// Always pick the providers with the smallest projected load.
+#[derive(Debug, Default)]
+pub struct LeastLoaded;
+
+impl AllocationStrategy for LeastLoaded {
+    fn name(&self) -> &'static str {
+        "least_loaded"
+    }
+
+    fn allocate(
+        &mut self,
+        registry: &ProviderRegistry,
+        chunks: u32,
+        replication: u32,
+        chunk_size: u64,
+        _rng: &mut SmallRng,
+    ) -> Option<Placement> {
+        let c = candidates(registry, chunk_size);
+        if c.len() < replication as usize {
+            return None;
+        }
+        // Track projected load locally so one allocation spreads its own
+        // chunks instead of stacking them all on the initially-lightest
+        // provider.
+        let mut loads: Vec<(u64, NodeId)> =
+            c.iter().map(|p| (p.projected_used(), p.node)).collect();
+        let mut out = Vec::with_capacity(chunks as usize);
+        for _ in 0..chunks {
+            loads.sort_by_key(|&(used, node)| (used, node));
+            let mut replicas = Vec::with_capacity(replication as usize);
+            for slot in loads.iter_mut().take(replication as usize) {
+                slot.0 += chunk_size;
+                replicas.push(slot.1);
+            }
+            out.push(replicas);
+        }
+        Some(out)
+    }
+}
+
+/// Power-of-two-choices: sample two random providers per replica, keep the
+/// less loaded — near-optimal balance at O(1) cost.
+#[derive(Debug, Default)]
+pub struct TwoChoices;
+
+impl AllocationStrategy for TwoChoices {
+    fn name(&self) -> &'static str {
+        "two_choices"
+    }
+
+    fn allocate(
+        &mut self,
+        registry: &ProviderRegistry,
+        chunks: u32,
+        replication: u32,
+        chunk_size: u64,
+        rng: &mut SmallRng,
+    ) -> Option<Placement> {
+        let c = candidates(registry, chunk_size);
+        if c.len() < replication as usize {
+            return None;
+        }
+        let mut extra: std::collections::HashMap<NodeId, u64> = std::collections::HashMap::new();
+        let mut out = Vec::with_capacity(chunks as usize);
+        for _ in 0..chunks {
+            let mut replicas: Vec<NodeId> = Vec::with_capacity(replication as usize);
+            let mut guard = 0;
+            while replicas.len() < replication as usize {
+                guard += 1;
+                if guard > 64 * replication {
+                    // Fall back to scanning for any unused candidate.
+                    if let Some(p) = c.iter().find(|p| !replicas.contains(&p.node)) {
+                        replicas.push(p.node);
+                        continue;
+                    }
+                    return None;
+                }
+                let a = c.choose(rng)?;
+                let b = c.choose(rng)?;
+                let la = a.projected_used() + extra.get(&a.node).copied().unwrap_or(0);
+                let lb = b.projected_used() + extra.get(&b.node).copied().unwrap_or(0);
+                let pick = if la <= lb { a } else { b };
+                if replicas.contains(&pick.node) {
+                    continue;
+                }
+                *extra.entry(pick.node).or_insert(0) += chunk_size;
+                replicas.push(pick.node);
+            }
+            out.push(replicas);
+        }
+        Some(out)
+    }
+}
+
+/// Construct a strategy by name (CLI/bench convenience).
+pub fn strategy_by_name(name: &str) -> Option<Box<dyn AllocationStrategy>> {
+    match name {
+        "round_robin" => Some(Box::<RoundRobin>::default()),
+        "random" => Some(Box::<RandomAlloc>::default()),
+        "least_loaded" => Some(Box::<LeastLoaded>::default()),
+        "two_choices" => Some(Box::<TwoChoices>::default()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn reg(n: u32, capacity: u64) -> ProviderRegistry {
+        let mut r = ProviderRegistry::new();
+        for i in 0..n {
+            r.register(NodeId(i), ProviderKind::Data, capacity, SimTime::ZERO);
+        }
+        r
+    }
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(7)
+    }
+
+    fn all_strategies() -> Vec<Box<dyn AllocationStrategy>> {
+        vec![
+            Box::<RoundRobin>::default(),
+            Box::<RandomAlloc>::default(),
+            Box::<LeastLoaded>::default(),
+            Box::<TwoChoices>::default(),
+        ]
+    }
+
+    #[test]
+    fn replicas_are_distinct_providers() {
+        let registry = reg(8, 1 << 30);
+        for mut s in all_strategies() {
+            let placement = s.allocate(&registry, 16, 3, 1 << 20, &mut rng()).unwrap();
+            assert_eq!(placement.len(), 16, "{}", s.name());
+            for replicas in &placement {
+                assert_eq!(replicas.len(), 3);
+                let mut d = replicas.clone();
+                d.sort();
+                d.dedup();
+                assert_eq!(d.len(), 3, "{}: replicas must be distinct", s.name());
+            }
+        }
+    }
+
+    #[test]
+    fn allocation_fails_without_enough_providers() {
+        let registry = reg(2, 1 << 30);
+        for mut s in all_strategies() {
+            assert!(
+                s.allocate(&registry, 1, 3, 1 << 20, &mut rng()).is_none(),
+                "{}: 3 replicas from 2 providers must fail",
+                s.name()
+            );
+        }
+    }
+
+    #[test]
+    fn full_providers_are_skipped() {
+        let mut registry = reg(3, 100);
+        registry.heartbeat(
+            NodeId(0),
+            ProviderLoad { used: 100, items: 1, recent_ops: 0, fill: 1.0 },
+            SimTime::ZERO,
+        );
+        for mut s in all_strategies() {
+            let placement = s.allocate(&registry, 4, 1, 50, &mut rng()).unwrap();
+            for replicas in &placement {
+                assert_ne!(replicas[0], NodeId(0), "{}: full provider chosen", s.name());
+            }
+        }
+    }
+
+    #[test]
+    fn round_robin_stripes_evenly() {
+        let registry = reg(4, 1 << 30);
+        let mut s = RoundRobin::default();
+        let placement = s.allocate(&registry, 8, 1, 1, &mut rng()).unwrap();
+        let mut counts = std::collections::HashMap::new();
+        for r in &placement {
+            *counts.entry(r[0]).or_insert(0) += 1;
+        }
+        assert!(counts.values().all(|&c| c == 2), "8 chunks over 4 providers = 2 each");
+    }
+
+    #[test]
+    fn least_loaded_prefers_light_providers_and_spreads() {
+        let mut registry = reg(3, 1 << 30);
+        registry.heartbeat(
+            NodeId(0),
+            ProviderLoad { used: 1 << 20, items: 1, recent_ops: 0, fill: 0.0 },
+            SimTime::ZERO,
+        );
+        let mut s = LeastLoaded;
+        let placement = s.allocate(&registry, 2, 1, 100, &mut rng()).unwrap();
+        // Both chunks land on the two empty providers, not stacked on one.
+        assert_ne!(placement[0][0], NodeId(0));
+        assert_ne!(placement[1][0], NodeId(0));
+        assert_ne!(placement[0][0], placement[1][0]);
+    }
+
+    #[test]
+    fn draining_providers_get_nothing() {
+        let mut registry = reg(3, 1 << 30);
+        registry.set_draining(NodeId(1), true);
+        for mut s in all_strategies() {
+            let placement = s.allocate(&registry, 8, 1, 1, &mut rng()).unwrap();
+            for r in &placement {
+                assert_ne!(r[0], NodeId(1), "{}: draining provider chosen", s.name());
+            }
+        }
+    }
+
+    #[test]
+    fn heartbeat_expiry_evicts_dead_providers() {
+        let mut registry = reg(3, 1 << 30);
+        let later = SimTime::ZERO + SimDuration::from_secs(30);
+        registry.heartbeat(NodeId(1), ProviderLoad::default(), later);
+        let dead = registry.expire(later, SimDuration::from_secs(10));
+        assert_eq!(dead, vec![NodeId(0), NodeId(2)]);
+        assert_eq!(registry.count(ProviderKind::Data), 1);
+    }
+
+    #[test]
+    fn reservations_count_until_next_heartbeat() {
+        let mut registry = reg(1, 100);
+        registry.reserve(NodeId(0), 80);
+        assert!(!registry.get(NodeId(0)).unwrap().has_room(30));
+        registry.heartbeat(
+            NodeId(0),
+            ProviderLoad { used: 10, items: 1, recent_ops: 1, fill: 0.1 },
+            SimTime::ZERO,
+        );
+        assert!(registry.get(NodeId(0)).unwrap().has_room(30));
+    }
+
+    #[test]
+    fn strategy_lookup_by_name() {
+        for n in ["round_robin", "random", "least_loaded", "two_choices"] {
+            assert_eq!(strategy_by_name(n).unwrap().name(), n);
+        }
+        assert!(strategy_by_name("nope").is_none());
+    }
+}

@@ -1,0 +1,237 @@
+//! Data-provider storage: a bounded in-memory chunk store with access
+//! accounting (feeding the introspection layer and the data-removal
+//! strategies).
+
+use std::collections::HashMap;
+
+use sads_sim::SimTime;
+
+use crate::model::{BlobId, ChunkKey, Payload};
+
+/// Per-chunk bookkeeping kept alongside the payload.
+#[derive(Debug, Clone, Copy)]
+pub struct ChunkMeta {
+    /// When the chunk was stored.
+    pub stored_at: SimTime,
+    /// Last read (or the store time if never read).
+    pub last_access: SimTime,
+    /// Number of reads served.
+    pub reads: u64,
+}
+
+/// Why a `put` was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PutError {
+    /// Not enough free capacity.
+    Full,
+}
+
+/// Bounded in-memory chunk store — the storage engine of one data
+/// provider.
+#[derive(Debug)]
+pub struct ChunkStore {
+    capacity: u64,
+    used: u64,
+    chunks: HashMap<ChunkKey, (Payload, ChunkMeta)>,
+    total_puts: u64,
+    total_gets: u64,
+    total_misses: u64,
+}
+
+impl ChunkStore {
+    /// A store that can hold up to `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        ChunkStore {
+            capacity,
+            used: 0,
+            chunks: HashMap::new(),
+            total_puts: 0,
+            total_gets: 0,
+            total_misses: 0,
+        }
+    }
+
+    /// Store a chunk. Idempotent for retransmissions (an existing key is
+    /// kept, counted as success, and not double-charged).
+    pub fn put(&mut self, key: ChunkKey, data: Payload, now: SimTime) -> Result<(), PutError> {
+        if self.chunks.contains_key(&key) {
+            self.total_puts += 1;
+            return Ok(());
+        }
+        let size = data.len();
+        if self.used + size > self.capacity {
+            return Err(PutError::Full);
+        }
+        self.used += size;
+        self.total_puts += 1;
+        self.chunks
+            .insert(key, (data, ChunkMeta { stored_at: now, last_access: now, reads: 0 }));
+        Ok(())
+    }
+
+    /// Fetch a chunk, updating access accounting.
+    pub fn get(&mut self, key: &ChunkKey, now: SimTime) -> Option<Payload> {
+        self.total_gets += 1;
+        match self.chunks.get_mut(key) {
+            Some((data, meta)) => {
+                meta.last_access = now;
+                meta.reads += 1;
+                Some(data.clone())
+            }
+            None => {
+                self.total_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Peek a chunk's payload without touching accounting (replication
+    /// repair reads use this so repair traffic does not look like heat).
+    pub fn peek(&self, key: &ChunkKey) -> Option<&Payload> {
+        self.chunks.get(key).map(|(d, _)| d)
+    }
+
+    /// Accounting for one chunk.
+    pub fn meta(&self, key: &ChunkKey) -> Option<&ChunkMeta> {
+        self.chunks.get(key).map(|(_, m)| m)
+    }
+
+    /// Delete a chunk; returns the freed bytes.
+    pub fn delete(&mut self, key: &ChunkKey) -> Option<u64> {
+        self.chunks.remove(key).map(|(d, _)| {
+            let n = d.len();
+            self.used -= n;
+            n
+        })
+    }
+
+    /// Number of chunks held.
+    pub fn len(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Is the store empty?
+    pub fn is_empty(&self) -> bool {
+        self.chunks.is_empty()
+    }
+
+    /// Bytes currently stored.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Fraction of capacity in use (0..=1).
+    pub fn fill_ratio(&self) -> f64 {
+        if self.capacity == 0 {
+            0.0
+        } else {
+            self.used as f64 / self.capacity as f64
+        }
+    }
+
+    /// Total successful+idempotent puts since creation.
+    pub fn total_puts(&self) -> u64 {
+        self.total_puts
+    }
+
+    /// Total gets (hits + misses).
+    pub fn total_gets(&self) -> u64 {
+        self.total_gets
+    }
+
+    /// Gets that found nothing.
+    pub fn total_misses(&self) -> u64 {
+        self.total_misses
+    }
+
+    /// Iterate `(key, meta)` pairs — removal strategies scan this.
+    pub fn iter_meta(&self) -> impl Iterator<Item = (&ChunkKey, &ChunkMeta)> {
+        self.chunks.iter().map(|(k, (_, m))| (k, m))
+    }
+
+    /// All keys belonging to one blob (decommission / GC helper).
+    pub fn keys_of_blob(&self, blob: BlobId) -> Vec<ChunkKey> {
+        self.chunks.keys().filter(|k| k.blob == blob).copied().collect()
+    }
+
+    /// All keys (drain helper for decommissioning a provider).
+    pub fn all_keys(&self) -> Vec<ChunkKey> {
+        self.chunks.keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::VersionId;
+
+    fn key(p: u64) -> ChunkKey {
+        ChunkKey { blob: BlobId(1), version: VersionId(1), page: p }
+    }
+
+    fn t(s: u64) -> SimTime {
+        SimTime(s * 1_000_000_000)
+    }
+
+    #[test]
+    fn put_get_delete_with_capacity_accounting() {
+        let mut s = ChunkStore::new(100);
+        s.put(key(0), Payload::Sim(60), t(0)).unwrap();
+        assert_eq!(s.used(), 60);
+        assert_eq!(s.put(key(1), Payload::Sim(60), t(0)), Err(PutError::Full));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(&key(0), t(1)).unwrap().len(), 60);
+        assert_eq!(s.delete(&key(0)), Some(60));
+        assert_eq!(s.used(), 0);
+        assert!(s.is_empty());
+        assert_eq!(s.delete(&key(0)), None);
+    }
+
+    #[test]
+    fn idempotent_put_does_not_double_charge() {
+        let mut s = ChunkStore::new(100);
+        s.put(key(0), Payload::Sim(60), t(0)).unwrap();
+        s.put(key(0), Payload::Sim(60), t(5)).unwrap();
+        assert_eq!(s.used(), 60);
+        assert_eq!(s.total_puts(), 2);
+    }
+
+    #[test]
+    fn access_accounting_tracks_reads() {
+        let mut s = ChunkStore::new(100);
+        s.put(key(0), Payload::Sim(10), t(0)).unwrap();
+        assert!(s.get(&key(0), t(3)).is_some());
+        assert!(s.get(&key(0), t(7)).is_some());
+        assert!(s.get(&key(9), t(8)).is_none());
+        let m = s.meta(&key(0)).unwrap();
+        assert_eq!(m.reads, 2);
+        assert_eq!(m.last_access, t(7));
+        assert_eq!(m.stored_at, t(0));
+        assert_eq!(s.total_gets(), 3);
+        assert_eq!(s.total_misses(), 1);
+        // peek must not disturb accounting
+        assert!(s.peek(&key(0)).is_some());
+        assert_eq!(s.meta(&key(0)).unwrap().reads, 2);
+    }
+
+    #[test]
+    fn fill_ratio_and_blob_scan() {
+        let mut s = ChunkStore::new(100);
+        s.put(key(0), Payload::Sim(25), t(0)).unwrap();
+        s.put(
+            ChunkKey { blob: BlobId(2), version: VersionId(1), page: 0 },
+            Payload::Sim(25),
+            t(0),
+        )
+        .unwrap();
+        assert!((s.fill_ratio() - 0.5).abs() < 1e-9);
+        assert_eq!(s.keys_of_blob(BlobId(1)).len(), 1);
+        assert_eq!(s.all_keys().len(), 2);
+        assert_eq!(ChunkStore::new(0).fill_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,551 @@
+//! The BlobSeer RPC vocabulary: every message exchanged between clients,
+//! data providers, metadata providers, the provider manager and the
+//! version manager — plus the enforcement and instrumentation messages
+//! that tie in the self-management layers.
+//!
+//! One enum keeps the simulated and threaded runtimes trivially
+//! interoperable; `wire_size` drives the simulator's bandwidth model.
+
+use sads_sim::NodeId;
+
+use crate::meta::{MetaNode, NodeKey, NodeRef};
+use crate::model::{BlobError, BlobId, BlobSpec, ClientId, Payload, VersionId, VersionInfo};
+use crate::pmanager::{Placement, ProviderKind, ProviderLoad};
+use crate::probe::ProbeEvent;
+use crate::vmanager::{WriteKind, WriteTicket};
+
+/// Why a chunk operation failed at a data provider.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ChunkErr {
+    /// Client blocked by the security framework.
+    Blocked,
+    /// Provider storage exhausted.
+    Full,
+    /// No such chunk.
+    NotFound,
+}
+
+/// All BlobSeer messages.
+#[derive(Debug)]
+pub enum Msg {
+    // ---- provider manager ----
+    /// Provider announces itself.
+    Register {
+        /// Data or metadata provider.
+        kind: ProviderKind,
+        /// Capacity in bytes.
+        capacity: u64,
+    },
+    /// Periodic provider load report.
+    Heartbeat {
+        /// Current load snapshot.
+        load: ProviderLoad,
+    },
+    /// Client asks for chunk placements.
+    Alloc {
+        /// Correlation id.
+        req: u64,
+        /// Requesting client (for enforcement/accounting).
+        client: ClientId,
+        /// Number of chunks.
+        chunks: u32,
+        /// Replicas per chunk.
+        replication: u32,
+        /// Bytes per chunk.
+        chunk_size: u64,
+    },
+    /// Successful allocation.
+    AllocOk {
+        /// Correlation id.
+        req: u64,
+        /// Replica providers per chunk.
+        placement: Placement,
+    },
+    /// Allocation failure.
+    AllocErr {
+        /// Correlation id.
+        req: u64,
+        /// Providers currently allocatable.
+        available: u32,
+    },
+    /// Ask for the current provider directory.
+    GetDirectory {
+        /// Correlation id.
+        req: u64,
+    },
+    /// Directory response.
+    Directory {
+        /// Correlation id.
+        req: u64,
+        /// Metadata providers, in partition order.
+        meta_providers: Vec<NodeId>,
+        /// Live data providers.
+        data_providers: Vec<NodeId>,
+    },
+    /// Adaptive layer: stop allocating to a provider (drain for
+    /// decommission) or resume.
+    SetDraining {
+        /// Target provider.
+        provider: NodeId,
+        /// Drain on/off.
+        draining: bool,
+    },
+    /// Adaptive layer: forget a provider entirely (it was retired or
+    /// crashed).
+    Deregister {
+        /// Target provider.
+        provider: NodeId,
+    },
+
+    // ---- data provider ----
+    /// Store one chunk replica.
+    PutChunk {
+        /// Correlation id.
+        req: u64,
+        /// Writing client.
+        client: ClientId,
+        /// Chunk identity.
+        key: crate::model::ChunkKey,
+        /// Payload.
+        data: Payload,
+    },
+    /// Chunk stored.
+    PutChunkOk {
+        /// Correlation id.
+        req: u64,
+    },
+    /// Chunk refused.
+    PutChunkErr {
+        /// Correlation id.
+        req: u64,
+        /// Why.
+        err: ChunkErr,
+    },
+    /// Fetch one chunk.
+    GetChunk {
+        /// Correlation id.
+        req: u64,
+        /// Reading client.
+        client: ClientId,
+        /// Chunk identity.
+        key: crate::model::ChunkKey,
+    },
+    /// Chunk payload.
+    GetChunkOk {
+        /// Correlation id.
+        req: u64,
+        /// The data.
+        data: Payload,
+    },
+    /// Chunk fetch failed.
+    GetChunkErr {
+        /// Correlation id.
+        req: u64,
+        /// Why.
+        err: ChunkErr,
+    },
+    /// Remove a chunk (GC / decommission).
+    DeleteChunk {
+        /// Correlation id.
+        req: u64,
+        /// Chunk identity.
+        key: crate::model::ChunkKey,
+    },
+    /// Removal result.
+    DeleteChunkOk {
+        /// Correlation id.
+        req: u64,
+        /// Whether it existed.
+        existed: bool,
+    },
+    /// Replication manager → data provider: copy a chunk you hold to
+    /// another provider (repair / degree increase).
+    ReplicateChunk {
+        /// Correlation id.
+        req: u64,
+        /// The chunk to copy.
+        key: crate::model::ChunkKey,
+        /// Destination provider.
+        to: NodeId,
+    },
+    /// Relay outcome: `ok` is false when the source no longer holds the
+    /// chunk or the destination refused it.
+    ReplicateChunkOk {
+        /// Correlation id.
+        req: u64,
+        /// Success flag.
+        ok: bool,
+    },
+
+    // ---- metadata provider ----
+    /// Store a batch of tree nodes (grouped per provider by the client).
+    PutMeta {
+        /// Correlation id.
+        req: u64,
+        /// The nodes.
+        nodes: Vec<(NodeKey, MetaNode)>,
+    },
+    /// Batch stored.
+    PutMetaOk {
+        /// Correlation id.
+        req: u64,
+    },
+    /// Fetch a batch of tree nodes.
+    GetMeta {
+        /// Correlation id.
+        req: u64,
+        /// Keys wanted.
+        keys: Vec<NodeKey>,
+    },
+    /// Fetched nodes (`None` for keys not present).
+    GetMetaOk {
+        /// Correlation id.
+        req: u64,
+        /// Per-key result.
+        nodes: Vec<(NodeKey, Option<MetaNode>)>,
+    },
+    /// Remove tree nodes (version GC).
+    DeleteMeta {
+        /// Correlation id.
+        req: u64,
+        /// Keys to remove.
+        keys: Vec<NodeKey>,
+    },
+    /// Removal done.
+    DeleteMetaOk {
+        /// Correlation id.
+        req: u64,
+        /// How many existed.
+        removed: u32,
+    },
+    /// Replication manager → metadata provider: update the replica set
+    /// recorded in a leaf (location metadata is mutable; version data is
+    /// not).
+    PatchLeaf {
+        /// Correlation id.
+        req: u64,
+        /// The leaf's key.
+        key: NodeKey,
+        /// The new replica set.
+        replicas: Vec<NodeId>,
+    },
+    /// Patch result.
+    PatchLeafOk {
+        /// Correlation id.
+        req: u64,
+        /// Whether the leaf existed.
+        ok: bool,
+    },
+
+    // ---- version manager ----
+    /// Create a BLOB.
+    CreateBlob {
+        /// Correlation id.
+        req: u64,
+        /// Requesting client.
+        client: ClientId,
+        /// BLOB parameters.
+        spec: BlobSpec,
+    },
+    /// BLOB created.
+    CreateBlobOk {
+        /// Correlation id.
+        req: u64,
+        /// New id.
+        blob: BlobId,
+    },
+    /// Request a write ticket.
+    Ticket {
+        /// Correlation id.
+        req: u64,
+        /// Writing client.
+        client: ClientId,
+        /// Target BLOB.
+        blob: BlobId,
+        /// Offset or append.
+        kind: WriteKind,
+        /// Bytes to write.
+        len: u64,
+    },
+    /// Ticket granted.
+    TicketOk {
+        /// Correlation id.
+        req: u64,
+        /// The ticket.
+        ticket: WriteTicket,
+    },
+    /// Ticket refused.
+    TicketErr {
+        /// Correlation id.
+        req: u64,
+        /// Why.
+        err: BlobError,
+    },
+    /// Writer finished storing chunks + metadata.
+    Commit {
+        /// Correlation id.
+        req: u64,
+        /// The writer.
+        client: ClientId,
+        /// Target BLOB.
+        blob: BlobId,
+        /// Version being committed.
+        version: VersionId,
+        /// New tree root.
+        root: NodeRef,
+        /// BLOB size after this version.
+        size: u64,
+    },
+    /// The version is published (sent when ordering allows).
+    CommitOk {
+        /// Correlation id of the original `Commit`.
+        req: u64,
+        /// The published version.
+        version: VersionId,
+    },
+    /// Read version info (latest or specific).
+    GetVersion {
+        /// Correlation id.
+        req: u64,
+        /// Reading client.
+        client: ClientId,
+        /// Target BLOB.
+        blob: BlobId,
+        /// Specific version, or `None` for latest.
+        version: Option<VersionId>,
+    },
+    /// Version info.
+    GetVersionOk {
+        /// Correlation id.
+        req: u64,
+        /// The info.
+        info: VersionInfo,
+    },
+    /// Version lookup failed.
+    GetVersionErr {
+        /// Correlation id.
+        req: u64,
+        /// Why.
+        err: BlobError,
+    },
+
+    /// Adaptive layer → version manager: list a BLOB's published versions.
+    ListVersions {
+        /// Correlation id.
+        req: u64,
+        /// Target BLOB.
+        blob: BlobId,
+    },
+    /// The catalog reply.
+    VersionList {
+        /// Correlation id.
+        req: u64,
+        /// The BLOB the catalog describes.
+        blob: BlobId,
+        /// Page size of the BLOB.
+        page_size: u64,
+        /// `(version, size, interval, published_at)` per published
+        /// version, in order.
+        versions: Vec<crate::vmanager::VersionSummary>,
+    },
+    /// Adaptive layer → version manager: forget a retired version's
+    /// record (after its chunks/nodes were reclaimed).
+    RetireVersion {
+        /// Correlation id.
+        req: u64,
+        /// Target BLOB.
+        blob: BlobId,
+        /// Version to forget.
+        version: VersionId,
+    },
+    /// Retire result.
+    RetireVersionOk {
+        /// Correlation id.
+        req: u64,
+        /// Whether the record existed and was removable.
+        ok: bool,
+    },
+    /// Recovery agent → version manager: list stalled writes that are
+    /// actionable (their predecessor is published, so a no-op repair can
+    /// publish them).
+    ListStalled {
+        /// Correlation id.
+        req: u64,
+    },
+    /// The stalled-write list.
+    StalledList {
+        /// Correlation id.
+        req: u64,
+        /// Actionable stalled writes.
+        stalled: Vec<crate::vmanager::StalledWrite>,
+    },
+    /// Adaptive layer → version manager: list all BLOB ids.
+    ListBlobs {
+        /// Correlation id.
+        req: u64,
+    },
+    /// The BLOB id list.
+    BlobList {
+        /// Correlation id.
+        req: u64,
+        /// All BLOB ids.
+        blobs: Vec<BlobId>,
+    },
+
+    // ---- enforcement (security framework → BlobSeer actors) ----
+    /// Refuse all service to a client.
+    BlockClient {
+        /// The offender.
+        client: ClientId,
+    },
+    /// Lift a block.
+    UnblockClient {
+        /// The client.
+        client: ClientId,
+    },
+
+    /// Extension point: higher layers (monitoring, security, adaptive)
+    /// carry their own message types through the same transport.
+    Ext(Box<dyn ExtPayload>),
+
+    // ---- instrumentation (BlobSeer actors → monitoring layer) ----
+    /// A batch of instrumented events.
+    Probe {
+        /// The instrumented node.
+        origin: NodeId,
+        /// When the batch was flushed at the source — monitoring records
+        /// carry source timestamps, so delivery delays do not distort the
+        /// observed event rates.
+        at: sads_sim::SimTime,
+        /// The events.
+        events: Vec<ProbeEvent>,
+    },
+}
+
+/// A message payload defined outside the blob crate but carried inside
+/// [`Msg::Ext`] (monitoring records, security verdicts, elasticity
+/// commands, …).
+pub trait ExtPayload: std::any::Any + Send + std::fmt::Debug {
+    /// Bytes on the wire (drives the simulated bandwidth model).
+    fn wire_size(&self) -> u64 {
+        0
+    }
+    /// Downcast support.
+    fn as_any(self: Box<Self>) -> Box<dyn std::any::Any>;
+    /// Borrowing downcast support.
+    fn as_any_ref(&self) -> &dyn std::any::Any;
+}
+
+impl dyn ExtPayload {
+    /// Downcast the boxed extension payload.
+    pub fn downcast<T: ExtPayload>(self: Box<Self>) -> Result<Box<T>, Box<dyn std::any::Any>> {
+        self.as_any().downcast::<T>()
+    }
+    /// Borrowing downcast.
+    pub fn downcast_ref<T: ExtPayload>(&self) -> Option<&T> {
+        self.as_any_ref().downcast_ref::<T>()
+    }
+}
+
+/// Implement [`ExtPayload`] for a concrete type with an optional wire-size
+/// closure.
+#[macro_export]
+macro_rules! impl_ext_payload {
+    ($ty:ty) => {
+        impl $crate::rpc::ExtPayload for $ty {
+            fn as_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+                self
+            }
+            fn as_any_ref(&self) -> &dyn std::any::Any {
+                self
+            }
+        }
+    };
+    ($ty:ty, $size:expr) => {
+        impl $crate::rpc::ExtPayload for $ty {
+            fn wire_size(&self) -> u64 {
+                #[allow(clippy::redundant_closure_call)]
+                ($size)(self)
+            }
+            fn as_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+                self
+            }
+            fn as_any_ref(&self) -> &dyn std::any::Any {
+                self
+            }
+        }
+    };
+}
+
+impl sads_sim::Message for Msg {
+    fn wire_size(&self) -> u64 {
+        match self {
+            Msg::Ext(p) => p.wire_size(),
+            Msg::PutChunk { data, .. } | Msg::GetChunkOk { data, .. } => data.len(),
+            Msg::PutMeta { nodes, .. } => nodes.iter().map(|(_, n)| n.wire_size() + 32).sum(),
+            Msg::GetMetaOk { nodes, .. } => nodes
+                .iter()
+                .map(|(_, n)| 32 + n.as_ref().map(|n| n.wire_size()).unwrap_or(0))
+                .sum(),
+            Msg::GetMeta { keys, .. } | Msg::DeleteMeta { keys, .. } => 32 * keys.len() as u64,
+            Msg::Probe { events, .. } => ProbeEvent::WIRE_SIZE * events.len() as u64,
+            Msg::TicketOk { ticket, .. } => 128 + 32 * ticket.pending.len() as u64,
+            Msg::Directory { meta_providers, data_providers, .. } => {
+                8 * (meta_providers.len() + data_providers.len()) as u64
+            }
+            Msg::AllocOk { placement, .. } => {
+                placement.iter().map(|r| 8 * r.len() as u64 + 8).sum()
+            }
+            _ => 0, // control messages: header overhead only
+        }
+    }
+
+    fn as_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+        self
+    }
+
+    fn as_any_ref(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sads_sim::Message;
+
+    #[test]
+    fn bulk_messages_report_payload_size() {
+        let m = Msg::PutChunk {
+            req: 1,
+            client: ClientId(1),
+            key: crate::model::ChunkKey {
+                blob: BlobId(1),
+                version: VersionId(1),
+                page: 0,
+            },
+            data: Payload::Sim(8 << 20),
+        };
+        assert_eq!(m.wire_size(), 8 << 20);
+        let m = Msg::Probe { origin: NodeId(1), at: sads_sim::SimTime::ZERO, events: vec![] };
+        assert_eq!(m.wire_size(), 0);
+        let m = Msg::PutChunkOk { req: 1 };
+        assert_eq!(m.wire_size(), 0);
+    }
+
+    #[test]
+    fn meta_batches_scale_with_node_count() {
+        use crate::meta::{MetaNode, NodeKey, NodeRange, NodeRef};
+        let key = NodeKey {
+            blob: BlobId(1),
+            version: VersionId(1),
+            range: NodeRange::new(0, 2),
+        };
+        let node = MetaNode::Inner { left: NodeRef::Hole, right: NodeRef::Hole };
+        let one = Msg::PutMeta { req: 1, nodes: vec![(key, node.clone())] }.wire_size();
+        let two = Msg::PutMeta { req: 1, nodes: vec![(key, node.clone()), (key, node)] }
+            .wire_size();
+        assert_eq!(two, 2 * one);
+        assert!(one > 0);
+    }
+}

@@ -1,0 +1,6 @@
+//! Runtime adapters: drive the runtime-agnostic services on either the
+//! deterministic cluster simulator ([`sim`]) or real threads with real
+//! bytes ([`threaded`]).
+
+pub mod sim;
+pub mod threaded;

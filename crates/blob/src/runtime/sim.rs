@@ -1,0 +1,502 @@
+//! Simulated runtime: hosts BlobSeer services and scripted clients as
+//! actors of a [`sads_sim::World`], with every transfer priced by the
+//! bandwidth model. This is the Grid'5000 substitute all paper-shaped
+//! experiments run on.
+
+use std::collections::VecDeque;
+
+use sads_sim::{Actor, Ctx, Message, MessageExt, NodeConfig, NodeId, SimDuration, SimTime, World};
+
+use crate::client::{ClientConfig, ClientCore, ClientOp, Completion};
+use crate::model::{BlobId, BlobSpec, ClientId, Payload, VersionId};
+use crate::rpc::Msg;
+use crate::services::{Env, Service};
+use crate::vmanager::WriteKind;
+
+/// Adapter: an [`Env`] view over the simulator's [`Ctx`].
+pub struct SimEnv<'a, 'w> {
+    ctx: &'a mut Ctx<'w>,
+}
+
+impl<'a, 'w> SimEnv<'a, 'w> {
+    /// Wrap a simulator context.
+    pub fn new(ctx: &'a mut Ctx<'w>) -> Self {
+        SimEnv { ctx }
+    }
+}
+
+impl Env for SimEnv<'_, '_> {
+    fn id(&self) -> NodeId {
+        self.ctx.id()
+    }
+    fn now(&self) -> SimTime {
+        self.ctx.now()
+    }
+    fn send(&mut self, to: NodeId, msg: Msg) {
+        self.ctx.send(to, Box::new(msg));
+    }
+    fn send_expedited(&mut self, to: NodeId, msg: Msg) {
+        self.ctx.send_expedited(to, Box::new(msg));
+    }
+    fn set_timer(&mut self, delay: SimDuration, token: u64) {
+        self.ctx.set_timer(delay, token);
+    }
+    fn rng(&mut self) -> &mut rand::rngs::SmallRng {
+        self.ctx.rng()
+    }
+    fn record(&mut self, name: &str, value: f64) {
+        self.ctx.record(name, value);
+    }
+    fn incr(&mut self, name: &str, delta: u64) {
+        self.ctx.incr(name, delta);
+    }
+}
+
+/// Wraps any [`Service`] as a simulator actor.
+pub struct SimService {
+    inner: Box<dyn Service>,
+}
+
+impl SimService {
+    /// Host `service` in the simulator.
+    pub fn new(service: Box<dyn Service>) -> Self {
+        SimService { inner: service }
+    }
+}
+
+impl Actor for SimService {
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        self.inner.as_any()
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.inner.on_start(&mut SimEnv::new(ctx));
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, msg: Box<dyn Message>) {
+        if let Ok(msg) = msg.downcast::<Msg>() {
+            self.inner.on_msg(&mut SimEnv::new(ctx), from, *msg);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        self.inner.on_timer(&mut SimEnv::new(ctx), token);
+    }
+}
+
+/// Convenience: add a service node to a world.
+pub fn add_service(world: &mut World, service: Box<dyn Service>, nic: NodeConfig) -> NodeId {
+    world.add_node(Box::new(SimService::new(service)), nic)
+}
+
+/// Which BLOB a scripted step targets.
+#[derive(Clone, Copy, Debug)]
+pub enum BlobRef {
+    /// A known id.
+    Id(BlobId),
+    /// The `i`-th BLOB this client created.
+    Created(usize),
+}
+
+/// One step of a scripted client workload.
+#[derive(Clone, Debug)]
+pub enum ScriptStep {
+    /// Create a BLOB (its id becomes `BlobRef::Created(i)`).
+    Create(BlobSpec),
+    /// Write `bytes` of simulated data.
+    Write {
+        /// Target BLOB.
+        blob: BlobRef,
+        /// Offset or append.
+        kind: WriteKind,
+        /// Bytes to write.
+        bytes: u64,
+    },
+    /// Read a range.
+    Read {
+        /// Target BLOB.
+        blob: BlobRef,
+        /// Version, or latest.
+        version: Option<VersionId>,
+        /// Byte offset.
+        offset: u64,
+        /// Byte length.
+        len: u64,
+    },
+    /// Sleep until an absolute simulation time before the next step.
+    WaitUntil(SimTime),
+    /// Sleep for a relative duration before the next step.
+    Pause(SimDuration),
+}
+
+const SCRIPT_TIMER: u64 = 1;
+
+/// A simulator actor that runs a fixed script of client operations
+/// sequentially, recording completions into the world metrics:
+///
+/// * series `<prefix>.write_mbps` / `<prefix>.read_mbps` — per-op
+///   throughput, stamped at completion time,
+/// * series `op_seconds` — wall duration of every data op,
+/// * counters `<prefix>.ops_ok`, `<prefix>.ops_err`.
+pub struct ScriptedClient {
+    core: ClientCore,
+    script: VecDeque<ScriptStep>,
+    created: Vec<BlobId>,
+    prefix: String,
+    waiting_op: bool,
+}
+
+impl ScriptedClient {
+    /// Build a scripted client. `prefix` namespaces its metrics (use one
+    /// shared prefix to aggregate a fleet, e.g. `"client"`).
+    pub fn new(
+        id: ClientId,
+        vman: NodeId,
+        pman: NodeId,
+        meta_providers: Vec<NodeId>,
+        cfg: ClientConfig,
+        script: Vec<ScriptStep>,
+        prefix: impl Into<String>,
+    ) -> Self {
+        ScriptedClient {
+            core: ClientCore::new(id, vman, pman, meta_providers, cfg),
+            script: script.into(),
+            created: Vec::new(),
+            prefix: prefix.into(),
+            waiting_op: false,
+        }
+    }
+
+    fn resolve(&self, b: BlobRef) -> Option<BlobId> {
+        match b {
+            BlobRef::Id(id) => Some(id),
+            BlobRef::Created(i) => self.created.get(i).copied(),
+        }
+    }
+
+    fn next_step(&mut self, ctx: &mut Ctx<'_>) {
+        while let Some(step) = self.script.pop_front() {
+            match step {
+                ScriptStep::Create(spec) => {
+                    let mut env = SimEnv::new(ctx);
+                    self.core.start_op(&mut env, ClientOp::Create { spec }, 0);
+                    self.waiting_op = true;
+                    return;
+                }
+                ScriptStep::Write { blob, kind, bytes } => {
+                    let Some(blob) = self.resolve(blob) else {
+                        ctx.incr(&format!("{}.ops_err", self.prefix), 1);
+                        continue;
+                    };
+                    let mut env = SimEnv::new(ctx);
+                    self.core.start_op(
+                        &mut env,
+                        ClientOp::Write { blob, kind, data: Payload::Sim(bytes) },
+                        0,
+                    );
+                    self.waiting_op = true;
+                    return;
+                }
+                ScriptStep::Read { blob, version, offset, len } => {
+                    let Some(blob) = self.resolve(blob) else {
+                        ctx.incr(&format!("{}.ops_err", self.prefix), 1);
+                        continue;
+                    };
+                    let mut env = SimEnv::new(ctx);
+                    self.core.start_op(
+                        &mut env,
+                        ClientOp::Read { blob, version, offset, len },
+                        0,
+                    );
+                    self.waiting_op = true;
+                    return;
+                }
+                ScriptStep::WaitUntil(at) => {
+                    let delay = at.since(ctx.now());
+                    ctx.set_timer(delay, SCRIPT_TIMER);
+                    return;
+                }
+                ScriptStep::Pause(d) => {
+                    ctx.set_timer(d, SCRIPT_TIMER);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn on_completions(&mut self, ctx: &mut Ctx<'_>, completions: Vec<Completion>) {
+        for c in completions {
+            self.waiting_op = false;
+            match &c.result {
+                Ok(out) => {
+                    ctx.incr(&format!("{}.ops_ok", self.prefix), 1);
+                    match out {
+                        crate::client::OpOutput::Created(b) => self.created.push(*b),
+                        crate::client::OpOutput::Written { .. } => {
+                            ctx.record(&format!("{}.write_mbps", self.prefix), c.throughput_mbps());
+                            ctx.record("op_seconds", c.finished.since(c.started).as_secs_f64());
+                        }
+                        crate::client::OpOutput::Read { .. } => {
+                            ctx.record(&format!("{}.read_mbps", self.prefix), c.throughput_mbps());
+                            ctx.record("op_seconds", c.finished.since(c.started).as_secs_f64());
+                        }
+                    }
+                }
+                Err(e) => {
+                    ctx.incr(&format!("{}.ops_err", self.prefix), 1);
+                    ctx.incr(&format!("{}.err.{}", self.prefix, err_slug(e)), 1);
+                }
+            }
+            self.next_step(ctx);
+        }
+    }
+}
+
+fn err_slug(e: &crate::model::BlobError) -> &'static str {
+    use crate::model::BlobError::*;
+    match e {
+        UnknownBlob(_) => "unknown_blob",
+        UnknownVersion(..) => "unknown_version",
+        Misaligned { .. } => "misaligned",
+        EmptyWrite => "empty_write",
+        OutOfBounds { .. } => "out_of_bounds",
+        AllocationFailed { .. } => "alloc_failed",
+        Blocked(_) => "blocked",
+        ChunkUnavailable(_) => "chunk_unavailable",
+        MetaUnavailable => "meta_unavailable",
+        Timeout => "timeout",
+        ProviderFull => "provider_full",
+        Protocol(_) => "protocol",
+    }
+}
+
+impl Actor for ScriptedClient {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.next_step(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, msg: Box<dyn Message>) {
+        if let Ok(msg) = msg.downcast::<Msg>() {
+            let completions = {
+                let mut env = SimEnv::new(ctx);
+                self.core.handle_msg(&mut env, from, *msg)
+            };
+            self.on_completions(ctx, completions);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if ClientCore::owns_timer(token) {
+            let completions = {
+                let mut env = SimEnv::new(ctx);
+                self.core.handle_timer(&mut env, token)
+            };
+            self.on_completions(ctx, completions);
+        } else if token == SCRIPT_TIMER && !self.waiting_op {
+            self.next_step(ctx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pmanager::RoundRobin;
+    use crate::services::{
+        DataProviderService, MetaProviderService, ProviderManagerService, ServiceConfig,
+        VersionManagerService,
+    };
+    use sads_sim::RunOutcome;
+
+    /// Stand up a small simulated deployment; returns
+    /// (world, vman, pman, meta_providers).
+    fn deploy(
+        n_data: usize,
+        n_meta: usize,
+        seed: u64,
+    ) -> (World, NodeId, NodeId, Vec<NodeId>) {
+        let mut world = World::with_seed(seed);
+        let scfg = ServiceConfig::default();
+        let pman = add_service(
+            &mut world,
+            Box::new(ProviderManagerService::new(Box::<RoundRobin>::default())),
+            NodeConfig::unlimited(),
+        );
+        let vman = add_service(
+            &mut world,
+            Box::new(VersionManagerService::new(scfg)),
+            NodeConfig::unlimited(),
+        );
+        let meta: Vec<NodeId> = (0..n_meta)
+            .map(|_| {
+                add_service(
+                    &mut world,
+                    Box::new(MetaProviderService::new(pman, 1 << 30, scfg)),
+                    NodeConfig::default(),
+                )
+            })
+            .collect();
+        for _ in 0..n_data {
+            add_service(
+                &mut world,
+                Box::new(DataProviderService::new(pman, 1 << 40, scfg)),
+                NodeConfig::default(),
+            );
+        }
+        (world, vman, pman, meta)
+    }
+
+    const MB: u64 = 1_000_000;
+
+    #[test]
+    fn scripted_write_read_roundtrip_in_simulation() {
+        let (mut world, vman, pman, meta) = deploy(8, 2, 42);
+        let spec = BlobSpec { page_size: 8 * MB, replication: 1 };
+        let script = vec![
+            ScriptStep::Create(spec),
+            ScriptStep::Write { blob: BlobRef::Created(0), kind: WriteKind::Append, bytes: 64 * MB },
+            ScriptStep::Read {
+                blob: BlobRef::Created(0),
+                version: None,
+                offset: 0,
+                len: 64 * MB,
+            },
+        ];
+        world.add_node(
+            Box::new(ScriptedClient::new(
+                ClientId(1),
+                vman,
+                pman,
+                meta,
+                ClientConfig::default(),
+                script,
+                "client",
+            )),
+            NodeConfig::default(),
+        );
+        // Providers re-arm heartbeats forever; run a bounded stretch.
+        let out = world.run_for(SimDuration::from_secs(120), 2_000_000);
+        assert_ne!(out, RunOutcome::EventLimit);
+        assert_eq!(world.metrics().counter("client.ops_ok"), 3, "create+write+read all succeed");
+        assert_eq!(world.metrics().counter("client.ops_err"), 0);
+        let w = world.metrics().mean("client.write_mbps").expect("write throughput recorded");
+        // 1 Gb/s NIC: a single writer must land near 125 MB/s (some
+        // protocol overhead allowed).
+        assert!(w > 80.0 && w <= 130.0, "write throughput {w} MB/s");
+        let r = world.metrics().mean("client.read_mbps").expect("read throughput recorded");
+        assert!(r > 80.0 && r <= 130.0, "read throughput {r} MB/s");
+    }
+
+    #[test]
+    fn many_concurrent_clients_share_their_own_nics() {
+        let (mut world, vman, pman, meta) = deploy(16, 2, 7);
+        let spec = BlobSpec { page_size: 8 * MB, replication: 1 };
+        for i in 0..8 {
+            let script = vec![
+                ScriptStep::Create(spec),
+                ScriptStep::Write {
+                    blob: BlobRef::Created(0),
+                    kind: WriteKind::Append,
+                    bytes: 64 * MB,
+                },
+            ];
+            world.add_node(
+                Box::new(ScriptedClient::new(
+                    ClientId(100 + i),
+                    vman,
+                    pman,
+                    meta.clone(),
+                    ClientConfig::default(),
+                    script,
+                    "client",
+                )),
+                NodeConfig::default(),
+            );
+        }
+        world.run_for(SimDuration::from_secs(120), 5_000_000);
+        assert_eq!(world.metrics().counter("client.ops_ok"), 16);
+        // With 16 providers and 8 clients, every client's own NIC is the
+        // bottleneck: aggregate ≈ 8 × ~110 MB/s.
+        let w = world.metrics().mean("client.write_mbps").unwrap();
+        assert!(w > 70.0, "per-client write throughput under concurrency: {w} MB/s");
+    }
+
+    #[test]
+    fn replication_three_writes_three_copies() {
+        let (mut world, vman, pman, meta) = deploy(6, 1, 3);
+        let spec = BlobSpec { page_size: MB, replication: 3 };
+        let script = vec![
+            ScriptStep::Create(spec),
+            ScriptStep::Write { blob: BlobRef::Created(0), kind: WriteKind::Append, bytes: 4 * MB },
+        ];
+        world.add_node(
+            Box::new(ScriptedClient::new(
+                ClientId(1),
+                vman,
+                pman,
+                meta,
+                ClientConfig::default(),
+                script,
+                "client",
+            )),
+            NodeConfig::default(),
+        );
+        world.run_for(SimDuration::from_secs(60), 1_000_000);
+        assert_eq!(world.metrics().counter("client.ops_ok"), 2);
+        // 4 chunks × 3 replicas: replica puts all acknowledged.
+        // (Verified indirectly: a write with replication==3 on 6 providers
+        // succeeded, which requires 3 distinct providers per chunk.)
+    }
+
+    #[test]
+    fn concurrent_writers_to_same_blob_serialize_versions() {
+        let (mut world, vman, pman, meta) = deploy(8, 2, 11);
+        let spec = BlobSpec { page_size: MB, replication: 1 };
+        // Client 1 creates; clients 2 and 3 write to BlobId(1) (the first
+        // created blob id is deterministic).
+        world.add_node(
+            Box::new(ScriptedClient::new(
+                ClientId(1),
+                vman,
+                pman,
+                meta.clone(),
+                ClientConfig::default(),
+                vec![ScriptStep::Create(spec)],
+                "creator",
+            )),
+            NodeConfig::default(),
+        );
+        for i in 0..2 {
+            let script = vec![
+                ScriptStep::WaitUntil(SimTime(1_000_000_000)),
+                ScriptStep::Write {
+                    blob: BlobRef::Id(BlobId(1)),
+                    kind: WriteKind::At(i * 4 * MB),
+                    bytes: 4 * MB,
+                },
+                ScriptStep::Read {
+                    blob: BlobRef::Id(BlobId(1)),
+                    version: None,
+                    offset: 0,
+                    len: 4 * MB,
+                },
+            ];
+            world.add_node(
+                Box::new(ScriptedClient::new(
+                    ClientId(10 + i),
+                    vman,
+                    pman,
+                    meta.clone(),
+                    ClientConfig::default(),
+                    script,
+                    "writer",
+                )),
+                NodeConfig::default(),
+            );
+        }
+        world.run_for(SimDuration::from_secs(120), 2_000_000);
+        assert_eq!(world.metrics().counter("creator.ops_ok"), 1);
+        assert_eq!(world.metrics().counter("writer.ops_ok"), 4, "2 writes + 2 reads");
+        assert_eq!(world.metrics().counter("writer.ops_err"), 0);
+    }
+}

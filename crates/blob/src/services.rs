@@ -1,0 +1,760 @@
+//! The BlobSeer server actors, written once against the runtime-agnostic
+//! [`Env`] abstraction so the threaded runtime, the simulated runtime and
+//! unit tests all drive identical logic.
+//!
+//! The five actors of the paper's §III-A:
+//! * [`DataProviderService`] — stores chunk payloads,
+//! * [`MetaProviderService`] — stores metadata tree nodes,
+//! * [`ProviderManagerService`] — membership + allocation strategies,
+//! * [`VersionManagerService`] — ticketing + ordered publication,
+//! * the client (see [`crate::client`]).
+
+use std::collections::{HashMap, HashSet};
+
+use rand::rngs::SmallRng;
+use sads_sim::{NodeId, SimDuration, SimTime};
+
+use crate::model::{BlobId, ClientId, VersionId};
+use crate::pmanager::{AllocationStrategy, ProviderKind, ProviderLoad, ProviderRegistry};
+use crate::probe::{Instrument, ProbeEvent, RejectReason};
+use crate::provider::{ChunkStore, PutError};
+use crate::rpc::{ChunkErr, Msg};
+use crate::vmanager::VersionManagerState;
+
+/// Everything a service may do to the outside world. Implemented by the
+/// simulated runtime (over `sads_sim::Ctx`) and the threaded runtime.
+pub trait Env {
+    /// This node's address.
+    fn id(&self) -> NodeId;
+    /// Current time (virtual or wall-clock nanoseconds since start).
+    fn now(&self) -> SimTime;
+    /// Send a message.
+    fn send(&mut self, to: NodeId, msg: Msg);
+    /// Send a transport-level control reply (connection refusal) that is
+    /// not subject to this node's send-buffer backlog. Defaults to a
+    /// plain send; the simulated runtime gives it an expedited path.
+    fn send_expedited(&mut self, to: NodeId, msg: Msg) {
+        self.send(to, msg);
+    }
+    /// Arm a one-shot timer.
+    fn set_timer(&mut self, delay: SimDuration, token: u64);
+    /// Deterministic RNG.
+    fn rng(&mut self) -> &mut SmallRng;
+    /// Record a time-series metric observation (optional).
+    fn record(&mut self, _name: &str, _value: f64) {}
+    /// Increment a counter metric (optional).
+    fn incr(&mut self, _name: &str, _delta: u64) {}
+}
+
+/// A runnable BlobSeer service: the state-machine interface both runtimes
+/// drive.
+pub trait Service: Send {
+    /// Called once when the node starts.
+    fn on_start(&mut self, _env: &mut dyn Env) {}
+    /// A message arrived.
+    fn on_msg(&mut self, env: &mut dyn Env, from: NodeId, msg: Msg);
+    /// A timer fired.
+    fn on_timer(&mut self, _env: &mut dyn Env, _token: u64) {}
+
+    /// Optional post-run inspection hook (see `sads_sim::Actor::as_any`).
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
+}
+
+/// Timer token: provider heartbeat.
+pub const TOKEN_HEARTBEAT: u64 = u64::MAX;
+/// Timer token: instrumentation flush.
+pub const TOKEN_INSTR: u64 = u64::MAX - 1;
+/// Timer token: provider-manager registry expiry sweep.
+pub const TOKEN_EXPIRE: u64 = u64::MAX - 2;
+/// Timer token: version-manager stalled-ticket sweep.
+pub const TOKEN_STALL: u64 = u64::MAX - 3;
+
+/// Shared service wiring: where the managers live, whether instrumentation
+/// is on, and the periodic intervals.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// Monitoring service receiving this node's probe batches (`None`
+    /// disables the instrumentation layer).
+    pub monitor: Option<NodeId>,
+    /// Heartbeat period for providers.
+    pub heartbeat_every: SimDuration,
+    /// Instrumentation flush period.
+    pub instr_flush_every: SimDuration,
+    /// Nominal NIC bandwidth (bytes/s) used to normalize the provider's
+    /// synthetic CPU/utilization signal.
+    pub nic_bandwidth: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            monitor: None,
+            heartbeat_every: SimDuration::from_secs(1),
+            instr_flush_every: SimDuration::from_secs(1),
+            nic_bandwidth: 125_000_000,
+        }
+    }
+}
+
+fn flush_instr(instr: &mut Instrument, cfg: &ServiceConfig, env: &mut dyn Env) {
+    if instr.buffered() == 0 {
+        return;
+    }
+    if let Some(mon) = cfg.monitor {
+        let events = instr.drain();
+        let origin = env.id();
+        let at = env.now();
+        env.send(mon, Msg::Probe { origin, at, events });
+    } else {
+        instr.drain();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Data provider
+// ---------------------------------------------------------------------
+
+/// Stores chunk replicas; enforces security blocks; reports load.
+pub struct DataProviderService {
+    pman: NodeId,
+    cfg: ServiceConfig,
+    store: ChunkStore,
+    blacklist: HashSet<ClientId>,
+    instr: Instrument,
+    ops_since_hb: u64,
+    bytes_since_hb: u64,
+    /// In-flight replication relays: our PutChunk req → (manager, its req).
+    relays: HashMap<u64, (NodeId, u64)>,
+    next_req: u64,
+}
+
+impl DataProviderService {
+    /// A provider with `capacity` bytes of chunk storage, managed by
+    /// `pman`.
+    pub fn new(pman: NodeId, capacity: u64, cfg: ServiceConfig) -> Self {
+        DataProviderService {
+            pman,
+            cfg,
+            store: ChunkStore::new(capacity),
+            blacklist: HashSet::new(),
+            instr: Instrument::new(cfg.monitor.is_some()),
+            ops_since_hb: 0,
+            bytes_since_hb: 0,
+            relays: HashMap::new(),
+            next_req: 1,
+        }
+    }
+
+    /// The underlying chunk store (tests, decommission drains).
+    pub fn store(&self) -> &ChunkStore {
+        &self.store
+    }
+
+    fn heartbeat(&mut self, env: &mut dyn Env) {
+        let load = ProviderLoad {
+            used: self.store.used(),
+            items: self.store.len() as u64,
+            recent_ops: self.ops_since_hb,
+            fill: self.store.fill_ratio(),
+        };
+        env.send(self.pman, Msg::Heartbeat { load });
+        // Synthetic physical parameters for the introspection layer: CPU
+        // tracks NIC utilization (bytes moved over the heartbeat window
+        // against the nominal bandwidth), memory tracks storage fill.
+        let window = self.cfg.heartbeat_every.as_secs_f64().max(1e-9);
+        let cpu = (self.bytes_since_hb as f64 / window / self.cfg.nic_bandwidth.max(1) as f64)
+            .min(1.0);
+        let mem = self.store.fill_ratio();
+        self.instr.emit(ProbeEvent::ProviderLoad {
+            provider: env.id(),
+            used: self.store.used(),
+            capacity: self.store.capacity(),
+            items: self.store.len() as u64,
+            recent_ops: self.ops_since_hb,
+            cpu,
+            mem,
+        });
+        self.ops_since_hb = 0;
+        self.bytes_since_hb = 0;
+        env.set_timer(self.cfg.heartbeat_every, TOKEN_HEARTBEAT);
+    }
+}
+
+impl Service for DataProviderService {
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn on_start(&mut self, env: &mut dyn Env) {
+        env.send(
+            self.pman,
+            Msg::Register { kind: ProviderKind::Data, capacity: self.store.capacity() },
+        );
+        env.set_timer(self.cfg.heartbeat_every, TOKEN_HEARTBEAT);
+        if self.cfg.monitor.is_some() {
+            env.set_timer(self.cfg.instr_flush_every, TOKEN_INSTR);
+        }
+    }
+
+    fn on_msg(&mut self, env: &mut dyn Env, from: NodeId, msg: Msg) {
+        match msg {
+            Msg::PutChunk { req, client, key, data } => {
+                self.ops_since_hb += 1;
+                self.bytes_since_hb += data.len();
+                if self.blacklist.contains(&client) {
+                    self.instr.emit(ProbeEvent::ChunkRejected {
+                        provider: env.id(),
+                        client,
+                        reason: RejectReason::Blocked,
+                    });
+                    env.send_expedited(from, Msg::PutChunkErr { req, err: ChunkErr::Blocked });
+                    return;
+                }
+                let bytes = data.len();
+                match self.store.put(key, data, env.now()) {
+                    Ok(()) => {
+                        self.instr.emit(ProbeEvent::ChunkWritten {
+                            provider: env.id(),
+                            client,
+                            key,
+                            bytes,
+                        });
+                        env.send(from, Msg::PutChunkOk { req });
+                    }
+                    Err(PutError::Full) => {
+                        self.instr.emit(ProbeEvent::ChunkRejected {
+                            provider: env.id(),
+                            client,
+                            reason: RejectReason::Full,
+                        });
+                        env.send(from, Msg::PutChunkErr { req, err: ChunkErr::Full });
+                    }
+                }
+            }
+            Msg::GetChunk { req, client, key } => {
+                self.ops_since_hb += 1;
+                if self.blacklist.contains(&client) {
+                    self.instr.emit(ProbeEvent::ChunkRejected {
+                        provider: env.id(),
+                        client,
+                        reason: RejectReason::Blocked,
+                    });
+                    env.send_expedited(from, Msg::GetChunkErr { req, err: ChunkErr::Blocked });
+                    return;
+                }
+                match self.store.get(&key, env.now()) {
+                    Some(data) => {
+                        self.bytes_since_hb += data.len();
+                        self.instr.emit(ProbeEvent::ChunkRead {
+                            provider: env.id(),
+                            client,
+                            key,
+                            bytes: data.len(),
+                            hit: true,
+                        });
+                        env.send(from, Msg::GetChunkOk { req, data });
+                    }
+                    None => {
+                        self.instr.emit(ProbeEvent::ChunkRead {
+                            provider: env.id(),
+                            client,
+                            key,
+                            bytes: 0,
+                            hit: false,
+                        });
+                        env.send(from, Msg::GetChunkErr { req, err: ChunkErr::NotFound });
+                    }
+                }
+            }
+            Msg::DeleteChunk { req, key } => {
+                let existed = self.store.delete(&key).is_some();
+                env.send(from, Msg::DeleteChunkOk { req, existed });
+            }
+            Msg::ReplicateChunk { req, key, to } => {
+                match self.store.peek(&key) {
+                    Some(data) => {
+                        let relay = self.next_req;
+                        self.next_req += 1;
+                        self.relays.insert(relay, (from, req));
+                        let data = data.clone();
+                        env.send(
+                            to,
+                            Msg::PutChunk { req: relay, client: ClientId::SYSTEM, key, data },
+                        );
+                    }
+                    None => env.send(from, Msg::ReplicateChunkOk { req, ok: false }),
+                }
+            }
+            Msg::PutChunkOk { req } => {
+                if let Some((mgr, mreq)) = self.relays.remove(&req) {
+                    env.send(mgr, Msg::ReplicateChunkOk { req: mreq, ok: true });
+                }
+            }
+            Msg::PutChunkErr { req, .. } => {
+                if let Some((mgr, mreq)) = self.relays.remove(&req) {
+                    env.send(mgr, Msg::ReplicateChunkOk { req: mreq, ok: false });
+                }
+            }
+            Msg::BlockClient { client } => {
+                self.blacklist.insert(client);
+            }
+            Msg::UnblockClient { client } => {
+                self.blacklist.remove(&client);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, env: &mut dyn Env, token: u64) {
+        match token {
+            TOKEN_HEARTBEAT => self.heartbeat(env),
+            TOKEN_INSTR => {
+                flush_instr(&mut self.instr, &self.cfg, env);
+                env.set_timer(self.cfg.instr_flush_every, TOKEN_INSTR);
+            }
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Metadata provider
+// ---------------------------------------------------------------------
+
+/// Stores metadata tree nodes.
+pub struct MetaProviderService {
+    pman: NodeId,
+    cfg: ServiceConfig,
+    store: crate::meta::MetaStore,
+    instr: Instrument,
+    ops_since_hb: u64,
+    capacity: u64,
+}
+
+impl MetaProviderService {
+    /// A metadata provider with a nominal `capacity` (bytes) for load
+    /// reporting.
+    pub fn new(pman: NodeId, capacity: u64, cfg: ServiceConfig) -> Self {
+        MetaProviderService {
+            pman,
+            cfg,
+            store: crate::meta::MetaStore::new(),
+            instr: Instrument::new(cfg.monitor.is_some()),
+            ops_since_hb: 0,
+            capacity,
+        }
+    }
+
+    /// The node map (tests).
+    pub fn store(&self) -> &crate::meta::MetaStore {
+        &self.store
+    }
+}
+
+impl Service for MetaProviderService {
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn on_start(&mut self, env: &mut dyn Env) {
+        env.send(
+            self.pman,
+            Msg::Register { kind: ProviderKind::Metadata, capacity: self.capacity },
+        );
+        env.set_timer(self.cfg.heartbeat_every, TOKEN_HEARTBEAT);
+        if self.cfg.monitor.is_some() {
+            env.set_timer(self.cfg.instr_flush_every, TOKEN_INSTR);
+        }
+    }
+
+    fn on_msg(&mut self, env: &mut dyn Env, from: NodeId, msg: Msg) {
+        match msg {
+            Msg::PutMeta { req, nodes } => {
+                self.ops_since_hb += 1;
+                let count = nodes.len() as u32;
+                for (k, n) in nodes {
+                    self.store.put(k, n);
+                }
+                self.instr.emit(ProbeEvent::MetaWritten { provider: env.id(), nodes: count });
+                env.send(from, Msg::PutMetaOk { req });
+            }
+            Msg::GetMeta { req, keys } => {
+                self.ops_since_hb += 1;
+                self.instr.emit(ProbeEvent::MetaRead {
+                    provider: env.id(),
+                    nodes: keys.len() as u32,
+                });
+                let nodes = keys
+                    .into_iter()
+                    .map(|k| {
+                        let n = self.store.get(&k).cloned();
+                        (k, n)
+                    })
+                    .collect();
+                env.send(from, Msg::GetMetaOk { req, nodes });
+            }
+            Msg::DeleteMeta { req, keys } => {
+                let mut removed = 0;
+                for k in &keys {
+                    if self.store.remove(k) {
+                        removed += 1;
+                    }
+                }
+                env.send(from, Msg::DeleteMetaOk { req, removed });
+            }
+            Msg::PatchLeaf { req, key, replicas } => {
+                let ok = self.store.patch_leaf(&key, replicas);
+                env.send(from, Msg::PatchLeafOk { req, ok });
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, env: &mut dyn Env, token: u64) {
+        match token {
+            TOKEN_HEARTBEAT => {
+                let load = ProviderLoad {
+                    used: self.store.bytes(),
+                    items: self.store.len() as u64,
+                    recent_ops: self.ops_since_hb,
+                    fill: if self.capacity == 0 {
+                        0.0
+                    } else {
+                        self.store.bytes() as f64 / self.capacity as f64
+                    },
+                };
+                env.send(self.pman, Msg::Heartbeat { load });
+                self.ops_since_hb = 0;
+                env.set_timer(self.cfg.heartbeat_every, TOKEN_HEARTBEAT);
+            }
+            TOKEN_INSTR => {
+                flush_instr(&mut self.instr, &self.cfg, env);
+                env.set_timer(self.cfg.instr_flush_every, TOKEN_INSTR);
+            }
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Provider manager
+// ---------------------------------------------------------------------
+
+/// Membership registry + allocation strategy host.
+pub struct ProviderManagerService {
+    registry: ProviderRegistry,
+    strategy: Box<dyn AllocationStrategy>,
+    /// Heartbeat expiry: providers silent for this long are expelled.
+    expiry: SimDuration,
+    sweep_every: SimDuration,
+}
+
+impl ProviderManagerService {
+    /// A provider manager using the given allocation strategy.
+    pub fn new(strategy: Box<dyn AllocationStrategy>) -> Self {
+        ProviderManagerService {
+            registry: ProviderRegistry::new(),
+            strategy,
+            expiry: SimDuration::from_secs(5),
+            sweep_every: SimDuration::from_secs(2),
+        }
+    }
+
+    /// Override failure-detection timing.
+    pub fn with_expiry(mut self, expiry: SimDuration, sweep_every: SimDuration) -> Self {
+        self.expiry = expiry;
+        self.sweep_every = sweep_every;
+        self
+    }
+
+    /// The registry (tests, adaptive layer co-located inspection).
+    pub fn registry(&self) -> &ProviderRegistry {
+        &self.registry
+    }
+
+    fn directory(&self) -> (Vec<NodeId>, Vec<NodeId>) {
+        let mut meta: Vec<NodeId> =
+            self.registry.of_kind(ProviderKind::Metadata).map(|p| p.node).collect();
+        meta.sort();
+        let mut data: Vec<NodeId> =
+            self.registry.of_kind(ProviderKind::Data).map(|p| p.node).collect();
+        data.sort();
+        (meta, data)
+    }
+}
+
+impl Service for ProviderManagerService {
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn on_start(&mut self, env: &mut dyn Env) {
+        env.set_timer(self.sweep_every, TOKEN_EXPIRE);
+    }
+
+    fn on_msg(&mut self, env: &mut dyn Env, from: NodeId, msg: Msg) {
+        match msg {
+            Msg::Register { kind, capacity } => {
+                self.registry.register(from, kind, capacity, env.now());
+            }
+            Msg::Heartbeat { load } => {
+                self.registry.heartbeat(from, load, env.now());
+            }
+            Msg::Alloc { req, client: _, chunks, replication, chunk_size } => {
+                let placement = self.strategy.allocate(
+                    &self.registry,
+                    chunks,
+                    replication,
+                    chunk_size,
+                    env.rng(),
+                );
+                match placement {
+                    Some(placement) => {
+                        for replicas in &placement {
+                            for node in replicas {
+                                self.registry.reserve(*node, chunk_size);
+                            }
+                        }
+                        env.incr("pman.allocs", 1);
+                        env.send(from, Msg::AllocOk { req, placement });
+                    }
+                    None => {
+                        env.incr("pman.alloc_failures", 1);
+                        let available =
+                            self.registry.allocatable(ProviderKind::Data).len() as u32;
+                        env.send(from, Msg::AllocErr { req, available });
+                    }
+                }
+            }
+            Msg::GetDirectory { req } => {
+                let (meta_providers, data_providers) = self.directory();
+                env.send(from, Msg::Directory { req, meta_providers, data_providers });
+            }
+            Msg::SetDraining { provider, draining } => {
+                self.registry.set_draining(provider, draining);
+            }
+            Msg::Deregister { provider } => {
+                self.registry.remove(provider);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, env: &mut dyn Env, token: u64) {
+        if token == TOKEN_EXPIRE {
+            let dead = self.registry.expire(env.now(), self.expiry);
+            if !dead.is_empty() {
+                env.incr("pman.expired", dead.len() as u64);
+            }
+            env.record(
+                "pman.data_providers",
+                self.registry.count(ProviderKind::Data) as f64,
+            );
+            env.set_timer(self.sweep_every, TOKEN_EXPIRE);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Version manager
+// ---------------------------------------------------------------------
+
+/// Ticketing + strictly ordered publication + enforcement of client
+/// blocks on the control path.
+pub struct VersionManagerService {
+    state: VersionManagerState,
+    blacklist: HashSet<ClientId>,
+    instr: Instrument,
+    cfg: ServiceConfig,
+    /// Commit waiters: who to notify when a version publishes.
+    waiters: HashMap<(BlobId, VersionId), (NodeId, u64)>,
+    stall_timeout: SimDuration,
+}
+
+impl VersionManagerService {
+    /// A fresh version manager.
+    pub fn new(cfg: ServiceConfig) -> Self {
+        VersionManagerService {
+            state: VersionManagerState::new(),
+            blacklist: HashSet::new(),
+            instr: Instrument::new(cfg.monitor.is_some()),
+            cfg,
+            waiters: HashMap::new(),
+            stall_timeout: SimDuration::from_secs(60),
+        }
+    }
+
+    /// Override how long an uncommitted ticket may sit before counting as
+    /// stalled.
+    pub fn with_stall_timeout(mut self, timeout: SimDuration) -> Self {
+        self.stall_timeout = timeout;
+        self
+    }
+
+    /// The underlying state (tests, removal strategies co-located).
+    pub fn state(&self) -> &VersionManagerState {
+        &self.state
+    }
+
+    /// Mutable state access (removal strategies).
+    pub fn state_mut(&mut self) -> &mut VersionManagerState {
+        &mut self.state
+    }
+}
+
+impl Service for VersionManagerService {
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn on_start(&mut self, env: &mut dyn Env) {
+        env.set_timer(SimDuration::from_secs(10), TOKEN_STALL);
+        if self.cfg.monitor.is_some() {
+            env.set_timer(self.cfg.instr_flush_every, TOKEN_INSTR);
+        }
+    }
+
+    fn on_msg(&mut self, env: &mut dyn Env, from: NodeId, msg: Msg) {
+        match msg {
+            Msg::CreateBlob { req, client: _, spec } => {
+                let blob = self.state.create_blob(spec, env.now());
+                env.send(from, Msg::CreateBlobOk { req, blob });
+            }
+            Msg::Ticket { req, client, blob, kind, len } => {
+                if self.blacklist.contains(&client) {
+                    self.instr.emit(ProbeEvent::TicketRejected { client, blob, blocked: true });
+                    env.send(
+                        from,
+                        Msg::TicketErr { req, err: crate::model::BlobError::Blocked(client) },
+                    );
+                    return;
+                }
+                match self.state.ticket(blob, kind, len, client, env.now()) {
+                    Ok(ticket) => {
+                        self.instr.emit(ProbeEvent::TicketIssued {
+                            client,
+                            blob,
+                            version: ticket.version,
+                            offset: ticket.offset,
+                            len: ticket.len,
+                        });
+                        env.send(from, Msg::TicketOk { req, ticket });
+                    }
+                    Err(err) => {
+                        self.instr.emit(ProbeEvent::TicketRejected {
+                            client,
+                            blob,
+                            blocked: false,
+                        });
+                        env.send(from, Msg::TicketErr { req, err });
+                    }
+                }
+            }
+            Msg::Commit { req, client: _, blob, version, root, size } => {
+                self.waiters.insert((blob, version), (from, req));
+                match self.state.commit(blob, version, root, size, env.now()) {
+                    Ok(published) => {
+                        for (v, writer) in published {
+                            self.instr.emit(ProbeEvent::VersionPublished {
+                                blob,
+                                version: v,
+                                size: self
+                                    .state
+                                    .blob(blob)
+                                    .and_then(|b| b.version(v))
+                                    .map(|r| r.size)
+                                    .unwrap_or(0),
+                                writer,
+                            });
+                            if let Some((node, wreq)) = self.waiters.remove(&(blob, v)) {
+                                env.send(node, Msg::CommitOk { req: wreq, version: v });
+                            }
+                        }
+                    }
+                    Err(err) => {
+                        self.waiters.remove(&(blob, version));
+                        env.send(from, Msg::TicketErr { req, err });
+                    }
+                }
+            }
+            Msg::GetVersion { req, client, blob, version } => {
+                if self.blacklist.contains(&client) {
+                    env.send(
+                        from,
+                        Msg::GetVersionErr {
+                            req,
+                            err: crate::model::BlobError::Blocked(client),
+                        },
+                    );
+                    return;
+                }
+                let res = match version {
+                    Some(v) => self.state.version_info(blob, v),
+                    None => self.state.latest_info(blob),
+                };
+                match res {
+                    Ok(info) => env.send(from, Msg::GetVersionOk { req, info }),
+                    Err(err) => env.send(from, Msg::GetVersionErr { req, err }),
+                }
+            }
+            Msg::BlockClient { client } => {
+                self.blacklist.insert(client);
+            }
+            Msg::UnblockClient { client } => {
+                self.blacklist.remove(&client);
+            }
+            Msg::ListBlobs { req } => {
+                env.send(from, Msg::BlobList { req, blobs: self.state.blob_ids() });
+            }
+            Msg::ListStalled { req } => {
+                let stalled = self.state.actionable_stalled(env.now(), self.stall_timeout);
+                env.send(from, Msg::StalledList { req, stalled });
+            }
+            Msg::ListVersions { req, blob } => {
+                let (page_size, versions) = match self.state.blob(blob) {
+                    Some(st) => (
+                        st.spec.page_size,
+                        st.versions()
+                            .map(|v| crate::vmanager::VersionSummary {
+                                version: v.version,
+                                size: v.size,
+                                interval: v.interval,
+                                published_at: v.published_at,
+                            })
+                            .collect(),
+                    ),
+                    None => (0, vec![]),
+                };
+                env.send(from, Msg::VersionList { req, blob, page_size, versions });
+            }
+            Msg::RetireVersion { req, blob, version } => {
+                let ok = self
+                    .state
+                    .blob_mut(blob)
+                    .map(|st| st.forget_version(version))
+                    .unwrap_or(false);
+                env.send(from, Msg::RetireVersionOk { req, ok });
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, env: &mut dyn Env, token: u64) {
+        match token {
+            TOKEN_STALL => {
+                let stalled = self.state.stalled_tickets(env.now(), self.stall_timeout);
+                if !stalled.is_empty() {
+                    env.record("vman.stalled_writes", stalled.len() as f64);
+                }
+                env.set_timer(SimDuration::from_secs(10), TOKEN_STALL);
+            }
+            TOKEN_INSTR => {
+                flush_instr(&mut self.instr, &self.cfg, env);
+                env.set_timer(self.cfg.instr_flush_every, TOKEN_INSTR);
+            }
+            _ => {}
+        }
+    }
+}

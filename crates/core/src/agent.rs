@@ -1,0 +1,108 @@
+//! The deployment agent: the "cloud API" that actuates the elasticity
+//! controller's decisions in the simulated world. Only the hosting
+//! runtime can create or destroy nodes, so the controller sends
+//! [`AdaptMsg::Scale`] here.
+//!
+//! Expansion spawns fresh [`DataProviderService`] nodes (they register
+//! with the provider manager on start). Retirement first marks the
+//! provider draining (no new allocations), waits a grace period for the
+//! replication manager to re-protect its chunks, then deregisters and
+//! powers the node off.
+
+use std::collections::HashMap;
+
+use sads_adaptive::{into_adapt, AdaptMsg, ScaleDecision};
+use sads_blob::rpc::Msg;
+use sads_blob::runtime::sim::SimService;
+use sads_blob::services::{DataProviderService, ServiceConfig};
+use sads_sim::{Actor, Ctx, Message, MessageExt, NodeConfig, NodeId, SimDuration};
+
+/// How long a retiring provider keeps serving before power-off.
+pub const DRAIN_GRACE: SimDuration = SimDuration::from_secs(10);
+
+/// The deployment agent actor.
+pub struct DeployAgent {
+    pman: NodeId,
+    capacity: u64,
+    svc_cfg: ServiceConfig,
+    spawned: Vec<NodeId>,
+    retiring: HashMap<u64, NodeId>,
+    next_token: u64,
+    retired: u64,
+}
+
+impl DeployAgent {
+    /// An agent that provisions providers registered to `pman` with the
+    /// given capacity and service wiring.
+    pub fn new(pman: NodeId, capacity: u64, svc_cfg: ServiceConfig) -> Self {
+        DeployAgent {
+            pman,
+            capacity,
+            svc_cfg,
+            spawned: Vec::new(),
+            retiring: HashMap::new(),
+            next_token: 1,
+            retired: 0,
+        }
+    }
+
+    /// Providers this agent started (post-run inspection).
+    pub fn spawned(&self) -> &[NodeId] {
+        &self.spawned
+    }
+
+    /// Providers this agent retired.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+}
+
+impl Actor for DeployAgent {
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: NodeId, msg: Box<dyn Message>) {
+        let Ok(msg) = msg.downcast::<Msg>() else { return };
+        let Some(AdaptMsg::Scale(decision)) = into_adapt(*msg) else { return };
+        match decision {
+            ScaleDecision::Expand { count } => {
+                for _ in 0..count {
+                    let provider = ctx.spawn(
+                        Box::new(SimService::new(Box::new(DataProviderService::new(
+                            self.pman,
+                            self.capacity,
+                            self.svc_cfg,
+                        )))),
+                        NodeConfig::default(),
+                    );
+                    self.spawned.push(provider);
+                    ctx.incr("agent.spawned", 1);
+                }
+            }
+            ScaleDecision::Retire { providers } => {
+                for provider in providers {
+                    // Stop new allocations immediately, power off after
+                    // the drain grace period.
+                    ctx.send(
+                        self.pman,
+                        Box::new(Msg::SetDraining { provider, draining: true }),
+                    );
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    self.retiring.insert(token, provider);
+                    ctx.set_timer(DRAIN_GRACE, token);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if let Some(provider) = self.retiring.remove(&token) {
+            ctx.send(self.pman, Box::new(Msg::Deregister { provider }));
+            ctx.crash(provider);
+            self.retired += 1;
+            ctx.incr("agent.retired", 1);
+        }
+    }
+}

@@ -1,0 +1,418 @@
+//! Full simulated deployment of the self-adaptive data management system:
+//! BlobSeer actors + the three-layer introspection stack + the security
+//! framework + the adaptive controllers, wired together on the
+//! deterministic cluster simulator. Every paper-shaped experiment builds
+//! one of these.
+
+use sads_adaptive::{
+    ElasticityControllerService, ElasticityPolicy, RecoveryAgentService, RemovalManagerService,
+    ReplicationConfig, ReplicationManagerService, RetirePolicy,
+};
+use sads_blob::client::ClientConfig;
+use sads_blob::pmanager::{strategy_by_name, AllocationStrategy, RoundRobin};
+use sads_blob::runtime::sim::{add_service, ScriptStep, ScriptedClient};
+use sads_blob::services::{
+    DataProviderService, MetaProviderService, ProviderManagerService, ServiceConfig,
+    VersionManagerService,
+};
+use sads_blob::ClientId;
+use sads_introspect::IntrospectionService;
+use sads_monitor::{MonitoringService, StorageConfig, StorageServerService};
+use sads_security::{PolicySet, SecurityConfig, SecurityEngineService};
+use sads_sim::{NetConfig, NodeConfig, NodeId, SimDuration, World};
+
+use crate::agent::DeployAgent;
+
+/// What to deploy.
+#[derive(Debug, Clone)]
+pub struct DeploymentConfig {
+    /// RNG seed (full determinism).
+    pub seed: u64,
+    /// Network parameters (defaults: 1 Gb/s NICs, 100 µs LAN).
+    pub net: NetConfig,
+    /// Data providers at start.
+    pub data_providers: usize,
+    /// Metadata providers (static ring).
+    pub meta_providers: usize,
+    /// Per-provider storage capacity (bytes).
+    pub provider_capacity: u64,
+    /// Allocation strategy name (see [`strategy_by_name`]).
+    pub strategy: &'static str,
+    /// Monitoring services (0 disables the whole introspection stack —
+    /// the E1 baseline).
+    pub monitors: usize,
+    /// Monitoring storage servers.
+    pub storage_servers: usize,
+    /// Storage-server tuning (burst cache etc.).
+    pub storage_cfg: StorageConfig,
+    /// Instrumentation flush period.
+    pub instr_flush: SimDuration,
+    /// Monitoring-service filter flush period.
+    pub mon_flush: SimDuration,
+    /// Deploy the introspection service.
+    pub introspection: bool,
+    /// Deploy the security engine with these policies.
+    pub security: Option<(PolicySet, SecurityConfig)>,
+    /// Deploy the elasticity controller.
+    pub elasticity: Option<ElasticityPolicy>,
+    /// Deploy the replication manager.
+    pub replication: Option<ReplicationConfig>,
+    /// Deploy the removal manager.
+    pub removal: Option<(RetirePolicy, SimDuration)>,
+    /// Deploy the stalled-write recovery agent (poll period).
+    pub recovery: Option<SimDuration>,
+    /// Default client tuning for `add_client`.
+    pub client_cfg: ClientConfig,
+}
+
+impl Default for DeploymentConfig {
+    fn default() -> Self {
+        DeploymentConfig {
+            seed: 42,
+            net: NetConfig::default(),
+            data_providers: 16,
+            meta_providers: 4,
+            provider_capacity: 1 << 40,
+            strategy: "round_robin",
+            monitors: 2,
+            storage_servers: 2,
+            storage_cfg: StorageConfig::default(),
+            instr_flush: SimDuration::from_secs(1),
+            mon_flush: SimDuration::from_secs(1),
+            introspection: true,
+            security: None,
+            elasticity: None,
+            replication: None,
+            removal: None,
+            recovery: None,
+            client_cfg: ClientConfig::default(),
+        }
+    }
+}
+
+/// A running simulated deployment with every node's address.
+pub struct Deployment {
+    /// The simulation world. Run it with `run_for`/`run_until`.
+    pub world: World,
+    /// Version manager.
+    pub vman: NodeId,
+    /// Provider manager.
+    pub pman: NodeId,
+    /// Metadata providers (partition order).
+    pub meta: Vec<NodeId>,
+    /// Initial data providers.
+    pub data: Vec<NodeId>,
+    /// Monitoring services (empty when monitoring is off).
+    pub monitors: Vec<NodeId>,
+    /// Monitoring storage servers.
+    pub storage: Vec<NodeId>,
+    /// Introspection service, if deployed.
+    pub intro: Option<NodeId>,
+    /// Security engine, if deployed.
+    pub security: Option<NodeId>,
+    /// Elasticity controller, if deployed.
+    pub elastic: Option<NodeId>,
+    /// Deployment agent (elasticity actuation), if deployed.
+    pub deploy_agent: Option<NodeId>,
+    /// Replication manager, if deployed.
+    pub repl: Option<NodeId>,
+    /// Removal manager, if deployed.
+    pub removal: Option<NodeId>,
+    /// Stalled-write recovery agent, if deployed.
+    pub recovery: Option<NodeId>,
+    /// Config the deployment was built from.
+    pub cfg: DeploymentConfig,
+    next_monitor: usize,
+}
+
+impl Deployment {
+    /// Build and start every node.
+    pub fn build(cfg: DeploymentConfig) -> Deployment {
+        let mut world = World::new(cfg.seed, cfg.net);
+        let strategy: Box<dyn AllocationStrategy> =
+            strategy_by_name(cfg.strategy).unwrap_or_else(|| Box::<RoundRobin>::default());
+
+        let pman = add_service(
+            &mut world,
+            Box::new(ProviderManagerService::new(strategy)),
+            NodeConfig::unlimited(),
+        );
+
+        // Monitoring pipeline first so every instrumented node can point
+        // at a monitoring service from birth.
+        let storage: Vec<NodeId> = (0..cfg.storage_servers.max(1))
+            .map(|_| {
+                add_service(
+                    &mut world,
+                    Box::new(StorageServerService::new(cfg.storage_cfg)),
+                    NodeConfig::default(),
+                )
+            })
+            .collect();
+        let monitors: Vec<NodeId> = (0..cfg.monitors)
+            .map(|_| {
+                add_service(
+                    &mut world,
+                    Box::new(MonitoringService::new(
+                        storage.clone(),
+                        sads_monitor::default_filters(),
+                        cfg.mon_flush,
+                    )),
+                    NodeConfig::default(),
+                )
+            })
+            .collect();
+
+        let mut next_monitor = 0usize;
+        let mut svc_cfg = |m: &Vec<NodeId>| {
+            let monitor = if m.is_empty() {
+                None
+            } else {
+                let t = m[next_monitor % m.len()];
+                next_monitor += 1;
+                Some(t)
+            };
+            ServiceConfig {
+                monitor,
+                heartbeat_every: SimDuration::from_secs(1),
+                instr_flush_every: cfg.instr_flush,
+                nic_bandwidth: 125_000_000,
+            }
+        };
+
+        let vman = add_service(
+            &mut world,
+            Box::new(VersionManagerService::new(svc_cfg(&monitors))),
+            NodeConfig::unlimited(),
+        );
+        let meta: Vec<NodeId> = (0..cfg.meta_providers)
+            .map(|_| {
+                add_service(
+                    &mut world,
+                    Box::new(MetaProviderService::new(pman, 1 << 34, svc_cfg(&monitors))),
+                    NodeConfig::default(),
+                )
+            })
+            .collect();
+        let data: Vec<NodeId> = (0..cfg.data_providers)
+            .map(|_| {
+                add_service(
+                    &mut world,
+                    Box::new(DataProviderService::new(
+                        pman,
+                        cfg.provider_capacity,
+                        svc_cfg(&monitors),
+                    )),
+                    NodeConfig::default(),
+                )
+            })
+            .collect();
+        let _ = &mut svc_cfg;
+
+        let intro = (cfg.introspection && !monitors.is_empty()).then(|| {
+            add_service(
+                &mut world,
+                Box::new(IntrospectionService::new(storage.clone(), SimDuration::from_secs(2))),
+                NodeConfig::default(),
+            )
+        });
+
+        let security = cfg.security.clone().map(|(set, sec_cfg)| {
+            let mut block_targets = vec![vman];
+            block_targets.extend(&data);
+            add_service(
+                &mut world,
+                Box::new(SecurityEngineService::new(
+                    storage.clone(),
+                    block_targets,
+                    data.clone(),
+                    set,
+                    sec_cfg,
+                )),
+                NodeConfig::default(),
+            )
+        });
+
+        let (elastic, deploy_agent) = match (&cfg.elasticity, intro) {
+            (Some(policy), Some(intro)) => {
+                let monitor_for_new = monitors.first().copied();
+                let agent = world.add_node(
+                    Box::new(DeployAgent::new(
+                        pman,
+                        cfg.provider_capacity,
+                        ServiceConfig {
+                            monitor: monitor_for_new,
+                            heartbeat_every: SimDuration::from_secs(1),
+                            instr_flush_every: cfg.instr_flush,
+                            nic_bandwidth: 125_000_000,
+                        },
+                    )),
+                    NodeConfig::unlimited(),
+                );
+                let controller = add_service(
+                    &mut world,
+                    Box::new(ElasticityControllerService::new(
+                        intro,
+                        agent,
+                        policy.clone(),
+                        SimDuration::from_secs(5),
+                    )),
+                    NodeConfig::default(),
+                );
+                (Some(controller), Some(agent))
+            }
+            _ => (None, None),
+        };
+
+        let repl = cfg.replication.map(|rc| {
+            add_service(
+                &mut world,
+                Box::new(ReplicationManagerService::new(storage.clone(), pman, intro, rc)),
+                NodeConfig::default(),
+            )
+        });
+
+        let recovery = cfg.recovery.map(|poll| {
+            add_service(
+                &mut world,
+                Box::new(RecoveryAgentService::new(vman, meta.clone(), poll)),
+                NodeConfig::default(),
+            )
+        });
+
+        let removal = cfg.removal.map(|(policy, sweep)| {
+            add_service(
+                &mut world,
+                Box::new(RemovalManagerService::new(vman, meta.clone(), policy, sweep)),
+                NodeConfig::default(),
+            )
+        });
+
+        Deployment {
+            world,
+            vman,
+            pman,
+            meta,
+            data,
+            monitors,
+            storage,
+            intro,
+            security,
+            elastic,
+            deploy_agent,
+            repl,
+            removal,
+            recovery,
+            cfg,
+            next_monitor,
+        }
+    }
+
+    /// Add a scripted client node; returns its address.
+    pub fn add_client(
+        &mut self,
+        id: ClientId,
+        script: Vec<ScriptStep>,
+        prefix: impl Into<String>,
+    ) -> NodeId {
+        self.world.add_node(
+            Box::new(ScriptedClient::new(
+                id,
+                self.vman,
+                self.pman,
+                self.meta.clone(),
+                self.cfg.client_cfg,
+                script,
+                prefix,
+            )),
+            NodeConfig::default(),
+        )
+    }
+
+    /// Add an extra data provider at runtime (manual scale-up; the
+    /// elasticity controller does this itself through the deploy agent).
+    pub fn add_data_provider(&mut self) -> NodeId {
+        let monitor = if self.monitors.is_empty() {
+            None
+        } else {
+            let t = self.monitors[self.next_monitor % self.monitors.len()];
+            self.next_monitor += 1;
+            Some(t)
+        };
+        let n = add_service(
+            &mut self.world,
+            Box::new(DataProviderService::new(
+                self.pman,
+                self.cfg.provider_capacity,
+                ServiceConfig {
+                    monitor,
+                    heartbeat_every: SimDuration::from_secs(1),
+                    instr_flush_every: self.cfg.instr_flush,
+                    nic_bandwidth: 125_000_000,
+                },
+            )),
+            NodeConfig::default(),
+        );
+        self.data.push(n);
+        n
+    }
+
+    /// Crash a node (provider failure injection for E8).
+    pub fn crash(&mut self, node: NodeId) {
+        self.world.crash(node);
+    }
+
+    /// Total instrumentation events seen by the monitoring services — the
+    /// paper's "number of generated monitoring parameters" (E1).
+    pub fn monitoring_events(&self) -> u64 {
+        self.monitors
+            .iter()
+            .filter_map(|m| self.world.actor_as::<MonitoringService>(*m))
+            .map(|m| m.events_seen())
+            .sum()
+    }
+
+    /// Post-run access to a storage server's store (viz tool, E5).
+    pub fn mon_store(&self, idx: usize) -> Option<&sads_monitor::MonStore> {
+        self.world
+            .actor_as::<StorageServerService>(*self.storage.get(idx)?)
+            .map(|s| s.store())
+    }
+
+    /// Post-run access to the security engine (detections, trust).
+    pub fn security_engine(&self) -> Option<&SecurityEngineService> {
+        self.world.actor_as::<SecurityEngineService>(self.security?)
+    }
+
+    /// Post-run access to the introspection snapshot.
+    pub fn introspection(&self) -> Option<&IntrospectionService> {
+        self.world.actor_as::<IntrospectionService>(self.intro?)
+    }
+
+    /// Post-run access to the elasticity controller.
+    pub fn elasticity(&self) -> Option<&ElasticityControllerService> {
+        self.world.actor_as::<ElasticityControllerService>(self.elastic?)
+    }
+
+    /// Post-run access to the replication manager.
+    pub fn replication(&self) -> Option<&ReplicationManagerService> {
+        self.world.actor_as::<ReplicationManagerService>(self.repl?)
+    }
+
+    /// Post-run access to the recovery agent.
+    pub fn recovery_agent(&self) -> Option<&RecoveryAgentService> {
+        self.world.actor_as::<RecoveryAgentService>(self.recovery?)
+    }
+
+    /// Live data providers according to the deploy agent + initial set
+    /// (sim oracle: counts nodes that are still up).
+    pub fn live_data_providers(&self) -> usize {
+        let mut n = self.data.iter().filter(|d| self.world.is_up(**d)).count();
+        if let Some(agent) = self.deploy_agent {
+            if let Some(a) = self.world.actor_as::<DeployAgent>(agent) {
+                n += a.spawned().iter().filter(|d| self.world.is_up(**d)).count();
+            }
+        }
+        n
+    }
+}

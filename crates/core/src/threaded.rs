@@ -1,0 +1,132 @@
+//! The self-adaptive system on real threads: a BlobSeer cluster with the
+//! monitoring pipeline and the security engine attached — the deployment
+//! a downstream user runs (the simulated twin in
+//! [`crate::deployment`] is for Grid'5000-scale experiments).
+
+use sads_blob::pmanager::AllocationStrategy;
+use sads_blob::runtime::threaded::{Cluster, ClusterBuilder, ClientHandle};
+use sads_blob::services::{MetaProviderService, ServiceConfig, VersionManagerService};
+use sads_blob::ClientId;
+use sads_monitor::{MonitoringService, StorageConfig, StorageServerService};
+use sads_security::{PolicySet, SecurityConfig, SecurityEngineService};
+use sads_sim::{NodeId, SimDuration};
+
+/// Configuration of a threaded self-adaptive cluster.
+pub struct AdaptiveClusterConfig {
+    /// Data providers.
+    pub data_providers: usize,
+    /// Metadata providers.
+    pub meta_providers: usize,
+    /// Per-provider capacity (bytes).
+    pub provider_capacity: u64,
+    /// Allocation strategy.
+    pub strategy: Box<dyn AllocationStrategy>,
+    /// Monitoring storage servers.
+    pub storage_servers: usize,
+    /// Security policies (`None` disables the engine).
+    pub security: Option<PolicySet>,
+    /// Instrumentation/monitoring flush period.
+    pub flush_every: SimDuration,
+}
+
+impl Default for AdaptiveClusterConfig {
+    fn default() -> Self {
+        AdaptiveClusterConfig {
+            data_providers: 4,
+            meta_providers: 2,
+            provider_capacity: 4 << 30,
+            strategy: Box::<sads_blob::pmanager::RoundRobin>::default(),
+            storage_servers: 1,
+            security: Some(sads_security::default_dos_policies()),
+            flush_every: SimDuration::from_millis(500),
+        }
+    }
+}
+
+/// A running threaded deployment with the self-management layers wired.
+pub struct SelfAdaptiveCluster {
+    /// The underlying BlobSeer cluster (client creation, raw messaging).
+    pub cluster: Cluster,
+    /// Monitoring service address.
+    pub monitor: NodeId,
+    /// Monitoring storage servers.
+    pub storage: Vec<NodeId>,
+    /// Security engine, if enabled.
+    pub security: Option<NodeId>,
+}
+
+impl SelfAdaptiveCluster {
+    /// Start every thread.
+    pub fn start(cfg: AdaptiveClusterConfig) -> Self {
+        // Start an empty control plane, then attach the monitoring
+        // pipeline, then add the monitored data/metadata planes so every
+        // provider instruments from birth.
+        let mut cluster = ClusterBuilder::new()
+            .data_providers(0)
+            .meta_providers(0)
+            .provider_capacity(cfg.provider_capacity)
+            .strategy(cfg.strategy)
+            .start();
+
+        let storage: Vec<NodeId> = (0..cfg.storage_servers.max(1))
+            .map(|_| {
+                cluster.add_service(Box::new(StorageServerService::new(StorageConfig::default())))
+            })
+            .collect();
+        let monitor = cluster.add_service(Box::new(MonitoringService::new(
+            storage.clone(),
+            sads_monitor::default_filters(),
+            cfg.flush_every,
+        )));
+
+        let svc = ServiceConfig {
+            monitor: Some(monitor),
+            heartbeat_every: SimDuration::from_secs(1),
+            instr_flush_every: cfg.flush_every,
+            nic_bandwidth: 125_000_000,
+        };
+        cluster.set_service_config(svc);
+
+        // A monitored version manager replaces the builder's bare one.
+        let vman = cluster.add_service(Box::new(VersionManagerService::new(svc)));
+        cluster.vman = vman;
+
+        for _ in 0..cfg.meta_providers {
+            let pman = cluster.pman;
+            let n = cluster
+                .add_service(Box::new(MetaProviderService::new(pman, cfg.provider_capacity, svc)));
+            cluster.meta.push(n);
+        }
+        for _ in 0..cfg.data_providers {
+            let n = cluster.add_data_provider(cfg.provider_capacity);
+            cluster.data.push(n);
+        }
+
+        let security = cfg.security.map(|set| {
+            let mut block_targets = vec![cluster.vman];
+            block_targets.extend(&cluster.data);
+            cluster.add_service(Box::new(SecurityEngineService::new(
+                storage.clone(),
+                block_targets,
+                cluster.data.clone(),
+                set,
+                SecurityConfig {
+                    scan_every: SimDuration::from_secs(1),
+                    ..SecurityConfig::default()
+                },
+            )))
+        });
+
+        SelfAdaptiveCluster { cluster, monitor, storage, security }
+    }
+
+    /// Create a client.
+    pub fn client(&mut self, id: ClientId) -> ClientHandle {
+        self.cluster.client(id)
+    }
+
+    /// Shut down every thread.
+    pub fn shutdown(self) {
+        self.cluster.shutdown();
+    }
+}

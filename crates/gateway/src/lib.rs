@@ -1,0 +1,783 @@
+//! # sads-gateway — a Cumulus-style, S3-compatible object store on
+//! BlobSeer
+//!
+//! The paper's §V integration: "we interfaced BlobSeer with Cumulus, the
+//! storage management component in Nimbus, designed to be
+//! interface-compatible with Amazon S3. Preliminary results show that the
+//! BlobSeer storage back end is able to sustain a promising data transfer
+//! rate, while bringing an efficient support for concurrent accesses."
+//!
+//! This crate exposes the S3 object model — buckets, keys, ACLs, puts,
+//! gets, lists — over the threaded BlobSeer runtime. Every object is
+//! backed by one BLOB: object data is padded to the BLOB page size on the
+//! wire and the logical length is kept in the bucket index, exactly the
+//! technique Cumulus used over page-structured back ends. Overwrites
+//! publish new BLOB versions, which gives in-flight GETs snapshot
+//! isolation for free.
+
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+
+use bytes::{Bytes, BytesMut};
+use parking_lot::Mutex;
+use sads_blob::runtime::threaded::ClientHandle;
+use sads_blob::{BlobError, BlobId, BlobSpec, ClientId, VersionId};
+
+/// Bucket-level access control, after S3's canned ACLs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Acl {
+    /// Only the owner may read or write.
+    Private,
+    /// Anyone may read; only the owner writes.
+    PublicRead,
+}
+
+/// Gateway errors, mirroring the S3 error vocabulary.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GatewayError {
+    /// The multipart upload id is unknown (or already completed/aborted).
+    NoSuchUpload,
+    /// A part violates the upload's size contract.
+    InvalidPart,
+    /// The bucket does not exist.
+    NoSuchBucket,
+    /// The key does not exist in the bucket.
+    NoSuchKey,
+    /// The bucket name is taken.
+    BucketAlreadyExists,
+    /// The bucket still holds objects.
+    BucketNotEmpty,
+    /// The principal may not perform the operation.
+    AccessDenied,
+    /// Invalid bucket or object name.
+    InvalidName,
+    /// The storage back end failed.
+    Storage(BlobError),
+}
+
+impl std::fmt::Display for GatewayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GatewayError::NoSuchUpload => write!(f, "NoSuchUpload"),
+            GatewayError::InvalidPart => write!(f, "InvalidPart"),
+            GatewayError::NoSuchBucket => write!(f, "NoSuchBucket"),
+            GatewayError::NoSuchKey => write!(f, "NoSuchKey"),
+            GatewayError::BucketAlreadyExists => write!(f, "BucketAlreadyExists"),
+            GatewayError::BucketNotEmpty => write!(f, "BucketNotEmpty"),
+            GatewayError::AccessDenied => write!(f, "AccessDenied"),
+            GatewayError::InvalidName => write!(f, "InvalidName"),
+            GatewayError::Storage(e) => write!(f, "StorageError: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GatewayError {}
+
+impl From<BlobError> for GatewayError {
+    fn from(e: BlobError) -> Self {
+        GatewayError::Storage(e)
+    }
+}
+
+/// Metadata of one stored object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObjectInfo {
+    /// Object key.
+    pub key: String,
+    /// Logical size in bytes.
+    pub size: u64,
+    /// Backing BLOB.
+    pub blob: BlobId,
+    /// BLOB version holding the current object data.
+    pub version: VersionId,
+    /// Weak content tag (FNV-1a of the payload).
+    pub etag: u64,
+}
+
+#[derive(Debug)]
+struct Bucket {
+    owner: ClientId,
+    acl: Acl,
+    objects: BTreeMap<String, ObjectInfo>,
+}
+
+/// Gateway configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct GatewayConfig {
+    /// Page size for object BLOBs (object data is padded to it on the
+    /// wire).
+    pub page_size: u64,
+    /// Replication degree for object BLOBs.
+    pub replication: u32,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig { page_size: 256 * 1024, replication: 1 }
+    }
+}
+
+/// The S3-compatible front end. Cheap to share behind an `Arc`; all
+/// methods take the acting principal explicitly, as the HTTP layer would
+/// after authentication.
+pub struct ObjectGateway {
+    clients: Vec<ClientHandle>,
+    next_client: std::sync::atomic::AtomicUsize,
+    cfg: GatewayConfig,
+    buckets: Mutex<BTreeMap<String, Bucket>>,
+    uploads: Mutex<BTreeMap<u64, Multipart>>,
+    next_upload: std::sync::atomic::AtomicU64,
+}
+
+/// In-flight multipart upload state.
+#[derive(Debug)]
+struct Multipart {
+    owner: ClientId,
+    bucket: String,
+    key: String,
+    blob: BlobId,
+    /// Fixed size of every part except the last (page multiple).
+    part_size: u64,
+    /// part number → (length, content tag, publishing version).
+    parts: BTreeMap<u32, (u64, u64, VersionId)>,
+}
+
+fn valid_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.len() <= 255
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || "-._/".contains(c))
+}
+
+fn etag(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in data {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+impl ObjectGateway {
+    /// A gateway speaking to a BlobSeer cluster through `client`.
+    pub fn new(client: ClientHandle, cfg: GatewayConfig) -> Self {
+        Self::with_clients(vec![client], cfg)
+    }
+
+    /// A gateway multiplexing requests over a pool of BlobSeer clients
+    /// (round-robin), so concurrent tenants do not serialize on a single
+    /// client thread.
+    pub fn with_clients(clients: Vec<ClientHandle>, cfg: GatewayConfig) -> Self {
+        assert!(!clients.is_empty(), "at least one client");
+        ObjectGateway {
+            clients,
+            next_client: std::sync::atomic::AtomicUsize::new(0),
+            cfg,
+            buckets: Mutex::new(BTreeMap::new()),
+            uploads: Mutex::new(BTreeMap::new()),
+            next_upload: std::sync::atomic::AtomicU64::new(1),
+        }
+    }
+
+    fn client(&self) -> &ClientHandle {
+        let i = self.next_client.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        &self.clients[i % self.clients.len()]
+    }
+
+    /// Create a bucket owned by `principal`.
+    pub fn create_bucket(
+        &self,
+        principal: ClientId,
+        name: &str,
+        acl: Acl,
+    ) -> Result<(), GatewayError> {
+        if !valid_name(name) {
+            return Err(GatewayError::InvalidName);
+        }
+        let mut b = self.buckets.lock();
+        if b.contains_key(name) {
+            return Err(GatewayError::BucketAlreadyExists);
+        }
+        b.insert(name.to_owned(), Bucket { owner: principal, acl, objects: BTreeMap::new() });
+        Ok(())
+    }
+
+    /// Delete an empty bucket.
+    pub fn delete_bucket(&self, principal: ClientId, name: &str) -> Result<(), GatewayError> {
+        let mut b = self.buckets.lock();
+        let bucket = b.get(name).ok_or(GatewayError::NoSuchBucket)?;
+        if bucket.owner != principal {
+            return Err(GatewayError::AccessDenied);
+        }
+        if !bucket.objects.is_empty() {
+            return Err(GatewayError::BucketNotEmpty);
+        }
+        b.remove(name);
+        Ok(())
+    }
+
+    /// Buckets visible to the principal (owner or public).
+    pub fn list_buckets(&self, principal: ClientId) -> Vec<String> {
+        self.buckets
+            .lock()
+            .iter()
+            .filter(|(_, b)| b.owner == principal || b.acl == Acl::PublicRead)
+            .map(|(n, _)| n.clone())
+            .collect()
+    }
+
+    fn check_write(&self, principal: ClientId, bucket: &Bucket) -> Result<(), GatewayError> {
+        if bucket.owner != principal {
+            return Err(GatewayError::AccessDenied);
+        }
+        Ok(())
+    }
+
+    fn check_read(&self, principal: ClientId, bucket: &Bucket) -> Result<(), GatewayError> {
+        if bucket.owner != principal && bucket.acl != Acl::PublicRead {
+            return Err(GatewayError::AccessDenied);
+        }
+        Ok(())
+    }
+
+    /// Store an object (overwrites an existing key).
+    pub fn put_object(
+        &self,
+        principal: ClientId,
+        bucket: &str,
+        key: &str,
+        data: Bytes,
+    ) -> Result<ObjectInfo, GatewayError> {
+        if !valid_name(key) {
+            return Err(GatewayError::InvalidName);
+        }
+        // Resolve the backing blob under the lock, but do the transfers
+        // outside it so concurrent clients stream in parallel.
+        let existing = {
+            let b = self.buckets.lock();
+            let bucket_ref = b.get(bucket).ok_or(GatewayError::NoSuchBucket)?;
+            self.check_write(principal, bucket_ref)?;
+            bucket_ref.objects.get(key).map(|o| o.blob)
+        };
+        let blob = match existing {
+            Some(blob) => blob,
+            None => self.client().create(BlobSpec {
+                page_size: self.cfg.page_size,
+                replication: self.cfg.replication,
+            })?,
+        };
+        let size = data.len() as u64;
+        let tag = etag(&data);
+        // Pad to a whole number of pages (at least one page so empty
+        // objects still publish a version).
+        let page = self.cfg.page_size;
+        let padded_len = size.div_ceil(page).max(1) * page;
+        let padded = if padded_len == size {
+            data
+        } else {
+            let mut buf = BytesMut::with_capacity(padded_len as usize);
+            buf.extend_from_slice(&data);
+            buf.extend(std::iter::repeat_n(0u8, (padded_len - size) as usize));
+            buf.freeze()
+        };
+        let version = self.client().write(blob, 0, padded)?;
+        let info = ObjectInfo { key: key.to_owned(), size, blob, version, etag: tag };
+        let mut b = self.buckets.lock();
+        let bucket_ref = b.get_mut(bucket).ok_or(GatewayError::NoSuchBucket)?;
+        bucket_ref.objects.insert(key.to_owned(), info.clone());
+        Ok(info)
+    }
+
+    /// Fetch an object's full contents.
+    pub fn get_object(
+        &self,
+        principal: ClientId,
+        bucket: &str,
+        key: &str,
+    ) -> Result<Bytes, GatewayError> {
+        self.get_object_range(principal, bucket, key, 0, u64::MAX)
+    }
+
+    /// Fetch a byte range of an object (S3 `Range` semantics: clamped to
+    /// the object end).
+    pub fn get_object_range(
+        &self,
+        principal: ClientId,
+        bucket: &str,
+        key: &str,
+        offset: u64,
+        len: u64,
+    ) -> Result<Bytes, GatewayError> {
+        let info = self.head_object(principal, bucket, key)?;
+        self.read_pinned(&info, offset, len)
+    }
+
+    /// Read through an [`ObjectInfo`] pin: always observes exactly the
+    /// version recorded in the info, even across concurrent overwrites
+    /// (the S3 `versionId` GET).
+    pub fn read_pinned(
+        &self,
+        info: &ObjectInfo,
+        offset: u64,
+        len: u64,
+    ) -> Result<Bytes, GatewayError> {
+        if offset >= info.size {
+            return Ok(Bytes::new());
+        }
+        let len = len.min(info.size - offset);
+        if len == 0 {
+            return Ok(Bytes::new());
+        }
+        Ok(self.client().read(info.blob, Some(info.version), offset, len)?)
+    }
+
+    /// Object metadata without the body.
+    pub fn head_object(
+        &self,
+        principal: ClientId,
+        bucket: &str,
+        key: &str,
+    ) -> Result<ObjectInfo, GatewayError> {
+        let b = self.buckets.lock();
+        let bucket_ref = b.get(bucket).ok_or(GatewayError::NoSuchBucket)?;
+        self.check_read(principal, bucket_ref)?;
+        bucket_ref.objects.get(key).cloned().ok_or(GatewayError::NoSuchKey)
+    }
+
+    /// Remove an object from the bucket index. (The backing BLOB versions
+    /// are reclaimed asynchronously by the data-removal strategies.)
+    pub fn delete_object(
+        &self,
+        principal: ClientId,
+        bucket: &str,
+        key: &str,
+    ) -> Result<(), GatewayError> {
+        let mut b = self.buckets.lock();
+        let bucket_ref = b.get_mut(bucket).ok_or(GatewayError::NoSuchBucket)?;
+        self.check_write(principal, bucket_ref)?;
+        bucket_ref.objects.remove(key).ok_or(GatewayError::NoSuchKey)?;
+        Ok(())
+    }
+
+    /// Begin a multipart upload (S3 `CreateMultipartUpload`). Every part
+    /// except the last must be exactly `part_size` bytes, and `part_size`
+    /// must be a positive multiple of the gateway page size — parts map
+    /// directly onto page-aligned BLOB writes, so they may be uploaded
+    /// concurrently and in any order.
+    pub fn create_multipart(
+        &self,
+        principal: ClientId,
+        bucket: &str,
+        key: &str,
+        part_size: u64,
+    ) -> Result<u64, GatewayError> {
+        if !valid_name(key) {
+            return Err(GatewayError::InvalidName);
+        }
+        if part_size == 0 || part_size % self.cfg.page_size != 0 {
+            return Err(GatewayError::InvalidPart);
+        }
+        {
+            let b = self.buckets.lock();
+            let bucket_ref = b.get(bucket).ok_or(GatewayError::NoSuchBucket)?;
+            self.check_write(principal, bucket_ref)?;
+        }
+        let blob = self.client().create(BlobSpec {
+            page_size: self.cfg.page_size,
+            replication: self.cfg.replication,
+        })?;
+        let id = self.next_upload.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.uploads.lock().insert(
+            id,
+            Multipart {
+                owner: principal,
+                bucket: bucket.to_owned(),
+                key: key.to_owned(),
+                blob,
+                part_size,
+                parts: BTreeMap::new(),
+            },
+        );
+        Ok(id)
+    }
+
+    /// Upload one part (1-based part numbers, S3 `UploadPart`). Parts may
+    /// arrive concurrently and out of order; re-uploading a part number
+    /// replaces it.
+    pub fn upload_part(
+        &self,
+        principal: ClientId,
+        upload_id: u64,
+        part_number: u32,
+        data: Bytes,
+    ) -> Result<(), GatewayError> {
+        let (blob, part_size, offset) = {
+            let u = self.uploads.lock();
+            let up = u.get(&upload_id).ok_or(GatewayError::NoSuchUpload)?;
+            if up.owner != principal {
+                return Err(GatewayError::AccessDenied);
+            }
+            if part_number == 0 || data.is_empty() || data.len() as u64 > up.part_size {
+                return Err(GatewayError::InvalidPart);
+            }
+            (up.blob, up.part_size, (part_number as u64 - 1) * up.part_size)
+        };
+        let size = data.len() as u64;
+        let tag = etag(&data);
+        // Pad the (possibly last) part to whole pages on the wire.
+        let page = self.cfg.page_size;
+        let padded_len = size.div_ceil(page) * page;
+        let padded = if padded_len == size {
+            data
+        } else {
+            let mut buf = BytesMut::with_capacity(padded_len as usize);
+            buf.extend_from_slice(&data);
+            buf.extend(std::iter::repeat_n(0u8, (padded_len - size) as usize));
+            buf.freeze()
+        };
+        let version = self.client().write(blob, offset, padded)?;
+        let mut u = self.uploads.lock();
+        let up = u.get_mut(&upload_id).ok_or(GatewayError::NoSuchUpload)?;
+        debug_assert_eq!(up.part_size, part_size);
+        up.parts.insert(part_number, (size, tag, version));
+        Ok(())
+    }
+
+    /// Complete a multipart upload (S3 `CompleteMultipartUpload`): part
+    /// numbers must be contiguous from 1 and every part except the last
+    /// must be full-sized. Publishes the assembled object.
+    pub fn complete_multipart(
+        &self,
+        principal: ClientId,
+        upload_id: u64,
+    ) -> Result<ObjectInfo, GatewayError> {
+        let up = {
+            let mut u = self.uploads.lock();
+            let up = u.get(&upload_id).ok_or(GatewayError::NoSuchUpload)?;
+            if up.owner != principal {
+                return Err(GatewayError::AccessDenied);
+            }
+            u.remove(&upload_id).expect("present")
+        };
+        let n = up.parts.len() as u32;
+        if n == 0 || *up.parts.keys().last().expect("nonempty") != n {
+            self.uploads.lock().insert(upload_id, up);
+            return Err(GatewayError::InvalidPart);
+        }
+        let mut size = 0u64;
+        let mut tag = 0xcbf2_9ce4_8422_2325u64;
+        let mut version = VersionId(0);
+        for (num, (len, part_tag, part_version)) in &up.parts {
+            if *num != n && *len != up.part_size {
+                self.uploads.lock().insert(upload_id, up);
+                return Err(GatewayError::InvalidPart);
+            }
+            size += len;
+            tag = tag.rotate_left(13) ^ part_tag;
+            version = version.max(*part_version);
+        }
+        let info = ObjectInfo { key: up.key.clone(), size, blob: up.blob, version, etag: tag };
+        let mut b = self.buckets.lock();
+        let bucket_ref = b.get_mut(&up.bucket).ok_or(GatewayError::NoSuchBucket)?;
+        bucket_ref.objects.insert(up.key, info.clone());
+        Ok(info)
+    }
+
+    /// Abort a multipart upload (S3 `AbortMultipartUpload`): drops the
+    /// upload state; uploaded part data is reclaimed asynchronously by the
+    /// data-removal strategies.
+    pub fn abort_multipart(&self, principal: ClientId, upload_id: u64) -> Result<(), GatewayError> {
+        let mut u = self.uploads.lock();
+        let up = u.get(&upload_id).ok_or(GatewayError::NoSuchUpload)?;
+        if up.owner != principal {
+            return Err(GatewayError::AccessDenied);
+        }
+        u.remove(&upload_id);
+        Ok(())
+    }
+
+    /// Keys in a bucket starting with `prefix`, up to `max_keys`, in key
+    /// order.
+    pub fn list_objects(
+        &self,
+        principal: ClientId,
+        bucket: &str,
+        prefix: &str,
+        max_keys: usize,
+    ) -> Result<Vec<ObjectInfo>, GatewayError> {
+        let b = self.buckets.lock();
+        let bucket_ref = b.get(bucket).ok_or(GatewayError::NoSuchBucket)?;
+        self.check_read(principal, bucket_ref)?;
+        Ok(bucket_ref
+            .objects
+            .range(prefix.to_owned()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .take(max_keys)
+            .map(|(_, o)| o.clone())
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sads_blob::runtime::threaded::{Cluster, ClusterBuilder};
+
+    fn cluster_and_gateway() -> (Cluster, ObjectGateway) {
+        let mut cluster = ClusterBuilder::new()
+            .data_providers(4)
+            .meta_providers(2)
+            .provider_capacity(256 << 20)
+            .start();
+        let client = cluster.client(ClientId(1000));
+        let gw = ObjectGateway::new(
+            client,
+            GatewayConfig { page_size: 64 * 1024, replication: 1 },
+        );
+        (cluster, gw)
+    }
+
+    const ALICE: ClientId = ClientId(1);
+    const BOB: ClientId = ClientId(2);
+
+    fn body(n: usize, seed: u8) -> Bytes {
+        Bytes::from((0..n).map(|i| (i as u8).wrapping_mul(13).wrapping_add(seed)).collect::<Vec<u8>>())
+    }
+
+    #[test]
+    fn put_get_roundtrip_with_odd_sizes() {
+        let (cluster, gw) = cluster_and_gateway();
+        gw.create_bucket(ALICE, "data", Acl::Private).unwrap();
+        // An object that is NOT a page multiple: padding must be invisible.
+        let data = body(100_001, 3);
+        let info = gw.put_object(ALICE, "data", "a/b.bin", data.clone()).unwrap();
+        assert_eq!(info.size, 100_001);
+        let got = gw.get_object(ALICE, "data", "a/b.bin").unwrap();
+        assert_eq!(got, data);
+        // Range read, clamped at the logical end.
+        let got = gw.get_object_range(ALICE, "data", "a/b.bin", 99_000, 5_000).unwrap();
+        assert_eq!(&got[..], &data[99_000..]);
+        let h = gw.head_object(ALICE, "data", "a/b.bin").unwrap();
+        assert_eq!(h.etag, info.etag);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn overwrite_changes_version_and_content() {
+        let (cluster, gw) = cluster_and_gateway();
+        gw.create_bucket(ALICE, "b", Acl::Private).unwrap();
+        let v1 = gw.put_object(ALICE, "b", "k", body(1000, 1)).unwrap();
+        let v2 = gw.put_object(ALICE, "b", "k", body(500, 2)).unwrap();
+        assert_eq!(v1.blob, v2.blob, "same backing blob");
+        assert!(v2.version > v1.version);
+        let got = gw.get_object(ALICE, "b", "k").unwrap();
+        assert_eq!(got.len(), 500);
+        assert_eq!(got, body(500, 2));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn acl_enforcement() {
+        let (cluster, gw) = cluster_and_gateway();
+        gw.create_bucket(ALICE, "private", Acl::Private).unwrap();
+        gw.create_bucket(ALICE, "public", Acl::PublicRead).unwrap();
+        gw.put_object(ALICE, "private", "secret", body(10, 1)).unwrap();
+        gw.put_object(ALICE, "public", "page", body(10, 2)).unwrap();
+        assert_eq!(
+            gw.get_object(BOB, "private", "secret").unwrap_err(),
+            GatewayError::AccessDenied
+        );
+        assert!(gw.get_object(BOB, "public", "page").is_ok());
+        assert!(matches!(
+            gw.put_object(BOB, "public", "vandalism", body(1, 0)),
+            Err(GatewayError::AccessDenied)
+        ));
+        assert_eq!(gw.list_buckets(BOB), vec!["public".to_owned()]);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn bucket_lifecycle_and_errors() {
+        let (cluster, gw) = cluster_and_gateway();
+        assert_eq!(gw.create_bucket(ALICE, "", Acl::Private), Err(GatewayError::InvalidName));
+        gw.create_bucket(ALICE, "b", Acl::Private).unwrap();
+        assert_eq!(
+            gw.create_bucket(BOB, "b", Acl::Private),
+            Err(GatewayError::BucketAlreadyExists)
+        );
+        assert_eq!(gw.get_object(ALICE, "nope", "k"), Err(GatewayError::NoSuchBucket));
+        assert_eq!(gw.get_object(ALICE, "b", "k"), Err(GatewayError::NoSuchKey));
+        gw.put_object(ALICE, "b", "k", body(10, 1)).unwrap();
+        assert_eq!(gw.delete_bucket(ALICE, "b"), Err(GatewayError::BucketNotEmpty));
+        assert_eq!(gw.delete_bucket(BOB, "b"), Err(GatewayError::AccessDenied));
+        gw.delete_object(ALICE, "b", "k").unwrap();
+        assert_eq!(gw.delete_object(ALICE, "b", "k"), Err(GatewayError::NoSuchKey));
+        gw.delete_bucket(ALICE, "b").unwrap();
+        assert_eq!(gw.get_object(ALICE, "b", "k"), Err(GatewayError::NoSuchBucket));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn list_with_prefix_is_ordered_and_bounded() {
+        let (cluster, gw) = cluster_and_gateway();
+        gw.create_bucket(ALICE, "b", Acl::Private).unwrap();
+        for k in ["logs/1", "logs/2", "logs/3", "img/1"] {
+            gw.put_object(ALICE, "b", k, body(8, 0)).unwrap();
+        }
+        let keys: Vec<String> = gw
+            .list_objects(ALICE, "b", "logs/", 10)
+            .unwrap()
+            .into_iter()
+            .map(|o| o.key)
+            .collect();
+        assert_eq!(keys, vec!["logs/1", "logs/2", "logs/3"]);
+        let keys = gw.list_objects(ALICE, "b", "logs/", 2).unwrap();
+        assert_eq!(keys.len(), 2);
+        let all = gw.list_objects(ALICE, "b", "", 10).unwrap();
+        assert_eq!(all.len(), 4);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn overwrite_during_read_is_snapshot_isolated() {
+        let (cluster, gw) = cluster_and_gateway();
+        gw.create_bucket(ALICE, "b", Acl::Private).unwrap();
+        let d1 = body(200_000, 1);
+        gw.put_object(ALICE, "b", "k", d1.clone()).unwrap();
+        let pin = gw.head_object(ALICE, "b", "k").unwrap();
+        gw.put_object(ALICE, "b", "k", body(200_000, 2)).unwrap();
+        // The pinned version still serves the old bytes (what a
+        // long-running GET observes across a concurrent overwrite).
+        let got = gw.read_pinned(&pin, 0, pin.size).unwrap();
+        assert_eq!(got, d1);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn empty_object_roundtrip() {
+        let (cluster, gw) = cluster_and_gateway();
+        gw.create_bucket(ALICE, "b", Acl::Private).unwrap();
+        let info = gw.put_object(ALICE, "b", "empty", Bytes::new()).unwrap();
+        assert_eq!(info.size, 0);
+        let got = gw.get_object(ALICE, "b", "empty").unwrap();
+        assert!(got.is_empty());
+        cluster.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod multipart_tests {
+    use super::*;
+    use sads_blob::runtime::threaded::{Cluster, ClusterBuilder};
+
+    const ALICE: ClientId = ClientId(1);
+    const BOB: ClientId = ClientId(2);
+    const PAGE: u64 = 64 * 1024;
+    const PART: u64 = 2 * PAGE;
+
+    fn setup() -> (Cluster, ObjectGateway) {
+        let mut cluster = ClusterBuilder::new()
+            .data_providers(4)
+            .meta_providers(2)
+            .provider_capacity(512 << 20)
+            .start();
+        let client = cluster.client(ClientId(1000));
+        let gw =
+            ObjectGateway::new(client, GatewayConfig { page_size: PAGE, replication: 1 });
+        gw.create_bucket(ALICE, "b", Acl::Private).unwrap();
+        (cluster, gw)
+    }
+
+    fn body(n: usize, seed: u8) -> Bytes {
+        Bytes::from((0..n).map(|i| (i as u8).wrapping_mul(7).wrapping_add(seed)).collect::<Vec<u8>>())
+    }
+
+    #[test]
+    fn out_of_order_parts_assemble_correctly() {
+        let (cluster, gw) = setup();
+        let id = gw.create_multipart(ALICE, "b", "big", PART).unwrap();
+        let p1 = body(PART as usize, 1);
+        let p2 = body(PART as usize, 2);
+        let p3 = body(1000, 3); // short last part
+        gw.upload_part(ALICE, id, 3, p3.clone()).unwrap();
+        gw.upload_part(ALICE, id, 1, p1.clone()).unwrap();
+        gw.upload_part(ALICE, id, 2, p2.clone()).unwrap();
+        let info = gw.complete_multipart(ALICE, id).unwrap();
+        assert_eq!(info.size, 2 * PART + 1000);
+        let got = gw.get_object(ALICE, "b", "big").unwrap();
+        assert_eq!(&got[..PART as usize], &p1[..]);
+        assert_eq!(&got[PART as usize..2 * PART as usize], &p2[..]);
+        assert_eq!(&got[2 * PART as usize..], &p3[..]);
+        // The upload id is gone.
+        assert_eq!(gw.complete_multipart(ALICE, id), Err(GatewayError::NoSuchUpload));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn concurrent_part_uploads() {
+        let (cluster, gw) = setup();
+        let gw = std::sync::Arc::new(gw);
+        let id = gw.create_multipart(ALICE, "b", "par", PART).unwrap();
+        let mut handles = Vec::new();
+        for n in 1..=6u32 {
+            let gw = std::sync::Arc::clone(&gw);
+            handles.push(std::thread::spawn(move || {
+                gw.upload_part(ALICE, id, n, body(PART as usize, n as u8)).unwrap();
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let info = gw.complete_multipart(ALICE, id).unwrap();
+        assert_eq!(info.size, 6 * PART);
+        for n in 1..=6u32 {
+            let got = gw
+                .get_object_range(ALICE, "b", "par", (n as u64 - 1) * PART, PART)
+                .unwrap();
+            assert_eq!(got, body(PART as usize, n as u8), "part {n}");
+        }
+        drop(gw);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn invalid_uploads_are_rejected() {
+        let (cluster, gw) = setup();
+        // part_size must be a page multiple.
+        assert_eq!(
+            gw.create_multipart(ALICE, "b", "k", PAGE + 1),
+            Err(GatewayError::InvalidPart)
+        );
+        let id = gw.create_multipart(ALICE, "b", "k", PART).unwrap();
+        // part number 0, empty part, oversized part.
+        assert_eq!(
+            gw.upload_part(ALICE, id, 0, body(10, 0)),
+            Err(GatewayError::InvalidPart)
+        );
+        assert_eq!(gw.upload_part(ALICE, id, 1, Bytes::new()), Err(GatewayError::InvalidPart));
+        assert_eq!(
+            gw.upload_part(ALICE, id, 1, body((PART + 1) as usize, 0)),
+            Err(GatewayError::InvalidPart)
+        );
+        // Gap in part numbers fails complete but keeps the upload alive.
+        gw.upload_part(ALICE, id, 1, body(PART as usize, 1)).unwrap();
+        gw.upload_part(ALICE, id, 3, body(100, 3)).unwrap();
+        assert_eq!(gw.complete_multipart(ALICE, id), Err(GatewayError::InvalidPart));
+        // Short non-final part fails too.
+        gw.upload_part(ALICE, id, 2, body(100, 2)).unwrap();
+        assert_eq!(gw.complete_multipart(ALICE, id), Err(GatewayError::InvalidPart));
+        // Fixing part 2 completes.
+        gw.upload_part(ALICE, id, 2, body(PART as usize, 2)).unwrap();
+        assert!(gw.complete_multipart(ALICE, id).is_ok());
+        // ACL: only the owner may touch an upload.
+        let id = gw.create_multipart(ALICE, "b", "k2", PART).unwrap();
+        assert_eq!(
+            gw.upload_part(BOB, id, 1, body(10, 0)),
+            Err(GatewayError::AccessDenied)
+        );
+        assert_eq!(gw.abort_multipart(BOB, id), Err(GatewayError::AccessDenied));
+        gw.abort_multipart(ALICE, id).unwrap();
+        assert_eq!(gw.abort_multipart(ALICE, id), Err(GatewayError::NoSuchUpload));
+        cluster.shutdown();
+    }
+}

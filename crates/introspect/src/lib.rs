@@ -1,0 +1,26 @@
+//! # sads-introspect — the introspection layer
+//!
+//! The top of the paper's three-layer architecture (§III-B): "processes
+//! the data received from the monitoring layer … designed to identify and
+//! generate relevant information related to the state and the behavior of
+//! the system, which can be fed as input to various higher-level self-*
+//! components".
+//!
+//! * [`IntrospectionService`] — polls the monitoring storage servers and
+//!   maintains a live [`SystemSnapshot`] that the elasticity controller,
+//!   replication manager and operators query,
+//! * [`TimeSeries`] — downsampling/smoothing utilities,
+//! * [`viz`] — the §IV-A visualization tool (ASCII charts + CSV of the
+//!   physical parameters, storage distribution, BLOB access patterns and
+//!   BLOB placement).
+
+#![warn(missing_docs)]
+
+pub mod service;
+pub mod snapshot;
+pub mod timeseries;
+pub mod viz;
+
+pub use service::{IntrospectionService, TOKEN_INTRO_POLL};
+pub use snapshot::{intro_msg, into_intro, BlobView, IntroMsg, ProviderView, SystemSnapshot};
+pub use timeseries::TimeSeries;

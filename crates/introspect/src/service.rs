@@ -1,0 +1,103 @@
+//! The introspection service: polls the monitoring storage servers with
+//! cursor queries, folds the parameter stream into a live
+//! [`SystemSnapshot`], answers snapshot queries from self-* components,
+//! and exports headline aggregates as world metrics.
+
+use std::collections::HashMap;
+
+use sads_blob::rpc::Msg;
+use sads_blob::services::{Env, Service};
+use sads_monitor::{mon_msg, MonMsg};
+use sads_sim::{NodeId, SimDuration};
+
+use crate::snapshot::{intro_msg, IntroMsg, SystemSnapshot};
+
+/// Timer token: storage poll.
+pub const TOKEN_INTRO_POLL: u64 = u64::MAX - 20;
+
+/// The introspection layer node.
+pub struct IntrospectionService {
+    storage: Vec<NodeId>,
+    poll_every: SimDuration,
+    cursors: HashMap<NodeId, u64>,
+    next_req: u64,
+    snapshot: SystemSnapshot,
+}
+
+impl IntrospectionService {
+    /// Poll the given storage servers every `poll_every`.
+    pub fn new(storage: Vec<NodeId>, poll_every: SimDuration) -> Self {
+        assert!(!storage.is_empty(), "at least one storage server");
+        IntrospectionService {
+            storage,
+            poll_every,
+            cursors: HashMap::new(),
+            next_req: 1,
+            snapshot: SystemSnapshot::default(),
+        }
+    }
+
+    /// The live snapshot (post-run inspection / viz).
+    pub fn snapshot(&self) -> &SystemSnapshot {
+        &self.snapshot
+    }
+
+    fn poll(&mut self, env: &mut dyn Env) {
+        for s in self.storage.clone() {
+            let req = self.next_req;
+            self.next_req += 1;
+            let after_seq = self.cursors.get(&s).copied().unwrap_or(0);
+            env.send(s, mon_msg(MonMsg::QueryParams { req, after_seq }));
+        }
+    }
+
+    fn export(&self, env: &mut dyn Env) {
+        let now = env.now();
+        if let Some(u) = self.snapshot.mean_utilization(now - SimDuration::from_secs(10)) {
+            env.record("intro.mean_utilization", u);
+        }
+        env.record("intro.system_used_mb", self.snapshot.system_used() as f64 / 1e6);
+        env.record("intro.providers_seen", self.snapshot.providers.len() as f64);
+    }
+}
+
+impl Service for IntrospectionService {
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn on_start(&mut self, env: &mut dyn Env) {
+        env.set_timer(self.poll_every, TOKEN_INTRO_POLL);
+    }
+
+    fn on_msg(&mut self, env: &mut dyn Env, from: NodeId, msg: Msg) {
+        if let Msg::Ext(p) = &msg {
+            if p.downcast_ref::<IntroMsg>().is_some() {
+                if let Some(IntroMsg::QuerySnapshot { req }) = crate::snapshot::into_intro(msg) {
+                    env.send(
+                        from,
+                        intro_msg(IntroMsg::Snapshot {
+                            req,
+                            snapshot: Box::new(self.snapshot.clone()),
+                        }),
+                    );
+                }
+                return;
+            }
+        }
+        if let Some(MonMsg::ParamBatch { records, last_seq, .. }) =
+            sads_monitor::into_mon(msg)
+        {
+            self.snapshot.apply(&records);
+            self.cursors.insert(from, last_seq);
+        }
+    }
+
+    fn on_timer(&mut self, env: &mut dyn Env, token: u64) {
+        if token == TOKEN_INTRO_POLL {
+            self.poll(env);
+            self.export(env);
+            env.set_timer(self.poll_every, TOKEN_INTRO_POLL);
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! The introspection layer's output: a continuously maintained
+//! [`SystemSnapshot`] — "relevant information related to the state and the
+//! behavior of the system, which can be fed as input to various
+//! higher-level self-* components" (paper §III-B).
+
+use std::collections::HashMap;
+
+use sads_blob::model::BlobId;
+use sads_blob::{impl_ext_payload, rpc::Msg};
+use sads_monitor::{MetricId, MonRecord};
+use sads_sim::{NodeId, SimTime};
+
+/// Introspected view of one data provider.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ProviderView {
+    /// Synthetic CPU load 0..=1.
+    pub cpu: f64,
+    /// Synthetic memory pressure 0..=1.
+    pub mem: f64,
+    /// Bytes stored.
+    pub used: u64,
+    /// Capacity (bytes).
+    pub capacity: u64,
+    /// Chunks stored.
+    pub items: u64,
+    /// Requests/second in the last window.
+    pub ops_per_sec: f64,
+    /// Write throughput in the last window (MB/s).
+    pub write_mbps: f64,
+    /// Read throughput in the last window (MB/s).
+    pub read_mbps: f64,
+    /// Rejections/second in the last window.
+    pub rejects_per_sec: f64,
+    /// When the provider last reported anything.
+    pub last_seen: SimTime,
+}
+
+impl ProviderView {
+    /// Storage fill fraction.
+    pub fn fill(&self) -> f64 {
+        if self.capacity == 0 {
+            0.0
+        } else {
+            self.used as f64 / self.capacity as f64
+        }
+    }
+
+    /// A single utilization figure the elasticity controller tracks:
+    /// max of CPU-like activity and storage fill.
+    pub fn utilization(&self) -> f64 {
+        self.cpu.max(self.fill())
+    }
+}
+
+/// Introspected view of one BLOB.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BlobView {
+    /// Size (MB) as of the latest seen publication.
+    pub size_mb: f64,
+    /// MB written in the last window.
+    pub write_mb: f64,
+    /// MB read in the last window.
+    pub read_mb: f64,
+    /// Cumulative MB written.
+    pub total_write_mb: f64,
+    /// Cumulative MB read.
+    pub total_read_mb: f64,
+    /// Last time this BLOB was touched.
+    pub last_seen: SimTime,
+}
+
+/// The whole-system introspected state.
+#[derive(Debug, Clone, Default)]
+pub struct SystemSnapshot {
+    /// When the snapshot was last refreshed.
+    pub at: SimTime,
+    /// Per-provider views.
+    pub providers: HashMap<NodeId, ProviderView>,
+    /// Per-BLOB views.
+    pub blobs: HashMap<BlobId, BlobView>,
+}
+
+impl SystemSnapshot {
+    /// Fold a batch of monitored parameters into the snapshot.
+    pub fn apply(&mut self, records: &[MonRecord]) {
+        for r in records {
+            self.at = self.at.max(r.at);
+            match (r.key.metric, r.key.blob) {
+                (MetricId::Cpu, _) => self.provider_mut(r).cpu = r.value,
+                (MetricId::Mem, _) => self.provider_mut(r).mem = r.value,
+                (MetricId::UsedBytes, _) => self.provider_mut(r).used = r.value as u64,
+                (MetricId::Capacity, _) => self.provider_mut(r).capacity = r.value as u64,
+                (MetricId::Items, _) => self.provider_mut(r).items = r.value as u64,
+                (MetricId::OpsPerSec, _) => self.provider_mut(r).ops_per_sec = r.value,
+                (MetricId::WriteMBps, _) => self.provider_mut(r).write_mbps = r.value,
+                (MetricId::ReadMBps, _) => self.provider_mut(r).read_mbps = r.value,
+                (MetricId::RejectsPerSec, _) => self.provider_mut(r).rejects_per_sec = r.value,
+                (MetricId::BlobWriteMB, Some(b)) => {
+                    let v = self.blob_mut(b, r.at);
+                    v.write_mb = r.value;
+                    v.total_write_mb += r.value;
+                }
+                (MetricId::BlobReadMB, Some(b)) => {
+                    let v = self.blob_mut(b, r.at);
+                    v.read_mb = r.value;
+                    v.total_read_mb += r.value;
+                }
+                (MetricId::BlobSizeMB, Some(b)) => {
+                    self.blob_mut(b, r.at).size_mb = r.value;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn provider_mut(&mut self, r: &MonRecord) -> &mut ProviderView {
+        let v = self.providers.entry(r.key.origin).or_default();
+        v.last_seen = v.last_seen.max(r.at);
+        v
+    }
+
+    fn blob_mut(&mut self, b: BlobId, at: SimTime) -> &mut BlobView {
+        let v = self.blobs.entry(b).or_default();
+        v.last_seen = v.last_seen.max(at);
+        v
+    }
+
+    /// Total bytes stored across providers.
+    pub fn system_used(&self) -> u64 {
+        self.providers.values().map(|p| p.used).sum()
+    }
+
+    /// Total capacity across providers.
+    pub fn system_capacity(&self) -> u64 {
+        self.providers.values().map(|p| p.capacity).sum()
+    }
+
+    /// System-wide storage fill fraction.
+    pub fn system_fill(&self) -> f64 {
+        let cap = self.system_capacity();
+        if cap == 0 {
+            0.0
+        } else {
+            self.system_used() as f64 / cap as f64
+        }
+    }
+
+    /// Mean provider utilization (the elasticity controller's main input);
+    /// providers not heard from since `stale_before` are skipped.
+    pub fn mean_utilization(&self, stale_before: SimTime) -> Option<f64> {
+        let live: Vec<f64> = self
+            .providers
+            .values()
+            .filter(|p| p.last_seen >= stale_before)
+            .map(|p| p.utilization())
+            .collect();
+        if live.is_empty() {
+            None
+        } else {
+            Some(live.iter().sum::<f64>() / live.len() as f64)
+        }
+    }
+
+    /// Providers sorted by stored bytes, descending — the "distribution of
+    /// the BLOBs across providers" panel.
+    pub fn providers_by_usage(&self) -> Vec<(NodeId, ProviderView)> {
+        let mut v: Vec<(NodeId, ProviderView)> =
+            self.providers.iter().map(|(n, p)| (*n, *p)).collect();
+        v.sort_by(|a, b| b.1.used.cmp(&a.1.used).then(a.0.cmp(&b.0)));
+        v
+    }
+}
+
+/// Introspection-layer RPC, carried as [`Msg::Ext`].
+#[derive(Debug)]
+pub enum IntroMsg {
+    /// Ask the introspection service for the current snapshot.
+    QuerySnapshot {
+        /// Correlation id.
+        req: u64,
+    },
+    /// The reply.
+    Snapshot {
+        /// Correlation id.
+        req: u64,
+        /// A copy of the current system snapshot.
+        snapshot: Box<SystemSnapshot>,
+    },
+}
+
+impl_ext_payload!(IntroMsg, |m: &IntroMsg| match m {
+    IntroMsg::Snapshot { snapshot, .. } =>
+        64 * (snapshot.providers.len() + snapshot.blobs.len()) as u64,
+    _ => 0,
+});
+
+/// Wrap for transport.
+pub fn intro_msg(m: IntroMsg) -> Msg {
+    Msg::Ext(Box::new(m))
+}
+
+/// Take an [`IntroMsg`] out of a transport message.
+pub fn into_intro(msg: Msg) -> Option<IntroMsg> {
+    match msg {
+        Msg::Ext(p) => p.downcast::<IntroMsg>().ok().map(|b| *b),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sads_monitor::ParamKey;
+
+    fn rec(origin: u32, metric: MetricId, blob: Option<u64>, at_s: u64, value: f64) -> MonRecord {
+        MonRecord {
+            at: SimTime(at_s * 1_000_000_000),
+            key: ParamKey { origin: NodeId(origin), metric, blob: blob.map(BlobId) },
+            value,
+        }
+    }
+
+    #[test]
+    fn snapshot_folds_provider_params() {
+        let mut s = SystemSnapshot::default();
+        s.apply(&[
+            rec(1, MetricId::Cpu, None, 1, 0.5),
+            rec(1, MetricId::UsedBytes, None, 1, 100.0),
+            rec(1, MetricId::Capacity, None, 1, 400.0),
+            rec(2, MetricId::UsedBytes, None, 2, 300.0),
+            rec(2, MetricId::Capacity, None, 2, 400.0),
+        ]);
+        assert_eq!(s.providers.len(), 2);
+        assert_eq!(s.system_used(), 400);
+        assert_eq!(s.system_capacity(), 800);
+        assert!((s.system_fill() - 0.5).abs() < 1e-12);
+        let p1 = s.providers[&NodeId(1)];
+        assert!((p1.fill() - 0.25).abs() < 1e-12);
+        assert!((p1.utilization() - 0.5).abs() < 1e-12, "cpu dominates fill");
+        assert_eq!(s.at, SimTime(2_000_000_000));
+    }
+
+    #[test]
+    fn snapshot_folds_blob_params_cumulatively() {
+        let mut s = SystemSnapshot::default();
+        s.apply(&[rec(9, MetricId::BlobWriteMB, Some(1), 1, 8.0)]);
+        s.apply(&[
+            rec(9, MetricId::BlobWriteMB, Some(1), 2, 4.0),
+            rec(9, MetricId::BlobSizeMB, Some(1), 2, 12.0),
+        ]);
+        let b = s.blobs[&BlobId(1)];
+        assert_eq!(b.write_mb, 4.0, "window value is the latest");
+        assert_eq!(b.total_write_mb, 12.0, "total accumulates");
+        assert_eq!(b.size_mb, 12.0);
+    }
+
+    #[test]
+    fn utilization_skips_stale_providers() {
+        let mut s = SystemSnapshot::default();
+        s.apply(&[rec(1, MetricId::Cpu, None, 1, 1.0), rec(2, MetricId::Cpu, None, 10, 0.2)]);
+        let u = s.mean_utilization(SimTime(5_000_000_000)).unwrap();
+        assert!((u - 0.2).abs() < 1e-12, "only provider 2 is fresh");
+        assert!(s.mean_utilization(SimTime(100_000_000_000)).is_none());
+    }
+
+    #[test]
+    fn usage_ranking() {
+        let mut s = SystemSnapshot::default();
+        s.apply(&[
+            rec(1, MetricId::UsedBytes, None, 1, 10.0),
+            rec(2, MetricId::UsedBytes, None, 1, 30.0),
+            rec(3, MetricId::UsedBytes, None, 1, 20.0),
+        ]);
+        let order: Vec<u32> = s.providers_by_usage().iter().map(|(n, _)| n.0).collect();
+        assert_eq!(order, vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn intro_msg_roundtrip() {
+        let m = intro_msg(IntroMsg::QuerySnapshot { req: 3 });
+        match into_intro(m) {
+            Some(IntroMsg::QuerySnapshot { req }) => assert_eq!(req, 3),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! The visualization tool (paper §IV-A): renders "synthetic images of the
+//! most relevant events in BlobSeer" — physical-parameter evolution,
+//! per-provider and system-level storage, BLOB access patterns and BLOB
+//! distribution across providers — as terminal charts and CSV.
+
+use crate::timeseries::TimeSeries;
+
+/// Render a time series as an ASCII line chart.
+///
+/// `width`/`height` are the plot area in characters; axes and labels are
+/// added around it.
+///
+/// ```
+/// use sads_introspect::{viz, TimeSeries};
+/// use sads_sim::SimTime;
+/// let s = TimeSeries::from_points(vec![
+///     (SimTime(0), 0.2), (SimTime(1_000_000_000), 0.9), (SimTime(2_000_000_000), 0.4),
+/// ]);
+/// let chart = viz::line_chart("cpu", &s, 40, 6);
+/// assert!(chart.contains("── cpu ──"));
+/// ```
+pub fn line_chart(title: &str, series: &TimeSeries, width: usize, height: usize) -> String {
+    let mut out = format!("── {title} ──\n");
+    if series.is_empty() {
+        out.push_str("(no data)\n");
+        return out;
+    }
+    let pts = series.points();
+    let t0 = pts.first().unwrap().0.as_secs_f64();
+    let t1 = pts.last().unwrap().0.as_secs_f64();
+    let (lo, hi) = series.min_max().unwrap();
+    let (lo, hi) = if (hi - lo).abs() < 1e-12 { (lo - 0.5, hi + 0.5) } else { (lo, hi) };
+    let tspan = (t1 - t0).max(1e-9);
+
+    let mut grid = vec![vec![b' '; width]; height];
+    for (t, v) in pts {
+        let x = (((t.as_secs_f64() - t0) / tspan) * (width - 1) as f64).round() as usize;
+        let y = (((v - lo) / (hi - lo)) * (height - 1) as f64).round() as usize;
+        let row = height - 1 - y.min(height - 1);
+        grid[row][x.min(width - 1)] = b'*';
+    }
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{hi:>10.2}")
+        } else if i == height - 1 {
+            format!("{lo:>10.2}")
+        } else {
+            " ".repeat(10)
+        };
+        out.push_str(&label);
+        out.push_str(" |");
+        out.push_str(std::str::from_utf8(row).expect("ascii"));
+        out.push('\n');
+    }
+    out.push_str(&" ".repeat(10));
+    out.push_str(" +");
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!("{:>12}{:>width$.1}s\n", format!("{t0:.1}s"), t1, width = width));
+    out
+}
+
+/// Render labeled values as a horizontal ASCII bar chart.
+pub fn bar_chart(title: &str, rows: &[(String, f64)], width: usize) -> String {
+    let mut out = format!("── {title} ──\n");
+    if rows.is_empty() {
+        out.push_str("(no data)\n");
+        return out;
+    }
+    let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0).min(24);
+    let hi = rows.iter().map(|(_, v)| *v).fold(0.0f64, f64::max).max(1e-12);
+    for (label, v) in rows {
+        let n = ((v / hi) * width as f64).round() as usize;
+        let mut l = label.clone();
+        l.truncate(label_w);
+        out.push_str(&format!(
+            "{l:>label_w$} | {}{} {v:.2}\n",
+            "█".repeat(n),
+            " ".repeat(width.saturating_sub(n)),
+        ));
+    }
+    out
+}
+
+/// Render rows as an aligned text table. The first row is the header.
+pub fn table(rows: &[Vec<String>]) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let cols = rows.iter().map(Vec::len).max().unwrap_or(0);
+    let mut widths = vec![0usize; cols];
+    for r in rows {
+        for (i, c) in r.iter().enumerate() {
+            widths[i] = widths[i].max(c.len());
+        }
+    }
+    let mut out = String::new();
+    for (ri, r) in rows.iter().enumerate() {
+        for (i, w) in widths.iter().enumerate() {
+            let cell = r.get(i).map(String::as_str).unwrap_or("");
+            out.push_str(&format!("{cell:>w$}"));
+            if i + 1 < cols {
+                out.push_str("  ");
+            }
+        }
+        out.push('\n');
+        if ri == 0 {
+            for (i, w) in widths.iter().enumerate() {
+                out.push_str(&"-".repeat(*w));
+                if i + 1 < cols {
+                    out.push_str("  ");
+                }
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Render rows as CSV (no quoting — callers pass clean cells).
+pub fn csv(rows: &[Vec<String>]) -> String {
+    rows.iter().map(|r| r.join(",")).collect::<Vec<_>>().join("\n") + "\n"
+}
+
+/// Convenience: a `(time, value)` series as two-column CSV.
+pub fn series_csv(series: &TimeSeries) -> String {
+    let mut rows = vec![vec!["time_s".to_owned(), "value".to_owned()]];
+    for (t, v) in series.points() {
+        rows.push(vec![format!("{:.6}", t.as_secs_f64()), format!("{v}")]);
+    }
+    csv(&rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sads_sim::SimTime;
+
+    fn t(s: u64) -> SimTime {
+        SimTime(s * 1_000_000_000)
+    }
+
+    #[test]
+    fn line_chart_renders_extremes() {
+        let s = TimeSeries::from_points(vec![(t(0), 0.0), (t(5), 10.0), (t(10), 5.0)]);
+        let c = line_chart("cpu", &s, 40, 8);
+        assert!(c.contains("── cpu ──"));
+        assert!(c.contains("10.00"));
+        assert!(c.contains("0.00"));
+        assert!(c.matches('*').count() >= 3);
+        // Empty series don't panic.
+        assert!(line_chart("x", &TimeSeries::new(), 10, 4).contains("(no data)"));
+    }
+
+    #[test]
+    fn line_chart_handles_constant_series() {
+        let s = TimeSeries::from_points(vec![(t(0), 3.0), (t(1), 3.0)]);
+        let c = line_chart("flat", &s, 10, 4);
+        assert!(c.contains('*'));
+    }
+
+    #[test]
+    fn bar_chart_scales_to_max() {
+        let rows = vec![("p1".to_owned(), 100.0), ("p2".to_owned(), 50.0)];
+        let c = bar_chart("storage", &rows, 20);
+        let bars: Vec<usize> =
+            c.lines().skip(1).map(|l| l.matches('█').count()).collect();
+        assert_eq!(bars, vec![20, 10]);
+    }
+
+    #[test]
+    fn table_aligns_columns() {
+        let rows = vec![
+            vec!["name".into(), "value".into()],
+            vec!["x".into(), "1".into()],
+            vec!["longer".into(), "22".into()],
+        ];
+        let t = table(&rows);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4, "header + rule + 2 rows");
+        assert!(lines[1].starts_with('-'));
+        // All rows equal width.
+        assert_eq!(lines[0].len(), lines[2].len());
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let s = TimeSeries::from_points(vec![(t(1), 2.5)]);
+        let c = series_csv(&s);
+        assert_eq!(c, "time_s,value\n1.000000,2.5\n");
+    }
+}

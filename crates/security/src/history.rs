@@ -1,0 +1,274 @@
+//! The User Activity History (paper §III-C): "a container for monitoring
+//! data collected through monitoring mechanisms specific to each storage
+//! system" — here, the per-client event log the Security Violation
+//! Detection Engine scans, with efficient windowed statistics.
+
+use std::collections::{HashMap, VecDeque};
+
+use sads_blob::model::ClientId;
+use sads_monitor::{ActivityKind, ActivityRecord};
+use sads_sim::{SimDuration, SimTime};
+
+/// Event classes the policy language can count. `Requests` is the union
+/// of every request-like event.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum EventClass {
+    /// Any request-like activity.
+    Requests,
+    /// Chunk writes.
+    Writes,
+    /// Successful chunk reads.
+    Reads,
+    /// Chunk reads that missed.
+    ReadMisses,
+    /// Provider-side rejections.
+    Rejects,
+    /// Tickets issued.
+    Tickets,
+    /// Tickets refused (validation or block).
+    TicketRejects,
+    /// Versions published.
+    Publishes,
+}
+
+impl EventClass {
+    /// Parse the policy-language spelling.
+    pub fn parse(s: &str) -> Option<EventClass> {
+        Some(match s {
+            "requests" => EventClass::Requests,
+            "writes" => EventClass::Writes,
+            "reads" => EventClass::Reads,
+            "read_misses" => EventClass::ReadMisses,
+            "rejects" => EventClass::Rejects,
+            "tickets" => EventClass::Tickets,
+            "ticket_rejects" => EventClass::TicketRejects,
+            "publishes" => EventClass::Publishes,
+        _ => return None,
+        })
+    }
+
+    /// Does an activity kind fall in this class?
+    pub fn matches(self, kind: ActivityKind) -> bool {
+        match self {
+            EventClass::Requests => !matches!(kind, ActivityKind::Published),
+            EventClass::Writes => kind == ActivityKind::ChunkWrite,
+            EventClass::Reads => kind == ActivityKind::ChunkRead,
+            EventClass::ReadMisses => kind == ActivityKind::ChunkReadMiss,
+            EventClass::Rejects => kind == ActivityKind::Rejected,
+            EventClass::Tickets => kind == ActivityKind::TicketIssued,
+            EventClass::TicketRejects => {
+                matches!(kind, ActivityKind::TicketRejected | ActivityKind::TicketBlocked)
+            }
+            EventClass::Publishes => kind == ActivityKind::Published,
+        }
+    }
+}
+
+/// One client's recent activity, pruned to the retention window.
+#[derive(Debug, Default)]
+struct ClientLog {
+    events: VecDeque<(SimTime, ActivityKind, u64)>,
+}
+
+/// The activity history: per-client event logs with windowed statistics.
+#[derive(Debug)]
+pub struct ActivityHistory {
+    clients: HashMap<ClientId, ClientLog>,
+    retention: SimDuration,
+    total_ingested: u64,
+    last_at: SimTime,
+}
+
+impl ActivityHistory {
+    /// Keep per-client events for at least `retention` (must cover the
+    /// longest policy window).
+    pub fn new(retention: SimDuration) -> Self {
+        ActivityHistory {
+            clients: HashMap::new(),
+            retention,
+            total_ingested: 0,
+            last_at: SimTime::ZERO,
+        }
+    }
+
+    /// Ingest a batch of records from the monitoring storage servers.
+    pub fn ingest(&mut self, records: &[ActivityRecord]) {
+        for r in records {
+            self.total_ingested += 1;
+            self.last_at = self.last_at.max(r.at);
+            self.clients
+                .entry(r.client)
+                .or_default()
+                .events
+                .push_back((r.at, r.kind, r.bytes));
+        }
+    }
+
+    /// Drop events older than the retention window (call periodically).
+    pub fn prune(&mut self, now: SimTime) {
+        let cutoff = now - self.retention;
+        self.clients.retain(|_, log| {
+            while log.events.front().map(|(t, _, _)| *t < cutoff).unwrap_or(false) {
+                log.events.pop_front();
+            }
+            !log.events.is_empty()
+        });
+    }
+
+    /// Clients with any retained activity.
+    pub fn active_clients(&self) -> Vec<ClientId> {
+        let mut v: Vec<ClientId> = self.clients.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Events of `class` by `client` in `[now - window, now]`.
+    pub fn count(
+        &self,
+        client: ClientId,
+        class: EventClass,
+        window: SimDuration,
+        now: SimTime,
+    ) -> u64 {
+        let Some(log) = self.clients.get(&client) else { return 0 };
+        let from = now - window;
+        log.events
+            .iter()
+            .rev()
+            .take_while(|(t, _, _)| *t >= from)
+            .filter(|(t, k, _)| *t <= now && class.matches(*k))
+            .count() as u64
+    }
+
+    /// Bytes moved by events of `class` in the window.
+    pub fn bytes(
+        &self,
+        client: ClientId,
+        class: EventClass,
+        window: SimDuration,
+        now: SimTime,
+    ) -> u64 {
+        let Some(log) = self.clients.get(&client) else { return 0 };
+        let from = now - window;
+        log.events
+            .iter()
+            .rev()
+            .take_while(|(t, _, _)| *t >= from)
+            .filter(|(t, k, _)| *t <= now && class.matches(*k))
+            .map(|(_, _, b)| *b)
+            .sum()
+    }
+
+    /// Events per second of `class` over the window.
+    pub fn rate(
+        &self,
+        client: ClientId,
+        class: EventClass,
+        window: SimDuration,
+        now: SimTime,
+    ) -> f64 {
+        let w = window.as_secs_f64().max(1e-9);
+        self.count(client, class, window, now) as f64 / w
+    }
+
+    /// `count(a) / count(b)` over the window (0 when `b` is 0).
+    pub fn ratio(
+        &self,
+        client: ClientId,
+        a: EventClass,
+        b: EventClass,
+        window: SimDuration,
+        now: SimTime,
+    ) -> f64 {
+        let denom = self.count(client, b, window, now);
+        if denom == 0 {
+            return 0.0;
+        }
+        self.count(client, a, window, now) as f64 / denom as f64
+    }
+
+    /// Total records ever ingested.
+    pub fn total_ingested(&self) -> u64 {
+        self.total_ingested
+    }
+
+    /// Timestamp of the newest ingested record.
+    pub fn last_at(&self) -> SimTime {
+        self.last_at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(at_s: u64, client: u64, kind: ActivityKind, bytes: u64) -> ActivityRecord {
+        ActivityRecord {
+            at: SimTime(at_s * 1_000_000_000),
+            client: ClientId(client),
+            kind,
+            blob: None,
+            provider: None,
+            chunk: None,
+            bytes,
+        }
+    }
+
+    fn t(s: u64) -> SimTime {
+        SimTime(s * 1_000_000_000)
+    }
+
+    #[test]
+    fn windowed_counts_and_rates() {
+        let mut h = ActivityHistory::new(SimDuration::from_secs(60));
+        h.ingest(&[
+            rec(1, 1, ActivityKind::ChunkWrite, 100),
+            rec(5, 1, ActivityKind::ChunkWrite, 100),
+            rec(9, 1, ActivityKind::ChunkRead, 50),
+            rec(9, 2, ActivityKind::ChunkWrite, 10),
+        ]);
+        // Window [0,10] for client 1: 2 writes + 1 read.
+        assert_eq!(h.count(ClientId(1), EventClass::Writes, SimDuration::from_secs(10), t(10)), 2);
+        assert_eq!(h.count(ClientId(1), EventClass::Requests, SimDuration::from_secs(10), t(10)), 3);
+        // Window [5,10]: write@5, read@9.
+        assert_eq!(h.count(ClientId(1), EventClass::Writes, SimDuration::from_secs(5), t(10)), 1);
+        assert_eq!(h.bytes(ClientId(1), EventClass::Writes, SimDuration::from_secs(10), t(10)), 200);
+        let r = h.rate(ClientId(1), EventClass::Writes, SimDuration::from_secs(10), t(10));
+        assert!((r - 0.2).abs() < 1e-12);
+        assert_eq!(h.count(ClientId(3), EventClass::Writes, SimDuration::from_secs(10), t(10)), 0);
+    }
+
+    #[test]
+    fn ratio_guards_zero_denominator() {
+        let mut h = ActivityHistory::new(SimDuration::from_secs(60));
+        h.ingest(&[
+            rec(1, 1, ActivityKind::ChunkReadMiss, 0),
+            rec(2, 1, ActivityKind::ChunkReadMiss, 0),
+            rec(3, 1, ActivityKind::ChunkRead, 10),
+        ]);
+        let w = SimDuration::from_secs(10);
+        let r = h.ratio(ClientId(1), EventClass::ReadMisses, EventClass::Reads, w, t(5));
+        assert!((r - 2.0).abs() < 1e-12);
+        assert_eq!(h.ratio(ClientId(1), EventClass::Reads, EventClass::Publishes, w, t(5)), 0.0);
+    }
+
+    #[test]
+    fn prune_drops_old_events_and_idle_clients() {
+        let mut h = ActivityHistory::new(SimDuration::from_secs(10));
+        h.ingest(&[rec(1, 1, ActivityKind::ChunkWrite, 1), rec(50, 2, ActivityKind::ChunkWrite, 1)]);
+        assert_eq!(h.active_clients().len(), 2);
+        h.prune(t(55));
+        assert_eq!(h.active_clients(), vec![ClientId(2)]);
+        assert_eq!(h.total_ingested(), 2, "ingest total is cumulative");
+    }
+
+    #[test]
+    fn event_class_parsing_and_matching() {
+        assert_eq!(EventClass::parse("requests"), Some(EventClass::Requests));
+        assert_eq!(EventClass::parse("read_misses"), Some(EventClass::ReadMisses));
+        assert_eq!(EventClass::parse("bogus"), None);
+        assert!(EventClass::Requests.matches(ActivityKind::Rejected));
+        assert!(!EventClass::Requests.matches(ActivityKind::Published));
+        assert!(EventClass::TicketRejects.matches(ActivityKind::TicketBlocked));
+    }
+}

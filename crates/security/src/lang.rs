@@ -1,0 +1,655 @@
+//! The policy description language (paper §VI: "an expressive policy
+//! description language enabling system administrators to define a large
+//! array of security attacks and to enforce various types of restrictions
+//! upon the detected malicious clients").
+//!
+//! ```text
+//! policy dos_flood {
+//!   when rate(requests, window = 10s) > 200
+//!    and ratio(read_misses, requests, window = 10s) > 0.5
+//!   then block for 120s severity high
+//! }
+//! ```
+//!
+//! Grammar (EBNF):
+//! ```text
+//! policies   := policy*
+//! policy     := "policy" IDENT "{" "when" expr "then" action "}"
+//! expr       := and_expr ("or" and_expr)*
+//! and_expr   := unary ("and" unary)*
+//! unary      := "not" unary | "(" expr ")" | comparison
+//! comparison := metric cmp NUMBER
+//! metric     := "rate"  "(" class "," "window" "=" DURATION ")"
+//!             | "count" "(" class "," "window" "=" DURATION ")"
+//!             | "bytes" "(" class "," "window" "=" DURATION ")"
+//!             | "ratio" "(" class "," class "," "window" "=" DURATION ")"
+//!             | "trust" "(" ")"
+//! class      := requests | writes | reads | read_misses | rejects
+//!             | tickets | ticket_rejects | publishes
+//! cmp        := ">" | "<" | ">=" | "<=" | "==" | "!="
+//! action     := ("block" | "throttle" | "log")
+//!               ["for" DURATION] ["severity" ("low"|"medium"|"high")]
+//! DURATION   := NUMBER ("ms" | "s" | "m")
+//! ```
+
+use std::fmt;
+
+use sads_sim::SimDuration;
+
+use crate::history::EventClass;
+
+/// Comparison operators.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CmpOp {
+    /// `>`
+    Gt,
+    /// `<`
+    Lt,
+    /// `>=`
+    Ge,
+    /// `<=`
+    Le,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+impl CmpOp {
+    /// Apply the comparison.
+    pub fn eval(self, lhs: f64, rhs: f64) -> bool {
+        match self {
+            CmpOp::Gt => lhs > rhs,
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Ge => lhs >= rhs,
+            CmpOp::Le => lhs <= rhs,
+            CmpOp::Eq => (lhs - rhs).abs() < 1e-9,
+            CmpOp::Ne => (lhs - rhs).abs() >= 1e-9,
+        }
+    }
+}
+
+/// A measurable quantity over a client's history.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Metric {
+    /// Events/second of a class over a window.
+    Rate(EventClass, SimDuration),
+    /// Event count of a class over a window.
+    Count(EventClass, SimDuration),
+    /// Bytes moved by a class over a window.
+    Bytes(EventClass, SimDuration),
+    /// Count ratio of two classes over a window.
+    Ratio(EventClass, EventClass, SimDuration),
+    /// The client's current trust value (0..=1).
+    Trust,
+}
+
+impl Metric {
+    /// The window this metric needs retained, if any.
+    pub fn window(&self) -> Option<SimDuration> {
+        match self {
+            Metric::Rate(_, w) | Metric::Count(_, w) | Metric::Bytes(_, w) => Some(*w),
+            Metric::Ratio(_, _, w) => Some(*w),
+            Metric::Trust => None,
+        }
+    }
+}
+
+/// A boolean condition over a client's history.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Expr {
+    /// Both sides hold.
+    And(Box<Expr>, Box<Expr>),
+    /// Either side holds.
+    Or(Box<Expr>, Box<Expr>),
+    /// The inner condition does not hold.
+    Not(Box<Expr>),
+    /// `metric op value`.
+    Cmp {
+        /// Measured quantity.
+        metric: Metric,
+        /// Comparison.
+        op: CmpOp,
+        /// Threshold.
+        value: f64,
+    },
+}
+
+impl Expr {
+    /// The largest window referenced anywhere in the expression.
+    pub fn max_window(&self) -> SimDuration {
+        match self {
+            Expr::And(a, b) | Expr::Or(a, b) => a.max_window().max(b.max_window()),
+            Expr::Not(e) => e.max_window(),
+            Expr::Cmp { metric, .. } => metric.window().unwrap_or(SimDuration::ZERO),
+        }
+    }
+}
+
+/// What to do to a violating client.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ActionKind {
+    /// Refuse all service.
+    Block,
+    /// Deprioritize the client's requests.
+    Throttle,
+    /// Only record the violation in the history.
+    Log,
+}
+
+/// Violation severity — weighs the trust penalty and the enforcement
+/// decision.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Severity {
+    /// Informational.
+    Low,
+    /// Suspicious.
+    Medium,
+    /// Attack.
+    High,
+}
+
+/// A parsed `then` clause.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct ActionSpec {
+    /// Enforcement primitive.
+    pub kind: ActionKind,
+    /// Sanction duration (`None` = until manually lifted; `log` ignores
+    /// it).
+    pub duration: Option<SimDuration>,
+    /// Severity (default medium).
+    pub severity: Severity,
+}
+
+/// One named policy.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Policy {
+    /// Administrator-chosen name.
+    pub name: String,
+    /// Violation condition.
+    pub when: Expr,
+    /// Sanction.
+    pub action: ActionSpec,
+}
+
+/// A parsed policy file.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct PolicySet {
+    /// The policies, in file order.
+    pub policies: Vec<Policy>,
+}
+
+impl PolicySet {
+    /// Parse policy source text.
+    pub fn parse(src: &str) -> Result<PolicySet, ParseError> {
+        Parser::new(src)?.parse_policies()
+    }
+
+    /// The retention every referenced window fits in.
+    pub fn max_window(&self) -> SimDuration {
+        self.policies
+            .iter()
+            .map(|p| p.when.max_window())
+            .max()
+            .unwrap_or(SimDuration::ZERO)
+    }
+}
+
+/// A syntax error with its source offset.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// Byte offset in the source.
+    pub pos: usize,
+    /// Human-readable message.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "policy parse error at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+// ---------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------
+
+#[derive(Clone, PartialEq, Debug)]
+enum Tok {
+    Ident(String),
+    Number(f64),
+    Duration(SimDuration),
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    Comma,
+    Assign,
+    Cmp(CmpOp),
+}
+
+fn lex(src: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
+    let b = src.as_bytes();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < b.len() {
+        let c = b[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '#' => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '{' => {
+                out.push((i, Tok::LBrace));
+                i += 1;
+            }
+            '}' => {
+                out.push((i, Tok::RBrace));
+                i += 1;
+            }
+            '(' => {
+                out.push((i, Tok::LParen));
+                i += 1;
+            }
+            ')' => {
+                out.push((i, Tok::RParen));
+                i += 1;
+            }
+            ',' => {
+                out.push((i, Tok::Comma));
+                i += 1;
+            }
+            '>' | '<' | '=' | '!' => {
+                let two = i + 1 < b.len() && b[i + 1] == b'=';
+                let tok = match (c, two) {
+                    ('>', true) => Tok::Cmp(CmpOp::Ge),
+                    ('>', false) => Tok::Cmp(CmpOp::Gt),
+                    ('<', true) => Tok::Cmp(CmpOp::Le),
+                    ('<', false) => Tok::Cmp(CmpOp::Lt),
+                    ('=', true) => Tok::Cmp(CmpOp::Eq),
+                    ('=', false) => Tok::Assign,
+                    ('!', true) => Tok::Cmp(CmpOp::Ne),
+                    ('!', false) => {
+                        return Err(ParseError { pos: i, msg: "lone '!'".into() });
+                    }
+                    _ => unreachable!(),
+                };
+                out.push((i, tok));
+                i += if two { 2 } else { 1 };
+            }
+            '0'..='9' | '.' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'.') {
+                    i += 1;
+                }
+                let num: f64 = src[start..i].parse().map_err(|_| ParseError {
+                    pos: start,
+                    msg: format!("bad number '{}'", &src[start..i]),
+                })?;
+                // Optional duration unit directly attached.
+                let unit_start = i;
+                while i < b.len() && b[i].is_ascii_alphabetic() {
+                    i += 1;
+                }
+                match &src[unit_start..i] {
+                    "" => out.push((start, Tok::Number(num))),
+                    "ms" => out.push((
+                        start,
+                        Tok::Duration(SimDuration::from_secs_f64(num / 1e3)),
+                    )),
+                    "s" => out.push((start, Tok::Duration(SimDuration::from_secs_f64(num)))),
+                    "m" => out.push((
+                        start,
+                        Tok::Duration(SimDuration::from_secs_f64(num * 60.0)),
+                    )),
+                    u => {
+                        return Err(ParseError {
+                            pos: unit_start,
+                            msg: format!("unknown duration unit '{u}'"),
+                        })
+                    }
+                }
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < b.len()
+                    && (b[i].is_ascii_alphanumeric() || b[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push((start, Tok::Ident(src[start..i].to_owned())));
+            }
+            other => {
+                return Err(ParseError { pos: i, msg: format!("unexpected character '{other}'") })
+            }
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------
+
+struct Parser {
+    toks: Vec<(usize, Tok)>,
+    i: usize,
+}
+
+impl Parser {
+    fn new(src: &str) -> Result<Parser, ParseError> {
+        Ok(Parser { toks: lex(src)?, i: 0 })
+    }
+
+    fn pos(&self) -> usize {
+        self.toks.get(self.i).map(|(p, _)| *p).unwrap_or(usize::MAX)
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.i).map(|(_, t)| t)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.i).map(|(_, t)| t.clone());
+        if t.is_some() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { pos: self.pos(), msg: msg.into() })
+    }
+
+    fn expect(&mut self, want: &Tok, what: &str) -> Result<(), ParseError> {
+        match self.next() {
+            Some(ref t) if t == want => Ok(()),
+            other => Err(ParseError {
+                pos: self.pos(),
+                msg: format!("expected {what}, found {other:?}"),
+            }),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.next() {
+            Some(Tok::Ident(s)) if s == kw => Ok(()),
+            other => Err(ParseError {
+                pos: self.pos(),
+                msg: format!("expected '{kw}', found {other:?}"),
+            }),
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(ParseError {
+                pos: self.pos(),
+                msg: format!("expected {what}, found {other:?}"),
+            }),
+        }
+    }
+
+    fn parse_policies(&mut self) -> Result<PolicySet, ParseError> {
+        let mut set = PolicySet::default();
+        while self.peek().is_some() {
+            set.policies.push(self.parse_policy()?);
+        }
+        Ok(set)
+    }
+
+    fn parse_policy(&mut self) -> Result<Policy, ParseError> {
+        self.expect_keyword("policy")?;
+        let name = self.ident("policy name")?;
+        self.expect(&Tok::LBrace, "'{'")?;
+        self.expect_keyword("when")?;
+        let when = self.parse_expr()?;
+        self.expect_keyword("then")?;
+        let action = self.parse_action()?;
+        self.expect(&Tok::RBrace, "'}'")?;
+        Ok(Policy { name, when, action })
+    }
+
+    fn parse_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_and()?;
+        while matches!(self.peek(), Some(Tok::Ident(s)) if s == "or") {
+            self.next();
+            let rhs = self.parse_and()?;
+            lhs = Expr::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_unary()?;
+        while matches!(self.peek(), Some(Tok::Ident(s)) if s == "and") {
+            self.next();
+            let rhs = self.parse_unary()?;
+            lhs = Expr::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek() {
+            Some(Tok::Ident(s)) if s == "not" => {
+                self.next();
+                Ok(Expr::Not(Box::new(self.parse_unary()?)))
+            }
+            Some(Tok::LParen) => {
+                self.next();
+                let e = self.parse_expr()?;
+                self.expect(&Tok::RParen, "')'")?;
+                Ok(e)
+            }
+            _ => self.parse_comparison(),
+        }
+    }
+
+    fn parse_comparison(&mut self) -> Result<Expr, ParseError> {
+        let metric = self.parse_metric()?;
+        let op = match self.next() {
+            Some(Tok::Cmp(op)) => op,
+            other => {
+                return Err(ParseError {
+                    pos: self.pos(),
+                    msg: format!("expected comparison operator, found {other:?}"),
+                })
+            }
+        };
+        let value = match self.next() {
+            Some(Tok::Number(n)) => n,
+            other => {
+                return Err(ParseError {
+                    pos: self.pos(),
+                    msg: format!("expected number, found {other:?}"),
+                })
+            }
+        };
+        Ok(Expr::Cmp { metric, op, value })
+    }
+
+    fn parse_class(&mut self) -> Result<EventClass, ParseError> {
+        let name = self.ident("event class")?;
+        EventClass::parse(&name)
+            .ok_or_else(|| ParseError { pos: self.pos(), msg: format!("unknown event class '{name}'") })
+    }
+
+    fn parse_window(&mut self) -> Result<SimDuration, ParseError> {
+        self.expect_keyword("window")?;
+        self.expect(&Tok::Assign, "'='")?;
+        match self.next() {
+            Some(Tok::Duration(d)) => Ok(d),
+            other => Err(ParseError {
+                pos: self.pos(),
+                msg: format!("expected duration (e.g. 10s), found {other:?}"),
+            }),
+        }
+    }
+
+    fn parse_metric(&mut self) -> Result<Metric, ParseError> {
+        let name = self.ident("metric")?;
+        self.expect(&Tok::LParen, "'('")?;
+        let m = match name.as_str() {
+            "trust" => Metric::Trust,
+            "rate" | "count" | "bytes" => {
+                let class = self.parse_class()?;
+                self.expect(&Tok::Comma, "','")?;
+                let w = self.parse_window()?;
+                match name.as_str() {
+                    "rate" => Metric::Rate(class, w),
+                    "count" => Metric::Count(class, w),
+                    _ => Metric::Bytes(class, w),
+                }
+            }
+            "ratio" => {
+                let a = self.parse_class()?;
+                self.expect(&Tok::Comma, "','")?;
+                let b = self.parse_class()?;
+                self.expect(&Tok::Comma, "','")?;
+                let w = self.parse_window()?;
+                Metric::Ratio(a, b, w)
+            }
+            other => return self.err(format!("unknown metric '{other}'")),
+        };
+        self.expect(&Tok::RParen, "')'")?;
+        Ok(m)
+    }
+
+    fn parse_action(&mut self) -> Result<ActionSpec, ParseError> {
+        let kind = match self.ident("action")?.as_str() {
+            "block" => ActionKind::Block,
+            "throttle" => ActionKind::Throttle,
+            "log" => ActionKind::Log,
+            other => return self.err(format!("unknown action '{other}'")),
+        };
+        let mut duration = None;
+        let mut severity = Severity::Medium;
+        loop {
+            match self.peek() {
+                Some(Tok::Ident(s)) if s == "for" => {
+                    self.next();
+                    duration = match self.next() {
+                        Some(Tok::Duration(d)) => Some(d),
+                        other => {
+                            return Err(ParseError {
+                                pos: self.pos(),
+                                msg: format!("expected duration after 'for', found {other:?}"),
+                            })
+                        }
+                    };
+                }
+                Some(Tok::Ident(s)) if s == "severity" => {
+                    self.next();
+                    severity = match self.ident("severity level")?.as_str() {
+                        "low" => Severity::Low,
+                        "medium" => Severity::Medium,
+                        "high" => Severity::High,
+                        other => return self.err(format!("unknown severity '{other}'")),
+                    };
+                }
+                _ => break,
+            }
+        }
+        Ok(ActionSpec { kind, duration, severity })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_reference_policy() {
+        let src = r#"
+            # the paper's DoS example
+            policy dos_flood {
+              when rate(requests, window = 10s) > 200
+               and ratio(read_misses, requests, window = 10s) > 0.5
+              then block for 120s severity high
+            }
+        "#;
+        let set = PolicySet::parse(src).expect("parses");
+        assert_eq!(set.policies.len(), 1);
+        let p = &set.policies[0];
+        assert_eq!(p.name, "dos_flood");
+        assert_eq!(p.action.kind, ActionKind::Block);
+        assert_eq!(p.action.duration, Some(SimDuration::from_secs(120)));
+        assert_eq!(p.action.severity, Severity::High);
+        assert_eq!(set.max_window(), SimDuration::from_secs(10));
+        match &p.when {
+            Expr::And(a, b) => {
+                assert!(matches!(
+                    **a,
+                    Expr::Cmp { metric: Metric::Rate(EventClass::Requests, _), op: CmpOp::Gt, value } if value == 200.0
+                ));
+                assert!(matches!(**b, Expr::Cmp { metric: Metric::Ratio(..), .. }));
+            }
+            other => panic!("expected And, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_or_not_parens_and_multiple_policies() {
+        let src = r#"
+            policy a { when not (trust() < 0.2 or count(rejects, window=1m) >= 5) then log }
+            policy b { when bytes(writes, window=500ms) > 1000000 then throttle for 30s }
+        "#;
+        let set = PolicySet::parse(src).expect("parses");
+        assert_eq!(set.policies.len(), 2);
+        assert!(matches!(set.policies[0].when, Expr::Not(_)));
+        assert_eq!(set.policies[0].action.kind, ActionKind::Log);
+        assert_eq!(set.policies[0].action.severity, Severity::Medium, "default severity");
+        assert_eq!(set.policies[1].action.duration, Some(SimDuration::from_secs(30)));
+        assert_eq!(set.max_window(), SimDuration::from_secs(60));
+    }
+
+    #[test]
+    fn rejects_malformed_sources() {
+        for bad in [
+            "policy {}",
+            "policy p { when rate(requests, window=10s) then block }",
+            "policy p { when rate(bogus, window=10s) > 1 then block }",
+            "policy p { when rate(requests, window=10x) > 1 then block }",
+            "policy p { when rate(requests, window=10s) > 1 then explode }",
+            "policy p { when trust() > 0.5 then block severity extreme }",
+            "policy p { when trust() > 0.5 then block for }",
+            "policy p @ {}",
+        ] {
+            let e = PolicySet::parse(bad).unwrap_err();
+            assert!(!e.msg.is_empty(), "error for {bad:?} has a message");
+        }
+    }
+
+    #[test]
+    fn cmp_ops_evaluate() {
+        assert!(CmpOp::Gt.eval(2.0, 1.0));
+        assert!(CmpOp::Ge.eval(1.0, 1.0));
+        assert!(CmpOp::Lt.eval(0.5, 1.0));
+        assert!(CmpOp::Le.eval(1.0, 1.0));
+        assert!(CmpOp::Eq.eval(1.0, 1.0 + 1e-12));
+        assert!(CmpOp::Ne.eval(1.0, 2.0));
+    }
+
+    #[test]
+    fn durations_lex_in_all_units() {
+        let set = PolicySet::parse(
+            "policy p { when count(writes, window=1500ms) > 0 then log for 2m }",
+        )
+        .unwrap();
+        assert_eq!(set.max_window(), SimDuration::from_millis(1500));
+        assert_eq!(set.policies[0].action.duration, Some(SimDuration::from_secs(120)));
+    }
+
+    #[test]
+    fn empty_source_is_an_empty_set() {
+        let set = PolicySet::parse("  # nothing here\n").unwrap();
+        assert!(set.policies.is_empty());
+        assert_eq!(set.max_window(), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,91 @@
+//! # sads-security — the generic security-policy framework
+//!
+//! The paper's §III-C framework "for both security policies definition
+//! and enforcement", driven purely by monitored user-activity events so
+//! it stays independent of the storage system underneath:
+//!
+//! * [`ActivityHistory`] — the User Activity History with windowed
+//!   statistics,
+//! * [`lang`] — the expressive policy description language
+//!   (`policy dos { when rate(requests, window=10s) > 200 then block for
+//!   120s severity high }`),
+//! * [`policy`] — the Security Violation Detection Engine's scan,
+//! * [`Enforcer`] — the Policy Enforcement component (block / throttle /
+//!   log, with trust-scaled durations),
+//! * [`TrustManager`] — the §V Trust management module (implemented, not
+//!   just promised),
+//! * [`SecurityEngineService`] — everything wired together as a runnable
+//!   Policy Management node.
+//!
+//! ```
+//! use sads_security::{ActivityHistory, PolicySet, TrustConfig, TrustManager, scan};
+//! use sads_monitor::{ActivityKind, ActivityRecord};
+//! use sads_blob::model::ClientId;
+//! use sads_sim::{SimDuration, SimTime};
+//!
+//! let set = PolicySet::parse(
+//!     "policy flood { when rate(requests, window = 10s) > 50 then block for 60s severity high }",
+//! ).unwrap();
+//! let mut history = ActivityHistory::new(SimDuration::from_secs(60));
+//! // A client hammering the system at 100 requests/second…
+//! for i in 0..1000u64 {
+//!     history.ingest(&[ActivityRecord {
+//!         at: SimTime(i * 10_000_000),
+//!         client: ClientId(9),
+//!         kind: ActivityKind::ChunkReadMiss,
+//!         blob: None, provider: None, chunk: None, bytes: 0,
+//!     }]);
+//! }
+//! let trust = TrustManager::new(TrustConfig::default());
+//! let violations = scan(&set, &history, &trust, SimTime(10_000_000_000));
+//! assert_eq!(violations.len(), 1);
+//! assert_eq!(violations[0].client, ClientId(9));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod enforce;
+pub mod engine;
+pub mod history;
+pub mod lang;
+pub mod policy;
+pub mod trust;
+
+pub use enforce::{Enforcer, Sanction};
+pub use engine::{Detection, SecurityConfig, SecurityEngineService, TOKEN_SEC_SCAN};
+pub use history::{ActivityHistory, EventClass};
+pub use lang::{ActionKind, ActionSpec, CmpOp, Expr, Metric, ParseError, Policy, PolicySet, Severity};
+pub use policy::{check, eval_expr, eval_metric, scan, Violation};
+pub use trust::{TrustConfig, TrustManager};
+
+/// The default DoS-protection policy set used by the paper-shaped
+/// experiments. Three detectors cover the attack surface:
+///
+/// * `unticketed_writes` — chunk writes with no ticket ever issued: only
+///   bogus-write floods look like this (legitimate writers always obtain
+///   a ticket first);
+/// * `dos_read_flood` — an abnormal read rate (amplification attacks
+///   request full chunks far faster than any data-processing client);
+/// * `miss_flood` — high request rate dominated by reads of nonexistent
+///   data (scanning / cheap-request floods).
+pub fn default_dos_policies() -> PolicySet {
+    PolicySet::parse(
+        r#"
+        policy unticketed_writes {
+          when count(writes, window = 15s) >= 20
+           and count(tickets, window = 15s) == 0
+          then block for 120s severity high
+        }
+        policy dos_read_flood {
+          when rate(reads, window = 10s) > 30
+          then block for 120s severity high
+        }
+        policy miss_flood {
+          when rate(requests, window = 10s) > 50
+           and ratio(read_misses, requests, window = 10s) > 0.5
+          then block for 120s severity high
+        }
+        "#,
+    )
+    .expect("built-in policies parse")
+}

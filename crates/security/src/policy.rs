@@ -1,0 +1,213 @@
+//! Policy evaluation — the Security Violation Detection Engine's core:
+//! "scans the User Activity History in order to find the malicious
+//! behavior patterns defined by the security policies" (paper §III-C).
+
+use sads_blob::model::ClientId;
+use sads_sim::SimTime;
+
+use crate::history::ActivityHistory;
+use crate::lang::{ActionSpec, Expr, Metric, Policy, PolicySet};
+use crate::trust::TrustManager;
+
+/// A detected policy violation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Violation {
+    /// Violated policy name.
+    pub policy: String,
+    /// Offending client.
+    pub client: ClientId,
+    /// Detection time.
+    pub at: SimTime,
+    /// The policy's sanction.
+    pub action: ActionSpec,
+}
+
+/// Evaluate a metric for one client at one instant.
+pub fn eval_metric(
+    m: &Metric,
+    history: &ActivityHistory,
+    trust: &TrustManager,
+    client: ClientId,
+    now: SimTime,
+) -> f64 {
+    match m {
+        Metric::Rate(class, w) => history.rate(client, *class, *w, now),
+        Metric::Count(class, w) => history.count(client, *class, *w, now) as f64,
+        Metric::Bytes(class, w) => history.bytes(client, *class, *w, now) as f64,
+        Metric::Ratio(a, b, w) => history.ratio(client, *a, *b, *w, now),
+        Metric::Trust => trust.get(client, now),
+    }
+}
+
+/// Evaluate a condition for one client at one instant.
+pub fn eval_expr(
+    e: &Expr,
+    history: &ActivityHistory,
+    trust: &TrustManager,
+    client: ClientId,
+    now: SimTime,
+) -> bool {
+    match e {
+        Expr::And(a, b) => {
+            eval_expr(a, history, trust, client, now) && eval_expr(b, history, trust, client, now)
+        }
+        Expr::Or(a, b) => {
+            eval_expr(a, history, trust, client, now) || eval_expr(b, history, trust, client, now)
+        }
+        Expr::Not(inner) => !eval_expr(inner, history, trust, client, now),
+        Expr::Cmp { metric, op, value } => {
+            op.eval(eval_metric(metric, history, trust, client, now), *value)
+        }
+    }
+}
+
+/// Check one policy against one client.
+pub fn check(
+    policy: &Policy,
+    history: &ActivityHistory,
+    trust: &TrustManager,
+    client: ClientId,
+    now: SimTime,
+) -> Option<Violation> {
+    if eval_expr(&policy.when, history, trust, client, now) {
+        Some(Violation {
+            policy: policy.name.clone(),
+            client,
+            at: now,
+            action: policy.action,
+        })
+    } else {
+        None
+    }
+}
+
+/// Scan every active client against every policy; at most one violation
+/// (the first matching policy, in file order) is reported per client per
+/// scan.
+pub fn scan(
+    set: &PolicySet,
+    history: &ActivityHistory,
+    trust: &TrustManager,
+    now: SimTime,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for client in history.active_clients() {
+        for policy in &set.policies {
+            if let Some(v) = check(policy, history, trust, client, now) {
+                out.push(v);
+                break;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trust::TrustConfig;
+    use sads_monitor::{ActivityKind, ActivityRecord};
+    use sads_sim::SimDuration;
+
+    fn t(s: u64) -> SimTime {
+        SimTime(s * 1_000_000_000)
+    }
+
+    fn rec(at_s: u64, client: u64, kind: ActivityKind) -> ActivityRecord {
+        ActivityRecord {
+            at: t(at_s),
+            client: ClientId(client),
+            kind,
+            blob: None,
+            provider: None,
+            chunk: None,
+            bytes: 1_000_000,
+        }
+    }
+
+    fn flood(history: &mut ActivityHistory, client: u64, from_s: u64, per_sec: u64, secs: u64) {
+        for s in from_s..from_s + secs {
+            for _ in 0..per_sec {
+                history.ingest(&[rec(s, client, ActivityKind::ChunkReadMiss)]);
+            }
+        }
+    }
+
+    #[test]
+    fn dos_policy_catches_flooder_not_normal_client() {
+        let set = PolicySet::parse(
+            "policy dos { when rate(requests, window=10s) > 50 then block for 60s severity high }",
+        )
+        .unwrap();
+        let mut h = ActivityHistory::new(SimDuration::from_secs(60));
+        let trust = TrustManager::new(TrustConfig::default());
+        // Client 1 floods at 100/s; client 2 writes at 5/s.
+        flood(&mut h, 1, 0, 100, 10);
+        for s in 0..10 {
+            for _ in 0..5 {
+                h.ingest(&[rec(s, 2, ActivityKind::ChunkWrite)]);
+            }
+        }
+        let violations = scan(&set, &h, &trust, t(10));
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].client, ClientId(1));
+        assert_eq!(violations[0].policy, "dos");
+    }
+
+    #[test]
+    fn compound_expression_requires_both_sides() {
+        let set = PolicySet::parse(
+            "policy p { when rate(requests, window=10s) > 50 and ratio(read_misses, requests, window=10s) > 0.9 then block }",
+        )
+        .unwrap();
+        let mut h = ActivityHistory::new(SimDuration::from_secs(60));
+        let trust = TrustManager::new(TrustConfig::default());
+        // High rate but all legitimate writes: no violation.
+        for s in 0..10 {
+            for _ in 0..100 {
+                h.ingest(&[rec(s, 1, ActivityKind::ChunkWrite)]);
+            }
+        }
+        assert!(scan(&set, &h, &trust, t(10)).is_empty());
+        // Add a miss flood: now both conditions hold for client 2.
+        flood(&mut h, 2, 0, 100, 10);
+        let v = scan(&set, &h, &trust, t(10));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].client, ClientId(2));
+    }
+
+    #[test]
+    fn trust_metric_enables_adaptive_policies() {
+        // Low-trust clients violate at a lower rate threshold.
+        let set = PolicySet::parse(
+            "policy strict { when trust() < 0.5 and rate(requests, window=10s) > 10 then block }\n\
+             policy lax { when rate(requests, window=10s) > 100 then block }",
+        )
+        .unwrap();
+        let mut h = ActivityHistory::new(SimDuration::from_secs(60));
+        let mut trust = TrustManager::new(TrustConfig::default());
+        flood(&mut h, 1, 0, 20, 10); // 20/s: above strict, below lax
+        // Trusted client: no violation.
+        assert!(scan(&set, &h, &trust, t(10)).is_empty());
+        // After a penalty, the strict policy fires.
+        trust.penalize(ClientId(1), crate::lang::Severity::High, t(10));
+        let v = scan(&set, &h, &trust, t(10));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].policy, "strict");
+    }
+
+    #[test]
+    fn one_violation_per_client_per_scan() {
+        let set = PolicySet::parse(
+            "policy a { when rate(requests, window=10s) > 1 then log }\n\
+             policy b { when rate(requests, window=10s) > 2 then block }",
+        )
+        .unwrap();
+        let mut h = ActivityHistory::new(SimDuration::from_secs(60));
+        let trust = TrustManager::new(TrustConfig::default());
+        flood(&mut h, 1, 0, 50, 10);
+        let v = scan(&set, &h, &trust, t(10));
+        assert_eq!(v.len(), 1, "first matching policy wins");
+        assert_eq!(v[0].policy, "a");
+    }
+}

@@ -1,0 +1,148 @@
+//! Trust management (paper §V: "a Trust management module, which will
+//! dynamically compute a trust value for each user based on his past
+//! actions and on the real-time system state. The trust values will
+//! enable the system to support adaptive security policies").
+//!
+//! Trust lives in `[0, 1]`, starts at a configurable prior, takes
+//! severity-weighted penalties on violations, and linearly recovers
+//! toward 1 while the client stays clean. Enforcement uses it to scale
+//! sanction durations, and the policy language can reference it through
+//! the `trust()` metric.
+
+use std::collections::HashMap;
+
+use sads_blob::model::ClientId;
+use sads_sim::SimTime;
+
+use crate::lang::Severity;
+
+/// Trust-dynamics parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct TrustConfig {
+    /// Trust assigned to never-seen clients.
+    pub initial: f64,
+    /// Penalty per violation, by severity.
+    pub penalty_low: f64,
+    /// Penalty for medium severity.
+    pub penalty_medium: f64,
+    /// Penalty for high severity.
+    pub penalty_high: f64,
+    /// Trust regained per clean second.
+    pub recovery_per_sec: f64,
+}
+
+impl Default for TrustConfig {
+    fn default() -> Self {
+        TrustConfig {
+            initial: 0.8,
+            penalty_low: 0.05,
+            penalty_medium: 0.15,
+            penalty_high: 0.4,
+            recovery_per_sec: 0.002,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct TrustState {
+    value: f64,
+    updated: SimTime,
+}
+
+/// Per-client trust ledger.
+#[derive(Debug)]
+pub struct TrustManager {
+    cfg: TrustConfig,
+    clients: HashMap<ClientId, TrustState>,
+}
+
+impl TrustManager {
+    /// A ledger with the given dynamics.
+    pub fn new(cfg: TrustConfig) -> Self {
+        TrustManager { cfg, clients: HashMap::new() }
+    }
+
+    /// Current trust of a client, applying recovery up to `now`.
+    pub fn get(&self, client: ClientId, now: SimTime) -> f64 {
+        match self.clients.get(&client) {
+            None => self.cfg.initial,
+            Some(s) => {
+                let rec = now.since(s.updated).as_secs_f64() * self.cfg.recovery_per_sec;
+                (s.value + rec).clamp(0.0, 1.0)
+            }
+        }
+    }
+
+    /// Apply a violation penalty; returns the new trust value.
+    pub fn penalize(&mut self, client: ClientId, severity: Severity, now: SimTime) -> f64 {
+        let current = self.get(client, now);
+        let penalty = match severity {
+            Severity::Low => self.cfg.penalty_low,
+            Severity::Medium => self.cfg.penalty_medium,
+            Severity::High => self.cfg.penalty_high,
+        };
+        let value = (current - penalty).clamp(0.0, 1.0);
+        self.clients.insert(client, TrustState { value, updated: now });
+        value
+    }
+
+    /// Scale factor for sanction durations: distrusted clients are
+    /// sanctioned up to twice as long, trusted ones down to the base.
+    pub fn sanction_scale(&self, client: ClientId, now: SimTime) -> f64 {
+        2.0 - self.get(client, now)
+    }
+
+    /// Clients with an explicit (non-prior) trust record.
+    pub fn tracked(&self) -> usize {
+        self.clients.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime(s * 1_000_000_000)
+    }
+
+    #[test]
+    fn unknown_clients_get_the_prior() {
+        let m = TrustManager::new(TrustConfig::default());
+        assert!((m.get(ClientId(1), t(100)) - 0.8).abs() < 1e-12);
+        assert_eq!(m.tracked(), 0);
+    }
+
+    #[test]
+    fn penalties_scale_with_severity_and_clamp() {
+        let mut m = TrustManager::new(TrustConfig::default());
+        let v = m.penalize(ClientId(1), Severity::High, t(0));
+        assert!((v - 0.4).abs() < 1e-12);
+        // Repeated attacks drive trust to the floor.
+        m.penalize(ClientId(1), Severity::High, t(0));
+        let v = m.penalize(ClientId(1), Severity::High, t(0));
+        assert_eq!(v, 0.0);
+        // A different client is unaffected.
+        assert!((m.get(ClientId(2), t(0)) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trust_recovers_over_clean_time() {
+        let mut m = TrustManager::new(TrustConfig::default());
+        m.penalize(ClientId(1), Severity::High, t(0)); // 0.4
+        let after = m.get(ClientId(1), t(100)); // +0.2 recovery
+        assert!((after - 0.6).abs() < 1e-9);
+        // Recovery saturates at 1.
+        assert_eq!(m.get(ClientId(1), t(100_000)), 1.0);
+    }
+
+    #[test]
+    fn sanction_scale_tracks_distrust() {
+        let mut m = TrustManager::new(TrustConfig::default());
+        assert!((m.sanction_scale(ClientId(1), t(0)) - 1.2).abs() < 1e-12);
+        m.penalize(ClientId(1), Severity::High, t(0));
+        m.penalize(ClientId(1), Severity::High, t(0));
+        let s = m.sanction_scale(ClientId(1), t(0));
+        assert!(s > 1.9, "repeat offender sanctioned ~2x: {s}");
+    }
+}

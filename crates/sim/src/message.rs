@@ -1,0 +1,131 @@
+//! Dynamically typed simulation messages.
+//!
+//! Different subsystems (BlobSeer actors, monitoring services, the security
+//! engine, …) define their own message enums. The simulator moves them as
+//! `Box<dyn Message>` so a single [`crate::World`] can host heterogeneous
+//! actors; receivers downcast with [`MessageExt::downcast`].
+//!
+//! The only thing the network model needs from a message is its wire size
+//! ([`Message::wire_size`]), which drives bandwidth contention.
+
+use std::any::Any;
+use std::fmt;
+
+/// A payload that can travel through the simulated network.
+pub trait Message: Any + Send + fmt::Debug {
+    /// Number of bytes this message occupies on the wire (excluding the
+    /// per-message header overhead added by the network model). Bulk data
+    /// messages should report their payload size; small control messages
+    /// can return 0 and rely on the header overhead alone.
+    fn wire_size(&self) -> u64 {
+        0
+    }
+
+    /// Upcast helper so `Box<dyn Message>` can be downcast to a concrete
+    /// type. Implemented by the blanket impl of [`MessageExt`].
+    fn as_any(self: Box<Self>) -> Box<dyn Any>;
+
+    /// Borrowing variant of [`Message::as_any`].
+    fn as_any_ref(&self) -> &dyn Any;
+}
+
+/// Downcasting conveniences for boxed messages.
+pub trait MessageExt {
+    /// Attempt to downcast the boxed message to a concrete type, returning
+    /// the box back on failure so it can be routed elsewhere.
+    fn downcast<T: Message>(self) -> Result<Box<T>, Box<dyn Message>>;
+    /// Check the concrete type without consuming the box.
+    fn is<T: Message>(&self) -> bool;
+    /// Borrow the concrete type without consuming the box.
+    fn downcast_ref<T: Message>(&self) -> Option<&T>;
+}
+
+impl MessageExt for Box<dyn Message> {
+    fn downcast<T: Message>(self) -> Result<Box<T>, Box<dyn Message>> {
+        if self.as_any_ref().is::<T>() {
+            Ok(self.as_any().downcast::<T>().expect("checked type"))
+        } else {
+            Err(self)
+        }
+    }
+
+    fn is<T: Message>(&self) -> bool {
+        self.as_any_ref().is::<T>()
+    }
+
+    fn downcast_ref<T: Message>(&self) -> Option<&T> {
+        self.as_any_ref().downcast_ref::<T>()
+    }
+}
+
+/// Implement [`Message`] for a concrete type, with an optional wire-size
+/// expression evaluated against `self`.
+///
+/// ```ignore
+/// impl_message!(MyControlMsg);                 // zero wire size
+/// impl_message!(MyDataMsg, |m| m.data.len() as u64);
+/// ```
+#[macro_export]
+macro_rules! impl_message {
+    ($ty:ty) => {
+        impl $crate::Message for $ty {
+            fn as_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+                self
+            }
+            fn as_any_ref(&self) -> &dyn std::any::Any {
+                self
+            }
+        }
+    };
+    ($ty:ty, $size:expr) => {
+        impl $crate::Message for $ty {
+            fn wire_size(&self) -> u64 {
+                #[allow(clippy::redundant_closure_call)]
+                ($size)(self)
+            }
+            fn as_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+                self
+            }
+            fn as_any_ref(&self) -> &dyn std::any::Any {
+                self
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    struct Ping(u32);
+    impl_message!(Ping);
+
+    #[derive(Debug)]
+    struct Bulk {
+        data: Vec<u8>,
+    }
+    impl_message!(Bulk, |m: &Bulk| m.data.len() as u64);
+
+    #[test]
+    fn downcast_success_and_failure() {
+        let b: Box<dyn Message> = Box::new(Ping(7));
+        assert!(b.is::<Ping>());
+        assert!(!b.is::<Bulk>());
+        assert_eq!(b.downcast_ref::<Ping>(), Some(&Ping(7)));
+        let b = match b.downcast::<Bulk>() {
+            Ok(_) => panic!("wrong type must not downcast"),
+            Err(original) => original,
+        };
+        let p = b.downcast::<Ping>().expect("right type downcasts");
+        assert_eq!(*p, Ping(7));
+    }
+
+    #[test]
+    fn wire_size_defaults_and_overrides() {
+        let p: Box<dyn Message> = Box::new(Ping(1));
+        assert_eq!(p.wire_size(), 0);
+        let d: Box<dyn Message> = Box::new(Bulk { data: vec![0; 1024] });
+        assert_eq!(d.wire_size(), 1024);
+    }
+}

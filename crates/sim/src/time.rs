@@ -1,0 +1,260 @@
+//! Simulated time: a monotonically increasing virtual clock with nanosecond
+//! resolution.
+//!
+//! All latencies, bandwidth computations and timer deadlines in the
+//! simulator are expressed as [`SimTime`] (an instant) and [`SimDuration`]
+//! (a span). Both are thin wrappers over `u64` nanoseconds so they are
+//! `Copy`, totally ordered and cheap to pass around hot event-queue code.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// An instant on the simulated clock, in nanoseconds since simulation start.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+/// A span of simulated time, in nanoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+    /// A time later than any reachable simulation instant.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Nanoseconds since the simulation epoch.
+    #[inline]
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since the simulation epoch, as a float (for reporting).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Duration elapsed since `earlier`. Saturates at zero if `earlier`
+    /// is in the future.
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// A duration of `n` nanoseconds.
+    #[inline]
+    pub const fn from_nanos(n: u64) -> SimDuration {
+        SimDuration(n)
+    }
+
+    /// A duration of `n` microseconds.
+    #[inline]
+    pub const fn from_micros(n: u64) -> SimDuration {
+        SimDuration(n * 1_000)
+    }
+
+    /// A duration of `n` milliseconds.
+    #[inline]
+    pub const fn from_millis(n: u64) -> SimDuration {
+        SimDuration(n * 1_000_000)
+    }
+
+    /// A duration of `n` seconds.
+    #[inline]
+    pub const fn from_secs(n: u64) -> SimDuration {
+        SimDuration(n * 1_000_000_000)
+    }
+
+    /// A duration of `s` seconds given as a float; negative values clamp
+    /// to zero.
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> SimDuration {
+        if s <= 0.0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration((s * 1e9) as u64)
+        }
+    }
+
+    /// Nanoseconds in this duration.
+    #[inline]
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds in this duration, as a float.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Checked multiplication by an integer factor.
+    #[inline]
+    pub fn saturating_mul(self, k: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(k))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, d: SimDuration) {
+        self.0 = self.0.saturating_add(d.0);
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_sub(d.0))
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, other: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn add(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(other.0))
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn mul(self, k: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(k))
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn div(self, k: u64) -> SimDuration {
+        SimDuration(self.0 / k)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+/// Time needed to move `bytes` across a link of `bytes_per_sec` capacity.
+///
+/// Returns zero for an infinite-bandwidth link (`bytes_per_sec == 0` is
+/// treated as infinite, which keeps "unmodeled" links free).
+#[inline]
+pub fn transfer_time(bytes: u64, bytes_per_sec: u64) -> SimDuration {
+    if bytes_per_sec == 0 {
+        return SimDuration::ZERO;
+    }
+    // nanos = bytes * 1e9 / rate, computed in u128 to avoid overflow for
+    // multi-gigabyte transfers.
+    let nanos = (bytes as u128 * 1_000_000_000u128) / bytes_per_sec as u128;
+    SimDuration(nanos.min(u64::MAX as u128) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_roundtrip() {
+        let t = SimTime::ZERO + SimDuration::from_secs(2);
+        assert_eq!(t.as_nanos(), 2_000_000_000);
+        assert_eq!((t - SimTime::ZERO).as_secs_f64(), 2.0);
+        assert_eq!(t.since(SimTime::ZERO), SimDuration::from_secs(2));
+        // saturating: earlier.since(later) == 0
+        assert_eq!(SimTime::ZERO.since(t), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn duration_constructors_agree() {
+        assert_eq!(SimDuration::from_secs(1), SimDuration::from_millis(1000));
+        assert_eq!(SimDuration::from_millis(1), SimDuration::from_micros(1000));
+        assert_eq!(SimDuration::from_micros(1), SimDuration::from_nanos(1000));
+        assert_eq!(SimDuration::from_secs_f64(0.5), SimDuration::from_millis(500));
+        assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn transfer_time_basics() {
+        // 1 GiB over 1 GiB/s takes 1 s.
+        let gib = 1u64 << 30;
+        let d = transfer_time(gib, gib);
+        assert_eq!(d, SimDuration::from_secs(1));
+        // Infinite bandwidth is free.
+        assert_eq!(transfer_time(gib, 0), SimDuration::ZERO);
+        // 8 MiB over 125 MB/s ≈ 67.1 ms.
+        let d = transfer_time(8 << 20, 125_000_000);
+        let secs = d.as_secs_f64();
+        assert!((secs - 0.0671).abs() < 0.001, "got {secs}");
+    }
+
+    #[test]
+    fn transfer_time_no_overflow_for_huge_payloads() {
+        // 1 TiB over a slow 1 MB/s link: ~1.1e6 seconds, must not overflow.
+        let d = transfer_time(1 << 40, 1_000_000);
+        assert!(d.as_secs_f64() > 1.0e6);
+    }
+
+    #[test]
+    fn ordering_and_scaling() {
+        assert!(SimDuration::from_secs(1) < SimDuration::from_secs(2));
+        assert_eq!(SimDuration::from_secs(1) * 3, SimDuration::from_secs(3));
+        assert_eq!(SimDuration::from_secs(4) / 2, SimDuration::from_secs(2));
+        assert_eq!(
+            SimDuration::from_secs(1) + SimDuration::from_secs(2) - SimDuration::from_secs(1),
+            SimDuration::from_secs(2)
+        );
+    }
+}

@@ -1,0 +1,526 @@
+//! The simulation driver: a deterministic discrete-event loop hosting
+//! message-passing actors on a modeled cluster network.
+//!
+//! One [`Actor`] runs per [`NodeId`]. Actors communicate exclusively by
+//! sending [`Message`]s through [`Ctx::send`]; delivery times come from the
+//! [`Network`] bandwidth model. Everything — RNG, event ordering, timer
+//! firing — is deterministic given the seed, so experiments are exactly
+//! reproducible.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::message::Message;
+use crate::metrics::MetricSink;
+use crate::net::{NetConfig, Network, NodeConfig, NodeId};
+use crate::time::{SimDuration, SimTime};
+
+/// A simulated process. Implementations are state machines driven by
+/// message deliveries and timer firings.
+pub trait Actor: Send {
+    /// Called once when the node is added to the world.
+    fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}
+
+    /// A message from `from` has been fully received.
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, msg: Box<dyn Message>);
+
+    /// A timer armed with [`Ctx::set_timer`] has fired.
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: u64) {}
+
+    /// Optional post-run inspection hook: return `Some(self)` to let
+    /// harnesses downcast and examine actor state after the simulation
+    /// (used by the visualization tooling and tests).
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
+}
+
+enum EventKind {
+    Start { node: NodeId },
+    Deliver { from: NodeId, to: NodeId, msg: Box<dyn Message> },
+    Timer { node: NodeId, token: u64 },
+}
+
+struct Event {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Why a `run_*` call returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The event queue drained completely.
+    Quiescent,
+    /// The requested deadline was reached with events still pending.
+    DeadlineReached,
+    /// The safety event limit was hit (probable livelock in actor logic).
+    EventLimit,
+}
+
+/// The simulation world: clock, event queue, actors, network, RNG, metrics.
+pub struct World {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Reverse<Event>>,
+    actors: Vec<Option<Box<dyn Actor>>>,
+    net: Network,
+    rng: SmallRng,
+    metrics: MetricSink,
+    events_processed: u64,
+}
+
+impl World {
+    /// Create a world with the given RNG seed and network parameters.
+    pub fn new(seed: u64, net_cfg: NetConfig) -> Self {
+        World {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            actors: Vec::new(),
+            net: Network::new(net_cfg),
+            rng: SmallRng::seed_from_u64(seed),
+            metrics: MetricSink::new(),
+            events_processed: 0,
+        }
+    }
+
+    /// Create a world with default LAN parameters (1 Gb/s NICs, 100 µs).
+    pub fn with_seed(seed: u64) -> Self {
+        Self::new(seed, NetConfig::default())
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Add a node running `actor` with NIC config `cfg`. Its
+    /// [`Actor::on_start`] runs at the current simulation time.
+    pub fn add_node(&mut self, actor: Box<dyn Actor>, cfg: NodeConfig) -> NodeId {
+        let id = self.net.add_node(cfg);
+        debug_assert_eq!(id.index(), self.actors.len());
+        self.actors.push(Some(actor));
+        self.push(self.now, EventKind::Start { node: id });
+        id
+    }
+
+    /// Inject a message from outside the simulation (bootstrap traffic).
+    /// Delivered almost immediately, bypassing the network model.
+    pub fn send_external(&mut self, to: NodeId, msg: Box<dyn Message>) {
+        if let Some(at) = self.net.schedule_transfer(self.now, NodeId::EXTERNAL, to, 0) {
+            self.push(at, EventKind::Deliver { from: NodeId::EXTERNAL, to, msg });
+        }
+    }
+
+    /// Crash a node: its NIC goes down, undelivered messages to it are
+    /// dropped, its timers stop firing, and its actor is discarded.
+    pub fn crash(&mut self, node: NodeId) {
+        self.net.set_down(node);
+        if let Some(slot) = self.actors.get_mut(node.index()) {
+            *slot = None;
+        }
+    }
+
+    /// Is the node alive?
+    pub fn is_up(&self, node: NodeId) -> bool {
+        self.net.is_up(node) && self.actors.get(node.index()).is_some_and(Option::is_some)
+    }
+
+    /// Network state (NIC counters etc.).
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Downcast a live actor for post-run inspection (requires the actor
+    /// to opt in via [`Actor::as_any`]).
+    pub fn actor_as<T: 'static>(&self, node: NodeId) -> Option<&T> {
+        self.actors
+            .get(node.index())?
+            .as_deref()?
+            .as_any()?
+            .downcast_ref::<T>()
+    }
+
+    /// Recorded metrics.
+    pub fn metrics(&self) -> &MetricSink {
+        &self.metrics
+    }
+
+    /// Mutable access to metrics (for experiment harnesses that record
+    /// world-level observations).
+    pub fn metrics_mut(&mut self) -> &mut MetricSink {
+        &mut self.metrics
+    }
+
+    fn push(&mut self, at: SimTime, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Event { at, seq, kind }));
+    }
+
+    /// Run until the queue drains or `deadline` passes, with a safety cap
+    /// of `max_events`.
+    pub fn run_until(&mut self, deadline: SimTime, max_events: u64) -> RunOutcome {
+        let mut budget = max_events;
+        loop {
+            let Some(Reverse(head)) = self.queue.peek() else {
+                return RunOutcome::Quiescent;
+            };
+            if head.at > deadline {
+                self.now = deadline;
+                return RunOutcome::DeadlineReached;
+            }
+            if budget == 0 {
+                return RunOutcome::EventLimit;
+            }
+            budget -= 1;
+            let Reverse(ev) = self.queue.pop().expect("peeked");
+            debug_assert!(ev.at >= self.now, "time must not go backwards");
+            self.now = ev.at;
+            self.events_processed += 1;
+            self.dispatch(ev.kind);
+        }
+    }
+
+    /// Run for a span of simulated time from now.
+    pub fn run_for(&mut self, span: SimDuration, max_events: u64) -> RunOutcome {
+        self.run_until(self.now + span, max_events)
+    }
+
+    /// Run until the queue drains (bounded by `max_events`).
+    pub fn run_to_quiescence(&mut self, max_events: u64) -> RunOutcome {
+        self.run_until(SimTime::MAX, max_events)
+    }
+
+    fn dispatch(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::Start { node } => self.with_actor(node, |a, ctx| a.on_start(ctx)),
+            EventKind::Timer { node, token } => {
+                self.with_actor(node, |a, ctx| a.on_timer(ctx, token))
+            }
+            EventKind::Deliver { from, to, msg } => {
+                self.with_actor(to, |a, ctx| a.on_message(ctx, from, msg))
+            }
+        }
+    }
+
+    fn with_actor(&mut self, node: NodeId, f: impl FnOnce(&mut dyn Actor, &mut Ctx<'_>)) {
+        if !self.net.is_up(node) {
+            return;
+        }
+        let Some(slot) = self.actors.get_mut(node.index()) else {
+            return;
+        };
+        let Some(mut actor) = slot.take() else {
+            return;
+        };
+        let mut ctx = Ctx { world: self, id: node };
+        f(actor.as_mut(), &mut ctx);
+        // A handler may crash its own node; only restore if still up.
+        if self.net.is_up(node) {
+            self.actors[node.index()] = Some(actor);
+        }
+    }
+}
+
+/// Handler-side view of the world: everything an actor may do while
+/// processing an event.
+pub struct Ctx<'a> {
+    world: &'a mut World,
+    id: NodeId,
+}
+
+impl Ctx<'_> {
+    /// This actor's node id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.world.now
+    }
+
+    /// Send `msg` to `to` through the modeled network. Silently dropped if
+    /// either endpoint is down (like a real datagram).
+    pub fn send(&mut self, to: NodeId, msg: Box<dyn Message>) {
+        let size = msg.wire_size();
+        let now = self.world.now;
+        if let Some(at) = self.world.net.schedule_transfer(now, self.id, to, size) {
+            self.world.push(at, EventKind::Deliver { from: self.id, to, msg });
+        }
+    }
+
+    /// Send bypassing this node's egress queue (transport-level control
+    /// traffic: refusals, resets). Use sparingly — only for messages a
+    /// real kernel would emit without waiting behind application data.
+    pub fn send_expedited(&mut self, to: NodeId, msg: Box<dyn Message>) {
+        let size = msg.wire_size();
+        let now = self.world.now;
+        if let Some(at) = self.world.net.schedule_transfer_expedited(now, self.id, to, size) {
+            self.world.push(at, EventKind::Deliver { from: self.id, to, msg });
+        }
+    }
+
+    /// Send after first spending `delay` of local processing time (models
+    /// CPU cost before the reply hits the NIC).
+    pub fn send_after(&mut self, delay: SimDuration, to: NodeId, msg: Box<dyn Message>) {
+        // Model: occupy nothing locally, just delay the network entry.
+        let size = msg.wire_size();
+        let start = self.world.now + delay;
+        if let Some(at) = self.world.net.schedule_transfer(start, self.id, to, size) {
+            self.world.push(at, EventKind::Deliver { from: self.id, to, msg });
+        }
+    }
+
+    /// Arm a one-shot timer firing after `delay` with the given token.
+    pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
+        let at = self.world.now + delay;
+        let node = self.id;
+        self.world.push(at, EventKind::Timer { node, token });
+    }
+
+    /// Deterministic RNG shared by the whole world.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.world.rng
+    }
+
+    /// Record a time-series observation.
+    pub fn record(&mut self, name: &str, value: f64) {
+        let now = self.world.now;
+        self.world.metrics.record(name, now, value);
+    }
+
+    /// Increment a counter metric.
+    pub fn incr(&mut self, name: &str, delta: u64) {
+        self.world.metrics.incr(name, delta);
+    }
+
+    /// Spawn a new node at runtime (used by the elasticity controller to
+    /// expand the provider pool). Its `on_start` runs after this event.
+    pub fn spawn(&mut self, actor: Box<dyn Actor>, cfg: NodeConfig) -> NodeId {
+        self.world.add_node(actor, cfg)
+    }
+
+    /// Crash a node (possibly this one).
+    pub fn crash(&mut self, node: NodeId) {
+        self.world.crash(node);
+    }
+
+    /// Is a node currently up?
+    pub fn is_up(&self, node: NodeId) -> bool {
+        self.world.net.is_up(node)
+    }
+
+    /// Outstanding ingress backlog of a node, as seen by an oracle. Used
+    /// by load-probe actors that model SNMP-style NIC inspection.
+    pub fn ingress_backlog(&self, node: NodeId) -> SimDuration {
+        self.world.net.nic(node).ingress_backlog(self.world.now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::impl_message;
+
+    #[derive(Debug)]
+    struct Tick;
+    impl_message!(Tick);
+
+    #[derive(Debug)]
+    struct Blob(u64);
+    impl_message!(Blob, |m: &Blob| m.0);
+
+    /// Echoes every message back to the sender, counting them.
+    struct Echo {
+        seen: u64,
+    }
+    impl Actor for Echo {
+        fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, _msg: Box<dyn Message>) {
+            self.seen += 1;
+            ctx.incr("echo.seen", 1);
+            if from != NodeId::EXTERNAL {
+                ctx.send(from, Box::new(Tick));
+            }
+        }
+    }
+
+    /// Sends one message to a peer on start, records when the echo returns.
+    struct Pinger {
+        peer: NodeId,
+        bytes: u64,
+    }
+    impl Actor for Pinger {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.send(self.peer, Box::new(Blob(self.bytes)));
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: NodeId, _msg: Box<dyn Message>) {
+            ctx.record("rtt_done", ctx.now().as_secs_f64());
+        }
+    }
+
+    #[test]
+    fn ping_pong_round_trip_time_matches_model() {
+        let mut w = World::new(1, NetConfig { latency: SimDuration::from_millis(1), header_bytes: 0 });
+        let echo = w.add_node(Box::new(Echo { seen: 0 }), NodeConfig::with_bandwidth(1_000_000));
+        let _p = w.add_node(
+            Box::new(Pinger { peer: echo, bytes: 1_000_000 }),
+            NodeConfig::with_bandwidth(1_000_000),
+        );
+        assert_eq!(w.run_to_quiescence(1000), RunOutcome::Quiescent);
+        // Outbound: 1s egress + 1ms + 1s ingress; echo reply is size 0:
+        // + 1ms. Total ≈ 2.002 s.
+        let done = w.metrics().series("rtt_done")[0].value;
+        assert!((done - 2.002).abs() < 1e-6, "got {done}");
+        assert_eq!(w.metrics().counter("echo.seen"), 1);
+    }
+
+    #[test]
+    fn timers_fire_in_order_and_once() {
+        struct T {
+            fired: Vec<u64>,
+        }
+        impl Actor for T {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.set_timer(SimDuration::from_secs(2), 2);
+                ctx.set_timer(SimDuration::from_secs(1), 1);
+                ctx.set_timer(SimDuration::from_secs(3), 3);
+            }
+            fn on_message(&mut self, _c: &mut Ctx<'_>, _f: NodeId, _m: Box<dyn Message>) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+                self.fired.push(token);
+                ctx.record("fired", token as f64);
+            }
+        }
+        let mut w = World::with_seed(7);
+        w.add_node(Box::new(T { fired: vec![] }), NodeConfig::default());
+        w.run_to_quiescence(100);
+        let fired: Vec<f64> = w.metrics().series("fired").iter().map(|s| s.value).collect();
+        assert_eq!(fired, vec![1.0, 2.0, 3.0]);
+        assert_eq!(w.now().as_secs_f64(), 3.0);
+    }
+
+    #[test]
+    fn crashed_nodes_receive_nothing() {
+        let mut w = World::with_seed(3);
+        let echo = w.add_node(Box::new(Echo { seen: 0 }), NodeConfig::default());
+        w.run_to_quiescence(10);
+        w.crash(echo);
+        assert!(!w.is_up(echo));
+        w.send_external(echo, Box::new(Tick));
+        w.run_to_quiescence(10);
+        assert_eq!(w.metrics().counter("echo.seen"), 0);
+    }
+
+    #[test]
+    fn deadline_stops_before_future_events() {
+        let mut w = World::with_seed(3);
+        struct Sleeper;
+        impl Actor for Sleeper {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.set_timer(SimDuration::from_secs(100), 0);
+            }
+            fn on_message(&mut self, _c: &mut Ctx<'_>, _f: NodeId, _m: Box<dyn Message>) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: u64) {
+                ctx.incr("fired", 1);
+            }
+        }
+        w.add_node(Box::new(Sleeper), NodeConfig::default());
+        let out = w.run_for(SimDuration::from_secs(10), 1000);
+        assert_eq!(out, RunOutcome::DeadlineReached);
+        assert_eq!(w.metrics().counter("fired"), 0);
+        assert_eq!(w.now().as_secs_f64(), 10.0);
+        let out = w.run_to_quiescence(1000);
+        assert_eq!(out, RunOutcome::Quiescent);
+        assert_eq!(w.metrics().counter("fired"), 1);
+    }
+
+    #[test]
+    fn event_limit_detects_livelock() {
+        struct Loop {
+            me: Option<NodeId>,
+        }
+        impl Actor for Loop {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                self.me = Some(ctx.id());
+                ctx.set_timer(SimDuration::from_nanos(1), 0);
+            }
+            fn on_message(&mut self, _c: &mut Ctx<'_>, _f: NodeId, _m: Box<dyn Message>) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: u64) {
+                ctx.set_timer(SimDuration::from_nanos(1), 0);
+            }
+        }
+        let mut w = World::with_seed(0);
+        w.add_node(Box::new(Loop { me: None }), NodeConfig::default());
+        assert_eq!(w.run_to_quiescence(100), RunOutcome::EventLimit);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        fn run(seed: u64) -> (u64, f64) {
+            let mut w = World::with_seed(seed);
+            let echo = w.add_node(Box::new(Echo { seen: 0 }), NodeConfig::default());
+            for _ in 0..10 {
+                let _ = w.add_node(
+                    Box::new(Pinger { peer: echo, bytes: 8 << 20 }),
+                    NodeConfig::default(),
+                );
+            }
+            w.run_to_quiescence(10_000);
+            (w.events_processed(), w.now().as_secs_f64())
+        }
+        assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    fn spawn_at_runtime_starts_new_actor() {
+        struct Spawner;
+        impl Actor for Spawner {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.set_timer(SimDuration::from_secs(1), 0);
+            }
+            fn on_message(&mut self, _c: &mut Ctx<'_>, _f: NodeId, _m: Box<dyn Message>) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: u64) {
+                struct Child;
+                impl Actor for Child {
+                    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                        ctx.incr("child.started", 1);
+                    }
+                    fn on_message(&mut self, _c: &mut Ctx<'_>, _f: NodeId, _m: Box<dyn Message>) {}
+                }
+                ctx.spawn(Box::new(Child), NodeConfig::default());
+            }
+        }
+        let mut w = World::with_seed(5);
+        w.add_node(Box::new(Spawner), NodeConfig::default());
+        w.run_to_quiescence(100);
+        assert_eq!(w.metrics().counter("child.started"), 1);
+    }
+}

@@ -1,0 +1,104 @@
+//! Cloud storage through the Cumulus-style S3 gateway (paper §V): bucket
+//! and object semantics, ACLs, range reads and snapshot-isolated
+//! overwrites, all backed by versioned BLOBs.
+//!
+//! ```sh
+//! cargo run --example s3_gateway
+//! ```
+
+use bytes::Bytes;
+use sads::blob::runtime::threaded::ClusterBuilder;
+use sads::blob::ClientId;
+use sads_gateway::{Acl, GatewayConfig, GatewayError, ObjectGateway};
+
+const ALICE: ClientId = ClientId(1);
+const BOB: ClientId = ClientId(2);
+
+fn main() {
+    println!("starting a BlobSeer cluster with an S3-compatible gateway…");
+    let mut cluster = ClusterBuilder::new()
+        .data_providers(6)
+        .meta_providers(2)
+        .provider_capacity(1 << 30)
+        .start();
+    let gw = ObjectGateway::new(
+        cluster.client(ClientId(1000)),
+        GatewayConfig { page_size: 128 * 1024, replication: 2 },
+    );
+
+    // Buckets with S3-style canned ACLs.
+    gw.create_bucket(ALICE, "datasets", Acl::PublicRead).unwrap();
+    gw.create_bucket(ALICE, "scratch", Acl::Private).unwrap();
+    println!("alice created buckets: {:?}", gw.list_buckets(ALICE));
+
+    // Objects of awkward sizes — padding to BLOB pages is invisible.
+    let climate = Bytes::from(
+        (0..300_001u32).map(|i| (i % 251) as u8).collect::<Vec<u8>>(),
+    );
+    let info = gw.put_object(ALICE, "datasets", "climate/run-1.bin", climate.clone()).unwrap();
+    println!(
+        "put datasets/climate/run-1.bin: {} bytes, backing blob {:?} {}",
+        info.size, info.blob, info.version
+    );
+    gw.put_object(ALICE, "datasets", "climate/run-2.bin", Bytes::from(vec![7u8; 50_000]))
+        .unwrap();
+    gw.put_object(ALICE, "datasets", "readme.txt", Bytes::from_static(b"public dataset"))
+        .unwrap();
+
+    // Prefix listing.
+    let runs = gw.list_objects(BOB, "datasets", "climate/", 100).unwrap();
+    println!(
+        "bob lists climate/: {:?}",
+        runs.iter().map(|o| (&o.key, o.size)).collect::<Vec<_>>()
+    );
+
+    // Public read works for anyone; private bucket does not.
+    let body = gw.get_object(BOB, "datasets", "readme.txt").unwrap();
+    println!("bob reads readme.txt: {:?}", std::str::from_utf8(&body).unwrap());
+    gw.put_object(ALICE, "scratch", "secret", Bytes::from_static(b"keep out")).unwrap();
+    match gw.get_object(BOB, "scratch", "secret") {
+        Err(GatewayError::AccessDenied) => println!("bob denied on scratch/secret (ACL)"),
+        other => panic!("expected AccessDenied, got {other:?}"),
+    }
+
+    // Range GET.
+    let range = gw.get_object_range(BOB, "datasets", "climate/run-1.bin", 299_990, 50).unwrap();
+    assert_eq!(&range[..], &climate[299_990..]);
+    println!("range GET of the last 11 bytes verified (clamped at object end)");
+
+    // Overwrites are snapshot-isolated: a pinned reader still sees the
+    // old content after the key is replaced.
+    let pin = gw.head_object(ALICE, "datasets", "climate/run-1.bin").unwrap();
+    gw.put_object(ALICE, "datasets", "climate/run-1.bin", Bytes::from(vec![0u8; 1000]))
+        .unwrap();
+    let old = gw.read_pinned(&pin, 0, pin.size).unwrap();
+    assert_eq!(old, climate);
+    let new = gw.get_object(ALICE, "datasets", "climate/run-1.bin").unwrap();
+    assert_eq!(new.len(), 1000);
+    println!("overwrite published a new version; the pinned GET still served the old one");
+
+    // Concurrent tenants hammer the gateway.
+    let gw = std::sync::Arc::new(gw);
+    let mut handles = Vec::new();
+    for t in 0..4u64 {
+        let gw = std::sync::Arc::clone(&gw);
+        handles.push(std::thread::spawn(move || {
+            let me = ClientId(10 + t);
+            let bucket = format!("tenant-{t}");
+            gw.create_bucket(me, &bucket, Acl::Private).unwrap();
+            for k in 0..8 {
+                let body = Bytes::from(vec![(t * 8 + k) as u8; 64 * 1024 + k as usize]);
+                gw.put_object(me, &bucket, &format!("obj-{k}"), body.clone()).unwrap();
+                let back = gw.get_object(me, &bucket, &format!("obj-{k}")).unwrap();
+                assert_eq!(back, body);
+            }
+            gw.list_objects(me, &bucket, "", 100).unwrap().len()
+        }));
+    }
+    let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    println!("4 tenants stored and verified {total} objects concurrently");
+
+    drop(gw);
+    cluster.shutdown();
+    println!("done.");
+}

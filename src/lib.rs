@@ -1,0 +1,13 @@
+//! # sads — Self-Adaptive Data Management System for Cloud Environments
+//!
+//! Umbrella crate: re-exports [`sads_core`] (the assembled system) and
+//! the subsystem crates. See the repository README for the architecture
+//! overview and the experiment index.
+
+#![warn(missing_docs)]
+
+pub use sads_core::*;
+
+pub use sads_blob as blob;
+pub use sads_gateway as gateway;
+pub use sads_workloads as workloads;
