@@ -73,6 +73,12 @@ pub struct ReplicationManagerService {
     blob_targets: HashMap<BlobId, u32>,
     /// Chunks with a repair in flight.
     repairing: HashSet<ChunkKey>,
+    /// Chunks seen under-replicated on the previous sweep. A repair is
+    /// dispatched only for deficits that persist across two consecutive
+    /// sweeps: the placement view lags the data path (writes are
+    /// instrumented, flushed and polled), so a single-sweep deficit is
+    /// routinely just a replica whose record is still in flight.
+    deficient_prev: HashSet<ChunkKey>,
     /// Repair correlation: req → (chunk, new replica).
     pending: HashMap<u64, (ChunkKey, NodeId)>,
     cursors: HashMap<NodeId, u64>,
@@ -100,6 +106,7 @@ impl ReplicationManagerService {
             meta_providers: Vec::new(),
             blob_targets: HashMap::new(),
             repairing: HashSet::new(),
+            deficient_prev: HashSet::new(),
             pending: HashMap::new(),
             cursors: HashMap::new(),
             next_req: 1,
@@ -149,7 +156,12 @@ impl ReplicationManagerService {
         let live: HashSet<NodeId> = self.live.iter().copied().collect();
         let mut deficit = 0u64;
         let mut repairs = 0usize;
-        let keys: Vec<ChunkKey> = self.placement.keys().copied().collect();
+        let mut deficient_now: HashSet<ChunkKey> = HashSet::new();
+        // Sweep in key order: the round-robin destination cursor makes
+        // placement sensitive to iteration order, and HashMap order varies
+        // per process.
+        let mut keys: Vec<ChunkKey> = self.placement.keys().copied().collect();
+        keys.sort();
         for key in keys {
             let holders = self.placement.get_mut(&key).expect("present");
             // Forget dead replicas.
@@ -162,8 +174,17 @@ impl ReplicationManagerService {
                 continue;
             }
             let target = self.target_for(key.blob) as usize;
-            if holders.len() < target && !self.repairing.contains(&key) {
+            if holders.len() < target {
                 deficit += 1;
+                deficient_now.insert(key);
+                if self.repairing.contains(&key) {
+                    continue;
+                }
+                if !self.deficient_prev.contains(&key) {
+                    // First sighting: give in-flight write records one
+                    // sweep to arrive before spending a repair on it.
+                    continue;
+                }
                 if repairs >= self.cfg.max_repairs_per_sweep {
                     continue;
                 }
@@ -197,6 +218,7 @@ impl ReplicationManagerService {
                 env.incr("repl.trimmed", 1);
             }
         }
+        self.deficient_prev = deficient_now;
         env.record("repl.deficit", deficit as f64);
         env.record("repl.tracked_chunks", self.placement.len() as f64);
     }
@@ -357,6 +379,22 @@ mod tests {
         m.on_msg(env, NodeId(10), mon_msg(MonMsg::ActivityBatch { req: 1, records, last_seq: 4 }));
     }
 
+    /// Two directory-triggered sweeps with the same membership: a deficit
+    /// must persist across consecutive sweeps before a repair goes out.
+    fn sweep_twice(m: &mut ReplicationManagerService, env: &mut TestEnv, req: u64, data: &[u32]) {
+        for r in [req, req + 1] {
+            m.on_msg(
+                env,
+                NodeId(1),
+                Msg::Directory {
+                    req: r,
+                    meta_providers: vec![NodeId(30)],
+                    data_providers: data.iter().map(|p| NodeId(*p)).collect(),
+                },
+            );
+        }
+    }
+
     #[test]
     fn placement_is_learned_from_activity() {
         let mut env = TestEnv::new();
@@ -371,16 +409,9 @@ mod tests {
         let mut env = TestEnv::new();
         let mut m = mgr();
         feed_placement(&mut m, &mut env);
-        // Provider 20 vanishes from the directory.
-        m.on_msg(
-            &mut env,
-            NodeId(1),
-            Msg::Directory {
-                req: 9,
-                meta_providers: vec![NodeId(30)],
-                data_providers: vec![NodeId(21), NodeId(22), NodeId(23)],
-            },
-        );
+        // Provider 20 vanishes from the directory; the deficit is
+        // confirmed on the second sweep.
+        sweep_twice(&mut m, &mut env, 9, &[21, 22, 23]);
         // A ReplicateChunk must go to the surviving holder (21) of chunk 0.
         let (to, repair) = env
             .sent
@@ -409,15 +440,7 @@ mod tests {
         let mut env = TestEnv::new();
         let mut m = mgr();
         feed_placement(&mut m, &mut env);
-        m.on_msg(
-            &mut env,
-            NodeId(1),
-            Msg::Directory {
-                req: 9,
-                meta_providers: vec![NodeId(30)],
-                data_providers: vec![NodeId(21), NodeId(22), NodeId(23)],
-            },
-        );
+        sweep_twice(&mut m, &mut env, 9, &[21, 22, 23]);
         let req = env
             .sent
             .iter()
@@ -458,15 +481,7 @@ mod tests {
             NodeId(40),
             intro_msg(IntroMsg::Snapshot { req: 1, snapshot: Box::new(snapshot) }),
         );
-        m.on_msg(
-            &mut env,
-            NodeId(1),
-            Msg::Directory {
-                req: 9,
-                meta_providers: vec![NodeId(30)],
-                data_providers: vec![NodeId(20), NodeId(21), NodeId(22), NodeId(23)],
-            },
-        );
+        sweep_twice(&mut m, &mut env, 9, &[20, 21, 22, 23]);
         let repairs =
             env.sent.iter().filter(|(_, m)| matches!(m, Msg::ReplicateChunk { .. })).count();
         assert_eq!(repairs, 2, "both chunks get a third replica");

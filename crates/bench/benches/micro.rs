@@ -132,7 +132,7 @@ fn bench_chunk_store(c: &mut Criterion) {
     let mut g = c.benchmark_group("chunk_store");
     g.throughput(Throughput::Elements(1));
     g.bench_function("put_get_delete", |b| {
-        let mut store = ChunkStore::new(1 << 40);
+        let store = ChunkStore::new(1 << 40);
         let mut page = 0u64;
         b.iter(|| {
             page += 1;
@@ -142,6 +142,45 @@ fn bench_chunk_store(c: &mut Criterion) {
             store.delete(&key);
             got.len()
         });
+    });
+    // Reads spread across a populated store, touching every stripe of the
+    // sharded map in turn.
+    g.bench_function("get_sharded_resident", |b| {
+        let store = ChunkStore::new(1 << 40);
+        const RESIDENT: u64 = 4096;
+        for page in 0..RESIDENT {
+            let key = ChunkKey { blob: BLOB, version: VersionId(1), page };
+            store.put(key, Payload::Sim(64 << 10), SimTime::ZERO).unwrap();
+        }
+        let mut page = 0u64;
+        b.iter(|| {
+            page = (page + 1) % RESIDENT;
+            let key = ChunkKey { blob: BLOB, version: VersionId(1), page };
+            store.get(&key, SimTime::ZERO).unwrap().len()
+        });
+    });
+    g.finish();
+}
+
+fn bench_metric_sink(c: &mut Criterion) {
+    use sads_sim::MetricSink;
+    let mut g = c.benchmark_group("metric_sink");
+    g.throughput(Throughput::Elements(1));
+    // The per-event accounting path as the simulator drives it: by name
+    // (one hash probe) and by pre-interned id (one Vec index).
+    g.bench_function("incr_by_name", |b| {
+        let mut m = MetricSink::new();
+        b.iter(|| m.incr("provider.chunks_written", 1));
+    });
+    g.bench_function("incr_by_id", |b| {
+        let mut m = MetricSink::new();
+        let id = m.intern("provider.chunks_written");
+        b.iter(|| m.incr_id(id, 1));
+    });
+    g.bench_function("intern_hit", |b| {
+        let mut m = MetricSink::new();
+        m.intern("client.write_mbps");
+        b.iter(|| m.intern("client.write_mbps"));
     });
     g.finish();
 }
@@ -280,6 +319,7 @@ criterion_group!(
     bench_tree,
     bench_alloc,
     bench_chunk_store,
+    bench_metric_sink,
     bench_monitoring,
     bench_security,
     bench_simulator

@@ -1,0 +1,229 @@
+//! Hot-path performance harness: measures the three paths the runtime
+//! optimisation work targets and emits `results/BENCH_hotpath.json`.
+//!
+//! 1. **Threaded blob layer** — aggregate write and read throughput with
+//!    1–64 concurrent clients against an 8-provider cluster (real threads,
+//!    real bytes).
+//! 2. **S3 gateway** — aggregate PUT/GET throughput at a fixed concurrency.
+//! 3. **Simulation engine** — events per wall-clock second replaying the
+//!    E1 intrusiveness workload (§IV-B of the paper) with full monitoring.
+//!
+//! To compare against a recorded baseline, copy a previous run's output to
+//! `results/BENCH_hotpath_baseline.json`; the next run embeds it under the
+//! `"baseline"` key so before/after numbers live in one artifact.
+//!
+//! Every configuration is measured `REPEATS` times and the best run is
+//! reported. Scheduler noise on a shared single-core host routinely
+//! swings a run by 2x, so the peak is the only stable summary of what
+//! the code can sustain; the same policy must be used for baseline and
+//! candidate (the recorded baseline notes it).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use bytes::Bytes;
+use sads_bench::{out_dir, print_table, row, write_artifact};
+use sads_blob::model::BlobSpec;
+use sads_blob::runtime::threaded::ClusterBuilder;
+use sads_blob::ClientId;
+use sads_core::{Deployment, DeploymentConfig};
+use sads_gateway::{Acl, GatewayConfig, ObjectGateway};
+use sads_sim::{SimDuration, SimTime};
+use sads_workloads::writer_script;
+
+const MB: u64 = 1_000_000;
+const PAGE: u64 = 256 * 1024;
+const OP_SIZE: u64 = 4 * 1024 * 1024; // one write/read call
+const OPS_PER_CLIENT: u64 = 8; // 32 MiB moved per client, each direction
+const REPEATS: usize = 3; // best-of-N per configuration
+
+/// Run `f` `REPEATS` times and keep the element-wise best of the pair.
+fn best_of<F: FnMut() -> (f64, f64)>(mut f: F) -> (f64, f64) {
+    let mut best = (0.0f64, 0.0f64);
+    for _ in 0..REPEATS {
+        let (a, b) = f();
+        best.0 = best.0.max(a);
+        best.1 = best.1.max(b);
+    }
+    best
+}
+
+/// Aggregate threaded write+read MB/s with `clients` concurrent handles.
+fn threaded_run(clients: usize) -> (f64, f64) {
+    let mut cluster = ClusterBuilder::new()
+        .data_providers(8)
+        .meta_providers(2)
+        .provider_capacity(64 << 30)
+        .start();
+    let handles: Vec<_> = (0..clients)
+        .map(|i| cluster.client(ClientId(100 + i as u64)))
+        .collect();
+    let total_bytes = (clients as u64 * OPS_PER_CLIENT * OP_SIZE) as f64;
+
+    // Writes: every client appends OPS_PER_CLIENT ops into its own blob.
+    // The payload buffer is shared per client, so stored chunks are
+    // refcounted views and memory stays bounded at high client counts.
+    let start = Instant::now();
+    let mut threads = Vec::new();
+    for (t, h) in handles.into_iter().enumerate() {
+        threads.push(std::thread::spawn(move || {
+            let blob = h
+                .create(BlobSpec { page_size: PAGE, replication: 1 })
+                .expect("create");
+            let body = Bytes::from(vec![t as u8; OP_SIZE as usize]);
+            for _ in 0..OPS_PER_CLIENT {
+                h.append(blob, body.clone()).expect("append");
+            }
+            (h, blob)
+        }));
+    }
+    let handles: Vec<_> = threads.into_iter().map(|t| t.join().unwrap()).collect();
+    let write_mbps = total_bytes / 1e6 / start.elapsed().as_secs_f64();
+
+    // Reads: every client reads its blob back in OP_SIZE chunks.
+    let start = Instant::now();
+    let mut threads = Vec::new();
+    for (h, blob) in handles {
+        threads.push(std::thread::spawn(move || {
+            for k in 0..OPS_PER_CLIENT {
+                let data = h.read(blob, None, k * OP_SIZE, OP_SIZE).expect("read");
+                assert_eq!(data.len() as u64, OP_SIZE);
+            }
+        }));
+    }
+    for t in threads {
+        t.join().unwrap();
+    }
+    let read_mbps = total_bytes / 1e6 / start.elapsed().as_secs_f64();
+
+    cluster.shutdown();
+    (write_mbps, read_mbps)
+}
+
+/// Aggregate gateway PUT/GET MB/s at fixed concurrency (E6's shape).
+fn gateway_run(concurrency: usize) -> (f64, f64) {
+    const OBJ_SIZE: usize = 4 << 20;
+    const OBJS: usize = 8;
+    let mut cluster = ClusterBuilder::new()
+        .data_providers(8)
+        .meta_providers(2)
+        .provider_capacity(8 << 30)
+        .start();
+    let pool: Vec<_> = (0..concurrency)
+        .map(|i| cluster.client(ClientId(1000 + i as u64)))
+        .collect();
+    let gw = Arc::new(ObjectGateway::with_clients(
+        pool,
+        GatewayConfig { page_size: 1 << 20, replication: 1 },
+    ));
+    gw.create_bucket(ClientId(0), "bench", Acl::PublicRead).unwrap();
+    let total_bytes = (concurrency * OBJS * OBJ_SIZE) as f64;
+
+    let start = Instant::now();
+    let mut threads = Vec::new();
+    for t in 0..concurrency {
+        let gw = Arc::clone(&gw);
+        threads.push(std::thread::spawn(move || {
+            let body = Bytes::from(vec![t as u8; OBJ_SIZE]);
+            for k in 0..OBJS {
+                gw.put_object(ClientId(0), "bench", &format!("t{t}/o{k}"), body.clone())
+                    .unwrap();
+            }
+        }));
+    }
+    for h in threads {
+        h.join().unwrap();
+    }
+    let put_mbps = total_bytes / 1e6 / start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let mut threads = Vec::new();
+    for t in 0..concurrency {
+        let gw = Arc::clone(&gw);
+        threads.push(std::thread::spawn(move || {
+            for k in 0..OBJS {
+                let body = gw.get_object(ClientId(0), "bench", &format!("t{t}/o{k}")).unwrap();
+                assert_eq!(body.len(), OBJ_SIZE);
+            }
+        }));
+    }
+    for h in threads {
+        h.join().unwrap();
+    }
+    let get_mbps = total_bytes / 1e6 / start.elapsed().as_secs_f64();
+
+    drop(gw);
+    cluster.shutdown();
+    (put_mbps, get_mbps)
+}
+
+/// Simulator throughput on the E1 workload: 20 clients × 1 GB streaming
+/// writes against 150 monitored data providers. Returns
+/// `(events, wall_s, events_per_sec)`.
+fn sim_run() -> (u64, f64, f64) {
+    let clients = 20u64;
+    let cfg = DeploymentConfig {
+        seed: 1000 + clients,
+        data_providers: 150,
+        meta_providers: 8,
+        monitors: 4,
+        storage_servers: 4,
+        ..DeploymentConfig::default()
+    };
+    let mut d = Deployment::build(cfg);
+    let spec = BlobSpec { page_size: 8 * MB, replication: 1 };
+    for i in 0..clients {
+        let script = writer_script(spec, 1_000 * MB, 128 * MB, SimTime(2_000_000_000));
+        d.add_client(ClientId(10 + i), script, "client");
+    }
+    let start = Instant::now();
+    d.world.run_for(SimDuration::from_secs(120), 200_000_000);
+    let wall = start.elapsed().as_secs_f64();
+    assert_eq!(d.world.metrics().counter("client.ops_err"), 0, "sim client ops failed");
+    let events = d.world.events_processed();
+    (events, wall, events as f64 / wall)
+}
+
+fn main() {
+    println!("perf: hot-path harness (threaded blob, gateway, sim engine)\n");
+
+    let mut rows = vec![row!["clients", "write_MBps", "read_MBps"]];
+    let mut threaded_json = String::from("[");
+    for (i, clients) in [1usize, 2, 4, 8, 16, 32, 64].into_iter().enumerate() {
+        let (w, r) = best_of(|| threaded_run(clients));
+        rows.push(row![clients, format!("{w:.0}"), format!("{r:.0}")]);
+        if i > 0 {
+            threaded_json.push(',');
+        }
+        threaded_json.push_str(&format!(
+            "\n    {{\"clients\": {clients}, \"write_mbps\": {w:.1}, \"read_mbps\": {r:.1}}}"
+        ));
+    }
+    threaded_json.push_str("\n  ]");
+    print_table(&rows);
+
+    let (put, get) = best_of(|| gateway_run(8));
+    println!("\ngateway (8 clients): PUT {put:.0} MB/s, GET {get:.0} MB/s");
+
+    let (mut events, mut wall, mut eps) = sim_run();
+    for _ in 1..REPEATS {
+        let (e, w, r) = sim_run();
+        if r > eps {
+            (events, wall, eps) = (e, w, r);
+        }
+    }
+    println!("sim E1 (20 clients x 1 GB, monitored): {events} events in {wall:.2}s = {eps:.0} events/s");
+
+    let baseline = std::fs::read_to_string(out_dir().join("BENCH_hotpath_baseline.json"))
+        .map(|s| s.trim().to_owned())
+        .unwrap_or_else(|_| "null".to_owned());
+
+    let json = format!(
+        "{{\n  \"repeats\": {REPEATS}, \"policy\": \"best\",\n  \
+         \"threaded\": {threaded_json},\n  \
+         \"gateway\": {{\"clients\": 8, \"put_mbps\": {put:.1}, \"get_mbps\": {get:.1}}},\n  \
+         \"sim_e1\": {{\"events\": {events}, \"wall_s\": {wall:.3}, \"events_per_sec\": {eps:.0}}},\n  \
+         \"baseline\": {baseline}\n}}\n"
+    );
+    write_artifact("BENCH_hotpath.json", &json);
+}

@@ -130,6 +130,16 @@ pub struct ClientConfig {
     /// zero bytes for holes (simulated deployments keep size-only
     /// payloads).
     pub materialize_zeros: bool,
+    /// Maximum chunk transfers (puts or gets) in flight per operation.
+    /// Completed transfers refill the window from the pending queue, so
+    /// chunk I/O to distinct providers pipelines while memory and provider
+    /// backlog stay bounded. `0` means unbounded (burst everything).
+    pub chunk_window: usize,
+    /// Capacity (node count) of the client-side metadata-node cache.
+    /// Metadata nodes are immutable once published, so cached nodes are
+    /// never stale; hits skip whole rounds of the tree descent. `0`
+    /// disables the cache.
+    pub meta_cache_nodes: usize,
 }
 
 impl Default for ClientConfig {
@@ -138,6 +148,42 @@ impl Default for ClientConfig {
             op_timeout: SimDuration::from_secs(600),
             chunk_timeout: SimDuration::from_secs(15),
             materialize_zeros: false,
+            chunk_window: 32,
+            meta_cache_nodes: 4096,
+        }
+    }
+}
+
+/// Bounded FIFO cache of immutable metadata nodes. Because a `NodeKey`
+/// names a node created by exactly one (never-rewritten) version, any
+/// cached entry is valid forever; eviction exists only to bound memory.
+#[derive(Debug, Default)]
+struct MetaCache {
+    cap: usize,
+    map: HashMap<NodeKey, MetaNode>,
+    order: std::collections::VecDeque<NodeKey>,
+}
+
+impl MetaCache {
+    fn new(cap: usize) -> Self {
+        MetaCache { cap, map: HashMap::new(), order: std::collections::VecDeque::new() }
+    }
+
+    fn get(&self, k: &NodeKey) -> Option<&MetaNode> {
+        self.map.get(k)
+    }
+
+    fn insert(&mut self, k: NodeKey, n: MetaNode) {
+        if self.cap == 0 {
+            return;
+        }
+        if self.map.insert(k, n).is_none() {
+            self.order.push_back(k);
+            while self.map.len() > self.cap {
+                if let Some(old) = self.order.pop_front() {
+                    self.map.remove(&old);
+                }
+            }
         }
     }
 }
@@ -161,6 +207,9 @@ struct WriteSess {
     builder: Option<TreeBuilder>,
     root: Option<crate::meta::NodeRef>,
     phase: WritePhase,
+    /// Chunk stores not yet issued (kept reversed so `pop()` yields the
+    /// next job); the in-flight window refills from here.
+    pending_puts: Vec<(NodeId, Vec<(ChunkKey, Payload)>)>,
 }
 
 #[derive(Debug)]
@@ -180,15 +229,18 @@ struct ReadSess {
     page0: u64,
     parts: Vec<Option<Payload>>,
     phase: ReadPhase,
+    /// Chunk fetches not yet issued (reversed; `pop()` yields the next
+    /// job); the in-flight window refills from here.
+    pending_gets: Vec<(usize, ChunkDescriptor)>,
 }
 
 #[derive(Debug)]
 enum SessKind {
     Create,
-    // Boxed: write sessions embed the tree builder and are much larger
-    // than the other variants.
+    // Boxed: write and read sessions embed builders, descriptor tables
+    // and pending queues, and are much larger than the other variants.
     Write(Box<WriteSess>),
-    Read(ReadSess),
+    Read(Box<ReadSess>),
 }
 
 #[derive(Debug)]
@@ -231,6 +283,10 @@ pub struct ClientCore {
     req_index: HashMap<u64, (u64, ReqRole)>,
     next_req: u64,
     next_sid: u64,
+    /// Metadata nodes seen (fetched or written) by this client. Nodes are
+    /// immutable, so hits skip whole descent rounds with no coherence
+    /// protocol.
+    meta_cache: MetaCache,
 }
 
 impl ClientCore {
@@ -254,6 +310,7 @@ impl ClientCore {
             req_index: HashMap::new(),
             next_req: 1,
             next_sid: 1,
+            meta_cache: MetaCache::new(cfg.meta_cache_nodes),
         }
     }
 
@@ -302,6 +359,7 @@ impl ClientCore {
                     builder: None,
                     root: None,
                     phase: WritePhase::Ticket,
+                    pending_puts: Vec::new(),
                 }));
                 let len = match &sess.kind {
                     SessKind::Write(w) => w.data.len(),
@@ -313,7 +371,7 @@ impl ClientCore {
                 env.send(self.vman, Msg::Ticket { req, client: self.id, blob, kind, len });
             }
             ClientOp::Read { blob, version, offset, len } => {
-                sess.kind = SessKind::Read(ReadSess {
+                sess.kind = SessKind::Read(Box::new(ReadSess {
                     blob,
                     offset,
                     len,
@@ -322,7 +380,8 @@ impl ClientCore {
                     page0: 0,
                     parts: Vec::new(),
                     phase: ReadPhase::Version,
-                });
+                    pending_gets: Vec::new(),
+                }));
                 let req = self.fresh_req(sid, ReqRole::Plain);
                 sess.outstanding.insert(req);
                 self.sessions.insert(sid, sess);
@@ -378,6 +437,8 @@ impl ClientCore {
             &self.meta_providers,
             self.cfg.materialize_zeros,
             self.cfg.chunk_timeout,
+            self.cfg.chunk_window,
+            &mut self.meta_cache,
             &mut self.next_req,
             &mut self.req_index,
             sid,
@@ -413,6 +474,8 @@ impl ClientCore {
         meta_providers: &[NodeId],
         materialize_zeros: bool,
         chunk_timeout: SimDuration,
+        chunk_window: usize,
+        meta_cache: &mut MetaCache,
         next_req: &mut u64,
         req_index: &mut HashMap<u64, (u64, ReqRole)>,
         sid: u64,
@@ -474,20 +537,37 @@ impl ClientCore {
                             size: page,
                         })
                         .collect();
+                    // Group replica stores by target provider (first-seen
+                    // order, so the schedule stays deterministic), then
+                    // open the in-flight window; each ack refills one
+                    // slot, so chunk I/O pipelines across providers while
+                    // the client's memory and the number of in-flight
+                    // requests stay bounded. A provider holding several of
+                    // this write's chunks gets them in one batched round
+                    // trip instead of one request per chunk.
+                    let mut jobs: Vec<(NodeId, Vec<(ChunkKey, Payload)>)> = Vec::new();
                     for (i, desc) in w.chunks.iter().enumerate() {
                         let slice = w.data.slice(i as u64 * page, page);
                         for replica in &desc.replicas {
-                            let req = fresh(&mut sess.outstanding, ReqRole::Plain);
-                            env.send(
-                                *replica,
-                                Msg::PutChunk {
-                                    req,
-                                    client,
-                                    key: desc.key,
-                                    data: slice.clone(),
-                                },
-                            );
+                            match jobs.iter_mut().find(|(t, _)| t == replica) {
+                                Some((_, items)) => items.push((desc.key, slice.clone())),
+                                None => jobs.push((*replica, vec![(desc.key, slice.clone())])),
+                            }
                         }
+                    }
+                    jobs.reverse(); // pop() = next batch, in first-seen order
+                    w.pending_puts = jobs;
+                    let window = if chunk_window == 0 { usize::MAX } else { chunk_window };
+                    while sess.outstanding.len() < window {
+                        let Some((target, items)) = w.pending_puts.pop() else { break };
+                        Self::issue_chunk_put(
+                            client,
+                            &mut fresh,
+                            &mut sess.outstanding,
+                            target,
+                            items,
+                            env,
+                        );
                     }
                     w.phase = WritePhase::Chunks;
                     Step::Continue
@@ -503,6 +583,17 @@ impl ClientCore {
                 ),
 
                 (WritePhase::Chunks, Msg::PutChunkOk { .. }) => {
+                    // A slot freed: issue the next queued batch, if any.
+                    if let Some((target, items)) = w.pending_puts.pop() {
+                        Self::issue_chunk_put(
+                            client,
+                            &mut fresh,
+                            &mut sess.outstanding,
+                            target,
+                            items,
+                            env,
+                        );
+                    }
                     if !sess.outstanding.is_empty() {
                         w.phase = WritePhase::Chunks;
                         return Step::Continue;
@@ -519,7 +610,7 @@ impl ClientCore {
                         ticket.pending.clone(),
                     );
                     w.builder = Some(builder);
-                    Self::write_meta_step(client, meta_providers, &mut fresh, sess, env)
+                    Self::write_meta_step(client, meta_providers, meta_cache, &mut fresh, sess, env)
                 }
                 (WritePhase::Chunks, Msg::PutChunkErr { err, .. }) => {
                     Step::Done(Err(chunk_err(err, client)), 0)
@@ -529,7 +620,10 @@ impl ClientCore {
                     let builder = w.builder.as_mut().expect("builder set");
                     for (k, n) in nodes {
                         match n {
-                            Some(node) => builder.supply(k, &node),
+                            Some(node) => {
+                                builder.supply(k, &node);
+                                meta_cache.insert(k, node);
+                            }
                             None => return Step::Done(Err(BlobError::MetaUnavailable), 0),
                         }
                     }
@@ -537,7 +631,7 @@ impl ClientCore {
                         w.phase = WritePhase::MetaResolve;
                         return Step::Continue;
                     }
-                    Self::write_meta_step(client, meta_providers, &mut fresh, sess, env)
+                    Self::write_meta_step(client, meta_providers, meta_cache, &mut fresh, sess, env)
                 }
 
                 (WritePhase::MetaPut, Msg::PutMetaOk { .. }) => {
@@ -619,6 +713,8 @@ impl ClientCore {
                         meta_providers,
                         materialize_zeros,
                         chunk_timeout,
+                        chunk_window,
+                        meta_cache,
                         &mut fresh,
                         sess,
                         env,
@@ -630,7 +726,10 @@ impl ClientCore {
                     let reader = r.reader.as_mut().expect("reader set");
                     for (k, n) in nodes {
                         match n {
-                            Some(node) => reader.supply(k, &node),
+                            Some(node) => {
+                                reader.supply(k, &node);
+                                meta_cache.insert(k, node);
+                            }
                             None => return Step::Done(Err(BlobError::MetaUnavailable), 0),
                         }
                     }
@@ -643,6 +742,8 @@ impl ClientCore {
                         meta_providers,
                         materialize_zeros,
                         chunk_timeout,
+                        chunk_window,
+                        meta_cache,
                         &mut fresh,
                         sess,
                         env,
@@ -651,6 +752,18 @@ impl ClientCore {
 
                 (ReadPhase::Chunks, Msg::GetChunkOk { data, .. }, ReqRole::ChunkGet { idx, .. }) => {
                     r.parts[idx] = Some(data);
+                    // A slot freed: issue the next queued fetch, if any.
+                    if let Some((nidx, ndesc)) = r.pending_gets.pop() {
+                        Self::issue_chunk_get(
+                            client,
+                            chunk_timeout,
+                            &mut fresh,
+                            &mut sess.outstanding,
+                            nidx,
+                            ndesc,
+                            env,
+                        );
+                    }
                     if sess.outstanding.is_empty() {
                         return Self::assemble(sess, materialize_zeros);
                     }
@@ -690,27 +803,48 @@ impl ClientCore {
     fn write_meta_step(
         client: ClientId,
         meta_providers: &[NodeId],
+        meta_cache: &mut MetaCache,
         fresh: &mut dyn FnMut(&mut HashSet<u64>, ReqRole) -> u64,
         sess: &mut Session,
         env: &mut dyn Env,
     ) -> Step {
         let SessKind::Write(w) = &mut sess.kind else { unreachable!() };
         let builder = w.builder.as_mut().expect("builder set");
-        if !builder.is_ready() {
+        // Descend as far as the node cache carries us; only go remote for
+        // keys the cache cannot serve, and only once no descent advanced.
+        while !builder.is_ready() {
             let fetches = builder.needed_fetches();
             debug_assert!(!fetches.is_empty());
-            for (target, keys) in group_by_partition(&fetches, meta_providers) {
-                let req = fresh(&mut sess.outstanding, ReqRole::MetaGet);
-                env.send(target, Msg::GetMeta { req, keys });
+            let mut missing: Vec<NodeKey> = Vec::new();
+            let mut hits = 0usize;
+            for k in &fetches {
+                match meta_cache.get(k) {
+                    Some(n) => {
+                        builder.supply(*k, n);
+                        hits += 1;
+                    }
+                    None => missing.push(*k),
+                }
             }
-            w.phase = WritePhase::MetaResolve;
-            return Step::Continue;
+            if hits == 0 {
+                for (target, keys) in group_by_partition(&missing, meta_providers) {
+                    let req = fresh(&mut sess.outstanding, ReqRole::MetaGet);
+                    env.send(target, Msg::GetMeta { req, keys });
+                }
+                w.phase = WritePhase::MetaResolve;
+                return Step::Continue;
+            }
+            // Some descent advanced; recompute the frontier before
+            // deciding what (if anything) must still be fetched.
         }
         // Resolved: emit nodes and store them.
         let (nodes, root) = builder.build(&w.chunks);
         w.root = Some(root);
         let mut per_provider: HashMap<NodeId, Vec<(NodeKey, MetaNode)>> = HashMap::new();
         for (k, n) in nodes {
+            // The writer will likely read (or extend) this version soon:
+            // warm the cache with the nodes we just built.
+            meta_cache.insert(k, n.clone());
             let target = meta_providers[partition(&k, meta_providers.len())];
             per_provider.entry(target).or_default().push((k, n));
         }
@@ -734,27 +868,44 @@ impl ClientCore {
         meta_providers: &[NodeId],
         materialize_zeros: bool,
         chunk_timeout: SimDuration,
+        chunk_window: usize,
+        meta_cache: &mut MetaCache,
         fresh: &mut dyn FnMut(&mut HashSet<u64>, ReqRole) -> u64,
         sess: &mut Session,
         env: &mut dyn Env,
     ) -> Step {
         let SessKind::Read(r) = &mut sess.kind else { unreachable!() };
         let reader = r.reader.as_mut().expect("reader set");
-        if !reader.is_done() {
+        // Descend through cached nodes without leaving the client; a warm
+        // cache turns the whole level-by-level descent into local work.
+        while !reader.is_done() {
             let fetches = reader.needed_fetches();
             debug_assert!(!fetches.is_empty());
-            for (target, keys) in group_by_partition(&fetches, meta_providers) {
-                let req = fresh(&mut sess.outstanding, ReqRole::MetaGet);
-                env.send(target, Msg::GetMeta { req, keys });
+            let mut missing: Vec<NodeKey> = Vec::new();
+            let mut hits = 0usize;
+            for k in &fetches {
+                match meta_cache.get(k) {
+                    Some(n) => {
+                        reader.supply(*k, n);
+                        hits += 1;
+                    }
+                    None => missing.push(*k),
+                }
             }
-            r.phase = ReadPhase::Meta;
-            return Step::Continue;
+            if hits == 0 {
+                for (target, keys) in group_by_partition(&missing, meta_providers) {
+                    let req = fresh(&mut sess.outstanding, ReqRole::MetaGet);
+                    env.send(target, Msg::GetMeta { req, keys });
+                }
+                r.phase = ReadPhase::Meta;
+                return Step::Continue;
+            }
         }
         let reader = r.reader.take().expect("reader set");
         let info = r.info.as_ref().expect("info set");
         let page = info.page_size;
         let sources = reader.into_sources();
-        let mut any_chunk = false;
+        let mut jobs: Vec<(usize, ChunkDescriptor)> = Vec::new();
         for (idx, src) in sources.into_iter().enumerate() {
             match src {
                 PageSource::Hole { .. } => {
@@ -768,25 +919,68 @@ impl ClientCore {
                     // the page was never stored, read it as zeros.
                     r.parts[idx] = Some(Payload::Sim(page));
                 }
-                PageSource::Chunk(desc) => {
-                    any_chunk = true;
-                    let first = env.rng().random_range(0..desc.replicas.len());
-                    let target = desc.replicas[first];
-                    let key = desc.key;
-                    let req = fresh(
-                        &mut sess.outstanding,
-                        ReqRole::ChunkGet { idx, desc, first, attempts: 1 },
-                    );
-                    env.send(target, Msg::GetChunk { req, client, key });
-                    env.set_timer(chunk_timeout, CLIENT_TIMER_BIT | CHUNK_TIMEOUT_BIT | req);
-                }
+                PageSource::Chunk(desc) => jobs.push((idx, desc)),
             }
         }
-        if !any_chunk {
+        if jobs.is_empty() {
             return Self::assemble(sess, materialize_zeros);
+        }
+        // Open the fetch window; each GetChunkOk refills one slot.
+        jobs.reverse(); // pop() = next job, in page order
+        r.pending_gets = jobs;
+        let window = if chunk_window == 0 { usize::MAX } else { chunk_window };
+        while sess.outstanding.len() < window {
+            let Some((idx, desc)) = r.pending_gets.pop() else { break };
+            Self::issue_chunk_get(
+                client,
+                chunk_timeout,
+                fresh,
+                &mut sess.outstanding,
+                idx,
+                desc,
+                env,
+            );
         }
         r.phase = ReadPhase::Chunks;
         Step::Continue
+    }
+
+    /// Send one provider's queued chunk stores: a lone chunk as a plain
+    /// `PutChunk`, several as one `PutChunkBatch` round trip.
+    fn issue_chunk_put(
+        client: ClientId,
+        fresh: &mut dyn FnMut(&mut HashSet<u64>, ReqRole) -> u64,
+        outstanding: &mut HashSet<u64>,
+        target: NodeId,
+        mut items: Vec<(ChunkKey, Payload)>,
+        env: &mut dyn Env,
+    ) {
+        let req = fresh(outstanding, ReqRole::Plain);
+        if items.len() == 1 {
+            let (key, data) = items.pop().expect("one item");
+            env.send(target, Msg::PutChunk { req, client, key, data });
+        } else {
+            env.send(target, Msg::PutChunkBatch { req, client, items });
+        }
+    }
+
+    /// Send one chunk fetch to a randomly chosen replica, arming the
+    /// per-chunk failover timer.
+    fn issue_chunk_get(
+        client: ClientId,
+        chunk_timeout: SimDuration,
+        fresh: &mut dyn FnMut(&mut HashSet<u64>, ReqRole) -> u64,
+        outstanding: &mut HashSet<u64>,
+        idx: usize,
+        desc: ChunkDescriptor,
+        env: &mut dyn Env,
+    ) {
+        let first = env.rng().random_range(0..desc.replicas.len());
+        let target = desc.replicas[first];
+        let key = desc.key;
+        let req = fresh(outstanding, ReqRole::ChunkGet { idx, desc, first, attempts: 1 });
+        env.send(target, Msg::GetChunk { req, client, key });
+        env.set_timer(chunk_timeout, CLIENT_TIMER_BIT | CHUNK_TIMEOUT_BIT | req);
     }
 
     /// All parts present: splice the requested byte range out of the page
@@ -797,6 +991,20 @@ impl ClientCore {
         let page = info.page_size;
         let skip = r.offset - r.page0 * page;
         let total = r.len;
+        // Zero-copy fast path: a range inside a single real-data page is
+        // served as a refcounted sub-slice of the stored chunk — no copy
+        // from provider buffer to client buffer anywhere on the path.
+        if r.parts.len() == 1 {
+            if let Some(Payload::Data(b)) = &r.parts[0] {
+                if (skip + total) as usize <= b.len() {
+                    let data = Payload::Data(b.slice(skip as usize..(skip + total) as usize));
+                    return Step::Done(
+                        Ok(OpOutput::Read { data, version: info.version }),
+                        total,
+                    );
+                }
+            }
+        }
         // Real bytes iff every non-hole part carries real bytes and the
         // deployment stores real data; holes become zero bytes then.
         let any_real = r.parts.iter().flatten().any(|p| matches!(p, Payload::Data(_)));

@@ -1,12 +1,27 @@
 //! Data-provider storage: a bounded in-memory chunk store with access
 //! accounting (feeding the introspection layer and the data-removal
 //! strategies).
+//!
+//! The store is sharded: keys stripe across independently locked shards
+//! so concurrent readers and writers on different shards never contend.
+//! All operations take `&self`, which lets one store be shared across
+//! threads behind an `Arc` (the threaded runtime's data plane) while the
+//! simulated runtime drives it single-threaded with zero semantic
+//! difference. Byte payloads are reference-counted [`Payload`] views, so
+//! a `get` hands back the stored bytes without copying them.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
+use parking_lot::Mutex;
 use sads_sim::SimTime;
 
 use crate::model::{BlobId, ChunkKey, Payload};
+
+/// Number of lock stripes. A small power of two: enough to make chunk
+/// operations from a handful of concurrent clients collision-free, small
+/// enough that whole-store scans stay cheap.
+const SHARDS: usize = 16;
 
 /// Per-chunk bookkeeping kept alongside the payload.
 #[derive(Debug, Clone, Copy)]
@@ -26,16 +41,33 @@ pub enum PutError {
     Full,
 }
 
+#[derive(Debug, Default)]
+struct Shard {
+    chunks: HashMap<ChunkKey, (Payload, ChunkMeta)>,
+}
+
 /// Bounded in-memory chunk store — the storage engine of one data
-/// provider.
+/// provider. Sharded and internally synchronized; see the module docs.
 #[derive(Debug)]
 pub struct ChunkStore {
     capacity: u64,
-    used: u64,
-    chunks: HashMap<ChunkKey, (Payload, ChunkMeta)>,
-    total_puts: u64,
-    total_gets: u64,
-    total_misses: u64,
+    used: AtomicU64,
+    items: AtomicU64,
+    shards: Box<[Mutex<Shard>]>,
+    total_puts: AtomicU64,
+    total_gets: AtomicU64,
+    total_misses: AtomicU64,
+}
+
+fn shard_of(key: &ChunkKey) -> usize {
+    // Pages of one blob version spread round-robin over the stripes;
+    // mix in blob and version so distinct blobs do not collide in step.
+    let h = key
+        .page
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(key.blob.0.wrapping_mul(0x85eb_ca6b))
+        .wrapping_add(key.version.0);
+    (h as usize) & (SHARDS - 1)
 }
 
 impl ChunkStore {
@@ -43,43 +75,52 @@ impl ChunkStore {
     pub fn new(capacity: u64) -> Self {
         ChunkStore {
             capacity,
-            used: 0,
-            chunks: HashMap::new(),
-            total_puts: 0,
-            total_gets: 0,
-            total_misses: 0,
+            used: AtomicU64::new(0),
+            items: AtomicU64::new(0),
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            total_puts: AtomicU64::new(0),
+            total_gets: AtomicU64::new(0),
+            total_misses: AtomicU64::new(0),
         }
     }
 
     /// Store a chunk. Idempotent for retransmissions (an existing key is
     /// kept, counted as success, and not double-charged).
-    pub fn put(&mut self, key: ChunkKey, data: Payload, now: SimTime) -> Result<(), PutError> {
-        if self.chunks.contains_key(&key) {
-            self.total_puts += 1;
+    pub fn put(&self, key: ChunkKey, data: Payload, now: SimTime) -> Result<(), PutError> {
+        let mut shard = self.shards[shard_of(&key)].lock();
+        if shard.chunks.contains_key(&key) {
+            self.total_puts.fetch_add(1, Ordering::Relaxed);
             return Ok(());
         }
         let size = data.len();
-        if self.used + size > self.capacity {
+        // Reserve capacity optimistically; roll back on overflow. The
+        // shard lock is held, so the same key cannot double-reserve.
+        let prev = self.used.fetch_add(size, Ordering::Relaxed);
+        if prev + size > self.capacity {
+            self.used.fetch_sub(size, Ordering::Relaxed);
             return Err(PutError::Full);
         }
-        self.used += size;
-        self.total_puts += 1;
-        self.chunks
+        self.items.fetch_add(1, Ordering::Relaxed);
+        self.total_puts.fetch_add(1, Ordering::Relaxed);
+        shard
+            .chunks
             .insert(key, (data, ChunkMeta { stored_at: now, last_access: now, reads: 0 }));
         Ok(())
     }
 
-    /// Fetch a chunk, updating access accounting.
-    pub fn get(&mut self, key: &ChunkKey, now: SimTime) -> Option<Payload> {
-        self.total_gets += 1;
-        match self.chunks.get_mut(key) {
+    /// Fetch a chunk, updating access accounting. The returned payload is
+    /// a reference-counted view of the stored bytes — no copy.
+    pub fn get(&self, key: &ChunkKey, now: SimTime) -> Option<Payload> {
+        self.total_gets.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shards[shard_of(key)].lock();
+        match shard.chunks.get_mut(key) {
             Some((data, meta)) => {
                 meta.last_access = now;
                 meta.reads += 1;
                 Some(data.clone())
             }
             None => {
-                self.total_misses += 1;
+                self.total_misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
@@ -87,37 +128,39 @@ impl ChunkStore {
 
     /// Peek a chunk's payload without touching accounting (replication
     /// repair reads use this so repair traffic does not look like heat).
-    pub fn peek(&self, key: &ChunkKey) -> Option<&Payload> {
-        self.chunks.get(key).map(|(d, _)| d)
+    pub fn peek(&self, key: &ChunkKey) -> Option<Payload> {
+        self.shards[shard_of(key)].lock().chunks.get(key).map(|(d, _)| d.clone())
     }
 
     /// Accounting for one chunk.
-    pub fn meta(&self, key: &ChunkKey) -> Option<&ChunkMeta> {
-        self.chunks.get(key).map(|(_, m)| m)
+    pub fn meta(&self, key: &ChunkKey) -> Option<ChunkMeta> {
+        self.shards[shard_of(key)].lock().chunks.get(key).map(|(_, m)| *m)
     }
 
     /// Delete a chunk; returns the freed bytes.
-    pub fn delete(&mut self, key: &ChunkKey) -> Option<u64> {
-        self.chunks.remove(key).map(|(d, _)| {
+    pub fn delete(&self, key: &ChunkKey) -> Option<u64> {
+        let mut shard = self.shards[shard_of(key)].lock();
+        shard.chunks.remove(key).map(|(d, _)| {
             let n = d.len();
-            self.used -= n;
+            self.used.fetch_sub(n, Ordering::Relaxed);
+            self.items.fetch_sub(1, Ordering::Relaxed);
             n
         })
     }
 
     /// Number of chunks held.
     pub fn len(&self) -> usize {
-        self.chunks.len()
+        self.items.load(Ordering::Relaxed) as usize
     }
 
     /// Is the store empty?
     pub fn is_empty(&self) -> bool {
-        self.chunks.is_empty()
+        self.len() == 0
     }
 
     /// Bytes currently stored.
     pub fn used(&self) -> u64 {
-        self.used
+        self.used.load(Ordering::Relaxed)
     }
 
     /// Capacity in bytes.
@@ -130,38 +173,57 @@ impl ChunkStore {
         if self.capacity == 0 {
             0.0
         } else {
-            self.used as f64 / self.capacity as f64
+            self.used() as f64 / self.capacity as f64
         }
     }
 
     /// Total successful+idempotent puts since creation.
     pub fn total_puts(&self) -> u64 {
-        self.total_puts
+        self.total_puts.load(Ordering::Relaxed)
     }
 
     /// Total gets (hits + misses).
     pub fn total_gets(&self) -> u64 {
-        self.total_gets
+        self.total_gets.load(Ordering::Relaxed)
     }
 
     /// Gets that found nothing.
     pub fn total_misses(&self) -> u64 {
-        self.total_misses
+        self.total_misses.load(Ordering::Relaxed)
     }
 
-    /// Iterate `(key, meta)` pairs — removal strategies scan this.
-    pub fn iter_meta(&self) -> impl Iterator<Item = (&ChunkKey, &ChunkMeta)> {
-        self.chunks.iter().map(|(k, (_, m))| (k, m))
+    /// Snapshot of `(key, meta)` pairs, sorted by key — removal
+    /// strategies scan this. (Sorted so strategy decisions are
+    /// deterministic regardless of hash order.)
+    pub fn iter_meta(&self) -> Vec<(ChunkKey, ChunkMeta)> {
+        let mut out = Vec::with_capacity(self.len());
+        for shard in self.shards.iter() {
+            let s = shard.lock();
+            out.extend(s.chunks.iter().map(|(k, (_, m))| (*k, *m)));
+        }
+        out.sort_by_key(|(k, _)| *k);
+        out
     }
 
-    /// All keys belonging to one blob (decommission / GC helper).
+    /// All keys belonging to one blob, sorted (decommission / GC helper).
     pub fn keys_of_blob(&self, blob: BlobId) -> Vec<ChunkKey> {
-        self.chunks.keys().filter(|k| k.blob == blob).copied().collect()
+        let mut out = Vec::new();
+        for shard in self.shards.iter() {
+            let s = shard.lock();
+            out.extend(s.chunks.keys().filter(|k| k.blob == blob).copied());
+        }
+        out.sort();
+        out
     }
 
-    /// All keys (drain helper for decommissioning a provider).
+    /// All keys, sorted (drain helper for decommissioning a provider).
     pub fn all_keys(&self) -> Vec<ChunkKey> {
-        self.chunks.keys().copied().collect()
+        let mut out = Vec::with_capacity(self.len());
+        for shard in self.shards.iter() {
+            out.extend(shard.lock().chunks.keys().copied());
+        }
+        out.sort();
+        out
     }
 }
 
@@ -180,7 +242,7 @@ mod tests {
 
     #[test]
     fn put_get_delete_with_capacity_accounting() {
-        let mut s = ChunkStore::new(100);
+        let s = ChunkStore::new(100);
         s.put(key(0), Payload::Sim(60), t(0)).unwrap();
         assert_eq!(s.used(), 60);
         assert_eq!(s.put(key(1), Payload::Sim(60), t(0)), Err(PutError::Full));
@@ -194,7 +256,7 @@ mod tests {
 
     #[test]
     fn idempotent_put_does_not_double_charge() {
-        let mut s = ChunkStore::new(100);
+        let s = ChunkStore::new(100);
         s.put(key(0), Payload::Sim(60), t(0)).unwrap();
         s.put(key(0), Payload::Sim(60), t(5)).unwrap();
         assert_eq!(s.used(), 60);
@@ -203,7 +265,7 @@ mod tests {
 
     #[test]
     fn access_accounting_tracks_reads() {
-        let mut s = ChunkStore::new(100);
+        let s = ChunkStore::new(100);
         s.put(key(0), Payload::Sim(10), t(0)).unwrap();
         assert!(s.get(&key(0), t(3)).is_some());
         assert!(s.get(&key(0), t(7)).is_some());
@@ -221,7 +283,7 @@ mod tests {
 
     #[test]
     fn fill_ratio_and_blob_scan() {
-        let mut s = ChunkStore::new(100);
+        let s = ChunkStore::new(100);
         s.put(key(0), Payload::Sim(25), t(0)).unwrap();
         s.put(
             ChunkKey { blob: BlobId(2), version: VersionId(1), page: 0 },
@@ -233,5 +295,34 @@ mod tests {
         assert_eq!(s.keys_of_blob(BlobId(1)).len(), 1);
         assert_eq!(s.all_keys().len(), 2);
         assert_eq!(ChunkStore::new(0).fill_ratio(), 0.0);
+    }
+
+    #[test]
+    fn scans_are_sorted_across_shards() {
+        let s = ChunkStore::new(1 << 20);
+        // Enough pages to land in every stripe.
+        for p in (0..64).rev() {
+            s.put(key(p), Payload::Sim(8), t(0)).unwrap();
+        }
+        let keys = s.all_keys();
+        assert_eq!(keys.len(), 64);
+        assert!(keys.windows(2).all(|w| w[0] < w[1]), "keys sorted");
+        let meta = s.iter_meta();
+        assert!(meta.windows(2).all(|w| w[0].0 < w[1].0), "meta sorted");
+    }
+
+    #[test]
+    fn zero_copy_get_shares_the_stored_allocation() {
+        let s = ChunkStore::new(1 << 20);
+        let data = bytes::Bytes::from(vec![7u8; 4096]);
+        s.put(key(0), Payload::Data(data.slice(..)), t(0)).unwrap();
+        let got = s.get(&key(0), t(1)).unwrap();
+        match got {
+            Payload::Data(b) => {
+                assert_eq!(b.len(), 4096);
+                assert_eq!(b.as_ref().as_ptr(), data.as_ref().as_ptr(), "no copy on get");
+            }
+            Payload::Sim(_) => panic!("expected real bytes"),
+        }
     }
 }

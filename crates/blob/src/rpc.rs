@@ -109,6 +109,19 @@ pub enum Msg {
         /// Payload.
         data: Payload,
     },
+    /// Store several chunk replicas bound for the same provider in one
+    /// round trip. Writers group a version's chunks by target provider so
+    /// a multi-page write costs one request per provider instead of one
+    /// per chunk. Answered with a single [`Msg::PutChunkOk`] (all stored)
+    /// or [`Msg::PutChunkErr`] (first failure aborts the rest).
+    PutChunkBatch {
+        /// Correlation id.
+        req: u64,
+        /// Writing client.
+        client: ClientId,
+        /// The chunks, in page order.
+        items: Vec<(crate::model::ChunkKey, Payload)>,
+    },
     /// Chunk stored.
     PutChunkOk {
         /// Correlation id.
@@ -482,6 +495,9 @@ impl sads_sim::Message for Msg {
         match self {
             Msg::Ext(p) => p.wire_size(),
             Msg::PutChunk { data, .. } | Msg::GetChunkOk { data, .. } => data.len(),
+            Msg::PutChunkBatch { items, .. } => {
+                items.iter().map(|(_, d)| d.len() + 32).sum()
+            }
             Msg::PutMeta { nodes, .. } => nodes.iter().map(|(_, n)| n.wire_size() + 32).sum(),
             Msg::GetMetaOk { nodes, .. } => nodes
                 .iter()

@@ -143,6 +143,13 @@ pub struct ScriptedClient {
     script: VecDeque<ScriptStep>,
     created: Vec<BlobId>,
     prefix: String,
+    // Metric names are fixed per client; precomputed so the per-op hot
+    // path records without formatting (error slugs, being rare, still
+    // format on demand).
+    ops_ok_name: String,
+    ops_err_name: String,
+    write_mbps_name: String,
+    read_mbps_name: String,
     waiting_op: bool,
 }
 
@@ -158,11 +165,16 @@ impl ScriptedClient {
         script: Vec<ScriptStep>,
         prefix: impl Into<String>,
     ) -> Self {
+        let prefix: String = prefix.into();
         ScriptedClient {
             core: ClientCore::new(id, vman, pman, meta_providers, cfg),
             script: script.into(),
             created: Vec::new(),
-            prefix: prefix.into(),
+            ops_ok_name: format!("{prefix}.ops_ok"),
+            ops_err_name: format!("{prefix}.ops_err"),
+            write_mbps_name: format!("{prefix}.write_mbps"),
+            read_mbps_name: format!("{prefix}.read_mbps"),
+            prefix,
             waiting_op: false,
         }
     }
@@ -185,7 +197,7 @@ impl ScriptedClient {
                 }
                 ScriptStep::Write { blob, kind, bytes } => {
                     let Some(blob) = self.resolve(blob) else {
-                        ctx.incr(&format!("{}.ops_err", self.prefix), 1);
+                        ctx.incr(&self.ops_err_name, 1);
                         continue;
                     };
                     let mut env = SimEnv::new(ctx);
@@ -199,7 +211,7 @@ impl ScriptedClient {
                 }
                 ScriptStep::Read { blob, version, offset, len } => {
                     let Some(blob) = self.resolve(blob) else {
-                        ctx.incr(&format!("{}.ops_err", self.prefix), 1);
+                        ctx.incr(&self.ops_err_name, 1);
                         continue;
                     };
                     let mut env = SimEnv::new(ctx);
@@ -229,21 +241,21 @@ impl ScriptedClient {
             self.waiting_op = false;
             match &c.result {
                 Ok(out) => {
-                    ctx.incr(&format!("{}.ops_ok", self.prefix), 1);
+                    ctx.incr(&self.ops_ok_name, 1);
                     match out {
                         crate::client::OpOutput::Created(b) => self.created.push(*b),
                         crate::client::OpOutput::Written { .. } => {
-                            ctx.record(&format!("{}.write_mbps", self.prefix), c.throughput_mbps());
+                            ctx.record(&self.write_mbps_name, c.throughput_mbps());
                             ctx.record("op_seconds", c.finished.since(c.started).as_secs_f64());
                         }
                         crate::client::OpOutput::Read { .. } => {
-                            ctx.record(&format!("{}.read_mbps", self.prefix), c.throughput_mbps());
+                            ctx.record(&self.read_mbps_name, c.throughput_mbps());
                             ctx.record("op_seconds", c.finished.since(c.started).as_secs_f64());
                         }
                     }
                 }
                 Err(e) => {
-                    ctx.incr(&format!("{}.ops_err", self.prefix), 1);
+                    ctx.incr(&self.ops_err_name, 1);
                     ctx.incr(&format!("{}.err.{}", self.prefix, err_slug(e)), 1);
                 }
             }

@@ -150,13 +150,18 @@ fn run_service_thread(
             };
             service.on_timer(&mut env, token);
         }
+        // Idle threads park until the next timer deadline, capped so the
+        // `running` flag is still noticed without a Stop envelope. The cap
+        // is generous: shutdown paths send Stop, which wakes recv at once,
+        // and a shorter cap just burns context switches across the whole
+        // cluster's threads.
         let wait = timers
             .peek()
             .map(|std::cmp::Reverse((deadline, _))| {
                 Duration::from_nanos(deadline.saturating_sub(now))
             })
-            .unwrap_or(Duration::from_millis(50));
-        match rx.recv_timeout(wait.min(Duration::from_millis(50))) {
+            .unwrap_or(Duration::from_millis(500));
+        match rx.recv_timeout(wait.min(Duration::from_millis(500))) {
             Ok(Envelope::Msg { from, msg }) => {
                 let mut env = ThreadedEnv {
                     id,
@@ -233,13 +238,14 @@ fn run_client_thread(
                 deliver(completions, &mut pending);
             }
         }
+        // Same parking policy as service threads (see above).
         let wait = timers
             .peek()
             .map(|std::cmp::Reverse((deadline, _))| {
                 Duration::from_nanos(deadline.saturating_sub(now))
             })
-            .unwrap_or(Duration::from_millis(50));
-        match rx.recv_timeout(wait.min(Duration::from_millis(50))) {
+            .unwrap_or(Duration::from_millis(500));
+        match rx.recv_timeout(wait.min(Duration::from_millis(500))) {
             Ok(Envelope::Msg { from, msg }) => {
                 let completions = {
                     let mut env = ThreadedEnv {

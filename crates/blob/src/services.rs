@@ -233,6 +233,45 @@ impl Service for DataProviderService {
                     }
                 }
             }
+            Msg::PutChunkBatch { req, client, items } => {
+                // Accounting mirrors the per-chunk path: one op and one
+                // probe event per chunk, so load reports and the security
+                // detectors see the same totals either way.
+                self.ops_since_hb += items.len() as u64;
+                if self.blacklist.contains(&client) {
+                    self.instr.emit(ProbeEvent::ChunkRejected {
+                        provider: env.id(),
+                        client,
+                        reason: RejectReason::Blocked,
+                    });
+                    env.send_expedited(from, Msg::PutChunkErr { req, err: ChunkErr::Blocked });
+                    return;
+                }
+                for (key, data) in items {
+                    let bytes = data.len();
+                    self.bytes_since_hb += bytes;
+                    match self.store.put(key, data, env.now()) {
+                        Ok(()) => {
+                            self.instr.emit(ProbeEvent::ChunkWritten {
+                                provider: env.id(),
+                                client,
+                                key,
+                                bytes,
+                            });
+                        }
+                        Err(PutError::Full) => {
+                            self.instr.emit(ProbeEvent::ChunkRejected {
+                                provider: env.id(),
+                                client,
+                                reason: RejectReason::Full,
+                            });
+                            env.send(from, Msg::PutChunkErr { req, err: ChunkErr::Full });
+                            return;
+                        }
+                    }
+                }
+                env.send(from, Msg::PutChunkOk { req });
+            }
             Msg::GetChunk { req, client, key } => {
                 self.ops_since_hb += 1;
                 if self.blacklist.contains(&client) {
@@ -278,7 +317,6 @@ impl Service for DataProviderService {
                         let relay = self.next_req;
                         self.next_req += 1;
                         self.relays.insert(relay, (from, req));
-                        let data = data.clone();
                         env.send(
                             to,
                             Msg::PutChunk { req: relay, client: ClientId::SYSTEM, key, data },

@@ -374,7 +374,7 @@ impl ObjectGateway {
         if !valid_name(key) {
             return Err(GatewayError::InvalidName);
         }
-        if part_size == 0 || part_size % self.cfg.page_size != 0 {
+        if part_size == 0 || !part_size.is_multiple_of(self.cfg.page_size) {
             return Err(GatewayError::InvalidPart);
         }
         {

@@ -45,7 +45,7 @@ pub mod time;
 pub mod world;
 
 pub use message::{Message, MessageExt};
-pub use metrics::{MetricSink, Sample};
+pub use metrics::{MetricId, MetricSink, Sample};
 pub use net::{NetConfig, Network, NicState, NodeConfig, NodeId};
 pub use time::{transfer_time, SimDuration, SimTime};
 pub use world::{Actor, Ctx, RunOutcome, World};

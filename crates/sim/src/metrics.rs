@@ -4,8 +4,16 @@
 //! counters ("chunks written") and distributions ("detection delay").
 //! [`MetricSink`] collects all three keyed by a static-ish metric name and
 //! turns them into CSV rows for the experiment harness.
+//!
+//! Internally names are interned to dense `u32` ids on first use, so the
+//! hot path (`incr`/`record`, called per simulated event) is one hash
+//! lookup plus a `Vec` index — no allocation, no tree rebalancing. Ids can
+//! be captured once via [`MetricSink::intern`] and fed to
+//! [`MetricSink::incr_id`] / [`MetricSink::record_id`] to skip even the
+//! hash lookup. Report-time accessors sort by name, so output stays
+//! deterministic regardless of interning order.
 
-use std::collections::BTreeMap;
+use std::collections::HashMap;
 
 use crate::time::SimTime;
 
@@ -18,13 +26,24 @@ pub struct Sample {
     pub value: f64,
 }
 
+/// A dense handle for an interned metric name (see [`MetricSink::intern`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MetricId(u32);
+
 /// Collects counters, gauges (time series) and raw distributions.
 ///
-/// Names are free-form; a `BTreeMap` keeps report output deterministic.
+/// Names are free-form and interned on first use; counters and series of
+/// the same name share one id.
 #[derive(Debug, Default)]
 pub struct MetricSink {
-    counters: BTreeMap<String, u64>,
-    series: BTreeMap<String, Vec<Sample>>,
+    index: HashMap<String, u32>,
+    names: Vec<String>,
+    /// Id-indexed counter values; `counter_set` marks ids whose counter
+    /// was actually incremented (so `counter_names` does not report ids
+    /// only ever used as series, matching the pre-interning behaviour).
+    counters: Vec<u64>,
+    counter_set: Vec<bool>,
+    series: Vec<Vec<Sample>>,
 }
 
 impl MetricSink {
@@ -33,34 +52,81 @@ impl MetricSink {
         Self::default()
     }
 
+    /// Intern `name`, returning a dense id valid for this sink's lifetime.
+    pub fn intern(&mut self, name: &str) -> MetricId {
+        if let Some(&id) = self.index.get(name) {
+            return MetricId(id);
+        }
+        let id = self.names.len() as u32;
+        self.index.insert(name.to_owned(), id);
+        self.names.push(name.to_owned());
+        self.counters.push(0);
+        self.counter_set.push(false);
+        self.series.push(Vec::new());
+        MetricId(id)
+    }
+
     /// Add `delta` to the named counter.
     pub fn incr(&mut self, name: &str, delta: u64) {
-        *self.counters.entry(name.to_owned()).or_insert(0) += delta;
+        let id = self.intern(name);
+        self.incr_id(id, delta);
+    }
+
+    /// Add `delta` to an interned counter (allocation- and hash-free).
+    pub fn incr_id(&mut self, id: MetricId, delta: u64) {
+        self.counters[id.0 as usize] += delta;
+        self.counter_set[id.0 as usize] = true;
     }
 
     /// Current value of a counter (0 if never incremented).
     pub fn counter(&self, name: &str) -> u64 {
-        self.counters.get(name).copied().unwrap_or(0)
+        self.index.get(name).map(|&id| self.counters[id as usize]).unwrap_or(0)
     }
 
     /// Append an observation to the named time series.
     pub fn record(&mut self, name: &str, at: SimTime, value: f64) {
-        self.series.entry(name.to_owned()).or_default().push(Sample { at, value });
+        let id = self.intern(name);
+        self.record_id(id, at, value);
+    }
+
+    /// Append an observation to an interned series (allocation- and
+    /// hash-free).
+    pub fn record_id(&mut self, id: MetricId, at: SimTime, value: f64) {
+        self.series[id.0 as usize].push(Sample { at, value });
     }
 
     /// The full series recorded under `name` (empty slice if absent).
     pub fn series(&self, name: &str) -> &[Sample] {
-        self.series.get(name).map(Vec::as_slice).unwrap_or(&[])
+        self.index
+            .get(name)
+            .map(|&id| self.series[id as usize].as_slice())
+            .unwrap_or(&[])
     }
 
     /// Names of all recorded series, sorted.
     pub fn series_names(&self) -> impl Iterator<Item = &str> {
-        self.series.keys().map(String::as_str)
+        let mut v: Vec<&str> = self
+            .names
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !self.series[*i].is_empty())
+            .map(|(_, n)| n.as_str())
+            .collect();
+        v.sort_unstable();
+        v.into_iter()
     }
 
     /// Names of all counters, sorted.
     pub fn counter_names(&self) -> impl Iterator<Item = &str> {
-        self.counters.keys().map(String::as_str)
+        let mut v: Vec<&str> = self
+            .names
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| self.counter_set[*i])
+            .map(|(_, n)| n.as_str())
+            .collect();
+        v.sort_unstable();
+        v.into_iter()
     }
 
     /// Mean of a series' values, or `None` if empty.
@@ -105,7 +171,8 @@ impl MetricSink {
     /// are skipped.
     pub fn binned_mean(&self, name: &str, bin_secs: f64) -> Vec<(f64, f64)> {
         let s = self.series(name);
-        let mut bins: BTreeMap<u64, (f64, u64)> = BTreeMap::new();
+        let mut bins: std::collections::BTreeMap<u64, (f64, u64)> =
+            std::collections::BTreeMap::new();
         for x in s {
             let b = (x.at.as_secs_f64() / bin_secs) as u64;
             let e = bins.entry(b).or_insert((0.0, 0));
@@ -118,13 +185,22 @@ impl MetricSink {
     }
 
     /// Merge another sink into this one (counters add, series concatenate).
+    /// Ids are remapped by name, so sinks with different interning orders
+    /// merge correctly.
     pub fn merge(&mut self, other: MetricSink) {
-        for (k, v) in other.counters {
-            *self.counters.entry(k).or_insert(0) += v;
+        for (i, name) in other.names.iter().enumerate() {
+            let id = self.intern(name);
+            if other.counter_set[i] {
+                self.incr_id(id, other.counters[i]);
+            }
         }
-        for (k, mut v) in other.series {
-            let dst = self.series.entry(k).or_default();
-            dst.append(&mut v);
+        for (i, name) in other.names.into_iter().enumerate() {
+            if other.series[i].is_empty() {
+                continue;
+            }
+            let id = self.intern(&name);
+            let dst = &mut self.series[id.0 as usize];
+            dst.extend_from_slice(&other.series[i]);
             dst.sort_by_key(|s| s.at);
         }
     }
@@ -202,5 +278,41 @@ mod tests {
         let csv = m.series_csv("s");
         assert!(csv.starts_with("time_s,value\n"));
         assert!(csv.contains("1.000000,3.5"));
+    }
+
+    #[test]
+    fn interned_ids_hit_the_same_slots_as_names() {
+        let mut m = MetricSink::new();
+        let c = m.intern("hits");
+        let s = m.intern("lat");
+        m.incr_id(c, 4);
+        m.incr("hits", 1);
+        m.record_id(s, t(1), 2.0);
+        m.record("lat", t(2), 4.0);
+        assert_eq!(m.counter("hits"), 5);
+        assert_eq!(m.series("lat").len(), 2);
+        assert_eq!(m.intern("hits"), c, "re-interning returns the same id");
+        // A series-only name does not appear among counters…
+        assert_eq!(m.counter_names().collect::<Vec<_>>(), vec!["hits"]);
+        // …and names sort in report output regardless of intern order.
+        assert_eq!(m.series_names().collect::<Vec<_>>(), vec!["lat"]);
+        let mut m2 = MetricSink::new();
+        m2.record("zz", t(0), 0.0);
+        m2.record("aa", t(0), 0.0);
+        assert_eq!(m2.series_names().collect::<Vec<_>>(), vec!["aa", "zz"]);
+    }
+
+    #[test]
+    fn merge_remaps_ids_by_name() {
+        // Different interning orders must still merge by name.
+        let mut a = MetricSink::new();
+        a.incr("x", 1);
+        a.incr("y", 10);
+        let mut b = MetricSink::new();
+        b.incr("y", 20);
+        b.incr("x", 2);
+        a.merge(b);
+        assert_eq!(a.counter("x"), 3);
+        assert_eq!(a.counter("y"), 30);
     }
 }

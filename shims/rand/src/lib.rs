@@ -1,0 +1,191 @@
+//! Offline stand-in for `rand` 0.9, covering the subset this workspace
+//! uses: `SmallRng::seed_from_u64`, `Rng::random_range`, and slice
+//! `choose` via `seq::IndexedRandom`.
+//!
+//! The generator is xorshift64* seeded through splitmix64 — deterministic
+//! for a given seed, which the simulator's reproducibility relies on.
+
+/// Low-level generator interface.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable construction.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types from which `Rng::random_range` can sample.
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+
+    /// Is the range empty (sampling would panic)?
+    fn is_empty_range(&self) -> bool;
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let width = (self.end as u128).wrapping_sub(self.start as u128);
+                self.start.wrapping_add((rng.next_u64() as u128 % width) as $t)
+            }
+            fn is_empty_range(&self) -> bool {
+                self.start >= self.end
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (s, e) = (*self.start(), *self.end());
+                assert!(s <= e, "cannot sample empty range");
+                let width = (e as u128) - (s as u128) + 1;
+                s.wrapping_add((rng.next_u64() as u128 % width) as $t)
+            }
+            fn is_empty_range(&self) -> bool {
+                self.start() > self.end()
+            }
+        }
+    )*};
+}
+int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let frac = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + frac * (self.end - self.start)
+    }
+    fn is_empty_range(&self) -> bool {
+        self.start >= self.end
+    }
+}
+
+/// High-level sampling interface (blanket-implemented for every
+/// [`RngCore`]).
+pub trait Rng: RngCore {
+    /// Uniform draw from `range`.
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    /// A uniformly random `bool`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Named generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, deterministic generator (xorshift64* over a
+    /// splitmix64-expanded seed).
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl RngCore for SmallRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            // xorshift64*
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545F4914F6CDD1D)
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // splitmix64 step so that small seeds (0, 1, 2...) diverge.
+            let mut z = seed.wrapping_add(0x9E3779B97F4A7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^= z >> 31;
+            SmallRng { state: z | 1 } // never zero (xorshift fixpoint)
+        }
+    }
+}
+
+/// Sequence-related helpers.
+pub mod seq {
+    use super::Rng;
+
+    /// Random selection from indexable collections.
+    pub trait IndexedRandom {
+        /// Element type.
+        type Output;
+
+        /// A uniformly random element, or `None` when empty.
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Output>;
+    }
+
+    impl<T> IndexedRandom for [T] {
+        type Output = T;
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.random_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::seq::IndexedRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.random_range(0u64..1_000_000), b.random_range(0u64..1_000_000));
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        let same = (0..100)
+            .all(|_| a.random_range(0u64..1_000_000) == c.random_range(0u64..1_000_000));
+        assert!(!same, "different seeds must diverge");
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = r.random_range(10usize..20);
+            assert!((10..20).contains(&v));
+            let f = r.random_range(0.5f64..2.0);
+            assert!((0.5..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let mut r = SmallRng::seed_from_u64(2);
+        let xs = [1, 2, 3, 4];
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[*xs.as_slice().choose(&mut r).unwrap() - 1] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        let empty: [u8; 0] = [];
+        assert!(empty.as_slice().choose(&mut r).is_none());
+    }
+}
