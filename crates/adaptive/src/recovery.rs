@@ -66,6 +66,7 @@ pub struct RecoveryAgentService {
     index: HashMap<u64, (sads_blob::model::BlobId, VersionId)>,
     repairs: HashMap<(sads_blob::model::BlobId, VersionId), Repair>,
     recovered: u64,
+    abandoned: u64,
 }
 
 impl RecoveryAgentService {
@@ -80,12 +81,20 @@ impl RecoveryAgentService {
             index: HashMap::new(),
             repairs: HashMap::new(),
             recovered: 0,
+            abandoned: 0,
         }
     }
 
     /// Versions published on behalf of dead writers.
     pub fn recovered(&self) -> u64 {
         self.recovered
+    }
+
+    /// Repairs abandoned on an unexpected reply shape (each is also
+    /// counted under the `recovery.abandoned` metric and retried by a
+    /// later poll). A healthy run keeps this at zero.
+    pub fn abandoned(&self) -> u64 {
+        self.abandoned
     }
 
     fn req(&mut self, key: (sads_blob::model::BlobId, VersionId)) -> u64 {
@@ -202,8 +211,15 @@ impl RecoveryAgentService {
                 // Fenced (the slow writer beat us) or the blob vanished:
                 // drop the repair; the next poll re-evaluates.
             }
-            (_, _) => {
+            (phase, msg) => {
                 // Unexpected reply shape: abandon, the poll will retry.
+                // Abandons are counted (not silently dropped) so fault
+                // experiments can assert recovery actually made progress
+                // rather than spinning on malformed replies.
+                self.abandoned += 1;
+                env.incr("recovery.abandoned", 1);
+                env.record("recovery.abandoned_at_s", env.now().as_secs_f64());
+                let _ = (phase, msg);
             }
         }
     }

@@ -17,7 +17,7 @@ use rand::Rng;
 use sads_sim::{NodeId, SimDuration, SimTime};
 
 use crate::meta::{
-    partition, MetaNode, NodeKey, PageSource, TreeBuilder, TreeReader,
+    partition, MetaNode, NodeKey, NodeRange, PageSource, TreeBuilder, TreeReader,
 };
 use crate::model::{
     pages_for, BlobError, BlobId, BlobSpec, ChunkDescriptor, ChunkKey, ClientId, PageInterval,
@@ -31,9 +31,14 @@ use crate::vmanager::{WriteKind, WriteTicket};
 /// actors can route timers.
 pub const CLIENT_TIMER_BIT: u64 = 1 << 63;
 
-/// Secondary namespace bit: per-chunk-fetch timeout tokens (the low bits
+/// Secondary namespace bit: per-chunk-RPC deadline tokens (the low bits
 /// carry the request id).
 const CHUNK_TIMEOUT_BIT: u64 = 1 << 62;
+
+/// Secondary namespace bit: deferred-resend tokens armed by the
+/// exponential-backoff retry path (the low bits carry the request id of
+/// the resend that fires when the timer does).
+const RETRY_TIMER_BIT: u64 = 1 << 61;
 
 /// An operation a client can perform.
 #[derive(Debug)]
@@ -118,6 +123,77 @@ impl Completion {
     }
 }
 
+/// Fault-tolerance policy for chunk-store RPCs.
+///
+/// With the policy [disabled](RetryPolicy::disabled) (the default) the
+/// client behaves exactly as before this knob existed: chunk stores carry
+/// no per-request deadline and any `PutChunkErr` fails the operation. An
+/// [enabled](RetryPolicy::standard) policy arms a deadline on every
+/// chunk store; a timed-out or refused store is re-sent to the *same*
+/// provider after a bounded exponential backoff (`backoff_base · 2ᵏ`,
+/// capped at `backoff_max`), and once `max_attempts` sends are exhausted
+/// — or the provider reports `Full` — the client asks the provider
+/// manager for a replacement placement and re-sends there instead
+/// (bounded by `max_reallocs` per write).
+///
+/// Retries are safe because request ids correlate, never apply: a chunk
+/// put is idempotent at the provider (keyed by [`ChunkKey`], an existing
+/// key is kept and never double-charged), so a duplicate arrival — e.g.
+/// the original slow ack racing a retransmission — cannot double-apply.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Deadline for one chunk-store RPC attempt.
+    pub put_timeout: SimDuration,
+    /// Maximum sends per target provider (1 = no same-target retry).
+    /// `0` disables the whole policy.
+    pub max_attempts: u32,
+    /// Backoff before the k-th retry is `backoff_base · 2^(k-1)` …
+    pub backoff_base: SimDuration,
+    /// … capped at this value.
+    pub backoff_max: SimDuration,
+    /// How many times one write may fall back to the provider manager
+    /// for a replacement placement before giving up.
+    pub max_reallocs: u32,
+}
+
+impl RetryPolicy {
+    /// No deadlines, no retries — the pre-fault-layer behavior, and the
+    /// default (so fault-free runs are bit-identical with the policy
+    /// merely present).
+    pub const fn disabled() -> Self {
+        RetryPolicy {
+            put_timeout: SimDuration::ZERO,
+            max_attempts: 0,
+            backoff_base: SimDuration::ZERO,
+            backoff_max: SimDuration::ZERO,
+            max_reallocs: 0,
+        }
+    }
+
+    /// A sane enabled policy: 10 s put deadline, 3 attempts per target
+    /// with 500 ms → 8 s backoff, up to 4 re-allocations per write.
+    pub const fn standard() -> Self {
+        RetryPolicy {
+            put_timeout: SimDuration::from_secs(10),
+            max_attempts: 3,
+            backoff_base: SimDuration::from_millis(500),
+            backoff_max: SimDuration::from_secs(8),
+            max_reallocs: 4,
+        }
+    }
+
+    /// Is any retry machinery active?
+    pub fn enabled(&self) -> bool {
+        self.max_attempts > 0
+    }
+
+    /// Backoff before retry number `attempts` (1-based attempts so far).
+    fn backoff(&self, attempts: u32) -> SimDuration {
+        let shift = attempts.saturating_sub(1).min(16);
+        self.backoff_base.saturating_mul(1u64 << shift).min(self.backoff_max)
+    }
+}
+
 /// Client tuning knobs.
 #[derive(Clone, Copy, Debug)]
 pub struct ClientConfig {
@@ -140,6 +216,9 @@ pub struct ClientConfig {
     /// never stale; hits skip whole rounds of the tree descent. `0`
     /// disables the cache.
     pub meta_cache_nodes: usize,
+    /// Chunk-RPC fault tolerance (deadlines, backoff, re-allocation and
+    /// degraded-read placement refresh). Disabled by default.
+    pub retry: RetryPolicy,
 }
 
 impl Default for ClientConfig {
@@ -150,6 +229,7 @@ impl Default for ClientConfig {
             materialize_zeros: false,
             chunk_window: 32,
             meta_cache_nodes: 4096,
+            retry: RetryPolicy::disabled(),
         }
     }
 }
@@ -210,6 +290,9 @@ struct WriteSess {
     /// Chunk stores not yet issued (kept reversed so `pop()` yields the
     /// next job); the in-flight window refills from here.
     pending_puts: Vec<(NodeId, Vec<(ChunkKey, Payload)>)>,
+    /// Replacement placements requested so far (bounded by
+    /// [`RetryPolicy::max_reallocs`]).
+    reallocs: u32,
 }
 
 #[derive(Debug)]
@@ -253,22 +336,43 @@ struct Session {
 }
 
 /// Which sub-protocol a pending request id belongs to, plus retry state
-/// for chunk reads.
+/// for chunk transfers.
 #[derive(Debug)]
 enum ReqRole {
     Plain,
     /// A chunk fetch for read-part `idx`. `first` is the replica index
     /// tried initially; `attempts` counts tries so far, and failover
     /// walks `replicas[(first + attempts) % len]` until every replica
-    /// was tried once.
+    /// was tried once. `refreshed` marks a fetch re-issued after a
+    /// degraded-read placement refresh (one refresh per chunk per op).
     ChunkGet {
         idx: usize,
         desc: ChunkDescriptor,
         first: usize,
         attempts: usize,
+        refreshed: bool,
     },
     /// A metadata fetch carrying the requested keys (during resolve).
     MetaGet,
+    /// One provider's batch of chunk stores, kept so a timed-out or
+    /// refused store can be re-sent (same target, then a replacement).
+    ChunkPut {
+        target: NodeId,
+        items: Vec<(ChunkKey, Payload)>,
+        attempts: u32,
+    },
+    /// A replacement-placement request for chunk stores that exhausted
+    /// their target (`failed`); `items` are re-sent to the new placement.
+    ReAlloc {
+        failed: NodeId,
+        items: Vec<(ChunkKey, Payload)>,
+    },
+    /// A degraded-read placement refresh: re-fetch the leaf of read-part
+    /// `idx` directly (bypassing the cache) to pick up repair patches.
+    LeafRefresh {
+        idx: usize,
+        desc: ChunkDescriptor,
+    },
 }
 
 /// The embeddable client core. Drive it with `start_op`, feed it every
@@ -360,6 +464,7 @@ impl ClientCore {
                     root: None,
                     phase: WritePhase::Ticket,
                     pending_puts: Vec::new(),
+                    reallocs: 0,
                 }));
                 let len = match &sess.kind {
                     SessKind::Write(w) => w.data.len(),
@@ -392,20 +497,29 @@ impl ClientCore {
 
     /// Feed a timer owned by the client core (see [`ClientCore::owns_timer`]).
     pub fn handle_timer(&mut self, env: &mut dyn Env, token: u64) -> Vec<Completion> {
+        if token & RETRY_TIMER_BIT != 0 {
+            // A backoff expired: the deferred resend registered under this
+            // request id goes out now. Stale timers (op already finished)
+            // fall out at the request-index lookup.
+            let req = token & !(CLIENT_TIMER_BIT | RETRY_TIMER_BIT);
+            self.fire_deferred_resend(env, req);
+            return vec![];
+        }
         if token & CHUNK_TIMEOUT_BIT != 0 {
-            // A chunk fetch went unanswered (replica crashed or drowned in
-            // backlog): synthesize a miss so the normal failover path
-            // tries the next replica. Stale timers (request already
+            // A chunk RPC went unanswered (provider crashed or drowned in
+            // backlog): synthesize the matching error locally so the
+            // normal failover/retry path handles timeouts and explicit
+            // refusals identically. Stale timers (request already
             // answered) fall out at the request-index lookup.
             let req = token & !(CLIENT_TIMER_BIT | CHUNK_TIMEOUT_BIT);
-            if self.req_index.contains_key(&req) {
-                return self.handle_msg(
-                    env,
-                    NodeId::EXTERNAL,
-                    Msg::GetChunkErr { req, err: ChunkErr::NotFound },
-                );
-            }
-            return vec![];
+            let msg = match self.req_index.get(&req) {
+                Some((_, ReqRole::ChunkPut { .. })) => {
+                    Msg::PutChunkErr { req, err: ChunkErr::Unreachable }
+                }
+                Some(_) => Msg::GetChunkErr { req, err: ChunkErr::NotFound },
+                None => return vec![],
+            };
+            return self.handle_msg(env, NodeId::EXTERNAL, msg);
         }
         let sid = token & !CLIENT_TIMER_BIT;
         if let Some(sess) = self.sessions.remove(&sid) {
@@ -423,6 +537,25 @@ impl ClientCore {
         vec![]
     }
 
+    /// Send the chunk store registered for a deferred (backed-off) resend
+    /// under request id `req`, arming a fresh RPC deadline. No-op if the
+    /// operation finished (or timed out) while the backoff ran.
+    fn fire_deferred_resend(&mut self, env: &mut dyn Env, req: u64) {
+        let Some((_, ReqRole::ChunkPut { target, items, .. })) = self.req_index.get(&req)
+        else {
+            return;
+        };
+        let target = *target;
+        let msg = if items.len() == 1 {
+            let (key, data) = items[0].clone();
+            Msg::PutChunk { req, client: self.id, key, data }
+        } else {
+            Msg::PutChunkBatch { req, client: self.id, items: items.clone() }
+        };
+        env.send(target, msg);
+        env.set_timer(self.cfg.retry.put_timeout, CLIENT_TIMER_BIT | CHUNK_TIMEOUT_BIT | req);
+    }
+
     /// Feed an incoming message. Returns any operations that completed.
     pub fn handle_msg(&mut self, env: &mut dyn Env, _from: NodeId, msg: Msg) -> Vec<Completion> {
         let Some(req) = req_of(&msg) else { return vec![] };
@@ -438,6 +571,7 @@ impl ClientCore {
             self.cfg.materialize_zeros,
             self.cfg.chunk_timeout,
             self.cfg.chunk_window,
+            self.cfg.retry,
             &mut self.meta_cache,
             &mut self.next_req,
             &mut self.req_index,
@@ -475,6 +609,7 @@ impl ClientCore {
         materialize_zeros: bool,
         chunk_timeout: SimDuration,
         chunk_window: usize,
+        retry: RetryPolicy,
         meta_cache: &mut MetaCache,
         next_req: &mut u64,
         req_index: &mut HashMap<u64, (u64, ReqRole)>,
@@ -562,6 +697,7 @@ impl ClientCore {
                         let Some((target, items)) = w.pending_puts.pop() else { break };
                         Self::issue_chunk_put(
                             client,
+                            retry,
                             &mut fresh,
                             &mut sess.outstanding,
                             target,
@@ -587,6 +723,7 @@ impl ClientCore {
                     if let Some((target, items)) = w.pending_puts.pop() {
                         Self::issue_chunk_put(
                             client,
+                            retry,
                             &mut fresh,
                             &mut sess.outstanding,
                             target,
@@ -613,7 +750,98 @@ impl ClientCore {
                     Self::write_meta_step(client, meta_providers, meta_cache, &mut fresh, sess, env)
                 }
                 (WritePhase::Chunks, Msg::PutChunkErr { err, .. }) => {
-                    Step::Done(Err(chunk_err(err, client)), 0)
+                    if err == ChunkErr::Blocked {
+                        return Step::Done(Err(BlobError::Blocked(client)), 0);
+                    }
+                    let ReqRole::ChunkPut { target, items, attempts } = role else {
+                        return Step::Done(Err(chunk_err(err, client)), 0);
+                    };
+                    if !retry.enabled() {
+                        return Step::Done(Err(chunk_err(err, client)), 0);
+                    }
+                    if err != ChunkErr::Full && attempts < retry.max_attempts {
+                        // Same-target retry: register the resend under a
+                        // fresh request id; the backoff timer sends it.
+                        let delay = retry.backoff(attempts);
+                        let req = fresh(
+                            &mut sess.outstanding,
+                            ReqRole::ChunkPut { target, items, attempts: attempts + 1 },
+                        );
+                        env.set_timer(delay, CLIENT_TIMER_BIT | RETRY_TIMER_BIT | req);
+                        w.phase = WritePhase::Chunks;
+                        return Step::Continue;
+                    }
+                    // Target exhausted (dead) or full: ask the provider
+                    // manager for a replacement placement for these chunks.
+                    if w.reallocs < retry.max_reallocs {
+                        w.reallocs += 1;
+                        let page = w.ticket.as_ref().map(|t| t.page_size).unwrap_or(0);
+                        let chunks = items.len() as u32;
+                        let req = fresh(
+                            &mut sess.outstanding,
+                            ReqRole::ReAlloc { failed: target, items },
+                        );
+                        env.send(
+                            pman,
+                            Msg::Alloc { req, client, chunks, replication: 1, chunk_size: page },
+                        );
+                        w.phase = WritePhase::Chunks;
+                        return Step::Continue;
+                    }
+                    match items.first() {
+                        Some((key, _)) => Step::Done(Err(BlobError::ChunkUnavailable(*key)), 0),
+                        None => Step::Done(Err(chunk_err(err, client)), 0),
+                    }
+                }
+
+                (WritePhase::Chunks, Msg::AllocOk { placement, .. }) => {
+                    // A replacement placement arrived for chunk stores
+                    // whose target died: patch the descriptor table so the
+                    // metadata tree records the replacement replica, then
+                    // re-send each chunk to its new home.
+                    let ReqRole::ReAlloc { failed, items } = role else {
+                        return Step::Done(Err(BlobError::Protocol("unexpected write reply")), 0);
+                    };
+                    debug_assert_eq!(placement.len(), items.len());
+                    let mut jobs: Vec<(NodeId, Vec<(ChunkKey, Payload)>)> = Vec::new();
+                    for ((key, data), replicas) in items.into_iter().zip(placement) {
+                        let Some(&new_target) = replicas.first() else {
+                            return Step::Done(Err(BlobError::ChunkUnavailable(key)), 0);
+                        };
+                        if let Some(desc) = w.chunks.iter_mut().find(|d| d.key == key) {
+                            for r in &mut desc.replicas {
+                                if *r == failed {
+                                    *r = new_target;
+                                }
+                            }
+                        }
+                        match jobs.iter_mut().find(|(t, _)| *t == new_target) {
+                            Some((_, batch)) => batch.push((key, data)),
+                            None => jobs.push((new_target, vec![(key, data)])),
+                        }
+                    }
+                    for (target, batch) in jobs {
+                        Self::issue_chunk_put(
+                            client,
+                            retry,
+                            &mut fresh,
+                            &mut sess.outstanding,
+                            target,
+                            batch,
+                            env,
+                        );
+                    }
+                    w.phase = WritePhase::Chunks;
+                    Step::Continue
+                }
+                (WritePhase::Chunks, Msg::AllocErr { available, .. }) => {
+                    // No replacement capacity anywhere: total unavailability.
+                    if let ReqRole::ReAlloc { items, .. } = role {
+                        if let Some((key, _)) = items.first() {
+                            return Step::Done(Err(BlobError::ChunkUnavailable(*key)), 0);
+                        }
+                    }
+                    Step::Done(Err(BlobError::AllocationFailed { requested: 0, available }), 0)
                 }
 
                 (WritePhase::MetaResolve, Msg::GetMetaOk { nodes, .. }) => {
@@ -761,6 +989,7 @@ impl ClientCore {
                             &mut sess.outstanding,
                             nidx,
                             ndesc,
+                            false,
                             env,
                         );
                     }
@@ -773,7 +1002,7 @@ impl ClientCore {
                 (
                     ReadPhase::Chunks,
                     Msg::GetChunkErr { err, .. },
-                    ReqRole::ChunkGet { idx, desc, first, attempts },
+                    ReqRole::ChunkGet { idx, desc, first, attempts, refreshed },
                 ) => {
                     if err == ChunkErr::Blocked {
                         return Step::Done(Err(BlobError::Blocked(client)), 0);
@@ -783,14 +1012,70 @@ impl ClientCore {
                         let key = desc.key;
                         let req = fresh(
                             &mut sess.outstanding,
-                            ReqRole::ChunkGet { idx, desc, first, attempts: attempts + 1 },
+                            ReqRole::ChunkGet {
+                                idx,
+                                desc,
+                                first,
+                                attempts: attempts + 1,
+                                refreshed,
+                            },
                         );
                         env.send(target, Msg::GetChunk { req, client, key });
                         env.set_timer(chunk_timeout, CLIENT_TIMER_BIT | CHUNK_TIMEOUT_BIT | req);
                         r.phase = ReadPhase::Chunks;
                         return Step::Continue;
                     }
+                    if retry.enabled() && !refreshed {
+                        // Degraded read: every known replica failed, but a
+                        // replication repair may have patched the leaf with
+                        // fresh replicas since this descent cached it.
+                        // Re-fetch the leaf directly (bypassing the cache)
+                        // and retry against whatever placement it records.
+                        let key = NodeKey {
+                            blob: desc.key.blob,
+                            version: desc.key.version,
+                            range: NodeRange::new(desc.key.page, 1),
+                        };
+                        let owner = meta_providers[partition(&key, meta_providers.len())];
+                        let req =
+                            fresh(&mut sess.outstanding, ReqRole::LeafRefresh { idx, desc });
+                        env.send(owner, Msg::GetMeta { req, keys: vec![key] });
+                        r.phase = ReadPhase::Chunks;
+                        return Step::Continue;
+                    }
                     Step::Done(Err(BlobError::ChunkUnavailable(desc.key)), 0)
+                }
+
+                (
+                    ReadPhase::Chunks,
+                    Msg::GetMetaOk { nodes, .. },
+                    ReqRole::LeafRefresh { idx, desc },
+                ) => {
+                    // The refreshed leaf supersedes the stale cached copy.
+                    let mut fresh_desc = None;
+                    for (k, n) in nodes {
+                        if let Some(MetaNode::Leaf { chunk }) = &n {
+                            fresh_desc = Some(chunk.clone());
+                            meta_cache.insert(k, n.expect("checked Some"));
+                        }
+                    }
+                    match fresh_desc {
+                        Some(chunk) if !chunk.replicas.is_empty() => {
+                            Self::issue_chunk_get(
+                                client,
+                                chunk_timeout,
+                                &mut fresh,
+                                &mut sess.outstanding,
+                                idx,
+                                chunk,
+                                true,
+                                env,
+                            );
+                            r.phase = ReadPhase::Chunks;
+                            Step::Continue
+                        }
+                        _ => Step::Done(Err(BlobError::ChunkUnavailable(desc.key)), 0),
+                    }
                 }
 
                 (_, _, _) => Step::Done(Err(BlobError::Protocol("unexpected read reply")), 0),
@@ -938,6 +1223,7 @@ impl ClientCore {
                 &mut sess.outstanding,
                 idx,
                 desc,
+                false,
                 env,
             );
         }
@@ -946,26 +1232,37 @@ impl ClientCore {
     }
 
     /// Send one provider's queued chunk stores: a lone chunk as a plain
-    /// `PutChunk`, several as one `PutChunkBatch` round trip.
+    /// `PutChunk`, several as one `PutChunkBatch` round trip. The items
+    /// are kept in the request's role so an enabled [`RetryPolicy`] can
+    /// re-send them (payloads are refcounted views — no data is copied);
+    /// the policy also arms the per-RPC deadline here.
     fn issue_chunk_put(
         client: ClientId,
+        retry: RetryPolicy,
         fresh: &mut dyn FnMut(&mut HashSet<u64>, ReqRole) -> u64,
         outstanding: &mut HashSet<u64>,
         target: NodeId,
-        mut items: Vec<(ChunkKey, Payload)>,
+        items: Vec<(ChunkKey, Payload)>,
         env: &mut dyn Env,
     ) {
-        let req = fresh(outstanding, ReqRole::Plain);
+        let req = fresh(
+            outstanding,
+            ReqRole::ChunkPut { target, items: items.clone(), attempts: 1 },
+        );
         if items.len() == 1 {
-            let (key, data) = items.pop().expect("one item");
+            let (key, data) = items.into_iter().next().expect("one item");
             env.send(target, Msg::PutChunk { req, client, key, data });
         } else {
             env.send(target, Msg::PutChunkBatch { req, client, items });
+        }
+        if retry.enabled() {
+            env.set_timer(retry.put_timeout, CLIENT_TIMER_BIT | CHUNK_TIMEOUT_BIT | req);
         }
     }
 
     /// Send one chunk fetch to a randomly chosen replica, arming the
     /// per-chunk failover timer.
+    #[allow(clippy::too_many_arguments)]
     fn issue_chunk_get(
         client: ClientId,
         chunk_timeout: SimDuration,
@@ -973,12 +1270,16 @@ impl ClientCore {
         outstanding: &mut HashSet<u64>,
         idx: usize,
         desc: ChunkDescriptor,
+        refreshed: bool,
         env: &mut dyn Env,
     ) {
         let first = env.rng().random_range(0..desc.replicas.len());
         let target = desc.replicas[first];
         let key = desc.key;
-        let req = fresh(outstanding, ReqRole::ChunkGet { idx, desc, first, attempts: 1 });
+        let req = fresh(
+            outstanding,
+            ReqRole::ChunkGet { idx, desc, first, attempts: 1, refreshed },
+        );
         env.send(target, Msg::GetChunk { req, client, key });
         env.set_timer(chunk_timeout, CLIENT_TIMER_BIT | CHUNK_TIMEOUT_BIT | req);
     }
@@ -1082,6 +1383,7 @@ fn chunk_err(err: ChunkErr, client: ClientId) -> BlobError {
         ChunkErr::Blocked => BlobError::Blocked(client),
         ChunkErr::Full => BlobError::ProviderFull,
         ChunkErr::NotFound => BlobError::Protocol("put got NotFound"),
+        ChunkErr::Unreachable => BlobError::Timeout,
     }
 }
 

@@ -19,6 +19,31 @@
 //! All service logic is runtime-agnostic; [`runtime::sim`] drives it on
 //! the deterministic cluster simulator, [`runtime::threaded`] on real
 //! threads with real bytes.
+//!
+//! # Example: a minimal write/read round-trip
+//!
+//! ```
+//! use bytes::Bytes;
+//! use sads_blob::runtime::threaded::ClusterBuilder;
+//! use sads_blob::{BlobSpec, ClientId};
+//!
+//! let mut cluster = ClusterBuilder::new()
+//!     .data_providers(4)
+//!     .meta_providers(2)
+//!     .provider_capacity(64 << 20)
+//!     .start();
+//! let client = cluster.client(ClientId(1));
+//!
+//! // Page-aligned writes publish immutable versions.
+//! let page = 64 * 1024;
+//! let blob = client.create(BlobSpec { page_size: page, replication: 2 }).unwrap();
+//! let data = Bytes::from(vec![0xAB; page as usize]);
+//! let v1 = client.write(blob, 0, data.clone()).unwrap();
+//!
+//! let got = client.read(blob, Some(v1), 0, page).unwrap();
+//! assert_eq!(got, data);
+//! cluster.shutdown();
+//! ```
 
 #![warn(missing_docs)]
 

@@ -23,6 +23,11 @@ pub enum ChunkErr {
     Full,
     /// No such chunk.
     NotFound,
+    /// The RPC deadline expired with no answer (provider crashed or
+    /// unreachable). Never sent on the wire: the client core synthesizes
+    /// it locally when a per-request timer fires, so the retry/failover
+    /// paths see timeouts and explicit refusals through one code path.
+    Unreachable,
 }
 
 /// All BlobSeer messages.

@@ -63,6 +63,19 @@ impl Registry {
         }
     }
 
+    /// Re-occupy a previously removed slot. Fails if the slot is live
+    /// (the node was never killed) or the address was never allocated.
+    fn reinstall(&self, node: NodeId, tx: Sender<Envelope>) -> bool {
+        let mut s = self.senders.write();
+        match s.get_mut(node.index()) {
+            Some(slot @ None) => {
+                *slot = Some(tx);
+                true
+            }
+            _ => false,
+        }
+    }
+
     fn all(&self) -> Vec<NodeId> {
         let s = self.senders.read();
         (0..s.len() as u32).filter(|i| s[*i as usize].is_some()).map(NodeId).collect()
@@ -558,6 +571,38 @@ impl Cluster {
         self.registry.remove(node);
     }
 
+    /// Restart a previously [`kill`](Cluster::kill)ed node with a fresh
+    /// service at the **same** [`NodeId`]: the routing-table slot is
+    /// re-occupied and a new thread spawned, so peers keep addressing the
+    /// node as before while its in-memory state starts from scratch.
+    /// Returns `false` if the slot is still live (never killed) or the
+    /// address was never allocated.
+    pub fn restart_service(&mut self, node: NodeId, service: Box<dyn Service>) -> bool {
+        let (tx, rx) = unbounded();
+        if !self.registry.reinstall(node, tx) {
+            return false;
+        }
+        let registry = Arc::clone(&self.registry);
+        let metrics = Arc::clone(&self.metrics);
+        let running = Arc::clone(&self.running);
+        let start = self.start;
+        let seed = self.next_seed;
+        self.next_seed += 1;
+        self.handles.push(std::thread::spawn(move || {
+            run_service_thread(node, service, rx, registry, start, metrics, running, seed);
+        }));
+        true
+    }
+
+    /// Restart a killed data provider at its old address with an empty
+    /// store of `capacity` bytes (crash-recovery convenience over
+    /// [`restart_service`](Cluster::restart_service)).
+    pub fn restart_data_provider(&mut self, node: NodeId, capacity: u64) -> bool {
+        let pman = self.pman;
+        let cfg = self.service_cfg;
+        self.restart_service(node, Box::new(DataProviderService::new(pman, capacity, cfg)))
+    }
+
     /// Snapshot of cluster metrics.
     pub fn metrics(&self) -> MetricSink {
         let mut out = MetricSink::new();
@@ -714,6 +759,26 @@ mod tests {
             std::thread::sleep(Duration::from_millis(10));
         }
         assert!(ok, "client must be unblocked again");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn threaded_kill_then_restart_reuses_node_id() {
+        let mut cluster = small_cluster();
+        let victim = cluster.data[0];
+        cluster.kill(victim);
+        // The slot is free now; a second restart at the same id must fail.
+        assert!(cluster.restart_data_provider(victim, 256 << 20));
+        assert!(!cluster.restart_data_provider(victim, 256 << 20));
+        // The revived provider serves traffic at its old address.
+        let client = cluster.client(ClientId(9));
+        let blob = client
+            .create(BlobSpec { page_size: PAGE, replication: 2 })
+            .expect("create");
+        let data = patterned(2 * PAGE as usize, 11);
+        client.write(blob, 0, data.clone()).expect("write after restart");
+        let got = client.read(blob, None, 0, 2 * PAGE).expect("read after restart");
+        assert_eq!(got, data);
         cluster.shutdown();
     }
 

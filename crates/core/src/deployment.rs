@@ -19,7 +19,10 @@ use sads_blob::ClientId;
 use sads_introspect::IntrospectionService;
 use sads_monitor::{MonitoringService, StorageConfig, StorageServerService};
 use sads_security::{PolicySet, SecurityConfig, SecurityEngineService};
-use sads_sim::{NetConfig, NodeConfig, NodeId, SimDuration, World};
+use sads_blob::runtime::sim::SimService;
+use sads_sim::{
+    Actor, FaultPlan, NetConfig, NodeConfig, NodeId, RunOutcome, SimDuration, SimTime, World,
+};
 
 use crate::agent::DeployAgent;
 
@@ -332,25 +335,10 @@ impl Deployment {
     /// Add an extra data provider at runtime (manual scale-up; the
     /// elasticity controller does this itself through the deploy agent).
     pub fn add_data_provider(&mut self) -> NodeId {
-        let monitor = if self.monitors.is_empty() {
-            None
-        } else {
-            let t = self.monitors[self.next_monitor % self.monitors.len()];
-            self.next_monitor += 1;
-            Some(t)
-        };
+        let cfg = self.next_service_cfg();
         let n = add_service(
             &mut self.world,
-            Box::new(DataProviderService::new(
-                self.pman,
-                self.cfg.provider_capacity,
-                ServiceConfig {
-                    monitor,
-                    heartbeat_every: SimDuration::from_secs(1),
-                    instr_flush_every: self.cfg.instr_flush,
-                    nic_bandwidth: 125_000_000,
-                },
-            )),
+            Box::new(DataProviderService::new(self.pman, self.cfg.provider_capacity, cfg)),
             NodeConfig::default(),
         );
         self.data.push(n);
@@ -360,6 +348,67 @@ impl Deployment {
     /// Crash a node (provider failure injection for E8).
     pub fn crash(&mut self, node: NodeId) {
         self.world.crash(node);
+    }
+
+    /// Restart a crashed data provider at its **old address** with a
+    /// clean store — the sim analogue of respawning the provider process
+    /// on the same endpoint. Registration with the provider manager
+    /// happens through the service's normal start-up path.
+    pub fn restart_data_provider(&mut self, node: NodeId) {
+        let actor = self.fresh_data_provider_actor();
+        self.world.restart(node, actor);
+    }
+
+    /// A factory building fresh data-provider actors for fault-injection
+    /// revives. It captures only plain config (no borrow of `self`), so
+    /// it can drive [`sads_sim::run_with_faults`] while `world` is
+    /// mutably borrowed.
+    pub fn data_provider_revive(&mut self) -> impl FnMut(NodeId) -> Box<dyn Actor> + 'static {
+        let pman = self.pman;
+        let capacity = self.cfg.provider_capacity;
+        let cfg = self.next_service_cfg();
+        move |_node| {
+            Box::new(SimService::new(Box::new(DataProviderService::new(pman, capacity, cfg))))
+                as Box<dyn Actor>
+        }
+    }
+
+    /// Run the deployment under `plan`: crashes go through the sim's
+    /// crash hook; each restart revives a fresh data provider at the old
+    /// address (see [`Deployment::restart_data_provider`]).
+    pub fn run_with_faults(
+        &mut self,
+        plan: &mut FaultPlan,
+        deadline: SimTime,
+        max_events: u64,
+    ) -> RunOutcome {
+        let mut revive = self.data_provider_revive();
+        sads_sim::run_with_faults(&mut self.world, plan, deadline, max_events, &mut revive)
+    }
+
+    fn next_service_cfg(&mut self) -> ServiceConfig {
+        let monitor = if self.monitors.is_empty() {
+            None
+        } else {
+            let t = self.monitors[self.next_monitor % self.monitors.len()];
+            self.next_monitor += 1;
+            Some(t)
+        };
+        ServiceConfig {
+            monitor,
+            heartbeat_every: SimDuration::from_secs(1),
+            instr_flush_every: self.cfg.instr_flush,
+            nic_bandwidth: 125_000_000,
+        }
+    }
+
+    fn fresh_data_provider_actor(&mut self) -> Box<dyn Actor> {
+        let cfg = self.next_service_cfg();
+        Box::new(SimService::new(Box::new(DataProviderService::new(
+            self.pman,
+            self.cfg.provider_capacity,
+            cfg,
+        ))))
     }
 
     /// Total instrumentation events seen by the monitoring services — the

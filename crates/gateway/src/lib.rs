@@ -52,7 +52,19 @@ pub enum GatewayError {
     AccessDenied,
     /// Invalid bucket or object name.
     InvalidName,
-    /// The storage back end failed.
+    /// The storage back end is temporarily unreachable (every replica of
+    /// some chunk is down, allocation found no live provider, or the
+    /// operation timed out). The S3 analogue is `503 SlowDown` with a
+    /// `Retry-After` header: the condition is expected to clear once
+    /// crashed providers restart or the replication manager repairs the
+    /// placement, so clients should retry after the hinted delay rather
+    /// than treat the object as lost.
+    Unavailable {
+        /// Suggested client back-off before retrying, in seconds.
+        retry_after_secs: u32,
+    },
+    /// The storage back end failed (non-transient: protocol violations,
+    /// misalignment, permission blocks, …).
     Storage(BlobError),
 }
 
@@ -67,6 +79,9 @@ impl std::fmt::Display for GatewayError {
             GatewayError::BucketNotEmpty => write!(f, "BucketNotEmpty"),
             GatewayError::AccessDenied => write!(f, "AccessDenied"),
             GatewayError::InvalidName => write!(f, "InvalidName"),
+            GatewayError::Unavailable { retry_after_secs } => {
+                write!(f, "ServiceUnavailable (retry after {retry_after_secs}s)")
+            }
             GatewayError::Storage(e) => write!(f, "StorageError: {e}"),
         }
     }
@@ -76,7 +91,18 @@ impl std::error::Error for GatewayError {}
 
 impl From<BlobError> for GatewayError {
     fn from(e: BlobError) -> Self {
-        GatewayError::Storage(e)
+        match e {
+            // Transient total-unavailability shapes surface as 503-with-
+            // Retry-After so S3 clients back off and retry instead of
+            // failing the request permanently.
+            BlobError::ChunkUnavailable(_)
+            | BlobError::MetaUnavailable
+            | BlobError::Timeout
+            | BlobError::AllocationFailed { .. } => {
+                GatewayError::Unavailable { retry_after_secs: 5 }
+            }
+            other => GatewayError::Storage(other),
+        }
     }
 }
 
@@ -651,6 +677,30 @@ mod tests {
         let got = gw.read_pinned(&pin, 0, pin.size).unwrap();
         assert_eq!(got, d1);
         cluster.shutdown();
+    }
+
+    #[test]
+    fn transient_backend_outages_map_to_unavailable() {
+        use sads_blob::model::{BlobId, ChunkKey, VersionId};
+        let key = ChunkKey { blob: BlobId(1), version: VersionId(1), page: 0 };
+        for e in [
+            BlobError::ChunkUnavailable(key),
+            BlobError::MetaUnavailable,
+            BlobError::Timeout,
+            BlobError::AllocationFailed { requested: 3, available: 0 },
+        ] {
+            match GatewayError::from(e) {
+                GatewayError::Unavailable { retry_after_secs } => {
+                    assert!(retry_after_secs > 0, "hint must tell clients to wait");
+                }
+                other => panic!("expected Unavailable, got {other:?}"),
+            }
+        }
+        // Non-transient failures keep their S3 storage-error shape.
+        assert!(matches!(
+            GatewayError::from(BlobError::Blocked(ClientId(9))),
+            GatewayError::Storage(BlobError::Blocked(_))
+        ));
     }
 
     #[test]

@@ -38,12 +38,14 @@
 
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod message;
 pub mod metrics;
 pub mod net;
 pub mod time;
 pub mod world;
 
+pub use fault::{run_with_faults, FaultEvent, FaultKind, FaultPlan};
 pub use message::{Message, MessageExt};
 pub use metrics::{MetricId, MetricSink, Sample};
 pub use net::{NetConfig, Network, NicState, NodeConfig, NodeId};

@@ -23,6 +23,13 @@ impl SimTime {
     /// A time later than any reachable simulation instant.
     pub const MAX: SimTime = SimTime(u64::MAX);
 
+    /// The instant `n` seconds after the simulation epoch (handy for
+    /// spelling fault schedules and experiment horizons).
+    #[inline]
+    pub const fn from_secs(n: u64) -> SimTime {
+        SimTime(n * 1_000_000_000)
+    }
+
     /// Nanoseconds since the simulation epoch.
     #[inline]
     pub fn as_nanos(self) -> u64 {

@@ -44,9 +44,24 @@ enum EventKind {
     Timer { node: NodeId, token: u64 },
 }
 
+impl EventKind {
+    /// The node whose liveness gates this event's delivery.
+    fn target(&self) -> NodeId {
+        match self {
+            EventKind::Start { node } | EventKind::Timer { node, .. } => *node,
+            EventKind::Deliver { to, .. } => *to,
+        }
+    }
+}
+
 struct Event {
     at: SimTime,
     seq: u64,
+    /// Incarnation of the target node when the event was scheduled. A
+    /// crash bumps the node's epoch, so events addressed to a previous
+    /// incarnation (stale timers, in-flight messages) are discarded at
+    /// dispatch instead of leaking into the restarted actor.
+    epoch: u32,
     kind: EventKind,
 }
 
@@ -84,10 +99,19 @@ pub struct World {
     seq: u64,
     queue: BinaryHeap<Reverse<Event>>,
     actors: Vec<Option<Box<dyn Actor>>>,
+    /// Per-node incarnation counter, bumped by [`World::crash`]; see
+    /// [`Event::epoch`].
+    epochs: Vec<u32>,
     net: Network,
     rng: SmallRng,
     metrics: MetricSink,
     events_processed: u64,
+    /// Probability that a [`Ctx::send`]/[`Ctx::send_after`] message is
+    /// silently lost, with a dedicated RNG so enabling loss never
+    /// perturbs the actors' own random draws. `None` = lossless (the
+    /// default); no RNG is consulted at all in that case, keeping
+    /// fault-free traces byte-identical to builds without this knob.
+    loss: Option<(f64, SmallRng)>,
 }
 
 impl World {
@@ -98,10 +122,12 @@ impl World {
             seq: 0,
             queue: BinaryHeap::new(),
             actors: Vec::new(),
+            epochs: Vec::new(),
             net: Network::new(net_cfg),
             rng: SmallRng::seed_from_u64(seed),
             metrics: MetricSink::new(),
             events_processed: 0,
+            loss: None,
         }
     }
 
@@ -126,6 +152,7 @@ impl World {
         let id = self.net.add_node(cfg);
         debug_assert_eq!(id.index(), self.actors.len());
         self.actors.push(Some(actor));
+        self.epochs.push(0);
         self.push(self.now, EventKind::Start { node: id });
         id
     }
@@ -140,10 +167,63 @@ impl World {
 
     /// Crash a node: its NIC goes down, undelivered messages to it are
     /// dropped, its timers stop firing, and its actor is discarded.
+    ///
+    /// The node's incarnation epoch is bumped, so any event already in
+    /// the queue for the old incarnation (an armed timer, a message in
+    /// flight) is dead on arrival even if the node is later
+    /// [restarted](World::restart) — a restarted node begins from a
+    /// clean slate, exactly like a freshly added one.
     pub fn crash(&mut self, node: NodeId) {
         self.net.set_down(node);
         if let Some(slot) = self.actors.get_mut(node.index()) {
             *slot = None;
+        }
+        if let Some(e) = self.epochs.get_mut(node.index()) {
+            *e += 1;
+        }
+    }
+
+    /// Restart a previously [crashed](World::crash) node at the same
+    /// [`NodeId`] with a fresh actor. The NIC comes back up with empty
+    /// pipes, the actor's [`Actor::on_start`] runs at the current time,
+    /// and nothing from the previous incarnation (state, timers,
+    /// in-flight messages) survives. No-op if the node id was never
+    /// added; replaces the live actor if the node was not actually down.
+    pub fn restart(&mut self, node: NodeId, actor: Box<dyn Actor>) {
+        let Some(slot) = self.actors.get_mut(node.index()) else {
+            return;
+        };
+        *slot = Some(actor);
+        self.net.set_up(node, self.now);
+        self.push(self.now, EventKind::Start { node });
+    }
+
+    /// Make every [`Ctx::send`]/[`Ctx::send_after`] message be lost with
+    /// probability `prob` (clamped to `[0, 1]`), using a dedicated RNG
+    /// seeded with `seed` so the loss pattern is deterministic and
+    /// independent of the actors' own random draws. Expedited sends
+    /// (transport-level control traffic) are never dropped. A `prob` of
+    /// zero turns loss off entirely; lost messages count under the
+    /// `net.msg_lost` metric.
+    pub fn set_message_loss(&mut self, prob: f64, seed: u64) {
+        self.loss = if prob > 0.0 {
+            Some((prob.min(1.0), SmallRng::seed_from_u64(seed)))
+        } else {
+            None
+        };
+    }
+
+    /// Should the message currently being sent be dropped? Draws from
+    /// the loss RNG only when loss injection is active.
+    fn lose_message(&mut self) -> bool {
+        let Some((prob, rng)) = &mut self.loss else {
+            return false;
+        };
+        if rand::Rng::random_bool(rng, *prob) {
+            self.metrics.incr("net.msg_lost", 1);
+            true
+        } else {
+            false
         }
     }
 
@@ -181,7 +261,14 @@ impl World {
     fn push(&mut self, at: SimTime, kind: EventKind) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(Event { at, seq, kind }));
+        let epoch = self.epoch_of(kind.target());
+        self.queue.push(Reverse(Event { at, seq, epoch, kind }));
+    }
+
+    /// Current incarnation of `node` (0 for ids outside the actor table,
+    /// e.g. [`NodeId::EXTERNAL`]).
+    fn epoch_of(&self, node: NodeId) -> u32 {
+        self.epochs.get(node.index()).copied().unwrap_or(0)
     }
 
     /// Run until the queue drains or `deadline` passes, with a safety cap
@@ -204,6 +291,11 @@ impl World {
             debug_assert!(ev.at >= self.now, "time must not go backwards");
             self.now = ev.at;
             self.events_processed += 1;
+            if ev.epoch != self.epoch_of(ev.kind.target()) {
+                // Addressed to a crashed incarnation: dead on arrival.
+                self.metrics.incr("sim.stale_events", 1);
+                continue;
+            }
             self.dispatch(ev.kind);
         }
     }
@@ -216,6 +308,18 @@ impl World {
     /// Run until the queue drains (bounded by `max_events`).
     pub fn run_to_quiescence(&mut self, max_events: u64) -> RunOutcome {
         self.run_until(SimTime::MAX, max_events)
+    }
+
+    /// Advance the clock to `t` if it is in the future (no-op otherwise,
+    /// and `SimTime::MAX` is not a reachable instant). Used by harnesses
+    /// that act on the world at scheduled points — fault injection,
+    /// periodic snapshots — even when the event queue is momentarily
+    /// empty, in which case [`World::run_until`] returns with the clock
+    /// still at the last processed event.
+    pub fn advance_to(&mut self, t: SimTime) {
+        if t > self.now && t < SimTime::MAX {
+            self.now = t;
+        }
     }
 
     fn dispatch(&mut self, kind: EventKind) {
@@ -268,8 +372,12 @@ impl Ctx<'_> {
     }
 
     /// Send `msg` to `to` through the modeled network. Silently dropped if
-    /// either endpoint is down (like a real datagram).
+    /// either endpoint is down (like a real datagram), or — under
+    /// [`World::set_message_loss`] — with the configured probability.
     pub fn send(&mut self, to: NodeId, msg: Box<dyn Message>) {
+        if self.world.lose_message() {
+            return;
+        }
         let size = msg.wire_size();
         let now = self.world.now;
         if let Some(at) = self.world.net.schedule_transfer(now, self.id, to, size) {
@@ -291,6 +399,9 @@ impl Ctx<'_> {
     /// Send after first spending `delay` of local processing time (models
     /// CPU cost before the reply hits the NIC).
     pub fn send_after(&mut self, delay: SimDuration, to: NodeId, msg: Box<dyn Message>) {
+        if self.world.lose_message() {
+            return;
+        }
         // Model: occupy nothing locally, just delay the network entry.
         let size = msg.wire_size();
         let start = self.world.now + delay;
@@ -514,6 +625,70 @@ mod tests {
             (w.events_processed(), w.now().as_secs_f64())
         }
         assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    fn restart_discards_stale_timers_and_messages() {
+        /// Arms a 5 s timer on start; counts starts and timer firings.
+        struct Beeper;
+        impl Actor for Beeper {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.incr("beeper.starts", 1);
+                ctx.set_timer(SimDuration::from_secs(5), 0);
+            }
+            fn on_message(&mut self, ctx: &mut Ctx<'_>, _f: NodeId, _m: Box<dyn Message>) {
+                ctx.incr("beeper.msgs", 1);
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: u64) {
+                ctx.incr("beeper.beeps", 1);
+            }
+        }
+        let mut w = World::with_seed(11);
+        let b = w.add_node(Box::new(Beeper), NodeConfig::default());
+        w.run_for(SimDuration::from_secs(1), 100); // started, timer armed at t=5
+        w.send_external(b, Box::new(Tick)); // in flight when the crash hits
+        w.crash(b);
+        assert!(!w.is_up(b));
+        w.run_for(SimDuration::from_secs(1), 100);
+        w.restart(b, Box::new(Beeper));
+        assert_eq!(w.run_to_quiescence(100), RunOutcome::Quiescent);
+        assert!(w.is_up(b));
+        // Two incarnations started; only the second one's timer fired; the
+        // message addressed to the first incarnation died with it.
+        assert_eq!(w.metrics().counter("beeper.starts"), 2);
+        assert_eq!(w.metrics().counter("beeper.beeps"), 1);
+        assert_eq!(w.metrics().counter("beeper.msgs"), 0);
+        assert!(w.metrics().counter("sim.stale_events") >= 1);
+    }
+
+    #[test]
+    fn message_loss_drops_sends_but_not_expedited() {
+        struct Chatty {
+            peer: NodeId,
+        }
+        impl Actor for Chatty {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                for _ in 0..20 {
+                    ctx.send(self.peer, Box::new(Tick));
+                }
+                ctx.send_expedited(self.peer, Box::new(Tick));
+            }
+            fn on_message(&mut self, _c: &mut Ctx<'_>, _f: NodeId, _m: Box<dyn Message>) {}
+        }
+        struct Sink;
+        impl Actor for Sink {
+            fn on_message(&mut self, ctx: &mut Ctx<'_>, _f: NodeId, _m: Box<dyn Message>) {
+                ctx.incr("sink.got", 1);
+            }
+        }
+        let mut w = World::with_seed(9);
+        w.set_message_loss(1.0, 77);
+        let sink = w.add_node(Box::new(Sink), NodeConfig::default());
+        w.add_node(Box::new(Chatty { peer: sink }), NodeConfig::default());
+        w.run_to_quiescence(1000);
+        // All 20 regular sends lost; the expedited control packet arrives.
+        assert_eq!(w.metrics().counter("sink.got"), 1);
+        assert_eq!(w.metrics().counter("net.msg_lost"), 20);
     }
 
     #[test]
