@@ -8,7 +8,7 @@
 //!   trades CPU for detection latency.
 
 use sads_bench::dos::{build, DosScenario, ATTACK_START_S, MB};
-use sads_bench::{print_table, row, write_artifact};
+use sads_bench::{print_table, row, write_artifact, BenchArgs};
 use sads_blob::model::{BlobSpec, ClientId};
 use sads_blob::services::DataProviderService;
 use sads_core::{Deployment, DeploymentConfig};
@@ -17,14 +17,14 @@ use sads_security::{PolicySet, SecurityConfig};
 use sads_sim::{SimDuration, SimTime};
 use sads_workloads::writer_script;
 
-fn a1_allocation() {
+fn a1_allocation(args: &BenchArgs) {
     println!("A1: allocation strategy vs balance and throughput\n");
     let mut rows = vec![row!["strategy", "client_MBps", "max/min provider bytes", "stddev_MB"]];
     let mut csv = String::from("strategy,client_mbps,imbalance,stddev_mb\n");
     for strategy in ["round_robin", "random", "least_loaded", "two_choices"] {
         let cfg = DeploymentConfig {
-            seed: 3,
-            data_providers: 16,
+            seed: args.seed_or(3),
+            data_providers: args.scaled(16),
             meta_providers: 2,
             strategy,
             ..DeploymentConfig::default()
@@ -63,14 +63,14 @@ fn a1_allocation() {
     write_artifact("ablation_alloc.csv", &csv);
 }
 
-fn a2_burst_cache() {
+fn a2_burst_cache(args: &BenchArgs) {
     println!("\nA2: monitoring burst cache on/off under an event burst\n");
     let mut rows = vec![row!["cache", "records_stored", "records_dropped", "drop_%"]];
     let mut csv = String::from("cache,stored,dropped,drop_pct\n");
     for (label, capacity) in [("off", 0usize), ("on (100k)", 100_000)] {
         let cfg = DeploymentConfig {
-            seed: 5,
-            data_providers: 24,
+            seed: args.seed_or(5),
+            data_providers: args.scaled(24),
             meta_providers: 2,
             storage_servers: 1,
             storage_cfg: StorageConfig {
@@ -109,16 +109,16 @@ fn a2_burst_cache() {
     write_artifact("ablation_burst_cache.csv", &csv);
 }
 
-fn a3_scan_period() {
+fn a3_scan_period(args: &BenchArgs) {
     println!("\nA3: detection scan period vs detection delay (30% malicious)\n");
     let mut rows = vec![row!["scan_period_s", "first_detect_s", "last_detect_s"]];
     let mut csv = String::from("scan_period_s,first_detect_s,last_detect_s\n");
     for period in [2u64, 5, 10, 20] {
         let mut s = DosScenario {
-            seed: 200 + period,
-            data_providers: 48,
-            writers: 35,
-            attackers: 15,
+            seed: args.seed_or(200) + period,
+            data_providers: args.scaled(48),
+            writers: args.scaled(35),
+            attackers: args.scaled(15),
             security: true,
             stagger: SimDuration::from_secs(30),
             writer_bytes: 8_000 * MB,
@@ -166,7 +166,7 @@ fn a3_scan_period() {
     write_artifact("ablation_scan_period.csv", &csv);
 }
 
-fn a4_attack_modes() {
+fn a4_attack_modes(args: &BenchArgs) {
     use sads_blob::model::{BlobId, ChunkKey, VersionId};
     use sads_blob::runtime::sim::{BlobRef, ScriptStep};
     use sads_blob::WriteKind;
@@ -180,8 +180,8 @@ fn a4_attack_modes() {
     let mut csv = String::from("mode,baseline_mbps,under_attack_mbps,drop_pct,detected\n");
     for mode_name in ["bogus_writes", "amplified_reads"] {
         let cfg = DeploymentConfig {
-            seed: 300,
-            data_providers: 16,
+            seed: args.seed_or(300),
+            data_providers: args.scaled(16),
             meta_providers: 4,
             monitors: 2,
             storage_servers: 2,
@@ -263,8 +263,9 @@ fn a4_attack_modes() {
 }
 
 fn main() {
-    a1_allocation();
-    a2_burst_cache();
-    a3_scan_period();
-    a4_attack_modes();
+    let args = BenchArgs::parse();
+    a1_allocation(&args);
+    a2_burst_cache(&args);
+    a3_scan_period(&args);
+    a4_attack_modes(&args);
 }

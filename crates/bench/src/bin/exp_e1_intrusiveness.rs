@@ -12,7 +12,7 @@
 //! monitoring pipeline on vs off, and report per-client write throughput
 //! plus the number of monitored chunk events.
 
-use sads_bench::{print_table, row, write_artifact};
+use sads_bench::{print_table, row, write_artifact, BenchArgs};
 use sads_core::{Deployment, DeploymentConfig};
 use sads_blob::model::{BlobSpec, ClientId};
 use sads_sim::{SimDuration, SimTime};
@@ -21,10 +21,10 @@ use sads_workloads::writer_script;
 const MB: u64 = 1_000_000;
 const GB: u64 = 1_000 * MB;
 
-fn run(clients: usize, monitoring: bool) -> (f64, u64) {
+fn run(args: &BenchArgs, clients: usize, monitoring: bool) -> (f64, u64) {
     let cfg = DeploymentConfig {
-        seed: 1000 + clients as u64,
-        data_providers: 150,
+        seed: args.seed_or(1000) + clients as u64,
+        data_providers: args.scaled(150),
         meta_providers: 8,
         monitors: if monitoring { 4 } else { 0 },
         storage_servers: 4,
@@ -51,7 +51,11 @@ fn run(clients: usize, monitoring: bool) -> (f64, u64) {
 }
 
 fn main() {
-    println!("E1: introspection intrusiveness (150 data providers, 1 GB per client)\n");
+    let args = BenchArgs::parse();
+    println!(
+        "E1: introspection intrusiveness ({} data providers, 1 GB per client)\n",
+        args.scaled(150)
+    );
     let mut rows = vec![row![
         "clients",
         "no_monitor_MBps",
@@ -60,9 +64,9 @@ fn main() {
         "monitored_events"
     ]];
     let mut csv = String::from("clients,no_monitor_mbps,with_monitor_mbps,overhead_pct,monitored_events\n");
-    for clients in [5usize, 10, 20, 40, 60, 80] {
-        let (base, _) = run(clients, false);
-        let (mon, events) = run(clients, true);
+    for clients in [5usize, 10, 20, 40, 60, 80].map(|c| args.scaled(c)) {
+        let (base, _) = run(&args, clients, false);
+        let (mon, events) = run(&args, clients, true);
         let overhead = (base - mon) / base * 100.0;
         rows.push(row![
             clients,

@@ -9,12 +9,20 @@
 //! value."
 
 use sads_bench::dos::{build, DosScenario, ATTACK_START_S};
-use sads_bench::{print_table, row, window_mean, write_artifact};
+use sads_bench::{print_table, row, window_mean, write_artifact, BenchArgs};
 use sads_sim::SimDuration;
 
 fn main() {
+    let args = BenchArgs::parse();
     println!("E2: average client write throughput over time under a DoS attack\n");
-    let mut d = build(&DosScenario::default());
+    let base = DosScenario::default();
+    let mut d = build(&DosScenario {
+        seed: args.seed_or(base.seed),
+        data_providers: args.scaled(base.data_providers),
+        writers: args.scaled(base.writers),
+        attackers: args.scaled(base.attackers),
+        ..base
+    });
     d.world.run_for(SimDuration::from_secs(180), 200_000_000);
 
     let m = d.world.metrics();

@@ -8,14 +8,14 @@
 //! security framework."
 
 use sads_bench::dos::{build, DosScenario, MB};
-use sads_bench::{print_table, row, window_mean, write_artifact};
+use sads_bench::{print_table, row, window_mean, write_artifact, BenchArgs};
 use sads_sim::SimDuration;
 
 /// Steady-state per-client write throughput for one configuration.
-fn run(total_clients: usize, malicious: usize, security: bool, seed: u64) -> f64 {
+fn run(args: &BenchArgs, total_clients: usize, malicious: usize, security: bool, seed: u64) -> f64 {
     let s = DosScenario {
         seed,
-        data_providers: 48, // the paper's 70-node deployment, data plane
+        data_providers: args.scaled(48), // the paper's 70-node deployment, data plane
         writers: total_clients - malicious,
         attackers: malicious,
         security,
@@ -32,6 +32,7 @@ fn run(total_clients: usize, malicious: usize, security: bool, seed: u64) -> f64
 }
 
 fn main() {
+    let args = BenchArgs::parse();
     println!("E3: per-client write throughput vs number of clients (50% malicious)\n");
     let mut rows = vec![row![
         "clients",
@@ -41,10 +42,11 @@ fn main() {
     ]];
     let mut csv =
         String::from("clients,all_correct_mbps,no_security_mbps,with_security_mbps\n");
-    for total in [10usize, 20, 30, 40, 50] {
-        let correct = run(total, 0, false, 40 + total as u64);
-        let unprotected = run(total, total / 2, false, 40 + total as u64);
-        let protected_ = run(total, total / 2, true, 40 + total as u64);
+    for total in [10usize, 20, 30, 40, 50].map(|t| args.scaled(t)) {
+        let seed = args.seed_or(40) + total as u64;
+        let correct = run(&args, total, 0, false, seed);
+        let unprotected = run(&args, total, total / 2, false, seed);
+        let protected_ = run(&args, total, total / 2, true, seed);
         rows.push(row![
             total,
             format!("{correct:.1}"),

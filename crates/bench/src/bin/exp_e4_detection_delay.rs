@@ -6,12 +6,13 @@
 //! 40 seconds when 70% of clients perform a DoS attack."
 
 use sads_bench::dos::{build, DosScenario, ATTACK_START_S, MB};
-use sads_bench::{print_table, row, write_artifact};
+use sads_bench::{print_table, row, write_artifact, BenchArgs};
 use sads_sim::SimDuration;
 
 fn main() {
-    println!("E4: detection delay vs fraction of malicious clients (50 clients total)\n");
-    let total = 50usize;
+    let args = BenchArgs::parse();
+    let total = args.scaled(50);
+    println!("E4: detection delay vs fraction of malicious clients ({total} clients total)\n");
     let mut rows = vec![row![
         "malicious_%",
         "detected",
@@ -24,8 +25,8 @@ fn main() {
     for pct in [10usize, 30, 50, 70] {
         let attackers = total * pct / 100;
         let s = DosScenario {
-            seed: 70 + pct as u64,
-            data_providers: 48,
+            seed: args.seed_or(70) + pct as u64,
+            data_providers: args.scaled(48),
             writers: total - attackers,
             attackers,
             security: true,

@@ -9,7 +9,7 @@
 //! Runs a mixed workload and renders all four panels from the
 //! introspection layer's output, plus CSV exports under `results/`.
 
-use sads_bench::write_artifact;
+use sads_bench::{write_artifact, BenchArgs};
 use sads_blob::model::{BlobSpec, ClientId};
 use sads_core::{Deployment, DeploymentConfig};
 use sads_introspect::{viz, TimeSeries};
@@ -20,16 +20,18 @@ use sads_workloads::mixed_script;
 const MB: u64 = 1_000_000;
 
 fn main() {
+    let args = BenchArgs::parse();
     println!("E5: the introspection visualization tool\n");
     let cfg = DeploymentConfig {
-        seed: 55,
-        data_providers: 8,
+        seed: args.seed_or(55),
+        data_providers: args.scaled(8),
         meta_providers: 2,
         ..DeploymentConfig::default()
     };
+    let clients = args.scaled(3) as u64;
     let mut d = Deployment::build(cfg);
     let spec = BlobSpec { page_size: 4 * MB, replication: 1 };
-    for i in 0..3u64 {
+    for i in 0..clients {
         d.add_client(
             ClientId(1 + i),
             mixed_script(
@@ -90,7 +92,7 @@ fn main() {
     println!("{}", viz::line_chart("panel 2b: system-level storage (MB, est.)", &sys_binned, 64, 8));
 
     // Panel 3: BLOB access patterns (windowed write volume per BLOB).
-    for blob_id in 1..=3u64 {
+    for blob_id in 1..=clients {
         let series = TimeSeries::from_points(
             all.iter()
                 .filter(|r| {

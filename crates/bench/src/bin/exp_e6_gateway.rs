@@ -11,7 +11,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use bytes::Bytes;
-use sads_bench::{print_table, row, write_artifact};
+use sads_bench::{print_table, row, write_artifact, BenchArgs};
 use sads_blob::runtime::threaded::ClusterBuilder;
 use sads_blob::ClientId;
 use sads_gateway::{Acl, GatewayConfig, ObjectGateway};
@@ -19,9 +19,9 @@ use sads_gateway::{Acl, GatewayConfig, ObjectGateway};
 const OBJ_SIZE: usize = 4 << 20; // 4 MiB objects
 const OBJS_PER_CLIENT: usize = 8;
 
-fn run(concurrency: usize) -> (f64, f64) {
+fn run(args: &BenchArgs, concurrency: usize) -> (f64, f64) {
     let mut cluster = ClusterBuilder::new()
-        .data_providers(8)
+        .data_providers(args.scaled(8))
         .meta_providers(2)
         .provider_capacity(8 << 30)
         .start();
@@ -79,6 +79,7 @@ fn run(concurrency: usize) -> (f64, f64) {
 }
 
 fn main() {
+    let args = BenchArgs::parse();
     println!(
         "E6: S3 gateway transfer rate (threaded runtime, {} MiB objects, {} per client)\n",
         OBJ_SIZE >> 20,
@@ -86,8 +87,8 @@ fn main() {
     );
     let mut rows = vec![row!["concurrent_clients", "put_MBps", "get_MBps"]];
     let mut csv = String::from("clients,put_mbps,get_mbps\n");
-    for c in [1usize, 2, 4, 8, 16] {
-        let (put, get) = run(c);
+    for c in [1usize, 2, 4, 8, 16].map(|c| args.scaled(c)) {
+        let (put, get) = run(&args, c);
         rows.push(row![c, format!("{put:.0}"), format!("{get:.0}")]);
         csv.push_str(&format!("{c},{put:.1},{get:.1}\n"));
     }

@@ -6,7 +6,7 @@
 //! pool while utilization exceeds the high watermark and retire providers
 //! after the burst drains.
 
-use sads_bench::{print_table, row, write_artifact};
+use sads_bench::{print_table, row, write_artifact, BenchArgs};
 use sads_blob::model::{BlobSpec, ClientId};
 use sads_core::{Deployment, DeploymentConfig};
 use sads_adaptive::{ElasticityPolicy, ScaleDecision};
@@ -16,17 +16,19 @@ use sads_workloads::writer_script;
 const MB: u64 = 1_000_000;
 
 fn main() {
+    let args = BenchArgs::parse();
     println!("E7: elastic data-provider pool under a load burst\n");
+    let writers = args.scaled(12) as u64;
     let cfg = DeploymentConfig {
-        seed: 11,
-        data_providers: 3,
+        seed: args.seed_or(11),
+        data_providers: args.scaled(3),
         meta_providers: 2,
         elasticity: Some(ElasticityPolicy::with(0.6, 0.15, 2, 20, 2, SimDuration::from_secs(12))),
         ..DeploymentConfig::default()
     };
     let mut d = Deployment::build(cfg);
     let spec = BlobSpec { page_size: 8 * MB, replication: 1 };
-    for i in 0..12u64 {
+    for i in 0..writers {
         d.add_client(
             ClientId(10 + i),
             writer_script(spec, 6_000 * MB, 64 * MB, SimTime(5_000_000_000)),
@@ -43,7 +45,8 @@ fn main() {
     let tp = m.binned_mean("writer.write_mbps", 10.0);
     for (t, p) in &pool {
         let u = util.iter().find(|(tu, _)| tu == t).map(|(_, v)| *v).unwrap_or(0.0);
-        let th = tp.iter().find(|(tt, _)| tt == t).map(|(_, v)| v * 12.0).unwrap_or(0.0);
+        let th =
+            tp.iter().find(|(tt, _)| tt == t).map(|(_, v)| v * writers as f64).unwrap_or(0.0);
         rows.push(row![
             format!("{t:.0}"),
             format!("{p:.0}"),

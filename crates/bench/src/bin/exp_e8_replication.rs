@@ -8,7 +8,7 @@
 //! Part B overwrites a BLOB repeatedly under a keep-last-k policy and
 //! measures reclamation.
 
-use sads_bench::{print_table, row, write_artifact};
+use sads_bench::{print_table, row, write_artifact, BenchArgs};
 use sads_blob::model::{BlobId, BlobSpec, ClientId};
 use sads_blob::runtime::sim::{BlobRef, ScriptStep};
 use sads_blob::services::{DataProviderService, VersionManagerService};
@@ -28,11 +28,11 @@ fn chunks_held(d: &Deployment) -> usize {
         .sum()
 }
 
-fn part_a() {
+fn part_a(args: &BenchArgs) {
     println!("E8a: replication repair under provider failures\n");
     let cfg = DeploymentConfig {
-        seed: 88,
-        data_providers: 10,
+        seed: args.seed_or(88),
+        data_providers: args.scaled(10),
         meta_providers: 2,
         replication: Some(ReplicationConfig {
             base_degree: 3,
@@ -104,11 +104,11 @@ fn part_a() {
     write_artifact("e8a_replication.csv", &csv);
 }
 
-fn part_b() {
+fn part_b(args: &BenchArgs) {
     println!("\nE8b: data-removal strategies (keep-last-2 of repeated overwrites)\n");
     let cfg = DeploymentConfig {
-        seed: 89,
-        data_providers: 6,
+        seed: args.seed_or(88) + 1,
+        data_providers: args.scaled(6),
         meta_providers: 2,
         removal: Some((RetirePolicy::KeepLast(2), SimDuration::from_secs(10))),
         ..DeploymentConfig::default()
@@ -149,6 +149,7 @@ fn part_b() {
 }
 
 fn main() {
-    part_a();
-    part_b();
+    let args = BenchArgs::parse();
+    part_a(&args);
+    part_b(&args);
 }

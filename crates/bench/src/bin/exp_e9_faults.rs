@@ -17,7 +17,7 @@
 //! latency per crash rate, written to `results/e9_fault_sweep.csv`.
 
 use sads_adaptive::ReplicationConfig;
-use sads_bench::{print_table, row, write_artifact};
+use sads_bench::{print_table, row, write_artifact, BenchArgs};
 use sads_blob::client::{ClientConfig, RetryPolicy};
 use sads_blob::model::{BlobId, BlobSpec, ClientId};
 use sads_blob::runtime::sim::{BlobRef, ScriptStep};
@@ -47,12 +47,15 @@ struct Outcome {
     p99_ms: f64,
     recovered: u64,
     abandoned: u64,
+    rpc_retries: u64,
+    reallocs: u64,
+    replica_walks: u64,
 }
 
-fn run_once(mean_between_s: u64) -> Outcome {
+fn run_once(args: &BenchArgs, mean_between_s: u64) -> Outcome {
     let cfg = DeploymentConfig {
-        seed: 119,
-        data_providers: 10,
+        seed: args.seed_or(119),
+        data_providers: args.scaled(10),
         meta_providers: 2,
         replication: Some(ReplicationConfig {
             base_degree: 2,
@@ -126,14 +129,18 @@ fn run_once(mean_between_s: u64) -> Outcome {
         p99_ms: m.percentile("op_seconds", 99.0).unwrap_or(0.0) * 1e3,
         recovered: d.recovery_agent().map(|r| r.recovered()).unwrap_or(0),
         abandoned: d.recovery_agent().map(|r| r.abandoned()).unwrap_or(0),
+        rpc_retries: m.counter("client.rpc_retries"),
+        reallocs: m.counter("client.reallocs"),
+        replica_walks: m.counter("client.replica_walks"),
     }
 }
 
 fn main() {
+    let args = BenchArgs::parse();
     println!("E9: availability & p99 latency vs provider crash rate");
     println!(
         "({} providers, replication 2, {DOWNTIME_S} s downtime, retry+degraded reads on)\n",
-        10
+        args.scaled(10)
     );
 
     let mut rows = vec![row![
@@ -144,14 +151,17 @@ fn main() {
         "ops_ok",
         "ops_err",
         "availability",
-        "p99_ms"
+        "p99_ms",
+        "retries",
+        "reallocs",
+        "walks"
     ]];
     let mut csv = String::from(
-        "mean_between_crashes_s,crashes,restarts,repairs,ops_ok,ops_err,availability,p99_ms,recovered,abandoned\n",
+        "mean_between_crashes_s,crashes,restarts,repairs,ops_ok,ops_err,availability,p99_ms,recovered,abandoned,rpc_retries,reallocs,replica_walks\n",
     );
     let mut baseline_avail = None;
     for mean_between_s in [0u64, 120, 60, 30, 15] {
-        let o = run_once(mean_between_s);
+        let o = run_once(&args, mean_between_s);
         rows.push(row![
             if o.mean_between_s == 0 { "none".to_owned() } else { o.mean_between_s.to_string() },
             o.crashes,
@@ -160,10 +170,13 @@ fn main() {
             o.ops_ok,
             o.ops_err,
             format!("{:.4}", o.availability),
-            format!("{:.1}", o.p99_ms)
+            format!("{:.1}", o.p99_ms),
+            o.rpc_retries,
+            o.reallocs,
+            o.replica_walks
         ]);
         csv.push_str(&format!(
-            "{},{},{},{},{},{},{:.4},{:.1},{},{}\n",
+            "{},{},{},{},{},{},{:.4},{:.1},{},{},{},{},{}\n",
             o.mean_between_s,
             o.crashes,
             o.restarts,
@@ -173,7 +186,10 @@ fn main() {
             o.availability,
             o.p99_ms,
             o.recovered,
-            o.abandoned
+            o.abandoned,
+            o.rpc_retries,
+            o.reallocs,
+            o.replica_walks
         ));
         if o.mean_between_s == 60 {
             baseline_avail = Some(o.availability);

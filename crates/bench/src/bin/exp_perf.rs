@@ -22,7 +22,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use bytes::Bytes;
-use sads_bench::{out_dir, print_table, row, write_artifact};
+use sads_bench::{out_dir, print_table, row, write_artifact, BenchArgs};
 use sads_blob::model::BlobSpec;
 use sads_blob::runtime::threaded::ClusterBuilder;
 use sads_blob::ClientId;
@@ -160,10 +160,9 @@ fn gateway_run(concurrency: usize) -> (f64, f64) {
 /// Simulator throughput on the E1 workload: 20 clients × 1 GB streaming
 /// writes against 150 monitored data providers. Returns
 /// `(events, wall_s, events_per_sec)`.
-fn sim_run() -> (u64, f64, f64) {
-    let clients = 20u64;
+fn sim_run(seed: u64, clients: u64) -> (u64, f64, f64) {
     let cfg = DeploymentConfig {
-        seed: 1000 + clients,
+        seed,
         data_providers: 150,
         meta_providers: 8,
         monitors: 4,
@@ -185,7 +184,10 @@ fn sim_run() -> (u64, f64, f64) {
 }
 
 fn main() {
+    let args = BenchArgs::parse();
     println!("perf: hot-path harness (threaded blob, gateway, sim engine)\n");
+    let sim_clients = args.scaled(20) as u64;
+    let sim_seed = args.seed_or(1000 + sim_clients);
 
     let mut rows = vec![row!["clients", "write_MBps", "read_MBps"]];
     let mut threaded_json = String::from("[");
@@ -205,14 +207,16 @@ fn main() {
     let (put, get) = best_of(|| gateway_run(8));
     println!("\ngateway (8 clients): PUT {put:.0} MB/s, GET {get:.0} MB/s");
 
-    let (mut events, mut wall, mut eps) = sim_run();
+    let (mut events, mut wall, mut eps) = sim_run(sim_seed, sim_clients);
     for _ in 1..REPEATS {
-        let (e, w, r) = sim_run();
+        let (e, w, r) = sim_run(sim_seed, sim_clients);
         if r > eps {
             (events, wall, eps) = (e, w, r);
         }
     }
-    println!("sim E1 (20 clients x 1 GB, monitored): {events} events in {wall:.2}s = {eps:.0} events/s");
+    println!(
+        "sim E1 ({sim_clients} clients x 1 GB, monitored): {events} events in {wall:.2}s = {eps:.0} events/s"
+    );
 
     let baseline = std::fs::read_to_string(out_dir().join("BENCH_hotpath_baseline.json"))
         .map(|s| s.trim().to_owned())
@@ -226,4 +230,8 @@ fn main() {
          \"baseline\": {baseline}\n}}\n"
     );
     write_artifact("BENCH_hotpath.json", &json);
+    // Same payload at the repo root so tooling can diff perf runs without
+    // knowing the results/ layout.
+    std::fs::write("BENCH_perf.json", &json).expect("write BENCH_perf.json");
+    println!("  -> wrote BENCH_perf.json");
 }

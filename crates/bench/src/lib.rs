@@ -10,6 +10,64 @@
 use std::io::Write;
 use std::path::PathBuf;
 
+/// Command-line arguments every `exp_*` binary accepts, so whole
+/// experiment sweeps can be re-seeded or resized without editing code:
+///
+/// * `--seed N` (or `--seed=N`) — override the experiment's base RNG
+///   seed; derived seeds offset from it as the binary always did.
+/// * `--scale X` (or `--scale=X`) — multiply cluster/workload sizes by
+///   `X` (e.g. `0.5` for a half-size smoke run, `4` for a bigger sweep).
+/// * `--smoke` — request the binary's tiny CI configuration.
+///
+/// Unknown arguments are ignored so binaries stay forward-compatible
+/// with runner scripts that pass extra flags.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchArgs {
+    /// Seed override, if given.
+    pub seed: Option<u64>,
+    /// Size multiplier (1.0 when absent).
+    pub scale: f64,
+    /// Tiny-configuration flag for CI smoke runs.
+    pub smoke: bool,
+}
+
+impl BenchArgs {
+    /// Parse from the process arguments.
+    pub fn parse() -> Self {
+        Self::from_args(std::env::args().skip(1))
+    }
+
+    /// Parse from any iterator of argument strings (testable).
+    pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut out = BenchArgs { seed: None, scale: 1.0, smoke: false };
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            if let Some(v) = a.strip_prefix("--seed=") {
+                out.seed = v.parse().ok();
+            } else if a == "--seed" {
+                out.seed = it.next().and_then(|v| v.parse().ok());
+            } else if let Some(v) = a.strip_prefix("--scale=") {
+                out.scale = v.parse().unwrap_or(1.0);
+            } else if a == "--scale" {
+                out.scale = it.next().and_then(|v| v.parse().ok()).unwrap_or(1.0);
+            } else if a == "--smoke" {
+                out.smoke = true;
+            }
+        }
+        out
+    }
+
+    /// The seed to use: the override, or the experiment's default.
+    pub fn seed_or(&self, default: u64) -> u64 {
+        self.seed.unwrap_or(default)
+    }
+
+    /// Scale a size/count, never below 1.
+    pub fn scaled(&self, n: usize) -> usize {
+        ((n as f64 * self.scale).round() as usize).max(1)
+    }
+}
+
 /// Directory experiment CSVs are written to (`results/`, created on
 /// demand).
 pub fn out_dir() -> PathBuf {
@@ -102,6 +160,8 @@ pub mod dos {
         pub writer_bytes: u64,
         /// Bytes per write operation.
         pub op_bytes: u64,
+        /// Enable causal request tracing ([`DeploymentConfig::tracing`]).
+        pub tracing: bool,
     }
 
     impl Default for DosScenario {
@@ -116,6 +176,7 @@ pub mod dos {
                 attack_rate: 60.0,
                 writer_bytes: 8_000 * MB,
                 op_bytes: 64 * MB,
+                tracing: false,
             }
         }
     }
@@ -130,6 +191,7 @@ pub mod dos {
             meta_providers: 4,
             monitors: 2,
             storage_servers: 2,
+            tracing: s.tracing,
             ..DeploymentConfig::default()
         };
         if s.security {
@@ -185,5 +247,33 @@ pub mod dos {
             );
         }
         d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::BenchArgs;
+
+    fn parse(args: &[&str]) -> BenchArgs {
+        BenchArgs::from_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn bench_args_parse_both_forms() {
+        let a = parse(&["--seed", "9", "--scale", "2"]);
+        assert_eq!((a.seed, a.scale, a.smoke), (Some(9), 2.0, false));
+        let a = parse(&["--seed=17", "--scale=0.5", "--smoke"]);
+        assert_eq!((a.seed, a.scale, a.smoke), (Some(17), 0.5, true));
+        let a = parse(&["--unknown", "x"]);
+        assert_eq!((a.seed, a.scale, a.smoke), (None, 1.0, false));
+    }
+
+    #[test]
+    fn bench_args_helpers() {
+        let a = parse(&["--scale=0.1"]);
+        assert_eq!(a.seed_or(42), 42);
+        assert_eq!(a.scaled(4), 1, "scaling never drops below 1");
+        assert_eq!(parse(&["--seed", "5"]).seed_or(42), 5);
+        assert_eq!(parse(&["--scale", "2"]).scaled(8), 16);
     }
 }

@@ -14,7 +14,7 @@ use std::collections::{HashMap, HashSet};
 
 use bytes::BytesMut;
 use rand::Rng;
-use sads_sim::{NodeId, SimDuration, SimTime};
+use sads_sim::{NodeId, SimDuration, SimTime, SpanClass, SpanKind, SpanRecord, TraceCtx};
 
 use crate::meta::{
     partition, MetaNode, NodeKey, NodeRange, PageSource, TreeBuilder, TreeReader,
@@ -326,6 +326,23 @@ enum SessKind {
     Read(Box<ReadSess>),
 }
 
+/// Causal-trace state of one operation: the root span identity plus the
+/// start time of the protocol stage currently in flight. Present only
+/// when the embedding runtime exposes a [`sads_sim::SpanSink`]; with
+/// tracing off the field is `None` and the client does no span work.
+#[derive(Debug)]
+struct OpTrace {
+    /// Root context: `span_id` is the operation's `Op` span, under which
+    /// every stage span and (via ambient propagation) every network and
+    /// server-side handle span of this operation nests.
+    ctx: TraceCtx,
+    /// Operation label: `"create"`, `"write"` or `"read"`.
+    op: &'static str,
+    /// When the current stage began (stage spans are emitted lazily, at
+    /// the transition out of the stage).
+    stage_start: SimTime,
+}
+
 #[derive(Debug)]
 struct Session {
     tag: u64,
@@ -333,6 +350,8 @@ struct Session {
     kind: SessKind,
     /// Request ids awaited in the current phase.
     outstanding: HashSet<u64>,
+    /// Span bookkeeping when tracing is on (`None` = zero trace work).
+    trace: Option<OpTrace>,
 }
 
 /// Which sub-protocol a pending request id belongs to, plus retry state
@@ -446,7 +465,33 @@ impl ClientCore {
         self.next_sid += 1;
         let started = env.now();
         env.set_timer(self.cfg.op_timeout, CLIENT_TIMER_BIT | sid);
-        let mut sess = Session { tag, started, kind: SessKind::Create, outstanding: HashSet::new() };
+        let op_name = match &op {
+            ClientOp::Create { .. } => "create",
+            ClientOp::Write { .. } => "write",
+            ClientOp::Read { .. } => "read",
+        };
+        let trace = env.span_sink().map(|sink| {
+            // Nest under an ambient context when one exists (e.g. the S3
+            // gateway's per-request span); otherwise open a fresh trace.
+            let (trace_id, parent) = match env.trace_ctx() {
+                Some(tc) => (tc.trace_id, tc.span_id),
+                None => (sink.next_id(), 0),
+            };
+            let span_id = sink.next_id();
+            OpTrace {
+                ctx: TraceCtx { trace_id, span_id, parent },
+                op: op_name,
+                stage_start: started,
+            }
+        });
+        env.set_trace_ctx(trace.as_ref().map(|t| t.ctx));
+        let mut sess = Session {
+            tag,
+            started,
+            kind: SessKind::Create,
+            outstanding: HashSet::new(),
+            trace,
+        };
         match op {
             ClientOp::Create { spec } => {
                 let req = self.fresh_req(sid, ReqRole::Plain);
@@ -493,6 +538,7 @@ impl ClientCore {
                 env.send(self.vman, Msg::GetVersion { req, client: self.id, blob, version });
             }
         }
+        env.set_trace_ctx(None);
     }
 
     /// Feed a timer owned by the client core (see [`ClientCore::owns_timer`]).
@@ -526,6 +572,11 @@ impl ClientCore {
             for req in &sess.outstanding {
                 self.req_index.remove(req);
             }
+            if let Some(t) = &sess.trace {
+                let now = env.now();
+                Self::record_stage(env, t, Self::stage_of(&sess.kind), now);
+                Self::record_op(env, t, sess.started, now);
+            }
             return vec![Completion {
                 tag: sess.tag,
                 result: Err(BlobError::Timeout),
@@ -541,10 +592,11 @@ impl ClientCore {
     /// under request id `req`, arming a fresh RPC deadline. No-op if the
     /// operation finished (or timed out) while the backoff ran.
     fn fire_deferred_resend(&mut self, env: &mut dyn Env, req: u64) {
-        let Some((_, ReqRole::ChunkPut { target, items, .. })) = self.req_index.get(&req)
+        let Some((sid, ReqRole::ChunkPut { target, items, .. })) = self.req_index.get(&req)
         else {
             return;
         };
+        let sid = *sid;
         let target = *target;
         let msg = if items.len() == 1 {
             let (key, data) = items[0].clone();
@@ -552,7 +604,11 @@ impl ClientCore {
         } else {
             Msg::PutChunkBatch { req, client: self.id, items: items.clone() }
         };
+        // The resend belongs to the operation's causal tree.
+        let tc = self.sessions.get(&sid).and_then(|s| s.trace.as_ref().map(|t| t.ctx));
+        env.set_trace_ctx(tc);
         env.send(target, msg);
+        env.set_trace_ctx(None);
         env.set_timer(self.cfg.retry.put_timeout, CLIENT_TIMER_BIT | CHUNK_TIMEOUT_BIT | req);
     }
 
@@ -562,6 +618,12 @@ impl ClientCore {
         let Some((sid, role)) = self.req_index.remove(&req) else { return vec![] };
         let Some(sess) = self.sessions.get_mut(&sid) else { return vec![] };
         sess.outstanding.remove(&req);
+
+        // Restore this operation's causal context so every message sent
+        // while advancing the protocol nests under its root span, and
+        // remember the stage so a phase transition can close its span.
+        let stage_before = Self::stage_of(&sess.kind);
+        env.set_trace_ctx(sess.trace.as_ref().map(|t| t.ctx));
 
         let verdict = Self::advance(
             self.id,
@@ -582,12 +644,28 @@ impl ClientCore {
             env,
         );
         match verdict {
-            Step::Continue => vec![],
+            Step::Continue => {
+                if Self::stage_of(&sess.kind) != stage_before {
+                    if let Some(t) = sess.trace.as_mut() {
+                        let now = env.now();
+                        Self::record_stage(env, &*t, stage_before, now);
+                        t.stage_start = now;
+                    }
+                }
+                env.set_trace_ctx(None);
+                vec![]
+            }
             Step::Done(result, bytes) => {
                 let sess = self.sessions.remove(&sid).expect("present");
                 for r in &sess.outstanding {
                     self.req_index.remove(r);
                 }
+                if let Some(t) = &sess.trace {
+                    let now = env.now();
+                    Self::record_stage(env, t, stage_before, now);
+                    Self::record_op(env, t, sess.started, now);
+                }
+                env.set_trace_ctx(None);
                 vec![Completion {
                     tag: sess.tag,
                     result,
@@ -597,6 +675,67 @@ impl ClientCore {
                 }]
             }
         }
+    }
+
+    /// Name of the protocol stage a session is currently in.
+    fn stage_of(kind: &SessKind) -> &'static str {
+        match kind {
+            SessKind::Create => "create",
+            SessKind::Write(w) => match w.phase {
+                WritePhase::Ticket => "ticket",
+                WritePhase::Alloc => "alloc",
+                WritePhase::Chunks => "chunks",
+                WritePhase::MetaResolve => "meta_resolve",
+                WritePhase::MetaPut => "meta_put",
+                WritePhase::Commit => "commit",
+            },
+            SessKind::Read(r) => match r.phase {
+                ReadPhase::Version => "version",
+                ReadPhase::Meta => "meta",
+                ReadPhase::Chunks => "chunks",
+            },
+        }
+    }
+
+    /// Close the stage span that just ended (`start` = when the stage
+    /// began, kept in the session's [`OpTrace`]).
+    fn record_stage(env: &mut dyn Env, t: &OpTrace, stage: &'static str, end: SimTime) {
+        let Some(sink) = env.span_sink() else { return };
+        sink.record(SpanRecord {
+            trace: t.ctx.trace_id,
+            span: sink.next_id(),
+            parent: t.ctx.span_id,
+            service: "client",
+            op: stage,
+            node: env.id().0 as u64,
+            start_ns: t.stage_start.as_nanos(),
+            end_ns: end.as_nanos(),
+            kind: SpanKind::Stage,
+            class: SpanClass::Control,
+            queue_ns: 0,
+            xfer_ns: 0,
+            wire_ns: 0,
+        });
+    }
+
+    /// Close the operation's root span.
+    fn record_op(env: &mut dyn Env, t: &OpTrace, started: SimTime, end: SimTime) {
+        let Some(sink) = env.span_sink() else { return };
+        sink.record(SpanRecord {
+            trace: t.ctx.trace_id,
+            span: t.ctx.span_id,
+            parent: t.ctx.parent,
+            service: "client",
+            op: t.op,
+            node: env.id().0 as u64,
+            start_ns: started.as_nanos(),
+            end_ns: end.as_nanos(),
+            kind: SpanKind::Op,
+            class: SpanClass::Control,
+            queue_ns: 0,
+            xfer_ns: 0,
+            wire_ns: 0,
+        });
     }
 
     /// One protocol step. Static to sidestep split borrows of `self`.
@@ -762,6 +901,7 @@ impl ClientCore {
                     if err != ChunkErr::Full && attempts < retry.max_attempts {
                         // Same-target retry: register the resend under a
                         // fresh request id; the backoff timer sends it.
+                        env.incr("client.rpc_retries", 1);
                         let delay = retry.backoff(attempts);
                         let req = fresh(
                             &mut sess.outstanding,
@@ -775,6 +915,7 @@ impl ClientCore {
                     // manager for a replacement placement for these chunks.
                     if w.reallocs < retry.max_reallocs {
                         w.reallocs += 1;
+                        env.incr("client.reallocs", 1);
                         let page = w.ticket.as_ref().map(|t| t.page_size).unwrap_or(0);
                         let chunks = items.len() as u32;
                         let req = fresh(
@@ -1008,6 +1149,7 @@ impl ClientCore {
                         return Step::Done(Err(BlobError::Blocked(client)), 0);
                     }
                     if attempts < desc.replicas.len() {
+                        env.incr("client.replica_walks", 1);
                         let target = desc.replicas[(first + attempts) % desc.replicas.len()];
                         let key = desc.key;
                         let req = fresh(

@@ -521,6 +521,90 @@ impl sads_sim::Message for Msg {
         }
     }
 
+    fn op_name(&self) -> &'static str {
+        match self {
+            Msg::Register { .. } => "Register",
+            Msg::Heartbeat { .. } => "Heartbeat",
+            Msg::Alloc { .. } => "Alloc",
+            Msg::AllocOk { .. } => "AllocOk",
+            Msg::AllocErr { .. } => "AllocErr",
+            Msg::GetDirectory { .. } => "GetDirectory",
+            Msg::Directory { .. } => "Directory",
+            Msg::SetDraining { .. } => "SetDraining",
+            Msg::Deregister { .. } => "Deregister",
+            Msg::PutChunk { .. } => "PutChunk",
+            Msg::PutChunkBatch { .. } => "PutChunkBatch",
+            Msg::PutChunkOk { .. } => "PutChunkOk",
+            Msg::PutChunkErr { .. } => "PutChunkErr",
+            Msg::GetChunk { .. } => "GetChunk",
+            Msg::GetChunkOk { .. } => "GetChunkOk",
+            Msg::GetChunkErr { .. } => "GetChunkErr",
+            Msg::DeleteChunk { .. } => "DeleteChunk",
+            Msg::DeleteChunkOk { .. } => "DeleteChunkOk",
+            Msg::ReplicateChunk { .. } => "ReplicateChunk",
+            Msg::ReplicateChunkOk { .. } => "ReplicateChunkOk",
+            Msg::PutMeta { .. } => "PutMeta",
+            Msg::PutMetaOk { .. } => "PutMetaOk",
+            Msg::GetMeta { .. } => "GetMeta",
+            Msg::GetMetaOk { .. } => "GetMetaOk",
+            Msg::DeleteMeta { .. } => "DeleteMeta",
+            Msg::DeleteMetaOk { .. } => "DeleteMetaOk",
+            Msg::PatchLeaf { .. } => "PatchLeaf",
+            Msg::PatchLeafOk { .. } => "PatchLeafOk",
+            Msg::CreateBlob { .. } => "CreateBlob",
+            Msg::CreateBlobOk { .. } => "CreateBlobOk",
+            Msg::Ticket { .. } => "Ticket",
+            Msg::TicketOk { .. } => "TicketOk",
+            Msg::TicketErr { .. } => "TicketErr",
+            Msg::Commit { .. } => "Commit",
+            Msg::CommitOk { .. } => "CommitOk",
+            Msg::GetVersion { .. } => "GetVersion",
+            Msg::GetVersionOk { .. } => "GetVersionOk",
+            Msg::GetVersionErr { .. } => "GetVersionErr",
+            Msg::ListVersions { .. } => "ListVersions",
+            Msg::VersionList { .. } => "VersionList",
+            Msg::RetireVersion { .. } => "RetireVersion",
+            Msg::RetireVersionOk { .. } => "RetireVersionOk",
+            Msg::ListStalled { .. } => "ListStalled",
+            Msg::StalledList { .. } => "StalledList",
+            Msg::ListBlobs { .. } => "ListBlobs",
+            Msg::BlobList { .. } => "BlobList",
+            Msg::BlockClient { .. } => "BlockClient",
+            Msg::UnblockClient { .. } => "UnblockClient",
+            Msg::Ext(_) => "Ext",
+            Msg::Probe { .. } => "Probe",
+        }
+    }
+
+    fn span_class(&self) -> sads_sim::SpanClass {
+        use sads_sim::SpanClass;
+        match self {
+            // Bulk chunk traffic to/from data providers.
+            Msg::PutChunk { .. }
+            | Msg::PutChunkBatch { .. }
+            | Msg::PutChunkOk { .. }
+            | Msg::PutChunkErr { .. }
+            | Msg::GetChunk { .. }
+            | Msg::GetChunkOk { .. }
+            | Msg::GetChunkErr { .. }
+            | Msg::DeleteChunk { .. }
+            | Msg::DeleteChunkOk { .. }
+            | Msg::ReplicateChunk { .. }
+            | Msg::ReplicateChunkOk { .. } => SpanClass::Store,
+            // Metadata segment-tree traffic.
+            Msg::PutMeta { .. }
+            | Msg::PutMetaOk { .. }
+            | Msg::GetMeta { .. }
+            | Msg::GetMetaOk { .. }
+            | Msg::DeleteMeta { .. }
+            | Msg::DeleteMetaOk { .. }
+            | Msg::PatchLeaf { .. }
+            | Msg::PatchLeafOk { .. } => SpanClass::Meta,
+            // Everything else is control plane.
+            _ => SpanClass::Control,
+        }
+    }
+
     fn as_any(self: Box<Self>) -> Box<dyn std::any::Any> {
         self
     }

@@ -50,6 +50,15 @@ impl Env for SimEnv<'_, '_> {
     fn incr(&mut self, name: &str, delta: u64) {
         self.ctx.incr(name, delta);
     }
+    fn span_sink(&self) -> Option<std::sync::Arc<sads_sim::SpanSink>> {
+        self.ctx.span_sink()
+    }
+    fn trace_ctx(&self) -> Option<sads_sim::TraceCtx> {
+        self.ctx.trace_ctx()
+    }
+    fn set_trace_ctx(&mut self, trace: Option<sads_sim::TraceCtx>) {
+        self.ctx.set_trace_ctx(trace);
+    }
 }
 
 /// Wraps any [`Service`] as a simulator actor.
@@ -75,7 +84,36 @@ impl Actor for SimService {
 
     fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, msg: Box<dyn Message>) {
         if let Ok(msg) = msg.downcast::<Msg>() {
+            // When the delivery carries a trace, record a server-side
+            // Handle span around the service logic: it proves context
+            // crossed the node boundary and names who handled what.
+            // (In simulation handlers take zero virtual time, so the
+            // span marks a point; the threaded runtime measures real
+            // handling time the same way.)
+            let traced = match (ctx.span_sink(), ctx.trace_ctx()) {
+                (Some(sink), Some(tc)) => {
+                    Some((sink, tc, sads_sim::Message::op_name(&*msg), ctx.now()))
+                }
+                _ => None,
+            };
             self.inner.on_msg(&mut SimEnv::new(ctx), from, *msg);
+            if let Some((sink, tc, op, started)) = traced {
+                sink.record(sads_sim::SpanRecord {
+                    trace: tc.trace_id,
+                    span: sink.next_id(),
+                    parent: tc.span_id,
+                    service: self.inner.name(),
+                    op,
+                    node: ctx.id().0 as u64,
+                    start_ns: started.as_nanos(),
+                    end_ns: ctx.now().as_nanos(),
+                    kind: sads_sim::SpanKind::Handle,
+                    class: sads_sim::SpanClass::Control,
+                    queue_ns: 0,
+                    xfer_ns: 0,
+                    wire_ns: 0,
+                });
+            }
         }
     }
 

@@ -17,7 +17,9 @@ use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender}
 use parking_lot::{Mutex, RwLock};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use sads_sim::{MetricSink, NodeId, SimDuration, SimTime};
+use sads_sim::{
+    MetricSink, NodeId, SimDuration, SimTime, SpanKind, SpanRecord, SpanSink, TraceCtx,
+};
 
 use crate::client::{ClientConfig, ClientCore, ClientOp, Completion, OpOutput};
 use crate::model::{BlobError, BlobId, BlobSpec, ClientId, Payload, VersionId};
@@ -31,8 +33,22 @@ use crate::vmanager::WriteKind;
 
 /// What travels between node threads.
 enum Envelope {
-    Msg { from: NodeId, msg: Msg },
-    Op { op: ClientOp, reply: Sender<Completion> },
+    Msg {
+        from: NodeId,
+        msg: Msg,
+        /// Causal context of the sender's operation, if tracing is on.
+        trace: Option<TraceCtx>,
+        /// Wall-clock send time (ns since cluster start), so the receiver
+        /// can attribute channel queueing delay to the trace.
+        sent_ns: u64,
+    },
+    Op {
+        op: ClientOp,
+        reply: Sender<Completion>,
+        /// Ambient context the operation should nest under (e.g. the S3
+        /// gateway's per-request span), if tracing is on.
+        trace: Option<TraceCtx>,
+    },
     Stop,
 }
 
@@ -90,6 +106,11 @@ struct ThreadedEnv<'a> {
     timers: &'a mut BinaryHeap<std::cmp::Reverse<(u64, u64)>>,
     rng: &'a mut SmallRng,
     metrics: &'a Mutex<MetricSink>,
+    /// Span sink when tracing is on for this cluster.
+    sink: Option<Arc<SpanSink>>,
+    /// Causal context of the callback being handled; outgoing messages
+    /// carry it so replies land in the same trace.
+    current: Option<TraceCtx>,
 }
 
 impl Env for ThreadedEnv<'_> {
@@ -100,7 +121,11 @@ impl Env for ThreadedEnv<'_> {
         SimTime(self.start.elapsed().as_nanos() as u64)
     }
     fn send(&mut self, to: NodeId, msg: Msg) {
-        self.registry.send(to, Envelope::Msg { from: self.id, msg });
+        let sent_ns = self.start.elapsed().as_nanos() as u64;
+        self.registry.send(
+            to,
+            Envelope::Msg { from: self.id, msg, trace: self.current, sent_ns },
+        );
     }
     fn set_timer(&mut self, delay: SimDuration, token: u64) {
         let deadline = self.start.elapsed().as_nanos() as u64 + delay.as_nanos();
@@ -116,6 +141,43 @@ impl Env for ThreadedEnv<'_> {
     fn incr(&mut self, name: &str, delta: u64) {
         self.metrics.lock().incr(name, delta);
     }
+    fn span_sink(&self) -> Option<Arc<SpanSink>> {
+        self.sink.clone()
+    }
+    fn trace_ctx(&self) -> Option<TraceCtx> {
+        self.current
+    }
+    fn set_trace_ctx(&mut self, trace: Option<TraceCtx>) {
+        self.current = trace;
+    }
+}
+
+/// Record the channel-queueing delay of a traced envelope as a `Net`
+/// span: in the threaded runtime there is no modeled wire, so the whole
+/// delivery delay is queueing (send → receive on the node's inbox).
+fn record_net_span(
+    sink: &SpanSink,
+    tc: TraceCtx,
+    msg: &Msg,
+    node: NodeId,
+    sent_ns: u64,
+    recv_ns: u64,
+) {
+    sink.record(SpanRecord {
+        trace: tc.trace_id,
+        span: sink.next_id(),
+        parent: tc.span_id,
+        service: "net",
+        op: sads_sim::Message::op_name(msg),
+        node: node.0 as u64,
+        start_ns: sent_ns,
+        end_ns: recv_ns,
+        kind: SpanKind::Net,
+        class: sads_sim::Message::span_class(msg),
+        queue_ns: recv_ns.saturating_sub(sent_ns),
+        xfer_ns: 0,
+        wire_ns: 0,
+    });
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -128,6 +190,7 @@ fn run_service_thread(
     metrics: Arc<Mutex<MetricSink>>,
     running: Arc<AtomicBool>,
     seed: u64,
+    sink: Option<Arc<SpanSink>>,
 ) {
     let mut timers: BinaryHeap<std::cmp::Reverse<(u64, u64)>> = BinaryHeap::new();
     let mut rng = SmallRng::seed_from_u64(seed);
@@ -139,6 +202,8 @@ fn run_service_thread(
             timers: &mut timers,
             rng: &mut rng,
             metrics: &metrics,
+            sink: sink.clone(),
+            current: None,
         };
         service.on_start(&mut env);
     }
@@ -160,6 +225,8 @@ fn run_service_thread(
                 timers: &mut timers,
                 rng: &mut rng,
                 metrics: &metrics,
+                sink: sink.clone(),
+                current: None,
             };
             service.on_timer(&mut env, token);
         }
@@ -175,7 +242,15 @@ fn run_service_thread(
             })
             .unwrap_or(Duration::from_millis(500));
         match rx.recv_timeout(wait.min(Duration::from_millis(500))) {
-            Ok(Envelope::Msg { from, msg }) => {
+            Ok(Envelope::Msg { from, msg, trace, sent_ns }) => {
+                let recv_ns = start.elapsed().as_nanos() as u64;
+                let traced = match (&sink, trace) {
+                    (Some(s), Some(tc)) => {
+                        record_net_span(s, tc, &msg, id, sent_ns, recv_ns);
+                        Some((Arc::clone(s), tc, sads_sim::Message::op_name(&msg)))
+                    }
+                    _ => None,
+                };
                 let mut env = ThreadedEnv {
                     id,
                     registry: &registry,
@@ -183,8 +258,28 @@ fn run_service_thread(
                     timers: &mut timers,
                     rng: &mut rng,
                     metrics: &metrics,
+                    sink: sink.clone(),
+                    current: trace,
                 };
                 service.on_msg(&mut env, from, msg);
+                if let Some((s, tc, op)) = traced {
+                    let end_ns = start.elapsed().as_nanos() as u64;
+                    s.record(SpanRecord {
+                        trace: tc.trace_id,
+                        span: s.next_id(),
+                        parent: tc.span_id,
+                        service: service.name(),
+                        op,
+                        node: id.0 as u64,
+                        start_ns: recv_ns,
+                        end_ns,
+                        kind: SpanKind::Handle,
+                        class: sads_sim::SpanClass::Control,
+                        queue_ns: 0,
+                        xfer_ns: 0,
+                        wire_ns: 0,
+                    });
+                }
             }
             Ok(Envelope::Op { .. }) => { /* services do not take client ops */ }
             Ok(Envelope::Stop) | Err(RecvTimeoutError::Disconnected) => break,
@@ -209,6 +304,7 @@ fn run_client_thread(
     metrics: Arc<Mutex<MetricSink>>,
     running: Arc<AtomicBool>,
     seed: u64,
+    sink: Option<Arc<SpanSink>>,
 ) {
     let mut core = ClientCore::new(client_id, vman, pman, meta, cfg);
     let mut timers: BinaryHeap<std::cmp::Reverse<(u64, u64)>> = BinaryHeap::new();
@@ -245,6 +341,8 @@ fn run_client_thread(
                         timers: &mut timers,
                         rng: &mut rng,
                         metrics: &metrics,
+                        sink: sink.clone(),
+                        current: None,
                     };
                     core.handle_timer(&mut env, token)
                 };
@@ -259,7 +357,11 @@ fn run_client_thread(
             })
             .unwrap_or(Duration::from_millis(500));
         match rx.recv_timeout(wait.min(Duration::from_millis(500))) {
-            Ok(Envelope::Msg { from, msg }) => {
+            Ok(Envelope::Msg { from, msg, trace, sent_ns }) => {
+                let recv_ns = start.elapsed().as_nanos() as u64;
+                if let (Some(s), Some(tc)) = (&sink, trace) {
+                    record_net_span(s, tc, &msg, id, sent_ns, recv_ns);
+                }
                 let completions = {
                     let mut env = ThreadedEnv {
                         id,
@@ -268,12 +370,14 @@ fn run_client_thread(
                         timers: &mut timers,
                         rng: &mut rng,
                         metrics: &metrics,
+                        sink: sink.clone(),
+                        current: trace,
                     };
                     core.handle_msg(&mut env, from, msg)
                 };
                 deliver(completions, &mut pending);
             }
-            Ok(Envelope::Op { op, reply }) => {
+            Ok(Envelope::Op { op, reply, trace }) => {
                 let tag = next_tag;
                 next_tag += 1;
                 pending.insert(tag, reply);
@@ -284,6 +388,8 @@ fn run_client_thread(
                     timers: &mut timers,
                     rng: &mut rng,
                     metrics: &metrics,
+                    sink: sink.clone(),
+                    current: trace,
                 };
                 core.start_op(&mut env, op, tag);
             }
@@ -313,10 +419,10 @@ impl ClientHandle {
         self.client_id
     }
 
-    fn run(&self, op: ClientOp) -> Result<OpOutput, BlobError> {
+    fn run(&self, op: ClientOp, trace: Option<TraceCtx>) -> Result<OpOutput, BlobError> {
         let (tx, rx) = bounded(1);
         self.tx
-            .send(Envelope::Op { op, reply: tx })
+            .send(Envelope::Op { op, reply: tx, trace })
             .map_err(|_| BlobError::Protocol("client thread gone"))?;
         match rx.recv_timeout(self.op_timeout) {
             Ok(c) => c.result,
@@ -326,7 +432,16 @@ impl ClientHandle {
 
     /// Create a BLOB.
     pub fn create(&self, spec: BlobSpec) -> Result<BlobId, BlobError> {
-        match self.run(ClientOp::Create { spec })? {
+        self.create_traced(spec, None)
+    }
+
+    /// [`create`](ClientHandle::create), nesting the op under `trace`.
+    pub fn create_traced(
+        &self,
+        spec: BlobSpec,
+        trace: Option<TraceCtx>,
+    ) -> Result<BlobId, BlobError> {
+        match self.run(ClientOp::Create { spec }, trace)? {
             OpOutput::Created(b) => Ok(b),
             _ => Err(BlobError::Protocol("wrong output for create")),
         }
@@ -334,11 +449,21 @@ impl ClientHandle {
 
     /// Write real bytes at an offset (page-aligned, page-multiple length).
     pub fn write(&self, blob: BlobId, offset: u64, data: Bytes) -> Result<VersionId, BlobError> {
-        match self.run(ClientOp::Write {
-            blob,
-            kind: WriteKind::At(offset),
-            data: Payload::Data(data),
-        })? {
+        self.write_traced(blob, offset, data, None)
+    }
+
+    /// [`write`](ClientHandle::write), nesting the op under `trace`.
+    pub fn write_traced(
+        &self,
+        blob: BlobId,
+        offset: u64,
+        data: Bytes,
+        trace: Option<TraceCtx>,
+    ) -> Result<VersionId, BlobError> {
+        match self.run(
+            ClientOp::Write { blob, kind: WriteKind::At(offset), data: Payload::Data(data) },
+            trace,
+        )? {
             OpOutput::Written { version, .. } => Ok(version),
             _ => Err(BlobError::Protocol("wrong output for write")),
         }
@@ -346,11 +471,10 @@ impl ClientHandle {
 
     /// Append real bytes; returns `(version, offset_written_at)`.
     pub fn append(&self, blob: BlobId, data: Bytes) -> Result<(VersionId, u64), BlobError> {
-        match self.run(ClientOp::Write {
-            blob,
-            kind: WriteKind::Append,
-            data: Payload::Data(data),
-        })? {
+        match self.run(
+            ClientOp::Write { blob, kind: WriteKind::Append, data: Payload::Data(data) },
+            None,
+        )? {
             OpOutput::Written { version, offset, .. } => Ok((version, offset)),
             _ => Err(BlobError::Protocol("wrong output for append")),
         }
@@ -364,7 +488,19 @@ impl ClientHandle {
         offset: u64,
         len: u64,
     ) -> Result<Bytes, BlobError> {
-        match self.run(ClientOp::Read { blob, version, offset, len })? {
+        self.read_traced(blob, version, offset, len, None)
+    }
+
+    /// [`read`](ClientHandle::read), nesting the op under `trace`.
+    pub fn read_traced(
+        &self,
+        blob: BlobId,
+        version: Option<VersionId>,
+        offset: u64,
+        len: u64,
+        trace: Option<TraceCtx>,
+    ) -> Result<Bytes, BlobError> {
+        match self.run(ClientOp::Read { blob, version, offset, len }, trace)? {
             OpOutput::Read { data: Payload::Data(b), .. } => Ok(b),
             OpOutput::Read { data: Payload::Sim(n), .. } => {
                 // Holes-only read in a deployment without materialization.
@@ -383,6 +519,7 @@ pub struct ClusterBuilder {
     strategy: Box<dyn AllocationStrategy>,
     service_cfg: ServiceConfig,
     client_cfg: ClientConfig,
+    span_sink: Option<Arc<SpanSink>>,
 }
 
 impl Default for ClusterBuilder {
@@ -394,6 +531,7 @@ impl Default for ClusterBuilder {
             strategy: Box::<crate::pmanager::RoundRobin>::default(),
             service_cfg: ServiceConfig::default(),
             client_cfg: ClientConfig { materialize_zeros: true, ..ClientConfig::default() },
+            span_sink: None,
         }
     }
 }
@@ -440,6 +578,14 @@ impl ClusterBuilder {
         self
     }
 
+    /// Enable request tracing: every node thread records `Net` and
+    /// `Handle` spans into `sink`, and clients open one trace per op.
+    /// Without this call (the default) no span work happens at all.
+    pub fn span_sink(mut self, sink: Arc<SpanSink>) -> Self {
+        self.span_sink = Some(sink);
+        self
+    }
+
     /// Spawn every thread and return the running cluster.
     pub fn start(self) -> Cluster {
         let registry = Arc::new(Registry::default());
@@ -459,6 +605,7 @@ impl ClusterBuilder {
             service_cfg: self.service_cfg,
             client_cfg: self.client_cfg,
             next_seed: 1,
+            span_sink: self.span_sink,
         };
         cluster.pman =
             cluster.add_service(Box::new(ProviderManagerService::new(self.strategy)));
@@ -498,9 +645,15 @@ pub struct Cluster {
     service_cfg: ServiceConfig,
     client_cfg: ClientConfig,
     next_seed: u64,
+    span_sink: Option<Arc<SpanSink>>,
 }
 
 impl Cluster {
+    /// The span sink recording this cluster's traces, when tracing is on.
+    pub fn span_sink(&self) -> Option<&Arc<SpanSink>> {
+        self.span_sink.as_ref()
+    }
+
     /// Change the service wiring used by nodes added from now on (e.g.
     /// point later providers at a monitoring service created after the
     /// cluster started).
@@ -524,8 +677,9 @@ impl Cluster {
         let start = self.start;
         let seed = self.next_seed;
         self.next_seed += 1;
+        let sink = self.span_sink.clone();
         self.handles.push(std::thread::spawn(move || {
-            run_service_thread(id, service, rx, registry, start, metrics, running, seed);
+            run_service_thread(id, service, rx, registry, start, metrics, running, seed, sink);
         }));
         id
     }
@@ -551,10 +705,11 @@ impl Cluster {
         let ccfg = self.client_cfg;
         let seed = self.next_seed;
         self.next_seed += 1;
+        let sink = self.span_sink.clone();
         self.handles.push(std::thread::spawn(move || {
             run_client_thread(
                 id, client_id, vman, pman, meta, ccfg, rx, registry, start, metrics, running,
-                seed,
+                seed, sink,
             );
         }));
         ClientHandle { node: id, client_id, tx, op_timeout: Duration::from_secs(60) }
@@ -562,7 +717,11 @@ impl Cluster {
 
     /// Send a raw message into the cluster (enforcement, tests).
     pub fn send(&self, to: NodeId, msg: Msg) {
-        self.registry.send(to, Envelope::Msg { from: NodeId::EXTERNAL, msg });
+        let sent_ns = self.start.elapsed().as_nanos() as u64;
+        self.registry.send(
+            to,
+            Envelope::Msg { from: NodeId::EXTERNAL, msg, trace: None, sent_ns },
+        );
     }
 
     /// Stop a single node (crash injection); its thread exits.
@@ -588,8 +747,9 @@ impl Cluster {
         let start = self.start;
         let seed = self.next_seed;
         self.next_seed += 1;
+        let sink = self.span_sink.clone();
         self.handles.push(std::thread::spawn(move || {
-            run_service_thread(node, service, rx, registry, start, metrics, running, seed);
+            run_service_thread(node, service, rx, registry, start, metrics, running, seed, sink);
         }));
         true
     }
@@ -780,6 +940,54 @@ mod tests {
         let got = client.read(blob, None, 0, 2 * PAGE).expect("read after restart");
         assert_eq!(got, data);
         cluster.shutdown();
+    }
+
+    #[test]
+    fn threaded_tracing_records_op_and_server_spans() {
+        let sink = Arc::new(SpanSink::new());
+        let mut cluster = ClusterBuilder::new()
+            .data_providers(4)
+            .meta_providers(2)
+            .provider_capacity(256 << 20)
+            .span_sink(Arc::clone(&sink))
+            .start();
+        let client = cluster.client(ClientId(5));
+        let blob = client
+            .create(BlobSpec { page_size: PAGE, replication: 2 })
+            .expect("create");
+        let data = patterned(2 * PAGE as usize, 9);
+        client.write(blob, 0, data.clone()).expect("write");
+        let got = client.read(blob, None, 0, 2 * PAGE).expect("read");
+        assert_eq!(got, data);
+        cluster.shutdown();
+
+        let spans = sink.spans();
+        // One root Op span per client op (create + write + read).
+        let ops: Vec<_> =
+            spans.iter().filter(|s| s.kind == SpanKind::Op && s.service == "client").collect();
+        assert_eq!(ops.len(), 3, "create, write, read roots");
+        // The write trace fans out: provider handles and vmanager handles
+        // must appear in the same trace as the write root.
+        let write_root = ops.iter().find(|s| s.op == "write").expect("write root");
+        let in_write: Vec<_> =
+            spans.iter().filter(|s| s.trace == write_root.trace).collect();
+        assert!(
+            in_write.iter().any(|s| s.kind == SpanKind::Handle && s.service == "provider"),
+            "write trace covers provider handles"
+        );
+        assert!(
+            in_write.iter().any(|s| s.kind == SpanKind::Handle && s.service == "vmanager"),
+            "write trace covers vmanager handles"
+        );
+        assert!(
+            in_write.iter().any(|s| s.kind == SpanKind::Net),
+            "write trace records channel-queueing Net spans"
+        );
+        // Histograms aggregate per (service, op).
+        assert!(sink
+            .histograms()
+            .iter()
+            .any(|((svc, op), _)| *svc == "client" && *op == "write"));
     }
 
     #[test]

@@ -44,11 +44,29 @@ pub trait Env {
     fn record(&mut self, _name: &str, _value: f64) {}
     /// Increment a counter metric (optional).
     fn incr(&mut self, _name: &str, _delta: u64) {}
+    /// The span sink, when tracing is enabled for this deployment
+    /// (optional; `None` disables all span recording).
+    fn span_sink(&self) -> Option<std::sync::Arc<sads_sim::SpanSink>> {
+        None
+    }
+    /// Causal context of the message being handled (set by the runtime
+    /// from the delivery envelope, or by protocol roots).
+    fn trace_ctx(&self) -> Option<sads_sim::TraceCtx> {
+        None
+    }
+    /// Override the ambient causal context for subsequent sends (used by
+    /// operation roots and by state machines resumed from timers).
+    fn set_trace_ctx(&mut self, _trace: Option<sads_sim::TraceCtx>) {}
 }
 
 /// A runnable BlobSeer service: the state-machine interface both runtimes
 /// drive.
 pub trait Service: Send {
+    /// Stable service name, used as the span `service` label when the
+    /// runtime traces message handling.
+    fn name(&self) -> &'static str {
+        "service"
+    }
     /// Called once when the node starts.
     fn on_start(&mut self, _env: &mut dyn Env) {}
     /// A message arrived.
@@ -183,6 +201,10 @@ impl DataProviderService {
 }
 
 impl Service for DataProviderService {
+    fn name(&self) -> &'static str {
+        "provider"
+    }
+
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         Some(self)
     }
@@ -392,6 +414,10 @@ impl MetaProviderService {
 }
 
 impl Service for MetaProviderService {
+    fn name(&self) -> &'static str {
+        "meta"
+    }
+
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         Some(self)
     }
@@ -524,6 +550,10 @@ impl ProviderManagerService {
 }
 
 impl Service for ProviderManagerService {
+    fn name(&self) -> &'static str {
+        "pman"
+    }
+
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         Some(self)
     }
@@ -643,6 +673,10 @@ impl VersionManagerService {
 }
 
 impl Service for VersionManagerService {
+    fn name(&self) -> &'static str {
+        "vmanager"
+    }
+
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         Some(self)
     }

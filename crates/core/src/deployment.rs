@@ -66,6 +66,12 @@ pub struct DeploymentConfig {
     pub recovery: Option<SimDuration>,
     /// Default client tuning for `add_client`.
     pub client_cfg: ClientConfig,
+    /// Enable causal request tracing: the deployment owns a
+    /// [`sads_sim::SpanSink`] and every node records `Net`, `Handle`,
+    /// `Stage` and `Op` spans into it. Off by default — with tracing off
+    /// no sink exists and the event schedule is byte-identical to a
+    /// build that predates the tracing layer.
+    pub tracing: bool,
 }
 
 impl Default for DeploymentConfig {
@@ -89,6 +95,7 @@ impl Default for DeploymentConfig {
             removal: None,
             recovery: None,
             client_cfg: ClientConfig::default(),
+            tracing: false,
         }
     }
 }
@@ -132,6 +139,9 @@ impl Deployment {
     /// Build and start every node.
     pub fn build(cfg: DeploymentConfig) -> Deployment {
         let mut world = World::new(cfg.seed, cfg.net);
+        if cfg.tracing {
+            world.set_span_sink(std::sync::Arc::new(sads_sim::SpanSink::new()));
+        }
         let strategy: Box<dyn AllocationStrategy> =
             strategy_by_name(cfg.strategy).unwrap_or_else(|| Box::<RoundRobin>::default());
 
@@ -409,6 +419,12 @@ impl Deployment {
             self.cfg.provider_capacity,
             cfg,
         ))))
+    }
+
+    /// The span sink recording this deployment's traces, when
+    /// [`DeploymentConfig::tracing`] is on.
+    pub fn span_sink(&self) -> Option<&std::sync::Arc<sads_sim::SpanSink>> {
+        self.world.span_sink()
     }
 
     /// Total instrumentation events seen by the monitoring services — the

@@ -18,11 +18,14 @@
 #![warn(missing_docs)]
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
 
 use bytes::{Bytes, BytesMut};
 use parking_lot::Mutex;
 use sads_blob::runtime::threaded::ClientHandle;
 use sads_blob::{BlobError, BlobId, BlobSpec, ClientId, VersionId};
+use sads_sim::{SpanClass, SpanKind, SpanRecord, SpanSink, TraceCtx};
 
 /// Bucket-level access control, after S3's canned ACLs.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -154,6 +157,23 @@ pub struct ObjectGateway {
     buckets: Mutex<BTreeMap<String, Bucket>>,
     uploads: Mutex<BTreeMap<u64, Multipart>>,
     next_upload: std::sync::atomic::AtomicU64,
+    /// Span sink when request tracing is on (one `Op` span per S3
+    /// request; the backing BLOB ops nest under it).
+    span_sink: Option<Arc<SpanSink>>,
+    /// Wall-clock origin for gateway span timestamps.
+    started: Instant,
+}
+
+/// Response of a traced S3 request: the payload plus the trace id the
+/// HTTP layer echoes back to the caller (the `x-sads-trace-id` response
+/// header), letting a client correlate its request with the span tree
+/// recorded server-side.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Traced<T> {
+    /// The S3 response body.
+    pub body: T,
+    /// Trace id of the request's span tree (the response-header echo).
+    pub trace_id: u64,
 }
 
 /// In-flight multipart upload state.
@@ -202,12 +222,53 @@ impl ObjectGateway {
             buckets: Mutex::new(BTreeMap::new()),
             uploads: Mutex::new(BTreeMap::new()),
             next_upload: std::sync::atomic::AtomicU64::new(1),
+            span_sink: None,
+            started: Instant::now(),
         }
+    }
+
+    /// Enable request tracing: each `*_traced` S3 request records one
+    /// `Op` span into `sink` and returns its trace id. Pass the same
+    /// sink to [`ClusterBuilder::span_sink`] so the backing BLOB client
+    /// ops, their RPCs and the server-side handles nest under it.
+    ///
+    /// [`ClusterBuilder::span_sink`]: sads_blob::runtime::threaded::ClusterBuilder::span_sink
+    pub fn set_span_sink(&mut self, sink: Arc<SpanSink>) {
+        self.span_sink = Some(sink);
     }
 
     fn client(&self) -> &ClientHandle {
         let i = self.next_client.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         &self.clients[i % self.clients.len()]
+    }
+
+    /// Open a per-request trace root, when tracing is on.
+    fn begin_request(&self) -> Option<(Arc<SpanSink>, TraceCtx, u64)> {
+        let sink = self.span_sink.clone()?;
+        let trace_id = sink.next_id();
+        let span_id = sink.next_id();
+        let start_ns = self.started.elapsed().as_nanos() as u64;
+        Some((sink, TraceCtx { trace_id, span_id, parent: 0 }, start_ns))
+    }
+
+    /// Close a per-request trace root opened by `begin_request`.
+    fn end_request(&self, req: &(Arc<SpanSink>, TraceCtx, u64), op: &'static str) {
+        let (sink, tc, start_ns) = req;
+        sink.record(SpanRecord {
+            trace: tc.trace_id,
+            span: tc.span_id,
+            parent: 0,
+            service: "gateway",
+            op,
+            node: u64::MAX,
+            start_ns: *start_ns,
+            end_ns: self.started.elapsed().as_nanos() as u64,
+            kind: SpanKind::Op,
+            class: SpanClass::Control,
+            queue_ns: 0,
+            xfer_ns: 0,
+            wire_ns: 0,
+        });
     }
 
     /// Create a bucket owned by `principal`.
@@ -274,6 +335,38 @@ impl ObjectGateway {
         key: &str,
         data: Bytes,
     ) -> Result<ObjectInfo, GatewayError> {
+        self.put_object_inner(principal, bucket, key, data, None)
+    }
+
+    /// [`put_object`](ObjectGateway::put_object) with request tracing:
+    /// records one `gateway.put_object` span covering the whole request
+    /// (the backing BLOB create/write nest under it) and returns the
+    /// trace id alongside the object info.
+    pub fn put_object_traced(
+        &self,
+        principal: ClientId,
+        bucket: &str,
+        key: &str,
+        data: Bytes,
+    ) -> Result<Traced<ObjectInfo>, GatewayError> {
+        let req = self.begin_request();
+        let trace = req.as_ref().map(|(_, tc, _)| *tc);
+        let result = self.put_object_inner(principal, bucket, key, data, trace);
+        if let Some(req) = &req {
+            self.end_request(req, "put_object");
+        }
+        let trace_id = req.map(|(_, tc, _)| tc.trace_id).unwrap_or(0);
+        result.map(|body| Traced { body, trace_id })
+    }
+
+    fn put_object_inner(
+        &self,
+        principal: ClientId,
+        bucket: &str,
+        key: &str,
+        data: Bytes,
+        trace: Option<TraceCtx>,
+    ) -> Result<ObjectInfo, GatewayError> {
         if !valid_name(key) {
             return Err(GatewayError::InvalidName);
         }
@@ -287,10 +380,13 @@ impl ObjectGateway {
         };
         let blob = match existing {
             Some(blob) => blob,
-            None => self.client().create(BlobSpec {
-                page_size: self.cfg.page_size,
-                replication: self.cfg.replication,
-            })?,
+            None => self.client().create_traced(
+                BlobSpec {
+                    page_size: self.cfg.page_size,
+                    replication: self.cfg.replication,
+                },
+                trace,
+            )?,
         };
         let size = data.len() as u64;
         let tag = etag(&data);
@@ -306,7 +402,7 @@ impl ObjectGateway {
             buf.extend(std::iter::repeat_n(0u8, (padded_len - size) as usize));
             buf.freeze()
         };
-        let version = self.client().write(blob, 0, padded)?;
+        let version = self.client().write_traced(blob, 0, padded, trace)?;
         let info = ObjectInfo { key: key.to_owned(), size, blob, version, etag: tag };
         let mut b = self.buckets.lock();
         let bucket_ref = b.get_mut(bucket).ok_or(GatewayError::NoSuchBucket)?;
@@ -322,6 +418,28 @@ impl ObjectGateway {
         key: &str,
     ) -> Result<Bytes, GatewayError> {
         self.get_object_range(principal, bucket, key, 0, u64::MAX)
+    }
+
+    /// [`get_object`](ObjectGateway::get_object) with request tracing:
+    /// records one `gateway.get_object` span covering the whole request
+    /// (the backing BLOB read nests under it) and returns the trace id
+    /// alongside the body.
+    pub fn get_object_traced(
+        &self,
+        principal: ClientId,
+        bucket: &str,
+        key: &str,
+    ) -> Result<Traced<Bytes>, GatewayError> {
+        let req = self.begin_request();
+        let trace = req.as_ref().map(|(_, tc, _)| *tc);
+        let result = self
+            .head_object(principal, bucket, key)
+            .and_then(|info| self.read_pinned_inner(&info, 0, u64::MAX, trace));
+        if let Some(req) = &req {
+            self.end_request(req, "get_object");
+        }
+        let trace_id = req.map(|(_, tc, _)| tc.trace_id).unwrap_or(0);
+        result.map(|body| Traced { body, trace_id })
     }
 
     /// Fetch a byte range of an object (S3 `Range` semantics: clamped to
@@ -347,6 +465,16 @@ impl ObjectGateway {
         offset: u64,
         len: u64,
     ) -> Result<Bytes, GatewayError> {
+        self.read_pinned_inner(info, offset, len, None)
+    }
+
+    fn read_pinned_inner(
+        &self,
+        info: &ObjectInfo,
+        offset: u64,
+        len: u64,
+        trace: Option<TraceCtx>,
+    ) -> Result<Bytes, GatewayError> {
         if offset >= info.size {
             return Ok(Bytes::new());
         }
@@ -354,7 +482,7 @@ impl ObjectGateway {
         if len == 0 {
             return Ok(Bytes::new());
         }
-        Ok(self.client().read(info.blob, Some(info.version), offset, len)?)
+        Ok(self.client().read_traced(info.blob, Some(info.version), offset, len, trace)?)
     }
 
     /// Object metadata without the body.
@@ -568,6 +696,50 @@ mod tests {
 
     fn body(n: usize, seed: u8) -> Bytes {
         Bytes::from((0..n).map(|i| (i as u8).wrapping_mul(13).wrapping_add(seed)).collect::<Vec<u8>>())
+    }
+
+    #[test]
+    fn traced_requests_echo_trace_id_and_span_the_backend() {
+        let sink = Arc::new(SpanSink::new());
+        let mut cluster = ClusterBuilder::new()
+            .data_providers(4)
+            .meta_providers(2)
+            .provider_capacity(256 << 20)
+            .span_sink(Arc::clone(&sink))
+            .start();
+        let client = cluster.client(ClientId(1000));
+        let mut gw = ObjectGateway::new(
+            client,
+            GatewayConfig { page_size: 64 * 1024, replication: 1 },
+        );
+        gw.set_span_sink(Arc::clone(&sink));
+        gw.create_bucket(ALICE, "t", Acl::Private).unwrap();
+        let data = body(200_000, 5);
+        let put = gw.put_object_traced(ALICE, "t", "k", data.clone()).unwrap();
+        assert_ne!(put.trace_id, 0, "put echoes a trace id");
+        let got = gw.get_object_traced(ALICE, "t", "k").unwrap();
+        assert_eq!(got.body, data);
+        assert_ne!(got.trace_id, 0);
+        assert_ne!(got.trace_id, put.trace_id, "one trace per request");
+        cluster.shutdown();
+
+        let spans = sink.spans();
+        // The PUT trace holds the gateway root, the nested client write
+        // op, and provider-side handles — one causal tree per request.
+        let in_put: Vec<_> = spans.iter().filter(|s| s.trace == put.trace_id).collect();
+        assert!(in_put
+            .iter()
+            .any(|s| s.service == "gateway" && s.op == "put_object" && s.kind == SpanKind::Op));
+        let client_write = in_put
+            .iter()
+            .find(|s| s.service == "client" && s.op == "write")
+            .expect("client write nests in the gateway trace");
+        assert_ne!(client_write.parent, 0, "write hangs off the gateway root");
+        assert!(in_put.iter().any(|s| s.service == "provider"));
+        // The GET trace likewise covers the nested read.
+        assert!(spans
+            .iter()
+            .any(|s| s.trace == got.trace_id && s.service == "client" && s.op == "read"));
     }
 
     #[test]

@@ -48,6 +48,10 @@ pub mod world;
 pub use fault::{run_with_faults, FaultEvent, FaultKind, FaultPlan};
 pub use message::{Message, MessageExt};
 pub use metrics::{MetricId, MetricSink, Sample};
-pub use net::{NetConfig, Network, NicState, NodeConfig, NodeId};
+pub use net::{NetConfig, Network, NicState, NodeConfig, NodeId, TransferTiming};
 pub use time::{transfer_time, SimDuration, SimTime};
 pub use world::{Actor, Ctx, RunOutcome, World};
+
+// Re-exported so runtimes built on the simulator can speak tracing
+// vocabulary without a separate dependency declaration.
+pub use sads_trace::{SpanClass, SpanKind, SpanRecord, SpanSink, TraceCtx};

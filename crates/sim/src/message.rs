@@ -21,6 +21,18 @@ pub trait Message: Any + Send + fmt::Debug {
         0
     }
 
+    /// Short operation label used as the span name when this message's
+    /// transfer is traced. Protocol enums should return the variant name.
+    fn op_name(&self) -> &'static str {
+        "msg"
+    }
+
+    /// Traffic class used by the critical-path analyzer to attribute
+    /// this message's serialization time to a pipeline stage.
+    fn span_class(&self) -> sads_trace::SpanClass {
+        sads_trace::SpanClass::Control
+    }
+
     /// Upcast helper so `Box<dyn Message>` can be downcast to a concrete
     /// type. Implemented by the blanket impl of [`MessageExt`].
     fn as_any(self: Box<Self>) -> Box<dyn Any>;

@@ -129,6 +129,19 @@ impl NicState {
     }
 }
 
+/// Breakdown of one scheduled transfer's delivery delay, in nanoseconds.
+/// Produced by [`Network::schedule_transfer_timed`] for tracing; the sum
+/// of the three parts equals delivery time minus send time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TransferTiming {
+    /// Time spent waiting for the egress and ingress pipes to free up.
+    pub queue_ns: u64,
+    /// Time spent serializing bytes through both NICs.
+    pub xfer_ns: u64,
+    /// Fixed wire latency.
+    pub wire_ns: u64,
+}
+
 /// The cluster network: a dense table of NICs plus global parameters.
 #[derive(Debug)]
 pub struct Network {
@@ -198,11 +211,25 @@ impl Network {
         to: NodeId,
         payload_bytes: u64,
     ) -> Option<SimTime> {
+        self.schedule_transfer_timed(now, from, to, payload_bytes).map(|(at, _)| at)
+    }
+
+    /// [`Network::schedule_transfer`] plus the delay breakdown consumed
+    /// by tracing. The delivery-time arithmetic is *identical* — the
+    /// breakdown reports intermediate values the model computes anyway,
+    /// so traced and untraced runs schedule byte-identical events.
+    pub fn schedule_transfer_timed(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        to: NodeId,
+        payload_bytes: u64,
+    ) -> Option<(SimTime, TransferTiming)> {
         if !self.is_up(to) || !self.is_up(from) {
             return None;
         }
         if from == to || from == NodeId::EXTERNAL {
-            return Some(now + SimDuration::from_nanos(1));
+            return Some((now + SimDuration::from_nanos(1), TransferTiming::default()));
         }
         let size = payload_bytes + self.cfg.header_bytes;
 
@@ -221,7 +248,13 @@ impl Network {
         dst.bytes_recv += size;
         dst.msgs_recv += 1;
 
-        Some(recv_done)
+        let timing = TransferTiming {
+            queue_ns: egress_start.since(now).as_nanos() + recv_start.since(arrive).as_nanos(),
+            xfer_ns: egress_done.since(egress_start).as_nanos()
+                + recv_done.since(recv_start).as_nanos(),
+            wire_ns: self.cfg.latency.as_nanos(),
+        };
+        Some((recv_done, timing))
     }
 
     /// Expedited variant of [`Network::schedule_transfer`]: skips *both*

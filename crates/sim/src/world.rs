@@ -9,9 +9,12 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+
+use sads_trace::{SpanKind, SpanRecord, SpanSink, TraceCtx};
 
 use crate::message::Message;
 use crate::metrics::MetricSink;
@@ -40,7 +43,7 @@ pub trait Actor: Send {
 
 enum EventKind {
     Start { node: NodeId },
-    Deliver { from: NodeId, to: NodeId, msg: Box<dyn Message> },
+    Deliver { from: NodeId, to: NodeId, msg: Box<dyn Message>, trace: Option<TraceCtx> },
     Timer { node: NodeId, token: u64 },
 }
 
@@ -50,6 +53,15 @@ impl EventKind {
         match self {
             EventKind::Start { node } | EventKind::Timer { node, .. } => *node,
             EventKind::Deliver { to, .. } => *to,
+        }
+    }
+
+    /// Small discriminant folded into the event digest.
+    fn tag(&self) -> u64 {
+        match self {
+            EventKind::Start { .. } => 1,
+            EventKind::Deliver { .. } => 2,
+            EventKind::Timer { .. } => 3,
         }
     }
 }
@@ -112,6 +124,16 @@ pub struct World {
     /// default); no RNG is consulted at all in that case, keeping
     /// fault-free traces byte-identical to builds without this knob.
     loss: Option<(f64, SmallRng)>,
+    /// Span collector, when tracing is enabled. Tracing is purely
+    /// observational: it never schedules events, draws RNG, or alters
+    /// transfer arithmetic, so the event schedule is identical with the
+    /// sink present or absent (verified by [`World::event_digest`]).
+    span_sink: Option<Arc<SpanSink>>,
+    /// Running FNV-style fold over every dispatched event's
+    /// `(time, seq, target, kind)`. Always on (a few integer ops per
+    /// event); lets tests assert two runs executed byte-identical event
+    /// schedules without retaining the schedules.
+    digest: u64,
 }
 
 impl World {
@@ -128,6 +150,8 @@ impl World {
             metrics: MetricSink::new(),
             events_processed: 0,
             loss: None,
+            span_sink: None,
+            digest: 0xcbf2_9ce4_8422_2325,
         }
     }
 
@@ -146,6 +170,26 @@ impl World {
         self.events_processed
     }
 
+    /// Order-sensitive digest of every event dispatched so far. Two runs
+    /// that executed byte-identical event schedules have equal digests;
+    /// any divergence in timing, ordering, or targeting changes it.
+    pub fn event_digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// Install a span sink: every traced message transfer records a
+    /// `Net` span, and actors can observe the sink through
+    /// [`Ctx::span_sink`]. Tracing never perturbs the event schedule —
+    /// see [`World::event_digest`].
+    pub fn set_span_sink(&mut self, sink: Arc<SpanSink>) {
+        self.span_sink = Some(sink);
+    }
+
+    /// The installed span sink, if tracing is enabled.
+    pub fn span_sink(&self) -> Option<&Arc<SpanSink>> {
+        self.span_sink.as_ref()
+    }
+
     /// Add a node running `actor` with NIC config `cfg`. Its
     /// [`Actor::on_start`] runs at the current simulation time.
     pub fn add_node(&mut self, actor: Box<dyn Actor>, cfg: NodeConfig) -> NodeId {
@@ -161,7 +205,7 @@ impl World {
     /// Delivered almost immediately, bypassing the network model.
     pub fn send_external(&mut self, to: NodeId, msg: Box<dyn Message>) {
         if let Some(at) = self.net.schedule_transfer(self.now, NodeId::EXTERNAL, to, 0) {
-            self.push(at, EventKind::Deliver { from: NodeId::EXTERNAL, to, msg });
+            self.push(at, EventKind::Deliver { from: NodeId::EXTERNAL, to, msg, trace: None });
         }
     }
 
@@ -291,6 +335,9 @@ impl World {
             debug_assert!(ev.at >= self.now, "time must not go backwards");
             self.now = ev.at;
             self.events_processed += 1;
+            for v in [ev.at.as_nanos(), ev.seq, ev.kind.target().0 as u64, ev.kind.tag()] {
+                self.digest = (self.digest ^ v).wrapping_mul(0x1000_0000_01b3);
+            }
             if ev.epoch != self.epoch_of(ev.kind.target()) {
                 // Addressed to a crashed incarnation: dead on arrival.
                 self.metrics.incr("sim.stale_events", 1);
@@ -324,17 +371,22 @@ impl World {
 
     fn dispatch(&mut self, kind: EventKind) {
         match kind {
-            EventKind::Start { node } => self.with_actor(node, |a, ctx| a.on_start(ctx)),
+            EventKind::Start { node } => self.with_actor(node, None, |a, ctx| a.on_start(ctx)),
             EventKind::Timer { node, token } => {
-                self.with_actor(node, |a, ctx| a.on_timer(ctx, token))
+                self.with_actor(node, None, |a, ctx| a.on_timer(ctx, token))
             }
-            EventKind::Deliver { from, to, msg } => {
-                self.with_actor(to, |a, ctx| a.on_message(ctx, from, msg))
+            EventKind::Deliver { from, to, msg, trace } => {
+                self.with_actor(to, trace, |a, ctx| a.on_message(ctx, from, msg))
             }
         }
     }
 
-    fn with_actor(&mut self, node: NodeId, f: impl FnOnce(&mut dyn Actor, &mut Ctx<'_>)) {
+    fn with_actor(
+        &mut self,
+        node: NodeId,
+        trace: Option<TraceCtx>,
+        f: impl FnOnce(&mut dyn Actor, &mut Ctx<'_>),
+    ) {
         if !self.net.is_up(node) {
             return;
         }
@@ -344,7 +396,7 @@ impl World {
         let Some(mut actor) = slot.take() else {
             return;
         };
-        let mut ctx = Ctx { world: self, id: node };
+        let mut ctx = Ctx { world: self, id: node, trace };
         f(actor.as_mut(), &mut ctx);
         // A handler may crash its own node; only restore if still up.
         if self.net.is_up(node) {
@@ -358,6 +410,10 @@ impl World {
 pub struct Ctx<'a> {
     world: &'a mut World,
     id: NodeId,
+    /// Causal context the current event was delivered with; outgoing
+    /// sends inherit it, so replies propagate the trace with zero
+    /// per-actor code.
+    trace: Option<TraceCtx>,
 }
 
 impl Ctx<'_> {
@@ -371,6 +427,54 @@ impl Ctx<'_> {
         self.world.now
     }
 
+    /// The causal context the event being handled arrived with (set by
+    /// the sender, or overridden via [`Ctx::set_trace_ctx`]).
+    pub fn trace_ctx(&self) -> Option<TraceCtx> {
+        self.trace
+    }
+
+    /// Override the ambient causal context for the rest of this handler
+    /// invocation (used by protocol roots — e.g. a client starting an
+    /// operation — and by state machines resuming a session from a
+    /// timer, where no delivery carried the context).
+    pub fn set_trace_ctx(&mut self, trace: Option<TraceCtx>) {
+        self.trace = trace;
+    }
+
+    /// The world's span sink, if tracing is enabled.
+    pub fn span_sink(&self) -> Option<Arc<SpanSink>> {
+        self.world.span_sink.clone()
+    }
+
+    /// Record a `Net` span for a transfer of `msg` departing `start` and
+    /// delivered at `at`, as a child of the ambient trace context.
+    fn trace_transfer(
+        &mut self,
+        msg: &dyn Message,
+        start: SimTime,
+        at: SimTime,
+        timing: crate::net::TransferTiming,
+    ) {
+        let (Some(sink), Some(tc)) = (&self.world.span_sink, self.trace) else {
+            return;
+        };
+        sink.record(SpanRecord {
+            trace: tc.trace_id,
+            span: sink.next_id(),
+            parent: tc.span_id,
+            service: "net",
+            op: msg.op_name(),
+            node: self.id.0 as u64,
+            start_ns: start.as_nanos(),
+            end_ns: at.as_nanos(),
+            kind: SpanKind::Net,
+            class: msg.span_class(),
+            queue_ns: timing.queue_ns,
+            xfer_ns: timing.xfer_ns,
+            wire_ns: timing.wire_ns,
+        });
+    }
+
     /// Send `msg` to `to` through the modeled network. Silently dropped if
     /// either endpoint is down (like a real datagram), or — under
     /// [`World::set_message_loss`] — with the configured probability.
@@ -380,8 +484,11 @@ impl Ctx<'_> {
         }
         let size = msg.wire_size();
         let now = self.world.now;
-        if let Some(at) = self.world.net.schedule_transfer(now, self.id, to, size) {
-            self.world.push(at, EventKind::Deliver { from: self.id, to, msg });
+        if let Some((at, timing)) = self.world.net.schedule_transfer_timed(now, self.id, to, size)
+        {
+            self.trace_transfer(msg.as_ref(), now, at, timing);
+            let trace = self.trace;
+            self.world.push(at, EventKind::Deliver { from: self.id, to, msg, trace });
         }
     }
 
@@ -392,7 +499,13 @@ impl Ctx<'_> {
         let size = msg.wire_size();
         let now = self.world.now;
         if let Some(at) = self.world.net.schedule_transfer_expedited(now, self.id, to, size) {
-            self.world.push(at, EventKind::Deliver { from: self.id, to, msg });
+            let timing = crate::net::TransferTiming {
+                wire_ns: at.since(now).as_nanos(),
+                ..Default::default()
+            };
+            self.trace_transfer(msg.as_ref(), now, at, timing);
+            let trace = self.trace;
+            self.world.push(at, EventKind::Deliver { from: self.id, to, msg, trace });
         }
     }
 
@@ -405,8 +518,12 @@ impl Ctx<'_> {
         // Model: occupy nothing locally, just delay the network entry.
         let size = msg.wire_size();
         let start = self.world.now + delay;
-        if let Some(at) = self.world.net.schedule_transfer(start, self.id, to, size) {
-            self.world.push(at, EventKind::Deliver { from: self.id, to, msg });
+        if let Some((at, timing)) =
+            self.world.net.schedule_transfer_timed(start, self.id, to, size)
+        {
+            self.trace_transfer(msg.as_ref(), start, at, timing);
+            let trace = self.trace;
+            self.world.push(at, EventKind::Deliver { from: self.id, to, msg, trace });
         }
     }
 
@@ -612,8 +729,11 @@ mod tests {
 
     #[test]
     fn determinism_same_seed_same_trace() {
-        fn run(seed: u64) -> (u64, f64) {
+        fn run(seed: u64, sink: Option<Arc<SpanSink>>) -> (u64, f64, u64) {
             let mut w = World::with_seed(seed);
+            if let Some(sink) = sink {
+                w.set_span_sink(sink);
+            }
             let echo = w.add_node(Box::new(Echo { seen: 0 }), NodeConfig::default());
             for _ in 0..10 {
                 let _ = w.add_node(
@@ -622,9 +742,53 @@ mod tests {
                 );
             }
             w.run_to_quiescence(10_000);
-            (w.events_processed(), w.now().as_secs_f64())
+            (w.events_processed(), w.now().as_secs_f64(), w.event_digest())
         }
-        assert_eq!(run(42), run(42));
+        assert_eq!(run(42, None), run(42, None));
+        // Installing a span sink must not perturb the event schedule:
+        // tracing observes, never schedules.
+        assert_eq!(run(42, None), run(42, Some(Arc::new(SpanSink::new()))));
+    }
+
+    #[test]
+    fn traced_sends_record_net_spans_and_propagate_context() {
+        /// Starts a trace, sends to the peer; the peer's reply (sent with
+        /// no tracing code of its own) must carry the same trace.
+        struct Tracer {
+            peer: NodeId,
+        }
+        impl Actor for Tracer {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                let sink = ctx.span_sink().expect("sink installed");
+                let trace_id = sink.next_id();
+                let root = sink.next_id();
+                ctx.set_trace_ctx(Some(TraceCtx { trace_id, span_id: root, parent: 0 }));
+                ctx.send(self.peer, Box::new(Blob(1 << 20)));
+            }
+            fn on_message(&mut self, ctx: &mut Ctx<'_>, _f: NodeId, _m: Box<dyn Message>) {
+                assert!(ctx.trace_ctx().is_some(), "reply must carry the trace");
+                ctx.incr("tracer.reply_traced", 1);
+            }
+        }
+        let mut w = World::with_seed(4);
+        let sink = Arc::new(SpanSink::new());
+        w.set_span_sink(Arc::clone(&sink));
+        let echo = w.add_node(Box::new(Echo { seen: 0 }), NodeConfig::default());
+        w.add_node(Box::new(Tracer { peer: echo }), NodeConfig::default());
+        w.run_to_quiescence(1_000);
+        assert_eq!(w.metrics().counter("tracer.reply_traced"), 1);
+        let spans = sink.spans();
+        // Outbound data message + echoed reply, both in the same trace.
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].trace, spans[1].trace);
+        assert!(spans.iter().all(|s| s.kind == SpanKind::Net));
+        let data = &spans[0];
+        assert!(data.xfer_ns > 0, "1 MiB at 1 Gb/s serializes for >0 ns");
+        assert_eq!(
+            data.duration_ns(),
+            data.queue_ns + data.xfer_ns + data.wire_ns,
+            "breakdown must sum to the delivery delay"
+        );
     }
 
     #[test]

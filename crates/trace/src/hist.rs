@@ -1,0 +1,171 @@
+//! Log-bucketed latency histograms.
+//!
+//! Values are nanosecond durations spanning ~9 orders of magnitude
+//! (sub-µs control hops to multi-second queueing collapses), so linear
+//! buckets are hopeless and exact storage is wasteful. Buckets follow
+//! the HdrHistogram idea at its cheapest: values 0–3 are exact, larger
+//! values get 4 sub-buckets per power of two, bounding the relative
+//! quantile error at ~12.5% with 252 fixed slots and O(1) updates.
+
+const BUCKETS: usize = 252;
+
+/// A fixed-size log-bucketed histogram of `u64` values.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { counts: [0; BUCKETS], count: 0, sum: 0, max: 0 }
+    }
+}
+
+fn bucket_of(v: u64) -> usize {
+    if v < 4 {
+        return v as usize;
+    }
+    let b = 63 - v.leading_zeros() as usize; // floor(log2 v), >= 2
+    let sub = ((v >> (b - 2)) & 3) as usize; // top two bits below the leader
+    (b - 1) * 4 + sub
+}
+
+/// Midpoint of a bucket's value range (what quantile queries report).
+fn bucket_mid(idx: usize) -> u64 {
+    if idx < 4 {
+        return idx as u64;
+    }
+    let b = idx / 4 + 1;
+    let sub = (idx % 4) as u64;
+    let lo = (1u64 << b) + (sub << (b - 2));
+    lo + (1u64 << (b - 2)) / 2
+}
+
+impl Histogram {
+    /// Record one value.
+    pub fn observe(&mut self, v: u64) {
+        self.counts[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Approximate value at percentile `p` (0–100): the midpoint of the
+    /// bucket containing the rank, within ~12.5% of the true value.
+    /// Returns 0 on an empty histogram.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_mid(i);
+            }
+        }
+        self.max
+    }
+
+    /// Mean of the recorded values (exact, from the running sum).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Largest recorded value (exact).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The standard percentile summary.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count,
+            mean_ns: self.mean(),
+            p50: self.percentile(50.0),
+            p90: self.percentile(90.0),
+            p99: self.percentile(99.0),
+            p999: self.percentile(99.9),
+            max: self.max,
+        }
+    }
+}
+
+/// Snapshot of a histogram's headline statistics (all values ns).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HistogramSummary {
+    /// Observations recorded.
+    pub count: u64,
+    /// Exact mean.
+    pub mean_ns: f64,
+    /// Median (log-bucket approximation).
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
+    /// Exact maximum.
+    pub max: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_monotone_and_in_range() {
+        let mut last = 0;
+        for v in [0u64, 1, 2, 3, 4, 5, 7, 8, 100, 1_000, 1 << 20, u64::MAX] {
+            let b = bucket_of(v);
+            assert!(b >= last, "bucket order violated at {v}");
+            assert!(b < BUCKETS, "bucket {b} out of range for {v}");
+            last = b;
+        }
+    }
+
+    #[test]
+    fn quantile_error_is_bounded() {
+        let mut h = Histogram::default();
+        for v in 1..=10_000u64 {
+            h.observe(v * 1_000); // 1µs .. 10ms
+        }
+        let p50 = h.percentile(50.0) as f64;
+        assert!((p50 - 5_000_000.0).abs() / 5_000_000.0 < 0.15, "p50={p50}");
+        let p99 = h.percentile(99.0) as f64;
+        assert!((p99 - 9_900_000.0).abs() / 9_900_000.0 < 0.15, "p99={p99}");
+        assert_eq!(h.count(), 10_000);
+        assert_eq!(h.max(), 10_000_000);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = Histogram::default();
+        assert_eq!(h.percentile(99.0), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.summary().count, 0);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::default();
+        for _ in 0..10 {
+            h.observe(2);
+        }
+        assert_eq!(h.percentile(50.0), 2);
+    }
+}
