@@ -105,6 +105,83 @@ fn bench_tree(c: &mut Criterion) {
     g.finish();
 }
 
+/// The read path's metadata round trips and the provider's chunk cache:
+/// a single server-side `range_cover` bulk query versus the classic
+/// level-by-level descent it replaces, and `ReadCache` hit/miss costs.
+fn bench_read_path(c: &mut Criterion) {
+    use sads_blob::provider::ReadCache;
+    use std::collections::HashMap;
+
+    let mut g = c.benchmark_group("read_path");
+    for pages in [16u64, 128, 1024] {
+        let (store, root) = build_tree(pages);
+        let query = PageInterval::new(0, pages);
+        g.throughput(Throughput::Elements(pages));
+        // Level-by-level: what the client's descent makes the metadata
+        // provider do across O(depth) round trips.
+        g.bench_with_input(
+            BenchmarkId::new("descent_level_by_level", pages),
+            &pages,
+            |b, &pages| {
+                b.iter(|| {
+                    let mut r = TreeReader::new(BLOB, Some(root), PageInterval::new(0, pages));
+                    while !r.is_done() {
+                        for k in r.needed_fetches() {
+                            let n = store.get(&k).unwrap().clone();
+                            r.supply(k, &n);
+                        }
+                    }
+                    r.into_sources()
+                });
+            },
+        );
+        // Bulk: one range_cover call serves the whole read path, the
+        // client descends through the warmed node map locally.
+        g.bench_with_input(BenchmarkId::new("descent_range_cover", pages), &pages, |b, _| {
+            b.iter(|| {
+                let (nodes, more) =
+                    store.range_cover(BLOB, VersionId(1), &query, None, usize::MAX);
+                assert!(!more);
+                let cache: HashMap<_, _> = nodes.into_iter().collect();
+                let mut r = TreeReader::new(BLOB, Some(root), query);
+                while !r.is_done() {
+                    for k in r.needed_fetches() {
+                        let n = cache.get(&k).unwrap();
+                        r.supply(k, n);
+                    }
+                }
+                r.into_sources()
+            });
+        });
+    }
+
+    let key = |p: u64| ChunkKey { blob: BLOB, version: VersionId(1), page: p };
+    let mut cache = ReadCache::new(128);
+    for p in 0..128 {
+        cache.insert(key(p), Payload::Sim(PAGE));
+    }
+    let mut p = 0u64;
+    g.bench_function("chunk_cache_hit", |b| {
+        b.iter(|| {
+            p = (p + 1) % 128;
+            cache.get(&key(p)).is_some()
+        });
+    });
+    g.bench_function("chunk_cache_miss", |b| {
+        b.iter(|| {
+            p = (p + 1) % 128;
+            cache.get(&key(p + 1000)).is_none()
+        });
+    });
+    g.bench_function("chunk_cache_insert_evict", |b| {
+        b.iter(|| {
+            p += 1;
+            cache.insert(key(p + 10_000), Payload::Sim(PAGE));
+        });
+    });
+    g.finish();
+}
+
 fn bench_alloc(c: &mut Criterion) {
     let mut g = c.benchmark_group("allocation");
     let mut registry = ProviderRegistry::new();
@@ -317,6 +394,7 @@ fn bench_simulator(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_tree,
+    bench_read_path,
     bench_alloc,
     bench_chunk_store,
     bench_metric_sink,

@@ -12,13 +12,18 @@
 //! `results/BENCH_hotpath_baseline.json`; the next run embeds it under the
 //! `"baseline"` key so before/after numbers live in one artifact.
 //!
-//! Every configuration is measured `REPEATS` times and the best run is
-//! reported. Scheduler noise on a shared single-core host routinely
-//! swings a run by 2x, so the peak is the only stable summary of what
-//! the code can sustain; the same policy must be used for baseline and
-//! candidate (the recorded baseline notes it).
+//! Noise control: client threads are pre-spawned and released through a
+//! barrier, so thread startup and scheduler warm-up sit outside every
+//! timed window; each configuration gets one discarded warm-up run and is
+//! then measured `REPEATS` times. The summary statistic is the **median**
+//! (min/max are reported alongside so the spread is visible); the same
+//! policy must be used for baseline and candidate.
+//!
+//! `--smoke` runs a tiny sweep for CI, writes `results/BENCH_smoke.json`,
+//! and exits non-zero if read throughput at 8 clients regressed more than
+//! 50% against the checked-in `BENCH_perf.json`.
 
-use std::sync::Arc;
+use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
 use bytes::Bytes;
@@ -35,21 +40,40 @@ const MB: u64 = 1_000_000;
 const PAGE: u64 = 256 * 1024;
 const OP_SIZE: u64 = 4 * 1024 * 1024; // one write/read call
 const OPS_PER_CLIENT: u64 = 8; // 32 MiB moved per client, each direction
-const REPEATS: usize = 3; // best-of-N per configuration
+const REPEATS: usize = 5; // median-of-N per configuration
 
-/// Run `f` `REPEATS` times and keep the element-wise best of the pair.
-fn best_of<F: FnMut() -> (f64, f64)>(mut f: F) -> (f64, f64) {
-    let mut best = (0.0f64, 0.0f64);
-    for _ in 0..REPEATS {
-        let (a, b) = f();
-        best.0 = best.0.max(a);
-        best.1 = best.1.max(b);
+/// Median / min / max of one measured series.
+#[derive(Clone, Copy)]
+struct Stats {
+    median: f64,
+    min: f64,
+    max: f64,
+}
+
+fn summarize(mut xs: Vec<f64>) -> Stats {
+    xs.sort_by(f64::total_cmp);
+    let n = xs.len();
+    let median = if n % 2 == 1 { xs[n / 2] } else { (xs[n / 2 - 1] + xs[n / 2]) / 2.0 };
+    Stats { median, min: xs[0], max: xs[n - 1] }
+}
+
+/// One discarded warm-up run, then `repeats` measured runs of `f`,
+/// summarized per component.
+fn sample<F: FnMut() -> (f64, f64)>(mut f: F, repeats: usize) -> (Stats, Stats) {
+    let _ = f(); // warm-up: page caches, allocator, thread pools
+    let (mut a, mut b) = (Vec::with_capacity(repeats), Vec::with_capacity(repeats));
+    for _ in 0..repeats {
+        let (x, y) = f();
+        a.push(x);
+        b.push(y);
     }
-    best
+    (summarize(a), summarize(b))
 }
 
 /// Aggregate threaded write+read MB/s with `clients` concurrent handles.
-fn threaded_run(clients: usize) -> (f64, f64) {
+/// Threads are released through a barrier so only steady-state I/O is
+/// inside the timed window.
+fn threaded_run(clients: usize, ops_per_client: u64) -> (f64, f64) {
     let mut cluster = ClusterBuilder::new()
         .data_providers(8)
         .meta_providers(2)
@@ -58,39 +82,47 @@ fn threaded_run(clients: usize) -> (f64, f64) {
     let handles: Vec<_> = (0..clients)
         .map(|i| cluster.client(ClientId(100 + i as u64)))
         .collect();
-    let total_bytes = (clients as u64 * OPS_PER_CLIENT * OP_SIZE) as f64;
+    let total_bytes = (clients as u64 * ops_per_client * OP_SIZE) as f64;
 
-    // Writes: every client appends OPS_PER_CLIENT ops into its own blob.
-    // The payload buffer is shared per client, so stored chunks are
-    // refcounted views and memory stays bounded at high client counts.
-    let start = Instant::now();
+    // Writes: every client appends its ops into its own blob. The payload
+    // buffer is shared per client, so stored chunks are refcounted views
+    // and memory stays bounded at high client counts.
+    let barrier = Arc::new(Barrier::new(clients + 1));
     let mut threads = Vec::new();
     for (t, h) in handles.into_iter().enumerate() {
+        let gate = Arc::clone(&barrier);
         threads.push(std::thread::spawn(move || {
             let blob = h
                 .create(BlobSpec { page_size: PAGE, replication: 1 })
                 .expect("create");
             let body = Bytes::from(vec![t as u8; OP_SIZE as usize]);
-            for _ in 0..OPS_PER_CLIENT {
+            gate.wait();
+            for _ in 0..ops_per_client {
                 h.append(blob, body.clone()).expect("append");
             }
             (h, blob)
         }));
     }
+    barrier.wait();
+    let start = Instant::now();
     let handles: Vec<_> = threads.into_iter().map(|t| t.join().unwrap()).collect();
     let write_mbps = total_bytes / 1e6 / start.elapsed().as_secs_f64();
 
     // Reads: every client reads its blob back in OP_SIZE chunks.
-    let start = Instant::now();
+    let barrier = Arc::new(Barrier::new(clients + 1));
     let mut threads = Vec::new();
     for (h, blob) in handles {
+        let gate = Arc::clone(&barrier);
         threads.push(std::thread::spawn(move || {
-            for k in 0..OPS_PER_CLIENT {
+            gate.wait();
+            for k in 0..ops_per_client {
                 let data = h.read(blob, None, k * OP_SIZE, OP_SIZE).expect("read");
                 assert_eq!(data.len() as u64, OP_SIZE);
             }
         }));
     }
+    barrier.wait();
+    let start = Instant::now();
     for t in threads {
         t.join().unwrap();
     }
@@ -119,34 +151,42 @@ fn gateway_run(concurrency: usize) -> (f64, f64) {
     gw.create_bucket(ClientId(0), "bench", Acl::PublicRead).unwrap();
     let total_bytes = (concurrency * OBJS * OBJ_SIZE) as f64;
 
-    let start = Instant::now();
+    let barrier = Arc::new(Barrier::new(concurrency + 1));
     let mut threads = Vec::new();
     for t in 0..concurrency {
         let gw = Arc::clone(&gw);
+        let gate = Arc::clone(&barrier);
         threads.push(std::thread::spawn(move || {
             let body = Bytes::from(vec![t as u8; OBJ_SIZE]);
+            gate.wait();
             for k in 0..OBJS {
                 gw.put_object(ClientId(0), "bench", &format!("t{t}/o{k}"), body.clone())
                     .unwrap();
             }
         }));
     }
+    barrier.wait();
+    let start = Instant::now();
     for h in threads {
         h.join().unwrap();
     }
     let put_mbps = total_bytes / 1e6 / start.elapsed().as_secs_f64();
 
-    let start = Instant::now();
+    let barrier = Arc::new(Barrier::new(concurrency + 1));
     let mut threads = Vec::new();
     for t in 0..concurrency {
         let gw = Arc::clone(&gw);
+        let gate = Arc::clone(&barrier);
         threads.push(std::thread::spawn(move || {
+            gate.wait();
             for k in 0..OBJS {
                 let body = gw.get_object(ClientId(0), "bench", &format!("t{t}/o{k}")).unwrap();
                 assert_eq!(body.len(), OBJ_SIZE);
             }
         }));
     }
+    barrier.wait();
+    let start = Instant::now();
     for h in threads {
         h.join().unwrap();
     }
@@ -183,51 +223,135 @@ fn sim_run(seed: u64, clients: u64) -> (u64, f64, f64) {
     (events, wall, events as f64 / wall)
 }
 
+/// Pull `"read_mbps"` out of the first `"clients": N` entry of a
+/// previously written perf artifact (naive scan — the artifact is our
+/// own, with known key order).
+fn read_mbps_at(json: &str, clients: u64) -> Option<f64> {
+    let needle = format!("\"clients\": {clients},");
+    for seg in json.split('{') {
+        if seg.contains(&needle) {
+            if let Some(tail) = seg.split("\"read_mbps\": ").nth(1) {
+                let num: String = tail
+                    .chars()
+                    .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+                    .collect();
+                if let Ok(v) = num.parse() {
+                    return Some(v);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// One threaded sweep: returns the table and a JSON array, and the read
+/// median at 8 clients (if measured) for regression checks.
+fn threaded_sweep(configs: &[usize], repeats: usize) -> (String, Option<f64>) {
+    let mut rows =
+        vec![row!["clients", "write_MBps", "read_MBps", "read_min", "read_max"]];
+    let mut json = String::from("[");
+    let mut read_at_8 = None;
+    for (i, &clients) in configs.iter().enumerate() {
+        let (w, r) = sample(|| threaded_run(clients, OPS_PER_CLIENT), repeats);
+        if clients == 8 {
+            read_at_8 = Some(r.median);
+        }
+        rows.push(row![
+            clients,
+            format!("{:.0}", w.median),
+            format!("{:.0}", r.median),
+            format!("{:.0}", r.min),
+            format!("{:.0}", r.max)
+        ]);
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!(
+            "\n    {{\"clients\": {clients}, \"write_mbps\": {:.1}, \"read_mbps\": {:.1}, \
+             \"write_min\": {:.1}, \"write_max\": {:.1}, \
+             \"read_min\": {:.1}, \"read_max\": {:.1}}}",
+            w.median, r.median, w.min, w.max, r.min, r.max
+        ));
+    }
+    json.push_str("\n  ]");
+    print_table(&rows);
+    (json, read_at_8)
+}
+
+/// Tiny CI sweep: measure 2 and 8 clients, write `BENCH_smoke.json`, and
+/// fail the process on a >50% read regression at 8 clients against the
+/// checked-in `BENCH_perf.json` (skipped with a note when no baseline is
+/// checked in — e.g. a fresh clone without artifacts).
+fn smoke() {
+    println!("perf --smoke: threaded blob layer, CI regression gate\n");
+    let (threaded_json, read_at_8) = threaded_sweep(&[2, 8], 3);
+    let json = format!(
+        "{{\n  \"repeats\": 3, \"policy\": \"median\", \"mode\": \"smoke\",\n  \
+         \"threaded\": {threaded_json}\n}}\n"
+    );
+    write_artifact("BENCH_smoke.json", &json);
+
+    let Ok(baseline) = std::fs::read_to_string("BENCH_perf.json") else {
+        println!("no BENCH_perf.json baseline checked in; skipping regression gate");
+        return;
+    };
+    let (Some(now), Some(before)) = (read_at_8, read_mbps_at(&baseline, 8)) else {
+        println!("baseline lacks a read@8 figure; skipping regression gate");
+        return;
+    };
+    println!("\nread@8: {now:.0} MB/s now vs {before:.0} MB/s baseline");
+    if now < before * 0.5 {
+        eprintln!("FAIL: read throughput at 8 clients regressed more than 50%");
+        std::process::exit(1);
+    }
+    println!("regression gate passed (threshold: 50% of baseline)");
+}
+
 fn main() {
     let args = BenchArgs::parse();
+    if args.smoke {
+        return smoke();
+    }
     println!("perf: hot-path harness (threaded blob, gateway, sim engine)\n");
     let sim_clients = args.scaled(20) as u64;
     let sim_seed = args.seed_or(1000 + sim_clients);
 
-    let mut rows = vec![row!["clients", "write_MBps", "read_MBps"]];
-    let mut threaded_json = String::from("[");
-    for (i, clients) in [1usize, 2, 4, 8, 16, 32, 64].into_iter().enumerate() {
-        let (w, r) = best_of(|| threaded_run(clients));
-        rows.push(row![clients, format!("{w:.0}"), format!("{r:.0}")]);
-        if i > 0 {
-            threaded_json.push(',');
-        }
-        threaded_json.push_str(&format!(
-            "\n    {{\"clients\": {clients}, \"write_mbps\": {w:.1}, \"read_mbps\": {r:.1}}}"
-        ));
-    }
-    threaded_json.push_str("\n  ]");
-    print_table(&rows);
+    let (threaded_json, _) = threaded_sweep(&[1usize, 2, 4, 8, 16, 32, 64], REPEATS);
 
-    let (put, get) = best_of(|| gateway_run(8));
-    println!("\ngateway (8 clients): PUT {put:.0} MB/s, GET {get:.0} MB/s");
-
-    let (mut events, mut wall, mut eps) = sim_run(sim_seed, sim_clients);
-    for _ in 1..REPEATS {
-        let (e, w, r) = sim_run(sim_seed, sim_clients);
-        if r > eps {
-            (events, wall, eps) = (e, w, r);
-        }
-    }
+    let (put, get) = sample(|| gateway_run(8), REPEATS);
     println!(
-        "sim E1 ({sim_clients} clients x 1 GB, monitored): {events} events in {wall:.2}s = {eps:.0} events/s"
+        "\ngateway (8 clients): PUT {:.0} MB/s, GET {:.0} MB/s (min {:.0}, max {:.0})",
+        put.median, get.median, get.min, get.max
     );
+
+    let eps = {
+        let mut xs = Vec::new();
+        let mut last = (0u64, 0.0f64);
+        for _ in 0..REPEATS {
+            let (e, w, r) = sim_run(sim_seed, sim_clients);
+            last = (e, w);
+            xs.push(r);
+        }
+        let s = summarize(xs);
+        println!(
+            "sim E1 ({sim_clients} clients x 1 GB, monitored): {} events in {:.2}s = {:.0} events/s (min {:.0}, max {:.0})",
+            last.0, last.1, s.median, s.min, s.max
+        );
+        s
+    };
 
     let baseline = std::fs::read_to_string(out_dir().join("BENCH_hotpath_baseline.json"))
         .map(|s| s.trim().to_owned())
         .unwrap_or_else(|_| "null".to_owned());
 
     let json = format!(
-        "{{\n  \"repeats\": {REPEATS}, \"policy\": \"best\",\n  \
+        "{{\n  \"repeats\": {REPEATS}, \"policy\": \"median\",\n  \
          \"threaded\": {threaded_json},\n  \
-         \"gateway\": {{\"clients\": 8, \"put_mbps\": {put:.1}, \"get_mbps\": {get:.1}}},\n  \
-         \"sim_e1\": {{\"events\": {events}, \"wall_s\": {wall:.3}, \"events_per_sec\": {eps:.0}}},\n  \
-         \"baseline\": {baseline}\n}}\n"
+         \"gateway\": {{\"clients\": 8, \"put_mbps\": {:.1}, \"get_mbps\": {:.1}, \
+         \"get_min\": {:.1}, \"get_max\": {:.1}}},\n  \
+         \"sim_e1\": {{\"events_per_sec\": {:.0}, \"eps_min\": {:.0}, \"eps_max\": {:.0}}},\n  \
+         \"baseline\": {baseline}\n}}\n",
+        put.median, get.median, get.min, get.max, eps.median, eps.min, eps.max
     );
     write_artifact("BENCH_hotpath.json", &json);
     // Same payload at the repo root so tooling can diff perf runs without

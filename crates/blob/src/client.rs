@@ -219,6 +219,16 @@ pub struct ClientConfig {
     /// Chunk-RPC fault tolerance (deadlines, backoff, re-allocation and
     /// degraded-read placement refresh). Disabled by default.
     pub retry: RetryPolicy,
+    /// Cold-cache reads open the metadata descent with one bulk
+    /// [`Msg::GetMetaRange`] broadcast to the metadata providers instead
+    /// of walking the tree one remote level at a time. The replies only
+    /// warm the node cache — anything missing falls back to the per-node
+    /// descent, so this is purely a round-trip optimization (and can be
+    /// turned off to talk to servers that predate the message).
+    pub meta_range_fetch: bool,
+    /// Reply-size cap (node count) each provider applies to one
+    /// `GetMetaRange` answer; truncated scans continue via cursor.
+    pub meta_range_max_nodes: u32,
 }
 
 impl Default for ClientConfig {
@@ -230,6 +240,8 @@ impl Default for ClientConfig {
             chunk_window: 32,
             meta_cache_nodes: 4096,
             retry: RetryPolicy::disabled(),
+            meta_range_fetch: true,
+            meta_range_max_nodes: 512,
         }
     }
 }
@@ -312,9 +324,28 @@ struct ReadSess {
     page0: u64,
     parts: Vec<Option<Payload>>,
     phase: ReadPhase,
-    /// Chunk fetches not yet issued (reversed; `pop()` yields the next
-    /// job); the in-flight window refills from here.
-    pending_gets: Vec<(usize, ChunkDescriptor)>,
+    /// Per-provider chunk-fetch batches not yet issued (reversed; `pop()`
+    /// yields the next batch); the in-flight window refills from here.
+    pending_gets: Vec<(NodeId, Vec<(usize, ChunkDescriptor)>)>,
+    /// Whether this read already issued its one bulk `GetMetaRange`
+    /// broadcast (at most one per read; later descent gaps use the
+    /// per-node path).
+    range_used: bool,
+}
+
+impl ReadSess {
+    /// Version + page interval of this read's bulk range query. The tree
+    /// being descended is the one rooted at the version that *created*
+    /// the root node — equal to the read version except when a recovered
+    /// no-op version republished its predecessor's root.
+    fn range_query(&self) -> (VersionId, PageInterval) {
+        let info = self.info.as_ref().expect("info set");
+        let version = match info.root {
+            Some(crate::meta::NodeRef::Node { version, .. }) => version,
+            _ => info.version,
+        };
+        (version, PageInterval::new(self.page0, self.parts.len() as u64))
+    }
 }
 
 #[derive(Debug)]
@@ -371,8 +402,21 @@ enum ReqRole {
         attempts: usize,
         refreshed: bool,
     },
+    /// One provider's batch of chunk fetches (window slots grouped by
+    /// the replica chosen for each chunk). A single deadline guards the
+    /// whole batch; failed or unanswered items re-enter the per-chunk
+    /// replica walk individually.
+    ChunkGetBatch {
+        target: NodeId,
+        items: Vec<(usize, ChunkDescriptor)>,
+    },
     /// A metadata fetch carrying the requested keys (during resolve).
     MetaGet,
+    /// One provider's slice of the bulk metadata range query a cold read
+    /// opens with (`target` kept for continuation requests).
+    MetaRange {
+        target: NodeId,
+    },
     /// One provider's batch of chunk stores, kept so a timed-out or
     /// refused store can be re-sent (same target, then a replacement).
     ChunkPut {
@@ -531,6 +575,7 @@ impl ClientCore {
                     parts: Vec::new(),
                     phase: ReadPhase::Version,
                     pending_gets: Vec::new(),
+                    range_used: false,
                 }));
                 let req = self.fresh_req(sid, ReqRole::Plain);
                 sess.outstanding.insert(req);
@@ -630,10 +675,7 @@ impl ClientCore {
             self.vman,
             self.pman,
             &self.meta_providers,
-            self.cfg.materialize_zeros,
-            self.cfg.chunk_timeout,
-            self.cfg.chunk_window,
-            self.cfg.retry,
+            self.cfg,
             &mut self.meta_cache,
             &mut self.next_req,
             &mut self.req_index,
@@ -745,10 +787,7 @@ impl ClientCore {
         vman: NodeId,
         pman: NodeId,
         meta_providers: &[NodeId],
-        materialize_zeros: bool,
-        chunk_timeout: SimDuration,
-        chunk_window: usize,
-        retry: RetryPolicy,
+        cfg: ClientConfig,
         meta_cache: &mut MetaCache,
         next_req: &mut u64,
         req_index: &mut HashMap<u64, (u64, ReqRole)>,
@@ -831,12 +870,12 @@ impl ClientCore {
                     }
                     jobs.reverse(); // pop() = next batch, in first-seen order
                     w.pending_puts = jobs;
-                    let window = if chunk_window == 0 { usize::MAX } else { chunk_window };
+                    let window = if cfg.chunk_window == 0 { usize::MAX } else { cfg.chunk_window };
                     while sess.outstanding.len() < window {
                         let Some((target, items)) = w.pending_puts.pop() else { break };
                         Self::issue_chunk_put(
                             client,
-                            retry,
+                            cfg.retry,
                             &mut fresh,
                             &mut sess.outstanding,
                             target,
@@ -862,7 +901,7 @@ impl ClientCore {
                     if let Some((target, items)) = w.pending_puts.pop() {
                         Self::issue_chunk_put(
                             client,
-                            retry,
+                            cfg.retry,
                             &mut fresh,
                             &mut sess.outstanding,
                             target,
@@ -895,14 +934,14 @@ impl ClientCore {
                     let ReqRole::ChunkPut { target, items, attempts } = role else {
                         return Step::Done(Err(chunk_err(err, client)), 0);
                     };
-                    if !retry.enabled() {
+                    if !cfg.retry.enabled() {
                         return Step::Done(Err(chunk_err(err, client)), 0);
                     }
-                    if err != ChunkErr::Full && attempts < retry.max_attempts {
+                    if err != ChunkErr::Full && attempts < cfg.retry.max_attempts {
                         // Same-target retry: register the resend under a
                         // fresh request id; the backoff timer sends it.
                         env.incr("client.rpc_retries", 1);
-                        let delay = retry.backoff(attempts);
+                        let delay = cfg.retry.backoff(attempts);
                         let req = fresh(
                             &mut sess.outstanding,
                             ReqRole::ChunkPut { target, items, attempts: attempts + 1 },
@@ -913,7 +952,7 @@ impl ClientCore {
                     }
                     // Target exhausted (dead) or full: ask the provider
                     // manager for a replacement placement for these chunks.
-                    if w.reallocs < retry.max_reallocs {
+                    if w.reallocs < cfg.retry.max_reallocs {
                         w.reallocs += 1;
                         env.incr("client.reallocs", 1);
                         let page = w.ticket.as_ref().map(|t| t.page_size).unwrap_or(0);
@@ -964,7 +1003,7 @@ impl ClientCore {
                     for (target, batch) in jobs {
                         Self::issue_chunk_put(
                             client,
-                            retry,
+                            cfg.retry,
                             &mut fresh,
                             &mut sess.outstanding,
                             target,
@@ -1047,7 +1086,7 @@ impl ClientCore {
             {
                 (ReadPhase::Version, Msg::GetVersionOk { info, .. }, _) => {
                     if r.len == 0 {
-                        let data = if materialize_zeros {
+                        let data = if cfg.materialize_zeros {
                             Payload::Data(bytes::Bytes::new())
                         } else {
                             Payload::Sim(0)
@@ -1077,17 +1116,7 @@ impl ClientCore {
                     r.parts = (0..interval.len).map(|_| None).collect();
                     r.info = Some(info);
                     r.reader = Some(reader);
-                    Self::read_meta_step(
-                        client,
-                        meta_providers,
-                        materialize_zeros,
-                        chunk_timeout,
-                        chunk_window,
-                        meta_cache,
-                        &mut fresh,
-                        sess,
-                        env,
-                    )
+                    Self::read_meta_step(client, meta_providers, cfg, meta_cache, &mut fresh, sess, env)
                 }
                 (ReadPhase::Version, Msg::GetVersionErr { err, .. }, _) => Step::Done(Err(err), 0),
 
@@ -1106,36 +1135,155 @@ impl ClientCore {
                         r.phase = ReadPhase::Meta;
                         return Step::Continue;
                     }
-                    Self::read_meta_step(
-                        client,
-                        meta_providers,
-                        materialize_zeros,
-                        chunk_timeout,
-                        chunk_window,
-                        meta_cache,
-                        &mut fresh,
-                        sess,
-                        env,
-                    )
+                    Self::read_meta_step(client, meta_providers, cfg, meta_cache, &mut fresh, sess, env)
+                }
+
+                (
+                    ReadPhase::Meta,
+                    Msg::GetMetaRangeOk { nodes, more, .. },
+                    ReqRole::MetaRange { target },
+                ) => {
+                    // Bulk reply from one provider's slice of the read
+                    // path: every node only warms the cache. Correctness
+                    // never depends on what the provider chose to send —
+                    // the descent re-runs cache-first below and anything
+                    // the bulk replies missed falls back to per-node
+                    // fetches.
+                    let mut last = None;
+                    for (k, n) in nodes {
+                        last = Some(k.range);
+                        meta_cache.insert(k, n);
+                    }
+                    if more {
+                        if let Some(after) = last {
+                            let (version, query) = r.range_query();
+                            let req =
+                                fresh(&mut sess.outstanding, ReqRole::MetaRange { target });
+                            env.send(
+                                target,
+                                Msg::GetMetaRange {
+                                    req,
+                                    blob: r.blob,
+                                    version,
+                                    query,
+                                    after: Some(after),
+                                    max_nodes: cfg.meta_range_max_nodes,
+                                },
+                            );
+                            r.phase = ReadPhase::Meta;
+                            return Step::Continue;
+                        }
+                    }
+                    if !sess.outstanding.is_empty() {
+                        r.phase = ReadPhase::Meta;
+                        return Step::Continue;
+                    }
+                    Self::read_meta_step(client, meta_providers, cfg, meta_cache, &mut fresh, sess, env)
                 }
 
                 (ReadPhase::Chunks, Msg::GetChunkOk { data, .. }, ReqRole::ChunkGet { idx, .. }) => {
                     r.parts[idx] = Some(data);
-                    // A slot freed: issue the next queued fetch, if any.
-                    if let Some((nidx, ndesc)) = r.pending_gets.pop() {
-                        Self::issue_chunk_get(
+                    // A slot freed: issue the next queued batch, if any.
+                    if let Some((target, items)) = r.pending_gets.pop() {
+                        Self::issue_chunk_get_batch(
                             client,
-                            chunk_timeout,
+                            cfg.chunk_timeout,
                             &mut fresh,
                             &mut sess.outstanding,
-                            nidx,
-                            ndesc,
-                            false,
+                            target,
+                            items,
                             env,
                         );
                     }
                     if sess.outstanding.is_empty() {
-                        return Self::assemble(sess, materialize_zeros);
+                        return Self::assemble(sess, cfg.materialize_zeros);
+                    }
+                    r.phase = ReadPhase::Chunks;
+                    Step::Continue
+                }
+                (
+                    ReadPhase::Chunks,
+                    Msg::GetChunkBatchOk { items, .. },
+                    ReqRole::ChunkGetBatch { target, items: req_items },
+                ) => {
+                    // Per-item results: store the hits, walk the misses.
+                    // This reply disarms the batch's shared deadline;
+                    // resubmitted items arm their own per-chunk deadlines.
+                    let mut failed: Vec<(usize, ChunkDescriptor)> = Vec::new();
+                    for (idx, desc) in req_items {
+                        match items.iter().find(|(k, _)| *k == desc.key) {
+                            Some((_, Ok(data))) => r.parts[idx] = Some(data.clone()),
+                            Some((_, Err(ChunkErr::Blocked))) => {
+                                return Step::Done(Err(BlobError::Blocked(client)), 0)
+                            }
+                            _ => failed.push((idx, desc)),
+                        }
+                    }
+                    for (idx, desc) in failed {
+                        let first =
+                            desc.replicas.iter().position(|t| *t == target).unwrap_or(0);
+                        if let Err(key) = Self::failover_chunk_get(
+                            client,
+                            cfg,
+                            meta_providers,
+                            &mut fresh,
+                            &mut sess.outstanding,
+                            idx,
+                            desc,
+                            first,
+                            1,
+                            env,
+                        ) {
+                            return Step::Done(Err(BlobError::ChunkUnavailable(key)), 0);
+                        }
+                    }
+                    if let Some((t, items)) = r.pending_gets.pop() {
+                        Self::issue_chunk_get_batch(
+                            client,
+                            cfg.chunk_timeout,
+                            &mut fresh,
+                            &mut sess.outstanding,
+                            t,
+                            items,
+                            env,
+                        );
+                    }
+                    if sess.outstanding.is_empty() {
+                        return Self::assemble(sess, cfg.materialize_zeros);
+                    }
+                    r.phase = ReadPhase::Chunks;
+                    Step::Continue
+                }
+                (
+                    ReadPhase::Chunks,
+                    Msg::GetChunkErr { err, .. },
+                    ReqRole::ChunkGetBatch { target, items },
+                ) => {
+                    // The whole batch failed: the provider refused it, or
+                    // its single shared deadline fired. Each item
+                    // independently re-enters the per-chunk replica walk
+                    // (retries occupy the batch's window slot, so no
+                    // refill here).
+                    if err == ChunkErr::Blocked {
+                        return Step::Done(Err(BlobError::Blocked(client)), 0);
+                    }
+                    for (idx, desc) in items {
+                        let first =
+                            desc.replicas.iter().position(|t| *t == target).unwrap_or(0);
+                        if let Err(key) = Self::failover_chunk_get(
+                            client,
+                            cfg,
+                            meta_providers,
+                            &mut fresh,
+                            &mut sess.outstanding,
+                            idx,
+                            desc,
+                            first,
+                            1,
+                            env,
+                        ) {
+                            return Step::Done(Err(BlobError::ChunkUnavailable(key)), 0);
+                        }
                     }
                     r.phase = ReadPhase::Chunks;
                     Step::Continue
@@ -1148,6 +1296,25 @@ impl ClientCore {
                     if err == ChunkErr::Blocked {
                         return Step::Done(Err(BlobError::Blocked(client)), 0);
                     }
+                    if !refreshed {
+                        if let Err(key) = Self::failover_chunk_get(
+                            client,
+                            cfg,
+                            meta_providers,
+                            &mut fresh,
+                            &mut sess.outstanding,
+                            idx,
+                            desc,
+                            first,
+                            attempts,
+                            env,
+                        ) {
+                            return Step::Done(Err(BlobError::ChunkUnavailable(key)), 0);
+                        }
+                        r.phase = ReadPhase::Chunks;
+                        return Step::Continue;
+                    }
+                    // Post-refresh walk: no second leaf refresh.
                     if attempts < desc.replicas.len() {
                         env.incr("client.replica_walks", 1);
                         let target = desc.replicas[(first + attempts) % desc.replicas.len()];
@@ -1163,25 +1330,10 @@ impl ClientCore {
                             },
                         );
                         env.send(target, Msg::GetChunk { req, client, key });
-                        env.set_timer(chunk_timeout, CLIENT_TIMER_BIT | CHUNK_TIMEOUT_BIT | req);
-                        r.phase = ReadPhase::Chunks;
-                        return Step::Continue;
-                    }
-                    if retry.enabled() && !refreshed {
-                        // Degraded read: every known replica failed, but a
-                        // replication repair may have patched the leaf with
-                        // fresh replicas since this descent cached it.
-                        // Re-fetch the leaf directly (bypassing the cache)
-                        // and retry against whatever placement it records.
-                        let key = NodeKey {
-                            blob: desc.key.blob,
-                            version: desc.key.version,
-                            range: NodeRange::new(desc.key.page, 1),
-                        };
-                        let owner = meta_providers[partition(&key, meta_providers.len())];
-                        let req =
-                            fresh(&mut sess.outstanding, ReqRole::LeafRefresh { idx, desc });
-                        env.send(owner, Msg::GetMeta { req, keys: vec![key] });
+                        env.set_timer(
+                            cfg.chunk_timeout,
+                            CLIENT_TIMER_BIT | CHUNK_TIMEOUT_BIT | req,
+                        );
                         r.phase = ReadPhase::Chunks;
                         return Step::Continue;
                     }
@@ -1205,7 +1357,7 @@ impl ClientCore {
                         Some(chunk) if !chunk.replicas.is_empty() => {
                             Self::issue_chunk_get(
                                 client,
-                                chunk_timeout,
+                                cfg.chunk_timeout,
                                 &mut fresh,
                                 &mut sess.outstanding,
                                 idx,
@@ -1289,13 +1441,10 @@ impl ClientCore {
 
     /// Issue the next round of metadata fetches for a read session, or
     /// start fetching chunks once the descent completes.
-    #[allow(clippy::too_many_arguments)]
     fn read_meta_step(
         client: ClientId,
         meta_providers: &[NodeId],
-        materialize_zeros: bool,
-        chunk_timeout: SimDuration,
-        chunk_window: usize,
+        cfg: ClientConfig,
         meta_cache: &mut MetaCache,
         fresh: &mut dyn FnMut(&mut HashSet<u64>, ReqRole) -> u64,
         sess: &mut Session,
@@ -1320,9 +1469,37 @@ impl ClientCore {
                 }
             }
             if hits == 0 {
-                for (target, keys) in group_by_partition(&missing, meta_providers) {
-                    let req = fresh(&mut sess.outstanding, ReqRole::MetaGet);
-                    env.send(target, Msg::GetMeta { req, keys });
+                if cfg.meta_range_fetch && !r.range_used {
+                    // Cold cache: instead of walking the tree one level
+                    // per round trip, ask every metadata provider for its
+                    // slice of the read path in one bulk query. Nodes are
+                    // hash-partitioned, so no single provider holds a full
+                    // root-to-leaf path — the broadcast is still one
+                    // logical round trip, replacing O(depth) of them.
+                    r.range_used = true;
+                    let (version, query) = r.range_query();
+                    for target in meta_providers {
+                        let req = fresh(
+                            &mut sess.outstanding,
+                            ReqRole::MetaRange { target: *target },
+                        );
+                        env.send(
+                            *target,
+                            Msg::GetMetaRange {
+                                req,
+                                blob: r.blob,
+                                version,
+                                query,
+                                after: None,
+                                max_nodes: cfg.meta_range_max_nodes,
+                            },
+                        );
+                    }
+                } else {
+                    for (target, keys) in group_by_partition(&missing, meta_providers) {
+                        let req = fresh(&mut sess.outstanding, ReqRole::MetaGet);
+                        env.send(target, Msg::GetMeta { req, keys });
+                    }
                 }
                 r.phase = ReadPhase::Meta;
                 return Step::Continue;
@@ -1350,22 +1527,35 @@ impl ClientCore {
             }
         }
         if jobs.is_empty() {
-            return Self::assemble(sess, materialize_zeros);
+            return Self::assemble(sess, cfg.materialize_zeros);
         }
-        // Open the fetch window; each GetChunkOk refills one slot.
-        jobs.reverse(); // pop() = next job, in page order
-        r.pending_gets = jobs;
-        let window = if chunk_window == 0 { usize::MAX } else { chunk_window };
+        // Pick a replica per chunk (one RNG draw each, in page order),
+        // group fetches by chosen provider in first-seen order — the
+        // schedule stays deterministic — then open the in-flight window;
+        // each reply refills one slot. A provider serving several of this
+        // read's chunks gets them in one batched round trip instead of
+        // one request per chunk.
+        let mut groups: Vec<(NodeId, Vec<(usize, ChunkDescriptor)>)> = Vec::new();
+        for (idx, desc) in jobs {
+            let pick = env.rng().random_range(0..desc.replicas.len());
+            let target = desc.replicas[pick];
+            match groups.iter_mut().find(|(t, _)| *t == target) {
+                Some((_, items)) => items.push((idx, desc)),
+                None => groups.push((target, vec![(idx, desc)])),
+            }
+        }
+        groups.reverse(); // pop() = next batch, in first-seen order
+        r.pending_gets = groups;
+        let window = if cfg.chunk_window == 0 { usize::MAX } else { cfg.chunk_window };
         while sess.outstanding.len() < window {
-            let Some((idx, desc)) = r.pending_gets.pop() else { break };
-            Self::issue_chunk_get(
+            let Some((target, items)) = r.pending_gets.pop() else { break };
+            Self::issue_chunk_get_batch(
                 client,
-                chunk_timeout,
+                cfg.chunk_timeout,
                 fresh,
                 &mut sess.outstanding,
-                idx,
-                desc,
-                false,
+                target,
+                items,
                 env,
             );
         }
@@ -1424,6 +1614,86 @@ impl ClientCore {
         );
         env.send(target, Msg::GetChunk { req, client, key });
         env.set_timer(chunk_timeout, CLIENT_TIMER_BIT | CHUNK_TIMEOUT_BIT | req);
+    }
+
+    /// Send one provider's queued chunk fetches: a lone chunk as a plain
+    /// `GetChunk` (classic per-chunk replica walk), several as one
+    /// `GetChunkBatch` round trip. One deadline guards the whole batch;
+    /// items that fail or go unanswered re-enter the per-chunk walk
+    /// individually, each arming its own deadline.
+    fn issue_chunk_get_batch(
+        client: ClientId,
+        chunk_timeout: SimDuration,
+        fresh: &mut dyn FnMut(&mut HashSet<u64>, ReqRole) -> u64,
+        outstanding: &mut HashSet<u64>,
+        target: NodeId,
+        items: Vec<(usize, ChunkDescriptor)>,
+        env: &mut dyn Env,
+    ) {
+        if items.len() == 1 {
+            let (idx, desc) = items.into_iter().next().expect("one item");
+            let first = desc.replicas.iter().position(|t| *t == target).unwrap_or(0);
+            let key = desc.key;
+            let req = fresh(
+                outstanding,
+                ReqRole::ChunkGet { idx, desc, first, attempts: 1, refreshed: false },
+            );
+            env.send(target, Msg::GetChunk { req, client, key });
+            env.set_timer(chunk_timeout, CLIENT_TIMER_BIT | CHUNK_TIMEOUT_BIT | req);
+            return;
+        }
+        let keys: Vec<ChunkKey> = items.iter().map(|(_, d)| d.key).collect();
+        let req = fresh(outstanding, ReqRole::ChunkGetBatch { target, items });
+        env.send(target, Msg::GetChunkBatch { req, client, keys });
+        env.set_timer(chunk_timeout, CLIENT_TIMER_BIT | CHUNK_TIMEOUT_BIT | req);
+    }
+
+    /// Walk a failed chunk fetch to the next replica (arming a fresh
+    /// per-chunk deadline) or — once every replica was tried — re-fetch
+    /// the chunk's leaf in case a replication repair moved it. `Err(key)`
+    /// means the chunk is unavailable and the read must fail.
+    #[allow(clippy::too_many_arguments)]
+    fn failover_chunk_get(
+        client: ClientId,
+        cfg: ClientConfig,
+        meta_providers: &[NodeId],
+        fresh: &mut dyn FnMut(&mut HashSet<u64>, ReqRole) -> u64,
+        outstanding: &mut HashSet<u64>,
+        idx: usize,
+        desc: ChunkDescriptor,
+        first: usize,
+        attempts: usize,
+        env: &mut dyn Env,
+    ) -> Result<(), ChunkKey> {
+        if attempts < desc.replicas.len() {
+            env.incr("client.replica_walks", 1);
+            let target = desc.replicas[(first + attempts) % desc.replicas.len()];
+            let key = desc.key;
+            let req = fresh(
+                outstanding,
+                ReqRole::ChunkGet { idx, desc, first, attempts: attempts + 1, refreshed: false },
+            );
+            env.send(target, Msg::GetChunk { req, client, key });
+            env.set_timer(cfg.chunk_timeout, CLIENT_TIMER_BIT | CHUNK_TIMEOUT_BIT | req);
+            return Ok(());
+        }
+        if cfg.retry.enabled() {
+            // Degraded read: every known replica failed, but a replication
+            // repair may have patched the leaf with fresh replicas since
+            // this descent cached it. Re-fetch the leaf directly
+            // (bypassing the cache) and retry against whatever placement
+            // it records.
+            let key = NodeKey {
+                blob: desc.key.blob,
+                version: desc.key.version,
+                range: NodeRange::new(desc.key.page, 1),
+            };
+            let owner = meta_providers[partition(&key, meta_providers.len())];
+            let req = fresh(outstanding, ReqRole::LeafRefresh { idx, desc });
+            env.send(owner, Msg::GetMeta { req, keys: vec![key] });
+            return Ok(());
+        }
+        Err(desc.key)
     }
 
     /// All parts present: splice the requested byte range out of the page
@@ -1506,6 +1776,8 @@ fn req_of(msg: &Msg) -> Option<u64> {
         | Msg::PutChunkErr { req, .. }
         | Msg::GetChunkOk { req, .. }
         | Msg::GetChunkErr { req, .. }
+        | Msg::GetChunkBatchOk { req, .. }
+        | Msg::GetMetaRangeOk { req, .. }
         | Msg::DeleteChunkOk { req, .. }
         | Msg::PutMetaOk { req }
         | Msg::GetMetaOk { req, .. }
@@ -1728,10 +2000,10 @@ mod tests {
                 },
             )
             .is_empty());
-        // Meta fetch for the leaf.
+        // Cold cache: one bulk range query replaces the per-level fetch.
         let (to, msg) = env.take_sent().pop().unwrap();
         assert_eq!(to, META);
-        let Msg::GetMeta { req, keys } = msg else { panic!("{msg:?}") };
+        let Msg::GetMetaRange { req, .. } = msg else { panic!("{msg:?}") };
         let leaf = MetaNode::Leaf {
             chunk: ChunkDescriptor {
                 key: ChunkKey { blob: BlobId(5), version: VersionId(1), page: 0 },
@@ -1739,11 +2011,16 @@ mod tests {
                 size: 8,
             },
         };
+        let leaf_key = NodeKey {
+            blob: BlobId(5),
+            version: VersionId(1),
+            range: NodeRange::new(0, 1),
+        };
         assert!(c
             .handle_msg(
                 &mut env,
                 META,
-                Msg::GetMetaOk { req, nodes: vec![(keys[0], Some(leaf))] },
+                Msg::GetMetaRangeOk { req, nodes: vec![(leaf_key, leaf)], more: false },
             )
             .is_empty());
         // A chunk fetch went out to one replica, with a failover timer.
@@ -1767,6 +2044,176 @@ mod tests {
         };
         assert_eq!(data.len(), 8);
         assert_eq!(*version, VersionId(1));
+    }
+
+    /// Build (locally) the stored tree of a `pages`-page blob at version
+    /// 1, every chunk placed on `replicas` — exactly the node set a
+    /// writer would have put to the metadata providers.
+    fn stored_tree(
+        pages: u64,
+        page: u64,
+        replicas: Vec<NodeId>,
+    ) -> (Vec<(NodeKey, MetaNode)>, NodeRef) {
+        let chunks: Vec<ChunkDescriptor> = (0..pages)
+            .map(|p| ChunkDescriptor {
+                key: ChunkKey { blob: BlobId(5), version: VersionId(1), page: p },
+                replicas: replicas.clone(),
+                size: page,
+            })
+            .collect();
+        let builder = crate::meta::TreeBuilder::new(
+            BlobId(5),
+            VersionId(1),
+            PageInterval::new(0, pages),
+            page,
+            pages * page,
+            crate::meta::BaseSnapshot { version: VersionId(0), size: 0, root: None },
+            vec![],
+        );
+        assert!(builder.is_ready(), "no base tree to resolve");
+        builder.build(&chunks)
+    }
+
+    /// Drive a fresh read op through GetVersion and the cold-cache bulk
+    /// metadata exchange; returns with the chunk fetches just sent.
+    fn open_read(
+        c: &mut ClientCore,
+        env: &mut TestEnv,
+        pages: u64,
+        page: u64,
+        nodes: Vec<(NodeKey, MetaNode)>,
+        root: NodeRef,
+    ) {
+        c.start_op(
+            env,
+            ClientOp::Read { blob: BlobId(5), version: None, offset: 0, len: pages * page },
+            9,
+        );
+        let (_, msg) = env.take_sent().pop().unwrap();
+        let Msg::GetVersion { req, .. } = msg else { panic!() };
+        assert!(c
+            .handle_msg(
+                env,
+                VMAN,
+                Msg::GetVersionOk {
+                    req,
+                    info: VersionInfo {
+                        version: VersionId(1),
+                        size: pages * page,
+                        page_size: page,
+                        root: Some(root),
+                    },
+                },
+            )
+            .is_empty());
+        // Cold cache: exactly one bulk range query per metadata provider
+        // (the test ring has one) and no per-node GetMeta at all.
+        let sent = env.take_sent();
+        assert_eq!(sent.len(), 1, "one logical metadata round trip: {sent:?}");
+        let (to, msg) = sent.into_iter().next().unwrap();
+        assert_eq!(to, META);
+        let Msg::GetMetaRange { req, query, .. } = msg else { panic!("{msg:?}") };
+        assert_eq!(query, PageInterval::new(0, pages));
+        assert!(c
+            .handle_msg(env, META, Msg::GetMetaRangeOk { req, nodes, more: false })
+            .is_empty());
+    }
+
+    #[test]
+    fn cold_read_uses_one_meta_round_trip_and_one_chunk_batch() {
+        let mut env = TestEnv::new();
+        let mut c = core();
+        let (pages, page) = (16u64, 8u64);
+        let (nodes, root) = stored_tree(pages, page, vec![PROV_A]);
+        open_read(&mut c, &mut env, pages, page, nodes, root);
+        // All 16 chunks live on one provider: a single batched fetch
+        // replaces 16 per-chunk round trips.
+        let sent = env.take_sent();
+        assert_eq!(sent.len(), 1, "one batched chunk round trip: {sent:?}");
+        let (to, msg) = sent.into_iter().next().unwrap();
+        assert_eq!(to, PROV_A);
+        let Msg::GetChunkBatch { req, keys, .. } = msg else { panic!("{msg:?}") };
+        assert_eq!(keys.len(), pages as usize);
+        let items = keys.iter().map(|k| (*k, Ok(Payload::Sim(page)))).collect();
+        let done = c.handle_msg(&mut env, PROV_A, Msg::GetChunkBatchOk { req, items });
+        assert_eq!(done.len(), 1);
+        let Ok(OpOutput::Read { data, version }) = &done[0].result else {
+            panic!("{:?}", done[0].result)
+        };
+        assert_eq!(data.len(), pages * page);
+        assert_eq!(*version, VersionId(1));
+    }
+
+    #[test]
+    fn batch_timeout_resubmits_each_item_individually() {
+        let mut env = TestEnv::new();
+        let mut c = core();
+        let (pages, page) = (2u64, 8u64);
+        // Both replicas on the same provider: the batch has one possible
+        // target, and the per-item walk still has somewhere to go.
+        let (nodes, root) = stored_tree(pages, page, vec![PROV_A, PROV_A]);
+        open_read(&mut c, &mut env, pages, page, nodes, root);
+        // One batch, guarded by one shared deadline.
+        let sent = env.take_sent();
+        assert_eq!(sent.len(), 1, "{sent:?}");
+        let Msg::GetChunkBatch { keys, .. } = &sent[0].1 else { panic!("{:?}", sent[0].1) };
+        assert_eq!(keys.len(), 2);
+        let timers_before = env.timers.len();
+        let (_, token) = *env.timers.last().unwrap();
+        assert!(ClientCore::owns_timer(token));
+        // The provider never answers: the batch deadline fires once and
+        // every item re-enters the per-chunk replica walk on its own.
+        assert!(c.handle_timer(&mut env, token).is_empty());
+        let sent = env.take_sent();
+        assert_eq!(sent.len(), 2, "per-item resubmission: {sent:?}");
+        let reqs: Vec<u64> = sent
+            .iter()
+            .map(|(to, m)| {
+                assert_eq!(*to, PROV_A);
+                let Msg::GetChunk { req, .. } = m else { panic!("{m:?}") };
+                *req
+            })
+            .collect();
+        assert_eq!(
+            env.timers.len(),
+            timers_before + 2,
+            "each resubmission arms its own deadline"
+        );
+        let mut done = vec![];
+        for req in reqs {
+            done = c.handle_msg(&mut env, PROV_A, Msg::GetChunkOk { req, data: Payload::Sim(page) });
+        }
+        assert_eq!(done.len(), 1);
+        assert!(done[0].result.is_ok(), "{:?}", done[0].result);
+    }
+
+    #[test]
+    fn partial_batch_failure_retries_only_the_missing_item() {
+        let mut env = TestEnv::new();
+        let mut c = core();
+        let (pages, page) = (2u64, 8u64);
+        let (nodes, root) = stored_tree(pages, page, vec![PROV_A, PROV_A]);
+        open_read(&mut c, &mut env, pages, page, nodes, root);
+        let sent = env.take_sent();
+        let (_, Msg::GetChunkBatch { req, keys, .. }) = sent.into_iter().next().unwrap() else {
+            panic!()
+        };
+        // One hit, one per-item miss: only the miss is retried.
+        let items = vec![
+            (keys[0], Ok(Payload::Sim(page))),
+            (keys[1], Err(ChunkErr::NotFound)),
+        ];
+        assert!(c.handle_msg(&mut env, PROV_A, Msg::GetChunkBatchOk { req, items }).is_empty());
+        let sent = env.take_sent();
+        assert_eq!(sent.len(), 1, "{sent:?}");
+        let (to, Msg::GetChunk { req, key, .. }) = sent.into_iter().next().unwrap() else {
+            panic!()
+        };
+        assert_eq!(to, PROV_A);
+        assert_eq!(key, keys[1]);
+        let done = c.handle_msg(&mut env, PROV_A, Msg::GetChunkOk { req, data: Payload::Sim(page) });
+        assert_eq!(done.len(), 1);
+        assert!(done[0].result.is_ok(), "{:?}", done[0].result);
     }
 
     #[test]

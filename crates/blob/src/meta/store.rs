@@ -8,7 +8,8 @@
 
 use std::collections::HashMap;
 
-use crate::meta::tree::{MetaNode, NodeKey};
+use crate::meta::tree::{MetaNode, NodeKey, NodeRange};
+use crate::model::{BlobId, PageInterval, VersionId};
 
 /// Deterministic 64-bit mix of a node key (SplitMix64-style finalizer).
 /// Used for partitioning; stability across runs matters for the
@@ -43,6 +44,12 @@ pub fn partition(key: &NodeKey, n: usize) -> usize {
 #[derive(Debug, Default)]
 pub struct MetaStore {
     nodes: HashMap<NodeKey, MetaNode>,
+    /// Secondary index for bulk range descents: per blob, the versions
+    /// stored at each range (kept sorted ascending). Lets `range_cover`
+    /// answer "the node at range r in the tree of version v" — the one
+    /// with the greatest stored version ≤ v — without touching the main
+    /// map per candidate version.
+    by_blob: HashMap<BlobId, HashMap<NodeRange, Vec<VersionId>>>,
     bytes: u64,
 }
 
@@ -61,6 +68,10 @@ impl MetaStore {
             std::collections::hash_map::Entry::Vacant(e) => {
                 self.bytes += node.wire_size();
                 e.insert(node);
+                let versions =
+                    self.by_blob.entry(key.blob).or_default().entry(key.range).or_default();
+                let at = versions.partition_point(|v| *v < key.version);
+                versions.insert(at, key.version);
                 true
             }
         }
@@ -76,10 +87,66 @@ impl MetaStore {
     pub fn remove(&mut self, key: &NodeKey) -> bool {
         if let Some(n) = self.nodes.remove(key) {
             self.bytes -= n.wire_size();
+            if let Some(ranges) = self.by_blob.get_mut(&key.blob) {
+                if let Some(versions) = ranges.get_mut(&key.range) {
+                    versions.retain(|v| *v != key.version);
+                    if versions.is_empty() {
+                        ranges.remove(&key.range);
+                    }
+                }
+                if ranges.is_empty() {
+                    self.by_blob.remove(&key.blob);
+                }
+            }
             true
         } else {
             false
         }
+    }
+
+    /// Bulk range descent: every node on the read path of `query` in the
+    /// tree of `version` that this store holds. For each stored range
+    /// intersecting the query, that is the node with the greatest stored
+    /// version ≤ `version` (nodes are immutable, coverage only grows with
+    /// version, and a writer that re-covers a range stores its own node
+    /// there — so the max-version node is exactly what a level-by-level
+    /// descent through version `version`'s tree would fetch here).
+    ///
+    /// Results are ordered by `(range.start, range.len)`; at most
+    /// `max_nodes` are returned and the `bool` reports truncation. Pass
+    /// the last returned range as `after` to resume.
+    pub fn range_cover(
+        &self,
+        blob: BlobId,
+        version: VersionId,
+        query: &PageInterval,
+        after: Option<NodeRange>,
+        max_nodes: usize,
+    ) -> (Vec<(NodeKey, MetaNode)>, bool) {
+        let Some(ranges) = self.by_blob.get(&blob) else {
+            return (Vec::new(), false);
+        };
+        let cursor = after.map(|r| (r.start, r.len));
+        let mut matches: Vec<(NodeRange, VersionId)> = ranges
+            .iter()
+            .filter(|(r, _)| r.intersects(query))
+            .filter(|(r, _)| cursor.is_none_or(|c| (r.start, r.len) > c))
+            .filter_map(|(r, versions)| {
+                let at = versions.partition_point(|v| *v <= version);
+                (at > 0).then(|| (*r, versions[at - 1]))
+            })
+            .collect();
+        matches.sort_by_key(|(r, _)| (r.start, r.len));
+        let more = matches.len() > max_nodes;
+        matches.truncate(max_nodes);
+        let out = matches
+            .into_iter()
+            .map(|(range, version)| {
+                let key = NodeKey { blob, version, range };
+                (key, self.nodes[&key].clone())
+            })
+            .collect();
+        (out, more)
     }
 
     /// Number of nodes stored.
@@ -178,6 +245,61 @@ mod tests {
                 "partition {i} badly imbalanced: {c} vs {expect}"
             );
         }
+    }
+
+    #[test]
+    fn range_cover_returns_max_version_at_or_below_snapshot() {
+        let mut s = MetaStore::new();
+        // Range [0,4) written at versions 1 and 3; [0,2) at 2; [4,8) at 5.
+        s.put(key(1, 1, 0, 4), inner());
+        s.put(key(1, 3, 0, 4), inner());
+        s.put(key(1, 2, 0, 2), inner());
+        s.put(key(1, 5, 4, 4), inner());
+        let q = PageInterval::new(0, 8);
+        let (nodes, more) = s.range_cover(BlobId(1), VersionId(3), &q, None, 64);
+        assert!(!more);
+        let got: Vec<_> = nodes.iter().map(|(k, _)| (k.range.start, k.range.len, k.version.0)).collect();
+        // Version 5's node is above the snapshot; [0,4) resolves to v3.
+        assert_eq!(got, vec![(0, 2, 2), (0, 4, 3)]);
+        // A narrower query drops non-intersecting ranges.
+        let (nodes, _) = s.range_cover(BlobId(1), VersionId(9), &PageInterval::new(4, 2), None, 64);
+        assert_eq!(nodes.len(), 1);
+        assert_eq!(nodes[0].0, key(1, 5, 4, 4));
+        // No blob → empty.
+        assert!(s.range_cover(BlobId(9), VersionId(3), &q, None, 64).0.is_empty());
+    }
+
+    #[test]
+    fn range_cover_truncates_and_resumes_with_cursor() {
+        let mut s = MetaStore::new();
+        for p in 0..8 {
+            s.put(key(1, 1, p, 1), inner());
+        }
+        let q = PageInterval::new(0, 8);
+        let (first, more) = s.range_cover(BlobId(1), VersionId(1), &q, None, 3);
+        assert!(more);
+        assert_eq!(first.len(), 3);
+        let cursor = first.last().unwrap().0.range;
+        let (rest, more) = s.range_cover(BlobId(1), VersionId(1), &q, Some(cursor), 64);
+        assert!(!more);
+        assert_eq!(rest.len(), 5);
+        let mut all: Vec<u64> = first.iter().chain(&rest).map(|(k, _)| k.range.start).collect();
+        all.dedup();
+        assert_eq!(all, (0..8).collect::<Vec<_>>(), "ordered, no dup, no gap");
+    }
+
+    #[test]
+    fn remove_keeps_range_index_consistent() {
+        let mut s = MetaStore::new();
+        s.put(key(1, 1, 0, 4), inner());
+        s.put(key(1, 2, 0, 4), inner());
+        let q = PageInterval::new(0, 4);
+        assert!(s.remove(&key(1, 2, 0, 4)));
+        let (nodes, _) = s.range_cover(BlobId(1), VersionId(2), &q, None, 64);
+        assert_eq!(nodes.len(), 1);
+        assert_eq!(nodes[0].0.version, VersionId(1), "falls back to surviving version");
+        assert!(s.remove(&key(1, 1, 0, 4)));
+        assert!(s.range_cover(BlobId(1), VersionId(2), &q, None, 64).0.is_empty());
     }
 
     #[test]

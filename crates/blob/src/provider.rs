@@ -132,6 +132,27 @@ impl ChunkStore {
         self.shards[shard_of(key)].lock().chunks.get(key).map(|(d, _)| d.clone())
     }
 
+    /// Record a read served from a front cache: update the chunk's access
+    /// accounting exactly as [`ChunkStore::get`] would, without fetching
+    /// the payload. Keeps the heat signal the introspection layer and the
+    /// removal strategies see identical whether a GET hit the cache or
+    /// the store. Returns whether the chunk exists.
+    pub fn touch(&self, key: &ChunkKey, now: SimTime) -> bool {
+        self.total_gets.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shards[shard_of(key)].lock();
+        match shard.chunks.get_mut(key) {
+            Some((_, meta)) => {
+                meta.last_access = now;
+                meta.reads += 1;
+                true
+            }
+            None => {
+                self.total_misses.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        }
+    }
+
     /// Accounting for one chunk.
     pub fn meta(&self, key: &ChunkKey) -> Option<ChunkMeta> {
         self.shards[shard_of(key)].lock().chunks.get(key).map(|(_, m)| *m)
@@ -224,6 +245,87 @@ impl ChunkStore {
         }
         out.sort();
         out
+    }
+}
+
+/// A small LRU of hot chunks fronting the [`ChunkStore`] on the GET
+/// path. Chunks are immutable once written (a `(blob, version, page)` key
+/// never changes content), so the cache needs no coherence protocol —
+/// the only invalidation is [`ReadCache::remove`] when a chunk is deleted
+/// outright (GC / decommission), purely to release the memory early.
+///
+/// Payloads are refcounted views, so caching costs a clone of the handle,
+/// not a copy of the bytes. Recency is a monotonic sequence number per
+/// entry; eviction scans for the minimum, which is deterministic and
+/// cheap at the intended capacity (a few hundred entries).
+#[derive(Debug)]
+pub struct ReadCache {
+    capacity: usize,
+    seq: u64,
+    entries: HashMap<ChunkKey, (Payload, u64)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ReadCache {
+    /// A cache holding up to `capacity` chunks. Zero capacity disables it.
+    pub fn new(capacity: usize) -> Self {
+        ReadCache { capacity, seq: 0, entries: HashMap::new(), hits: 0, misses: 0 }
+    }
+
+    /// Look up a chunk, refreshing its recency on hit.
+    pub fn get(&mut self, key: &ChunkKey) -> Option<Payload> {
+        if let Some((data, stamp)) = self.entries.get_mut(key) {
+            self.seq += 1;
+            *stamp = self.seq;
+            self.hits += 1;
+            Some(data.clone())
+        } else {
+            self.misses += 1;
+            None
+        }
+    }
+
+    /// Insert a chunk just served from the store, evicting the least
+    /// recently used entry if full.
+    pub fn insert(&mut self, key: ChunkKey, data: Payload) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
+            if let Some(victim) =
+                self.entries.iter().min_by_key(|&(k, &(_, s))| (s, *k)).map(|(k, _)| *k)
+            {
+                self.entries.remove(&victim);
+            }
+        }
+        self.seq += 1;
+        self.entries.insert(key, (data, self.seq));
+    }
+
+    /// Drop a deleted chunk's entry (if any).
+    pub fn remove(&mut self, key: &ChunkKey) {
+        self.entries.remove(key);
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lookups served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that fell through to the store.
+    pub fn misses(&self) -> u64 {
+        self.misses
     }
 }
 
@@ -324,5 +426,50 @@ mod tests {
             }
             Payload::Sim(_) => panic!("expected real bytes"),
         }
+    }
+
+    #[test]
+    fn touch_matches_get_accounting() {
+        let s = ChunkStore::new(100);
+        s.put(key(0), Payload::Sim(10), t(0)).unwrap();
+        assert!(s.get(&key(0), t(3)).is_some());
+        assert!(s.touch(&key(0), t(7)));
+        let m = s.meta(&key(0)).unwrap();
+        assert_eq!(m.reads, 2, "cache hit counts as a read");
+        assert_eq!(m.last_access, t(7));
+        assert_eq!(s.total_gets(), 2);
+        assert!(!s.touch(&key(9), t(8)), "absent chunk");
+        assert_eq!(s.total_misses(), 1);
+    }
+
+    #[test]
+    fn read_cache_evicts_least_recently_used() {
+        let mut c = ReadCache::new(2);
+        c.insert(key(0), Payload::Sim(1));
+        c.insert(key(1), Payload::Sim(2));
+        assert!(c.get(&key(0)).is_some()); // refresh 0; 1 becomes LRU
+        c.insert(key(2), Payload::Sim(3));
+        assert_eq!(c.len(), 2);
+        assert!(c.get(&key(1)).is_none(), "LRU entry evicted");
+        assert!(c.get(&key(0)).is_some());
+        assert!(c.get(&key(2)).is_some());
+        assert_eq!(c.hits(), 3);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn read_cache_zero_capacity_is_disabled() {
+        let mut c = ReadCache::new(0);
+        c.insert(key(0), Payload::Sim(1));
+        assert!(c.is_empty());
+        assert!(c.get(&key(0)).is_none());
+    }
+
+    #[test]
+    fn read_cache_remove_invalidates() {
+        let mut c = ReadCache::new(4);
+        c.insert(key(0), Payload::Sim(1));
+        c.remove(&key(0));
+        assert!(c.get(&key(0)).is_none());
     }
 }

@@ -162,6 +162,29 @@ pub enum Msg {
         /// Why.
         err: ChunkErr,
     },
+    /// Fetch several chunks held by the same provider in one round trip.
+    /// Readers group the open window's slots by the replica chosen for
+    /// each chunk, so a multi-page read costs one request per provider
+    /// instead of one per chunk (the read-side mirror of
+    /// [`Msg::PutChunkBatch`]).
+    GetChunkBatch {
+        /// Correlation id.
+        req: u64,
+        /// Reading client.
+        client: ClientId,
+        /// Chunks wanted, in page order.
+        keys: Vec<crate::model::ChunkKey>,
+    },
+    /// Per-item batch fetch results. Unlike the write-side batch reply,
+    /// errors are reported per chunk: a missing replica must not poison
+    /// the rest of the batch, so the client can keep the hits and walk
+    /// the replica set only for the misses.
+    GetChunkBatchOk {
+        /// Correlation id.
+        req: u64,
+        /// Per-key result, in request order.
+        items: Vec<(crate::model::ChunkKey, Result<Payload, ChunkErr>)>,
+    },
     /// Remove a chunk (GC / decommission).
     DeleteChunk {
         /// Correlation id.
@@ -221,6 +244,40 @@ pub enum Msg {
         req: u64,
         /// Per-key result.
         nodes: Vec<(NodeKey, Option<MetaNode>)>,
+    },
+    /// Ask a metadata provider for every tree node it stores on the read
+    /// path of `[query]` at `version`, in one round trip. The provider
+    /// returns, for each stored range intersecting the query, the node
+    /// with the greatest version ≤ `version` — exactly the node the
+    /// level-by-level descent would fetch there (nodes are immutable and
+    /// coverage only grows with version). Keys are hash-partitioned, so a
+    /// cold reader broadcasts this to all metadata providers and merges
+    /// the replies into its node cache; any gap falls back to per-node
+    /// [`Msg::GetMeta`].
+    GetMetaRange {
+        /// Correlation id.
+        req: u64,
+        /// Target BLOB.
+        blob: BlobId,
+        /// Snapshot version being read.
+        version: VersionId,
+        /// Pages the read covers.
+        query: crate::model::PageInterval,
+        /// Resume cursor: only ranges strictly after this one (in
+        /// `(start, len)` order) are returned. `None` starts from the top.
+        after: Option<crate::meta::NodeRange>,
+        /// Reply size cap; `more` signals a continuation is needed.
+        max_nodes: u32,
+    },
+    /// The bulk range-descent reply.
+    GetMetaRangeOk {
+        /// Correlation id.
+        req: u64,
+        /// Matching nodes, ordered by `(range.start, range.len)`.
+        nodes: Vec<(NodeKey, MetaNode)>,
+        /// Whether the reply was truncated at `max_nodes` (re-request
+        /// with `after` = last returned range to continue).
+        more: bool,
     },
     /// Remove tree nodes (version GC).
     DeleteMeta {
@@ -503,6 +560,15 @@ impl sads_sim::Message for Msg {
             Msg::PutChunkBatch { items, .. } => {
                 items.iter().map(|(_, d)| d.len() + 32).sum()
             }
+            Msg::GetChunkBatch { keys, .. } => 32 * keys.len() as u64,
+            Msg::GetChunkBatchOk { items, .. } => items
+                .iter()
+                .map(|(_, r)| 40 + r.as_ref().map(|d| d.len()).unwrap_or(0))
+                .sum(),
+            Msg::GetMetaRange { .. } => 64,
+            Msg::GetMetaRangeOk { nodes, .. } => {
+                nodes.iter().map(|(_, n)| 32 + n.wire_size()).sum()
+            }
             Msg::PutMeta { nodes, .. } => nodes.iter().map(|(_, n)| n.wire_size() + 32).sum(),
             Msg::GetMetaOk { nodes, .. } => nodes
                 .iter()
@@ -539,6 +605,8 @@ impl sads_sim::Message for Msg {
             Msg::GetChunk { .. } => "GetChunk",
             Msg::GetChunkOk { .. } => "GetChunkOk",
             Msg::GetChunkErr { .. } => "GetChunkErr",
+            Msg::GetChunkBatch { .. } => "GetChunkBatch",
+            Msg::GetChunkBatchOk { .. } => "GetChunkBatchOk",
             Msg::DeleteChunk { .. } => "DeleteChunk",
             Msg::DeleteChunkOk { .. } => "DeleteChunkOk",
             Msg::ReplicateChunk { .. } => "ReplicateChunk",
@@ -547,6 +615,8 @@ impl sads_sim::Message for Msg {
             Msg::PutMetaOk { .. } => "PutMetaOk",
             Msg::GetMeta { .. } => "GetMeta",
             Msg::GetMetaOk { .. } => "GetMetaOk",
+            Msg::GetMetaRange { .. } => "GetMetaRange",
+            Msg::GetMetaRangeOk { .. } => "GetMetaRangeOk",
             Msg::DeleteMeta { .. } => "DeleteMeta",
             Msg::DeleteMetaOk { .. } => "DeleteMetaOk",
             Msg::PatchLeaf { .. } => "PatchLeaf",
@@ -587,6 +657,8 @@ impl sads_sim::Message for Msg {
             | Msg::GetChunk { .. }
             | Msg::GetChunkOk { .. }
             | Msg::GetChunkErr { .. }
+            | Msg::GetChunkBatch { .. }
+            | Msg::GetChunkBatchOk { .. }
             | Msg::DeleteChunk { .. }
             | Msg::DeleteChunkOk { .. }
             | Msg::ReplicateChunk { .. }
@@ -596,6 +668,8 @@ impl sads_sim::Message for Msg {
             | Msg::PutMetaOk { .. }
             | Msg::GetMeta { .. }
             | Msg::GetMetaOk { .. }
+            | Msg::GetMetaRange { .. }
+            | Msg::GetMetaRangeOk { .. }
             | Msg::DeleteMeta { .. }
             | Msg::DeleteMetaOk { .. }
             | Msg::PatchLeaf { .. }

@@ -693,6 +693,15 @@ impl Cluster {
 
     /// Create a client; each client runs on its own thread.
     pub fn client(&mut self, client_id: ClientId) -> ClientHandle {
+        let ccfg = self.client_cfg;
+        self.client_with_config(client_id, ccfg)
+    }
+
+    /// Create a client with its own [`ClientConfig`], overriding the
+    /// cluster default — used to compare protocol variants (e.g. the
+    /// batched read path against the sequential one) side by side in
+    /// the same deployment.
+    pub fn client_with_config(&mut self, client_id: ClientId, ccfg: ClientConfig) -> ClientHandle {
         let (tx, rx) = unbounded();
         let id = self.registry.add(tx.clone());
         let registry = Arc::clone(&self.registry);
@@ -702,7 +711,6 @@ impl Cluster {
         let vman = self.vman;
         let pman = self.pman;
         let meta = self.meta.clone();
-        let ccfg = self.client_cfg;
         let seed = self.next_seed;
         self.next_seed += 1;
         let sink = self.span_sink.clone();

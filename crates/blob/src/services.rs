@@ -14,10 +14,10 @@ use std::collections::{HashMap, HashSet};
 use rand::rngs::SmallRng;
 use sads_sim::{NodeId, SimDuration, SimTime};
 
-use crate::model::{BlobId, ClientId, VersionId};
+use crate::model::{BlobId, ChunkKey, ClientId, Payload, VersionId};
 use crate::pmanager::{AllocationStrategy, ProviderKind, ProviderLoad, ProviderRegistry};
 use crate::probe::{Instrument, ProbeEvent, RejectReason};
-use crate::provider::{ChunkStore, PutError};
+use crate::provider::{ChunkStore, PutError, ReadCache};
 use crate::rpc::{ChunkErr, Msg};
 use crate::vmanager::VersionManagerState;
 
@@ -103,6 +103,11 @@ pub struct ServiceConfig {
     /// Nominal NIC bandwidth (bytes/s) used to normalize the provider's
     /// synthetic CPU/utilization signal.
     pub nic_bandwidth: u64,
+    /// Capacity (in chunks) of the data provider's hot-chunk read cache
+    /// fronting the store on the GET path. `0` disables it. Safe by
+    /// construction: chunks are immutable once written, so cached entries
+    /// can never go stale (see [`crate::provider::ReadCache`]).
+    pub read_cache_chunks: usize,
 }
 
 impl Default for ServiceConfig {
@@ -112,6 +117,7 @@ impl Default for ServiceConfig {
             heartbeat_every: SimDuration::from_secs(1),
             instr_flush_every: SimDuration::from_secs(1),
             nic_bandwidth: 125_000_000,
+            read_cache_chunks: 128,
         }
     }
 }
@@ -139,6 +145,9 @@ pub struct DataProviderService {
     pman: NodeId,
     cfg: ServiceConfig,
     store: ChunkStore,
+    /// Hot-chunk LRU fronting the store on GETs. Immutable chunks make it
+    /// coherence-free; `ChunkStore::touch` keeps heat accounting intact.
+    read_cache: ReadCache,
     blacklist: HashSet<ClientId>,
     instr: Instrument,
     ops_since_hb: u64,
@@ -156,6 +165,7 @@ impl DataProviderService {
             pman,
             cfg,
             store: ChunkStore::new(capacity),
+            read_cache: ReadCache::new(cfg.read_cache_chunks),
             blacklist: HashSet::new(),
             instr: Instrument::new(cfg.monitor.is_some()),
             ops_since_hb: 0,
@@ -168,6 +178,26 @@ impl DataProviderService {
     /// The underlying chunk store (tests, decommission drains).
     pub fn store(&self) -> &ChunkStore {
         &self.store
+    }
+
+    /// The read cache (tests).
+    pub fn read_cache(&self) -> &ReadCache {
+        &self.read_cache
+    }
+
+    /// Serve one chunk from the read cache or the store. A cache hit
+    /// still updates the store's access accounting (`touch`), so the heat
+    /// signal the removal strategies see is unchanged; a store hit
+    /// promotes the chunk into the cache. Returns the payload and whether
+    /// the cache served it.
+    fn fetch_chunk(&mut self, key: &ChunkKey, now: SimTime) -> Option<(Payload, bool)> {
+        if let Some(data) = self.read_cache.get(key) {
+            self.store.touch(key, now);
+            return Some((data, true));
+        }
+        let data = self.store.get(key, now)?;
+        self.read_cache.insert(*key, data.clone());
+        Some((data, false))
     }
 
     fn heartbeat(&mut self, env: &mut dyn Env) {
@@ -305,9 +335,12 @@ impl Service for DataProviderService {
                     env.send_expedited(from, Msg::GetChunkErr { req, err: ChunkErr::Blocked });
                     return;
                 }
-                match self.store.get(&key, env.now()) {
-                    Some(data) => {
+                match self.fetch_chunk(&key, env.now()) {
+                    Some((data, cached)) => {
                         self.bytes_since_hb += data.len();
+                        if cached {
+                            env.incr("provider.cache_hits", 1);
+                        }
                         self.instr.emit(ProbeEvent::ChunkRead {
                             provider: env.id(),
                             client,
@@ -329,8 +362,57 @@ impl Service for DataProviderService {
                     }
                 }
             }
+            Msg::GetChunkBatch { req, client, keys } => {
+                // Accounting mirrors the per-chunk path: one op and one
+                // probe event per chunk, so load reports and the security
+                // detectors see identical totals either way.
+                self.ops_since_hb += keys.len() as u64;
+                if self.blacklist.contains(&client) {
+                    self.instr.emit(ProbeEvent::ChunkRejected {
+                        provider: env.id(),
+                        client,
+                        reason: RejectReason::Blocked,
+                    });
+                    // Whole-batch refusal: a block applies to the client,
+                    // not to individual chunks.
+                    env.send_expedited(from, Msg::GetChunkErr { req, err: ChunkErr::Blocked });
+                    return;
+                }
+                let now = env.now();
+                let mut items = Vec::with_capacity(keys.len());
+                for key in keys {
+                    match self.fetch_chunk(&key, now) {
+                        Some((data, cached)) => {
+                            self.bytes_since_hb += data.len();
+                            if cached {
+                                env.incr("provider.cache_hits", 1);
+                            }
+                            self.instr.emit(ProbeEvent::ChunkRead {
+                                provider: env.id(),
+                                client,
+                                key,
+                                bytes: data.len(),
+                                hit: true,
+                            });
+                            items.push((key, Ok(data)));
+                        }
+                        None => {
+                            self.instr.emit(ProbeEvent::ChunkRead {
+                                provider: env.id(),
+                                client,
+                                key,
+                                bytes: 0,
+                                hit: false,
+                            });
+                            items.push((key, Err(ChunkErr::NotFound)));
+                        }
+                    }
+                }
+                env.send(from, Msg::GetChunkBatchOk { req, items });
+            }
             Msg::DeleteChunk { req, key } => {
                 let existed = self.store.delete(&key).is_some();
+                self.read_cache.remove(&key);
                 env.send(from, Msg::DeleteChunkOk { req, existed });
             }
             Msg::ReplicateChunk { req, key, to } => {
@@ -458,6 +540,21 @@ impl Service for MetaProviderService {
                     })
                     .collect();
                 env.send(from, Msg::GetMetaOk { req, nodes });
+            }
+            Msg::GetMetaRange { req, blob, version, query, after, max_nodes } => {
+                self.ops_since_hb += 1;
+                let (nodes, more) = self.store.range_cover(
+                    blob,
+                    version,
+                    &query,
+                    after,
+                    (max_nodes as usize).max(1),
+                );
+                self.instr.emit(ProbeEvent::MetaRead {
+                    provider: env.id(),
+                    nodes: nodes.len() as u32,
+                });
+                env.send(from, Msg::GetMetaRangeOk { req, nodes, more });
             }
             Msg::DeleteMeta { req, keys } => {
                 let mut removed = 0;

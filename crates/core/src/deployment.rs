@@ -190,6 +190,7 @@ impl Deployment {
                 heartbeat_every: SimDuration::from_secs(1),
                 instr_flush_every: cfg.instr_flush,
                 nic_bandwidth: 125_000_000,
+                ..ServiceConfig::default()
             }
         };
 
@@ -258,6 +259,7 @@ impl Deployment {
                             heartbeat_every: SimDuration::from_secs(1),
                             instr_flush_every: cfg.instr_flush,
                             nic_bandwidth: 125_000_000,
+                            ..ServiceConfig::default()
                         },
                     )),
                     NodeConfig::unlimited(),
@@ -409,6 +411,7 @@ impl Deployment {
             heartbeat_every: SimDuration::from_secs(1),
             instr_flush_every: self.cfg.instr_flush,
             nic_bandwidth: 125_000_000,
+            ..ServiceConfig::default()
         }
     }
 

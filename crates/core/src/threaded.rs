@@ -84,6 +84,7 @@ impl SelfAdaptiveCluster {
             heartbeat_every: SimDuration::from_secs(1),
             instr_flush_every: cfg.flush_every,
             nic_bandwidth: 125_000_000,
+            ..ServiceConfig::default()
         };
         cluster.set_service_config(svc);
 

@@ -203,6 +203,7 @@ fn retransmitted_put_is_acked_once_applied_once() {
         heartbeat_every: SimDuration::from_secs(1),
         instr_flush_every: SimDuration::from_secs(1),
         nic_bandwidth: 0,
+        ..ServiceConfig::default()
     };
     let mut p = DataProviderService::new(NodeId(99), 64 * MB, cfg);
     let mut env = TestEnv::new();
@@ -236,4 +237,53 @@ fn retransmitted_put_is_acked_once_applied_once() {
     );
     assert_eq!(p.store().len(), 1);
     assert_eq!(p.store().used(), PAGE);
+}
+
+/// A provider that dies before a batched read reaches it: every batch
+/// aimed at the dead node goes unanswered, its single shared deadline
+/// fires, and each item independently re-enters the per-chunk replica
+/// walk against the surviving copy — the read completes degraded
+/// instead of failing wholesale.
+#[test]
+fn mid_batch_provider_crash_degrades_to_replica_walk() {
+    let cfg = DeploymentConfig {
+        seed: 11,
+        data_providers: 4,
+        meta_providers: 2,
+        client_cfg: ClientConfig { retry: RetryPolicy::standard(), ..ClientConfig::default() },
+        ..DeploymentConfig::default()
+    };
+    let mut d = Deployment::build(cfg);
+    let spec = BlobSpec { page_size: PAGE, replication: 2 };
+    d.add_client(
+        ClientId(1),
+        vec![
+            ScriptStep::Create(spec),
+            ScriptStep::Write { blob: BlobRef::Created(0), kind: WriteKind::Append, bytes: DATASET },
+        ],
+        "loader",
+    );
+    d.world.run_for(SimDuration::from_secs(10), 20_000_000);
+
+    let victim = d.data[0];
+    d.world.crash(victim);
+    d.add_client(
+        ClientId(2),
+        vec![ScriptStep::Read {
+            blob: BlobRef::Id(BlobId(1)),
+            version: None,
+            offset: 0,
+            len: DATASET,
+        }],
+        "r",
+    );
+    d.world.run_for(SimDuration::from_secs(60), 20_000_000);
+
+    let m = d.world.metrics();
+    assert_eq!(m.counter("r.ops_ok"), 1, "degraded read still completes");
+    assert_eq!(m.counter("r.ops_err"), 0, "no failed reads");
+    assert!(
+        m.counter("client.replica_walks") > 0,
+        "batch items walked to the surviving replica"
+    );
 }

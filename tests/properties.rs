@@ -631,3 +631,127 @@ mod repair_equivalence {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Batched read path ≡ sequential reference reader (threaded runtime).
+// ---------------------------------------------------------------------
+
+mod batched_read_equivalence {
+    use super::*;
+    use bytes::Bytes;
+    use sads::blob::client::ClientConfig;
+    use sads::blob::runtime::threaded::{ClientHandle, ClusterBuilder};
+
+    const RPAGE: u64 = 64;
+
+    /// Deterministic junk bytes for one write.
+    fn fill(seed: u64, len: u64) -> Bytes {
+        Bytes::from(
+            (0..len)
+                .map(|i| (seed.wrapping_mul(131).wrapping_add(i.wrapping_mul(7)) % 251) as u8)
+                .collect::<Vec<u8>>(),
+        )
+    }
+
+    /// Run one writer's list on its own thread, reporting where each
+    /// write landed in the published total order.
+    fn spawn_writer(
+        h: ClientHandle,
+        blob: BlobId,
+        list: Vec<(u64, u64, u64)>,
+    ) -> std::thread::JoinHandle<Vec<(VersionId, u64, Bytes)>> {
+        std::thread::spawn(move || {
+            list.into_iter()
+                .map(|(page0, pages, seed)| {
+                    let offset = page0 * RPAGE;
+                    let data = fill(seed, pages * RPAGE);
+                    let v = h.write(blob, offset, data.clone()).expect("write");
+                    (v, offset, data)
+                })
+                .collect()
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(4))]
+
+        /// Random pinned-version reads through the batched read path
+        /// (bulk metadata descent + per-provider chunk batches) return
+        /// byte-for-byte what a page-overlay reference model predicts,
+        /// and byte-for-byte what a reference client forced onto the
+        /// sequential one-chunk-per-request protocol returns — with two
+        /// writers racing their version publications.
+        #[test]
+        fn batched_reads_match_sequential_reference(
+            writes in proptest::collection::vec((0u64..24, 1u64..6, 0u64..1000), 2..9),
+            reads in proptest::collection::vec((0u64..10_000, 1u64..2048, 0usize..64), 8..9),
+        ) {
+            let mut cluster = ClusterBuilder::new()
+                .data_providers(4)
+                .meta_providers(2)
+                .start();
+            let w1 = cluster.client(ClientId(1));
+            let w2 = cluster.client(ClientId(2));
+            let batched = cluster.client(ClientId(3));
+            let sequential = cluster.client_with_config(
+                ClientId(4),
+                ClientConfig {
+                    materialize_zeros: true,
+                    meta_range_fetch: false,
+                    chunk_window: 1,
+                    ..ClientConfig::default()
+                },
+            );
+            let blob = w1.create(BlobSpec { page_size: RPAGE, replication: 2 }).expect("create");
+
+            // Two writers race; the version manager serializes
+            // publication and each returned VersionId pins the write's
+            // slot in the total order.
+            let (la, lb): (Vec<_>, Vec<_>) =
+                writes.iter().enumerate().partition(|(i, _)| i % 2 == 0);
+            let ta = spawn_writer(w1, blob, la.into_iter().map(|(_, w)| *w).collect());
+            let tb = spawn_writer(w2, blob, lb.into_iter().map(|(_, w)| *w).collect());
+            let mut committed: Vec<(VersionId, u64, Bytes)> = ta.join().expect("writer a");
+            committed.extend(tb.join().expect("writer b"));
+            committed.sort_by_key(|(v, _, _)| *v);
+
+            // Page-overlay reference model, one snapshot per version.
+            let mut snapshots: Vec<Vec<u8>> = Vec::new();
+            let mut cur: Vec<u8> = Vec::new();
+            for (_, offset, data) in &committed {
+                let end = *offset as usize + data.len();
+                if cur.len() < end {
+                    cur.resize(end, 0);
+                }
+                cur[*offset as usize..end].copy_from_slice(data);
+                snapshots.push(cur.clone());
+            }
+
+            for (o, l, vi) in reads {
+                let vi = vi % snapshots.len();
+                let version = committed[vi].0;
+                let snap = &snapshots[vi];
+                let size = snap.len() as u64;
+                let offset = o % size;
+                let len = 1 + l % (size - offset);
+                let expect = &snap[offset as usize..(offset + len) as usize];
+                let via_batch =
+                    batched.read(blob, Some(version), offset, len).expect("batched read");
+                let via_seq = sequential
+                    .read(blob, Some(version), offset, len)
+                    .expect("sequential read");
+                prop_assert_eq!(
+                    via_batch.as_ref(), expect,
+                    "batched path diverged from model at v{} [{}, {})",
+                    version.0, offset, offset + len
+                );
+                prop_assert_eq!(
+                    via_seq.as_ref(), expect,
+                    "sequential path diverged from model at v{} [{}, {})",
+                    version.0, offset, offset + len
+                );
+            }
+            cluster.shutdown();
+        }
+    }
+}
