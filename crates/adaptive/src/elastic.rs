@@ -12,7 +12,7 @@
 use sads_blob::rpc::Msg;
 use sads_blob::services::{Env, Service};
 use sads_blob::impl_ext_payload;
-use sads_introspect::{intro_msg, into_intro, IntroMsg, SystemSnapshot};
+use sads_introspect::{intro_msg, into_alert, into_intro, AlertMsg, IntroMsg, SystemSnapshot};
 use sads_sim::{NodeId, SimDuration, SimTime};
 
 /// Timer token: control loop tick.
@@ -214,6 +214,22 @@ impl ElasticityControllerService {
             None => {}
         }
     }
+
+    /// A burn-rate alert (queue-depth burn from the SLO engine) bypasses
+    /// the utilization poll: expand immediately, still under the policy's
+    /// cooldown so alert storms cannot flap the pool.
+    fn scale_out_on_alert(&mut self, env: &mut dyn Env) {
+        let now = env.now();
+        if now.since(self.policy.last_action) < self.policy.cooldown {
+            return;
+        }
+        self.policy.last_action = now;
+        let d = ScaleDecision::Expand { count: self.policy.step };
+        self.decisions.push((now, d.clone()));
+        env.incr("elastic.alert_scaleouts", 1);
+        env.incr("elastic.expand", self.policy.step as u64);
+        env.send(self.deploy_agent, adapt_msg(AdaptMsg::Scale(d)));
+    }
 }
 
 impl Service for ElasticityControllerService {
@@ -226,6 +242,13 @@ impl Service for ElasticityControllerService {
     }
 
     fn on_msg(&mut self, env: &mut dyn Env, _from: NodeId, msg: Msg) {
+        let is_alert = matches!(&msg, Msg::Ext(p) if p.downcast_ref::<AlertMsg>().is_some());
+        if is_alert {
+            if let Some(AlertMsg::Fire { .. }) = into_alert(msg) {
+                self.scale_out_on_alert(env);
+            }
+            return;
+        }
         if let Some(IntroMsg::Snapshot { snapshot, .. }) = into_intro(msg) {
             self.act_on(env, &snapshot);
         }

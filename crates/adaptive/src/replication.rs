@@ -23,7 +23,7 @@ use sads_blob::meta::{partition, NodeKey, NodeRange};
 use sads_blob::model::{BlobId, ChunkKey};
 use sads_blob::rpc::Msg;
 use sads_blob::services::{Env, Service};
-use sads_introspect::{intro_msg, into_intro, IntroMsg};
+use sads_introspect::{intro_msg, into_alert, into_intro, AlertMsg, IntroMsg};
 use sads_monitor::{mon_msg, ActivityKind, MonMsg};
 use sads_sim::{NodeId, SimDuration};
 
@@ -222,6 +222,22 @@ impl ReplicationManagerService {
         env.record("repl.deficit", deficit as f64);
         env.record("repl.tracked_chunks", self.placement.len() as f64);
     }
+
+    /// Kick the pull cycle: query activity, heat, and membership. The
+    /// directory reply triggers the actual reconcile.
+    fn kick_sweep(&mut self, env: &mut dyn Env) {
+        for s in self.storage.clone() {
+            let req = self.req();
+            let after_seq = self.cursors.get(&s).copied().unwrap_or(0);
+            env.send(s, mon_msg(MonMsg::QueryActivity { req, after_seq }));
+        }
+        if let Some(intro) = self.intro {
+            let req = self.req();
+            env.send(intro, intro_msg(IntroMsg::QuerySnapshot { req }));
+        }
+        let req = self.req();
+        env.send(self.pman, Msg::GetDirectory { req });
+    }
 }
 
 impl Service for ReplicationManagerService {
@@ -258,6 +274,17 @@ impl Service for ReplicationManagerService {
             other => {
                 // Extension payloads: probe the concrete type before
                 // consuming, so a failed downcast never drops the message.
+                let is_alert =
+                    matches!(&other, Msg::Ext(p) if p.downcast_ref::<AlertMsg>().is_some());
+                if is_alert {
+                    // An availability burn (e.g. replica deficit gauge)
+                    // warrants an off-schedule sweep right now.
+                    if let Some(AlertMsg::Fire { .. }) = into_alert(other) {
+                        env.incr("repl.alert_sweeps", 1);
+                        self.kick_sweep(env);
+                    }
+                    return;
+                }
                 let is_mon = matches!(&other, Msg::Ext(p) if p.downcast_ref::<MonMsg>().is_some());
                 if is_mon {
                     if let Some(MonMsg::ActivityBatch { records, last_seq, .. }) =
@@ -290,19 +317,7 @@ impl Service for ReplicationManagerService {
 
     fn on_timer(&mut self, env: &mut dyn Env, token: u64) {
         if token == TOKEN_REPL_SWEEP {
-            // Pull fresh placement knowledge, membership, and heat; the
-            // directory reply triggers the reconcile.
-            for s in self.storage.clone() {
-                let req = self.req();
-                let after_seq = self.cursors.get(&s).copied().unwrap_or(0);
-                env.send(s, mon_msg(MonMsg::QueryActivity { req, after_seq }));
-            }
-            if let Some(intro) = self.intro {
-                let req = self.req();
-                env.send(intro, intro_msg(IntroMsg::QuerySnapshot { req }));
-            }
-            let req = self.req();
-            env.send(self.pman, Msg::GetDirectory { req });
+            self.kick_sweep(env);
             env.set_timer(self.cfg.sweep_every, TOKEN_REPL_SWEEP);
         }
     }

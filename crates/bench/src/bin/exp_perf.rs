@@ -223,14 +223,15 @@ fn sim_run(seed: u64, clients: u64) -> (u64, f64, f64) {
     (events, wall, events as f64 / wall)
 }
 
-/// Pull `"read_mbps"` out of the first `"clients": N` entry of a
+/// Pull a `"<key>"` figure out of the first `"clients": N` entry of a
 /// previously written perf artifact (naive scan — the artifact is our
 /// own, with known key order).
-fn read_mbps_at(json: &str, clients: u64) -> Option<f64> {
+fn mbps_at(json: &str, clients: u64, key: &str) -> Option<f64> {
     let needle = format!("\"clients\": {clients},");
+    let field = format!("\"{key}\": ");
     for seg in json.split('{') {
         if seg.contains(&needle) {
-            if let Some(tail) = seg.split("\"read_mbps\": ").nth(1) {
+            if let Some(tail) = seg.split(field.as_str()).nth(1) {
                 let num: String = tail
                     .chars()
                     .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
@@ -244,16 +245,19 @@ fn read_mbps_at(json: &str, clients: u64) -> Option<f64> {
     None
 }
 
-/// One threaded sweep: returns the table and a JSON array, and the read
-/// median at 8 clients (if measured) for regression checks.
-fn threaded_sweep(configs: &[usize], repeats: usize) -> (String, Option<f64>) {
+/// One threaded sweep: returns the table and a JSON array, plus the
+/// write and read medians at 8 clients (if measured) for regression
+/// checks.
+fn threaded_sweep(configs: &[usize], repeats: usize) -> (String, Option<f64>, Option<f64>) {
     let mut rows =
         vec![row!["clients", "write_MBps", "read_MBps", "read_min", "read_max"]];
     let mut json = String::from("[");
+    let mut write_at_8 = None;
     let mut read_at_8 = None;
     for (i, &clients) in configs.iter().enumerate() {
         let (w, r) = sample(|| threaded_run(clients, OPS_PER_CLIENT), repeats);
         if clients == 8 {
+            write_at_8 = Some(w.median);
             read_at_8 = Some(r.median);
         }
         rows.push(row![
@@ -275,16 +279,16 @@ fn threaded_sweep(configs: &[usize], repeats: usize) -> (String, Option<f64>) {
     }
     json.push_str("\n  ]");
     print_table(&rows);
-    (json, read_at_8)
+    (json, write_at_8, read_at_8)
 }
 
 /// Tiny CI sweep: measure 2 and 8 clients, write `BENCH_smoke.json`, and
-/// fail the process on a >50% read regression at 8 clients against the
-/// checked-in `BENCH_perf.json` (skipped with a note when no baseline is
-/// checked in — e.g. a fresh clone without artifacts).
+/// fail the process on a >50% write or read regression at 8 clients
+/// against the checked-in `BENCH_perf.json` (skipped with a note when no
+/// baseline is checked in — e.g. a fresh clone without artifacts).
 fn smoke() {
     println!("perf --smoke: threaded blob layer, CI regression gate\n");
-    let (threaded_json, read_at_8) = threaded_sweep(&[2, 8], 3);
+    let (threaded_json, write_at_8, read_at_8) = threaded_sweep(&[2, 8], 3);
     let json = format!(
         "{{\n  \"repeats\": 3, \"policy\": \"median\", \"mode\": \"smoke\",\n  \
          \"threaded\": {threaded_json}\n}}\n"
@@ -295,16 +299,25 @@ fn smoke() {
         println!("no BENCH_perf.json baseline checked in; skipping regression gate");
         return;
     };
-    let (Some(now), Some(before)) = (read_at_8, read_mbps_at(&baseline, 8)) else {
-        println!("baseline lacks a read@8 figure; skipping regression gate");
-        return;
-    };
-    println!("\nread@8: {now:.0} MB/s now vs {before:.0} MB/s baseline");
-    if now < before * 0.5 {
-        eprintln!("FAIL: read throughput at 8 clients regressed more than 50%");
+    let mut failed = false;
+    for (label, now, before) in [
+        ("read@8", read_at_8, mbps_at(&baseline, 8, "read_mbps")),
+        ("write@8", write_at_8, mbps_at(&baseline, 8, "write_mbps")),
+    ] {
+        let (Some(now), Some(before)) = (now, before) else {
+            println!("baseline lacks a {label} figure; skipping that gate");
+            continue;
+        };
+        println!("\n{label}: {now:.0} MB/s now vs {before:.0} MB/s baseline");
+        if now < before * 0.5 {
+            eprintln!("FAIL: {label} throughput regressed more than 50%");
+            failed = true;
+        }
+    }
+    if failed {
         std::process::exit(1);
     }
-    println!("regression gate passed (threshold: 50% of baseline)");
+    println!("regression gates passed (threshold: 50% of baseline)");
 }
 
 fn main() {
@@ -316,7 +329,7 @@ fn main() {
     let sim_clients = args.scaled(20) as u64;
     let sim_seed = args.seed_or(1000 + sim_clients);
 
-    let (threaded_json, _) = threaded_sweep(&[1usize, 2, 4, 8, 16, 32, 64], REPEATS);
+    let (threaded_json, _, _) = threaded_sweep(&[1usize, 2, 4, 8, 16, 32, 64], REPEATS);
 
     let (put, get) = sample(|| gateway_run(8), REPEATS);
     println!(

@@ -162,6 +162,12 @@ pub mod dos {
         pub op_bytes: u64,
         /// Enable causal request tracing ([`DeploymentConfig::tracing`]).
         pub tracing: bool,
+        /// Deploy the telemetry registry plus the SLO burn-rate alert
+        /// engine ([`DeploymentConfig::alerts`] with the default rules).
+        pub alerts: bool,
+        /// Deploy introspection plus the elasticity controller so
+        /// queue-depth burn alerts can trigger scale-out.
+        pub elasticity: bool,
     }
 
     impl Default for DosScenario {
@@ -177,6 +183,8 @@ pub mod dos {
                 writer_bytes: 8_000 * MB,
                 op_bytes: 64 * MB,
                 tracing: false,
+                alerts: false,
+                elasticity: false,
             }
         }
     }
@@ -194,6 +202,13 @@ pub mod dos {
             tracing: s.tracing,
             ..DeploymentConfig::default()
         };
+        if s.alerts {
+            cfg.alerts = Some(sads_core::default_alert_rules());
+        }
+        if s.elasticity {
+            cfg.introspection = true;
+            cfg.elasticity = Some(sads_adaptive::ElasticityPolicy::default());
+        }
         if s.security {
             cfg.security = Some((
                 PolicySet::parse(policy_source()).unwrap(),

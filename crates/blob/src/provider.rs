@@ -265,12 +265,13 @@ pub struct ReadCache {
     entries: HashMap<ChunkKey, (Payload, u64)>,
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
 impl ReadCache {
     /// A cache holding up to `capacity` chunks. Zero capacity disables it.
     pub fn new(capacity: usize) -> Self {
-        ReadCache { capacity, seq: 0, entries: HashMap::new(), hits: 0, misses: 0 }
+        ReadCache { capacity, seq: 0, entries: HashMap::new(), hits: 0, misses: 0, evictions: 0 }
     }
 
     /// Look up a chunk, refreshing its recency on hit.
@@ -297,6 +298,7 @@ impl ReadCache {
                 self.entries.iter().min_by_key(|&(k, &(_, s))| (s, *k)).map(|(k, _)| *k)
             {
                 self.entries.remove(&victim);
+                self.evictions += 1;
             }
         }
         self.seq += 1;
@@ -326,6 +328,11 @@ impl ReadCache {
     /// Lookups that fell through to the store.
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Entries displaced to make room (capacity pressure, not deletes).
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 }
 

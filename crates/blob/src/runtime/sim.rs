@@ -46,9 +46,18 @@ impl Env for SimEnv<'_, '_> {
     }
     fn record(&mut self, name: &str, value: f64) {
         self.ctx.record(name, value);
+        // Mirror into the live registry (when installed) as a node-labeled
+        // gauge, so existing call sites feed the telemetry plane with no
+        // churn. Registry writes are plain atomics — no schedule impact.
+        if let Some(reg) = self.ctx.telemetry() {
+            reg.set(name, &[("node", self.ctx.id().0.to_string().as_str())], value);
+        }
     }
     fn incr(&mut self, name: &str, delta: u64) {
         self.ctx.incr(name, delta);
+        if let Some(reg) = self.ctx.telemetry() {
+            reg.inc(name, &[("node", self.ctx.id().0.to_string().as_str())], delta);
+        }
     }
     fn span_sink(&self) -> Option<std::sync::Arc<sads_sim::SpanSink>> {
         self.ctx.span_sink()
@@ -58,6 +67,12 @@ impl Env for SimEnv<'_, '_> {
     }
     fn set_trace_ctx(&mut self, trace: Option<sads_sim::TraceCtx>) {
         self.ctx.set_trace_ctx(trace);
+    }
+    fn telemetry(&self) -> Option<std::sync::Arc<sads_sim::Registry>> {
+        self.ctx.telemetry()
+    }
+    fn queue_depth_seconds(&self) -> f64 {
+        self.ctx.ingress_backlog(self.ctx.id()).as_secs_f64()
     }
 }
 

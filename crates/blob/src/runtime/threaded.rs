@@ -18,7 +18,8 @@ use parking_lot::{Mutex, RwLock};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use sads_sim::{
-    MetricSink, NodeId, SimDuration, SimTime, SpanKind, SpanRecord, SpanSink, TraceCtx,
+    MetricSink, NodeId, Registry as TelemetryRegistry, SimDuration, SimTime, SpanKind,
+    SpanRecord, SpanSink, TraceCtx,
 };
 
 use crate::client::{ClientConfig, ClientCore, ClientOp, Completion, OpOutput};
@@ -108,6 +109,9 @@ struct ThreadedEnv<'a> {
     metrics: &'a Mutex<MetricSink>,
     /// Span sink when tracing is on for this cluster.
     sink: Option<Arc<SpanSink>>,
+    /// The cluster's live telemetry registry (always on: registry cells
+    /// are plain atomics, cheap enough to keep unconditionally).
+    telem: &'a Arc<TelemetryRegistry>,
     /// Causal context of the callback being handled; outgoing messages
     /// carry it so replies land in the same trace.
     current: Option<TraceCtx>,
@@ -137,12 +141,19 @@ impl Env for ThreadedEnv<'_> {
     fn record(&mut self, name: &str, value: f64) {
         let now = self.now();
         self.metrics.lock().record(name, now, value);
+        // Mirror into the live registry as a node-labeled gauge, so the
+        // existing call sites feed the telemetry plane with no churn.
+        self.telem.set(name, &[("node", self.id.0.to_string().as_str())], value);
     }
     fn incr(&mut self, name: &str, delta: u64) {
         self.metrics.lock().incr(name, delta);
+        self.telem.inc(name, &[("node", self.id.0.to_string().as_str())], delta);
     }
     fn span_sink(&self) -> Option<Arc<SpanSink>> {
         self.sink.clone()
+    }
+    fn telemetry(&self) -> Option<Arc<TelemetryRegistry>> {
+        Some(Arc::clone(self.telem))
     }
     fn trace_ctx(&self) -> Option<TraceCtx> {
         self.current
@@ -191,6 +202,7 @@ fn run_service_thread(
     running: Arc<AtomicBool>,
     seed: u64,
     sink: Option<Arc<SpanSink>>,
+    telem: Arc<TelemetryRegistry>,
 ) {
     let mut timers: BinaryHeap<std::cmp::Reverse<(u64, u64)>> = BinaryHeap::new();
     let mut rng = SmallRng::seed_from_u64(seed);
@@ -203,6 +215,7 @@ fn run_service_thread(
             rng: &mut rng,
             metrics: &metrics,
             sink: sink.clone(),
+            telem: &telem,
             current: None,
         };
         service.on_start(&mut env);
@@ -226,6 +239,7 @@ fn run_service_thread(
                 rng: &mut rng,
                 metrics: &metrics,
                 sink: sink.clone(),
+                telem: &telem,
                 current: None,
             };
             service.on_timer(&mut env, token);
@@ -259,6 +273,7 @@ fn run_service_thread(
                     rng: &mut rng,
                     metrics: &metrics,
                     sink: sink.clone(),
+                    telem: &telem,
                     current: trace,
                 };
                 service.on_msg(&mut env, from, msg);
@@ -305,6 +320,7 @@ fn run_client_thread(
     running: Arc<AtomicBool>,
     seed: u64,
     sink: Option<Arc<SpanSink>>,
+    telem: Arc<TelemetryRegistry>,
 ) {
     let mut core = ClientCore::new(client_id, vman, pman, meta, cfg);
     let mut timers: BinaryHeap<std::cmp::Reverse<(u64, u64)>> = BinaryHeap::new();
@@ -342,6 +358,7 @@ fn run_client_thread(
                         rng: &mut rng,
                         metrics: &metrics,
                         sink: sink.clone(),
+                        telem: &telem,
                         current: None,
                     };
                     core.handle_timer(&mut env, token)
@@ -371,6 +388,7 @@ fn run_client_thread(
                         rng: &mut rng,
                         metrics: &metrics,
                         sink: sink.clone(),
+                        telem: &telem,
                         current: trace,
                     };
                     core.handle_msg(&mut env, from, msg)
@@ -389,6 +407,7 @@ fn run_client_thread(
                     rng: &mut rng,
                     metrics: &metrics,
                     sink: sink.clone(),
+                    telem: &telem,
                     current: trace,
                 };
                 core.start_op(&mut env, op, tag);
@@ -520,6 +539,7 @@ pub struct ClusterBuilder {
     service_cfg: ServiceConfig,
     client_cfg: ClientConfig,
     span_sink: Option<Arc<SpanSink>>,
+    telemetry: Option<Arc<TelemetryRegistry>>,
 }
 
 impl Default for ClusterBuilder {
@@ -532,6 +552,7 @@ impl Default for ClusterBuilder {
             service_cfg: ServiceConfig::default(),
             client_cfg: ClientConfig { materialize_zeros: true, ..ClientConfig::default() },
             span_sink: None,
+            telemetry: None,
         }
     }
 }
@@ -586,12 +607,22 @@ impl ClusterBuilder {
         self
     }
 
+    /// Share an externally created telemetry registry (e.g. one also
+    /// installed on an `ObjectGateway` in `sads-gateway`) instead of the
+    /// cluster's own. Telemetry is always on in the threaded runtime;
+    /// this only controls *which* registry the node threads write.
+    pub fn telemetry(mut self, registry: Arc<TelemetryRegistry>) -> Self {
+        self.telemetry = Some(registry);
+        self
+    }
+
     /// Spawn every thread and return the running cluster.
     pub fn start(self) -> Cluster {
         let registry = Arc::new(Registry::default());
         let metrics = Arc::new(Mutex::new(MetricSink::new()));
         let start = Instant::now();
         let running = Arc::new(AtomicBool::new(true));
+        let telemetry = self.telemetry.unwrap_or_else(|| Arc::new(TelemetryRegistry::new()));
         let mut cluster = Cluster {
             registry,
             metrics,
@@ -606,6 +637,7 @@ impl ClusterBuilder {
             client_cfg: self.client_cfg,
             next_seed: 1,
             span_sink: self.span_sink,
+            telemetry,
         };
         cluster.pman =
             cluster.add_service(Box::new(ProviderManagerService::new(self.strategy)));
@@ -646,12 +678,20 @@ pub struct Cluster {
     client_cfg: ClientConfig,
     next_seed: u64,
     span_sink: Option<Arc<SpanSink>>,
+    telemetry: Arc<TelemetryRegistry>,
 }
 
 impl Cluster {
     /// The span sink recording this cluster's traces, when tracing is on.
     pub fn span_sink(&self) -> Option<&Arc<SpanSink>> {
         self.span_sink.as_ref()
+    }
+
+    /// The cluster's live telemetry registry — every node thread's
+    /// counters, gauges and heartbeat health gauges, readable while the
+    /// cluster runs.
+    pub fn telemetry(&self) -> &Arc<TelemetryRegistry> {
+        &self.telemetry
     }
 
     /// Change the service wiring used by nodes added from now on (e.g.
@@ -678,8 +718,11 @@ impl Cluster {
         let seed = self.next_seed;
         self.next_seed += 1;
         let sink = self.span_sink.clone();
+        let telem = Arc::clone(&self.telemetry);
         self.handles.push(std::thread::spawn(move || {
-            run_service_thread(id, service, rx, registry, start, metrics, running, seed, sink);
+            run_service_thread(
+                id, service, rx, registry, start, metrics, running, seed, sink, telem,
+            );
         }));
         id
     }
@@ -714,10 +757,11 @@ impl Cluster {
         let seed = self.next_seed;
         self.next_seed += 1;
         let sink = self.span_sink.clone();
+        let telem = Arc::clone(&self.telemetry);
         self.handles.push(std::thread::spawn(move || {
             run_client_thread(
                 id, client_id, vman, pman, meta, ccfg, rx, registry, start, metrics, running,
-                seed, sink,
+                seed, sink, telem,
             );
         }));
         ClientHandle { node: id, client_id, tx, op_timeout: Duration::from_secs(60) }
@@ -756,8 +800,11 @@ impl Cluster {
         let seed = self.next_seed;
         self.next_seed += 1;
         let sink = self.span_sink.clone();
+        let telem = Arc::clone(&self.telemetry);
         self.handles.push(std::thread::spawn(move || {
-            run_service_thread(node, service, rx, registry, start, metrics, running, seed, sink);
+            run_service_thread(
+                node, service, rx, registry, start, metrics, running, seed, sink, telem,
+            );
         }));
         true
     }

@@ -57,6 +57,31 @@ pub trait Env {
     /// Override the ambient causal context for subsequent sends (used by
     /// operation roots and by state machines resumed from timers).
     fn set_trace_ctx(&mut self, _trace: Option<sads_sim::TraceCtx>) {}
+    /// The live telemetry registry, when enabled for this deployment
+    /// (optional; `None` disables direct instrumentation and the
+    /// runtimes' metric-bridge mirroring).
+    fn telemetry(&self) -> Option<std::sync::Arc<sads_sim::Registry>> {
+        None
+    }
+    /// How far behind this node's ingress path is (seconds of accepted
+    /// but not yet handled transfer time), when the runtime can observe
+    /// it (optional). Feeds the `node.queue_depth_seconds` gauge.
+    fn queue_depth_seconds(&self) -> f64 {
+        0.0
+    }
+}
+
+/// Refresh the runtime-agnostic per-node telemetry every service writes
+/// from its periodic tick: the heartbeat gauge behind the health model
+/// (staleness ⇒ Degraded/Down in both runtimes, since crashes stop the
+/// timers that drive this) and the ingress queue-depth gauge the SLO
+/// burn-rate rules watch.
+fn telemetry_heartbeat(env: &mut dyn Env) {
+    let Some(reg) = env.telemetry() else { return };
+    let node = env.id().0.to_string();
+    let labels = [("node", node.as_str())];
+    reg.set(sads_sim::HEARTBEAT_GAUGE, &labels, env.now().as_secs_f64());
+    reg.set("node.queue_depth_seconds", &labels, env.queue_depth_seconds());
 }
 
 /// A runnable BlobSeer service: the state-machine interface both runtimes
@@ -224,6 +249,15 @@ impl DataProviderService {
             cpu,
             mem,
         });
+        telemetry_heartbeat(env);
+        if let Some(reg) = env.telemetry() {
+            let node = env.id().0.to_string();
+            let labels = [("node", node.as_str())];
+            reg.set("provider.chunks", &labels, self.store.len() as f64);
+            reg.set("provider.store_bytes", &labels, self.store.used() as f64);
+            reg.set("provider.fill", &labels, self.store.fill_ratio());
+            reg.set("provider.cache_evictions", &labels, self.read_cache.evictions() as f64);
+        }
         self.ops_since_hb = 0;
         self.bytes_since_hb = 0;
         env.set_timer(self.cfg.heartbeat_every, TOKEN_HEARTBEAT);
@@ -326,6 +360,7 @@ impl Service for DataProviderService {
             }
             Msg::GetChunk { req, client, key } => {
                 self.ops_since_hb += 1;
+                env.incr("provider.reads", 1);
                 if self.blacklist.contains(&client) {
                     self.instr.emit(ProbeEvent::ChunkRejected {
                         provider: env.id(),
@@ -340,6 +375,8 @@ impl Service for DataProviderService {
                         self.bytes_since_hb += data.len();
                         if cached {
                             env.incr("provider.cache_hits", 1);
+                        } else {
+                            env.incr("provider.cache_misses", 1);
                         }
                         self.instr.emit(ProbeEvent::ChunkRead {
                             provider: env.id(),
@@ -367,6 +404,7 @@ impl Service for DataProviderService {
                 // probe event per chunk, so load reports and the security
                 // detectors see identical totals either way.
                 self.ops_since_hb += keys.len() as u64;
+                env.incr("provider.reads", keys.len() as u64);
                 if self.blacklist.contains(&client) {
                     self.instr.emit(ProbeEvent::ChunkRejected {
                         provider: env.id(),
@@ -386,6 +424,8 @@ impl Service for DataProviderService {
                             self.bytes_since_hb += data.len();
                             if cached {
                                 env.incr("provider.cache_hits", 1);
+                            } else {
+                                env.incr("provider.cache_misses", 1);
                             }
                             self.instr.emit(ProbeEvent::ChunkRead {
                                 provider: env.id(),
@@ -587,6 +627,13 @@ impl Service for MetaProviderService {
                     },
                 };
                 env.send(self.pman, Msg::Heartbeat { load });
+                telemetry_heartbeat(env);
+                if let Some(reg) = env.telemetry() {
+                    let node = env.id().0.to_string();
+                    let labels = [("node", node.as_str())];
+                    reg.set("meta.tree_nodes", &labels, self.store.len() as f64);
+                    reg.set("meta.store_bytes", &labels, self.store.bytes() as f64);
+                }
                 self.ops_since_hb = 0;
                 env.set_timer(self.cfg.heartbeat_every, TOKEN_HEARTBEAT);
             }
@@ -717,6 +764,19 @@ impl Service for ProviderManagerService {
                 "pman.data_providers",
                 self.registry.count(ProviderKind::Data) as f64,
             );
+            telemetry_heartbeat(env);
+            if let Some(reg) = env.telemetry() {
+                reg.set(
+                    "pool.data_providers",
+                    &[],
+                    self.registry.count(ProviderKind::Data) as f64,
+                );
+                reg.set(
+                    "pool.meta_providers",
+                    &[],
+                    self.registry.count(ProviderKind::Metadata) as f64,
+                );
+            }
             env.set_timer(self.sweep_every, TOKEN_EXPIRE);
         }
     }
@@ -809,6 +869,7 @@ impl Service for VersionManagerService {
                             offset: ticket.offset,
                             len: ticket.len,
                         });
+                        env.incr("vman.tickets", 1);
                         env.send(from, Msg::TicketOk { req, ticket });
                     }
                     Err(err) => {
@@ -826,6 +887,7 @@ impl Service for VersionManagerService {
                 match self.state.commit(blob, version, root, size, env.now()) {
                     Ok(published) => {
                         for (v, writer) in published {
+                            env.incr("vman.published", 1);
                             self.instr.emit(ProbeEvent::VersionPublished {
                                 blob,
                                 version: v,
@@ -916,6 +978,13 @@ impl Service for VersionManagerService {
                 let stalled = self.state.stalled_tickets(env.now(), self.stall_timeout);
                 if !stalled.is_empty() {
                     env.record("vman.stalled_writes", stalled.len() as f64);
+                }
+                telemetry_heartbeat(env);
+                if let Some(reg) = env.telemetry() {
+                    let node = env.id().0.to_string();
+                    let labels = [("node", node.as_str())];
+                    reg.set("vman.blobs", &labels, self.state.blob_ids().len() as f64);
+                    reg.set("vman.stalled_tickets", &labels, stalled.len() as f64);
                 }
                 env.set_timer(SimDuration::from_secs(10), TOKEN_STALL);
             }

@@ -16,13 +16,15 @@ use sads_blob::services::{
     VersionManagerService,
 };
 use sads_blob::ClientId;
-use sads_introspect::IntrospectionService;
+use sads_introspect::{BurnRateRule, IntrospectionService, RuleSource, SloAlertService};
 use sads_monitor::{MonitoringService, StorageConfig, StorageServerService};
 use sads_security::{PolicySet, SecurityConfig, SecurityEngineService};
 use sads_blob::runtime::sim::SimService;
 use sads_sim::{
-    Actor, FaultPlan, NetConfig, NodeConfig, NodeId, RunOutcome, SimDuration, SimTime, World,
+    Actor, FaultPlan, HealthPolicy, NetConfig, NodeConfig, NodeHealth, NodeId, Registry,
+    RunOutcome, SimDuration, SimTime, World,
 };
+use std::sync::Arc;
 
 use crate::agent::DeployAgent;
 
@@ -72,6 +74,16 @@ pub struct DeploymentConfig {
     /// no sink exists and the event schedule is byte-identical to a
     /// build that predates the tracing layer.
     pub tracing: bool,
+    /// Enable the live telemetry plane: the deployment owns a labeled
+    /// metrics [`Registry`] every node writes into (counters, gauges,
+    /// heartbeats). Registry cells are side-channel atomics — the event
+    /// schedule is byte-identical with telemetry on or off.
+    pub telemetry: bool,
+    /// Deploy the SLO burn-rate alert engine with these rules (implies
+    /// `telemetry`). Fired alerts are pushed to the elasticity
+    /// controller, the replication manager and the security engine —
+    /// whichever of them are deployed.
+    pub alerts: Option<Vec<BurnRateRule>>,
 }
 
 impl Default for DeploymentConfig {
@@ -96,8 +108,46 @@ impl Default for DeploymentConfig {
             recovery: None,
             client_cfg: ClientConfig::default(),
             tracing: false,
+            telemetry: false,
+            alerts: None,
         }
     }
+}
+
+/// The stock SLO rule set: queue-depth burn drives elastic scale-out,
+/// replica-deficit burn drives off-schedule replication sweeps, and an
+/// aggregate read-rate burn pre-warns the security engine's DoS
+/// detectors.
+pub fn default_alert_rules() -> Vec<BurnRateRule> {
+    vec![
+        BurnRateRule {
+            name: "queue_depth_burn",
+            metric: "node.queue_depth_seconds",
+            source: RuleSource::GaugeMax,
+            threshold: 0.5,
+            short_window: SimDuration::from_secs(6),
+            long_window: SimDuration::from_secs(20),
+            cooldown: SimDuration::from_secs(30),
+        },
+        BurnRateRule {
+            name: "availability_burn",
+            metric: "repl.deficit",
+            source: RuleSource::GaugeMax,
+            threshold: 0.5,
+            short_window: SimDuration::from_secs(6),
+            long_window: SimDuration::from_secs(20),
+            cooldown: SimDuration::from_secs(30),
+        },
+        BurnRateRule {
+            name: "read_rate_burn",
+            metric: "provider.reads",
+            source: RuleSource::CounterRate,
+            threshold: 150.0,
+            short_window: SimDuration::from_secs(6),
+            long_window: SimDuration::from_secs(16),
+            cooldown: SimDuration::from_secs(30),
+        },
+    ]
 }
 
 /// A running simulated deployment with every node's address.
@@ -130,6 +180,8 @@ pub struct Deployment {
     pub removal: Option<NodeId>,
     /// Stalled-write recovery agent, if deployed.
     pub recovery: Option<NodeId>,
+    /// SLO alert engine, if deployed.
+    pub alert_engine: Option<NodeId>,
     /// Config the deployment was built from.
     pub cfg: DeploymentConfig,
     next_monitor: usize,
@@ -140,7 +192,10 @@ impl Deployment {
     pub fn build(cfg: DeploymentConfig) -> Deployment {
         let mut world = World::new(cfg.seed, cfg.net);
         if cfg.tracing {
-            world.set_span_sink(std::sync::Arc::new(sads_sim::SpanSink::new()));
+            world.set_span_sink(Arc::new(sads_sim::SpanSink::new()));
+        }
+        if cfg.telemetry || cfg.alerts.is_some() {
+            world.set_telemetry(Arc::new(Registry::new()));
         }
         let strategy: Box<dyn AllocationStrategy> =
             strategy_by_name(cfg.strategy).unwrap_or_else(|| Box::<RoundRobin>::default());
@@ -303,6 +358,24 @@ impl Deployment {
             )
         });
 
+        // The alert engine goes in last so every subscriber address is
+        // known. Subscribers are the deployed self-* components.
+        let alert_engine = cfg.alerts.clone().map(|rules| {
+            let reg = Arc::clone(world.telemetry().expect("alerts imply telemetry"));
+            let subscribers: Vec<NodeId> =
+                [elastic, repl, security].into_iter().flatten().collect();
+            add_service(
+                &mut world,
+                Box::new(SloAlertService::new(
+                    reg,
+                    rules,
+                    subscribers,
+                    SimDuration::from_secs(2),
+                )),
+                NodeConfig::default(),
+            )
+        });
+
         Deployment {
             world,
             vman,
@@ -318,6 +391,7 @@ impl Deployment {
             repl,
             removal,
             recovery,
+            alert_engine,
             cfg,
             next_monitor,
         }
@@ -428,6 +502,24 @@ impl Deployment {
     /// [`DeploymentConfig::tracing`] is on.
     pub fn span_sink(&self) -> Option<&std::sync::Arc<sads_sim::SpanSink>> {
         self.world.span_sink()
+    }
+
+    /// The live metrics registry, when [`DeploymentConfig::telemetry`]
+    /// (or alerting) is on.
+    pub fn telemetry(&self) -> Option<&Arc<Registry>> {
+        self.world.telemetry()
+    }
+
+    /// Post-run access to the SLO alert engine (fired-alert history).
+    pub fn alert_engine(&self) -> Option<&SloAlertService> {
+        self.world.actor_as::<SloAlertService>(self.alert_engine?)
+    }
+
+    /// Per-node health derived from heartbeat gauge staleness at the
+    /// world's current time. Empty when telemetry is off.
+    pub fn health(&self, policy: HealthPolicy) -> Vec<NodeHealth> {
+        let Some(reg) = self.world.telemetry() else { return Vec::new() };
+        sads_sim::derive_health(&reg.snapshot(), self.world.now().as_secs_f64(), &policy)
     }
 
     /// Total instrumentation events seen by the monitoring services — the

@@ -32,7 +32,7 @@ pub mod deployment;
 pub mod threaded;
 
 pub use agent::{DeployAgent, DRAIN_GRACE};
-pub use deployment::{Deployment, DeploymentConfig};
+pub use deployment::{default_alert_rules, Deployment, DeploymentConfig};
 pub use threaded::{AdaptiveClusterConfig, SelfAdaptiveCluster};
 
 // Re-export the subsystem crates under one roof for downstream users.

@@ -26,6 +26,7 @@ use parking_lot::Mutex;
 use sads_blob::runtime::threaded::ClientHandle;
 use sads_blob::{BlobError, BlobId, BlobSpec, ClientId, VersionId};
 use sads_sim::{SpanClass, SpanKind, SpanRecord, SpanSink, TraceCtx};
+use sads_telemetry::{Registry as TelemetryRegistry, Snapshot};
 
 /// Bucket-level access control, after S3's canned ACLs.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -160,6 +161,10 @@ pub struct ObjectGateway {
     /// Span sink when request tracing is on (one `Op` span per S3
     /// request; the backing BLOB ops nest under it).
     span_sink: Option<Arc<SpanSink>>,
+    /// Live metrics registry: per-op request/error counters and latency
+    /// histograms, plus whatever the backing cluster writes when the
+    /// registry is shared via [`set_telemetry`](ObjectGateway::set_telemetry).
+    telemetry: Arc<TelemetryRegistry>,
     /// Wall-clock origin for gateway span timestamps.
     started: Instant,
 }
@@ -223,6 +228,7 @@ impl ObjectGateway {
             uploads: Mutex::new(BTreeMap::new()),
             next_upload: std::sync::atomic::AtomicU64::new(1),
             span_sink: None,
+            telemetry: Arc::new(TelemetryRegistry::new()),
             started: Instant::now(),
         }
     }
@@ -235,6 +241,57 @@ impl ObjectGateway {
     /// [`ClusterBuilder::span_sink`]: sads_blob::runtime::threaded::ClusterBuilder::span_sink
     pub fn set_span_sink(&mut self, sink: Arc<SpanSink>) {
         self.span_sink = Some(sink);
+    }
+
+    /// Share a metrics registry with the gateway. Pass the cluster's
+    /// registry ([`Cluster::telemetry`]) so one scrape covers both the
+    /// S3 front end and the backing BLOB services.
+    ///
+    /// [`Cluster::telemetry`]: sads_blob::runtime::threaded::Cluster::telemetry
+    pub fn set_telemetry(&mut self, registry: Arc<TelemetryRegistry>) {
+        self.telemetry = registry;
+    }
+
+    /// The live metrics registry backing [`get_metrics`](ObjectGateway::get_metrics).
+    pub fn telemetry(&self) -> &Arc<TelemetryRegistry> {
+        &self.telemetry
+    }
+
+    /// Count and time one S3 operation: `gateway.requests{op=..}`,
+    /// `gateway.errors{op=..}` and a `gateway.op_seconds{op=..}` latency
+    /// observation.
+    fn track<T>(
+        &self,
+        op: &'static str,
+        f: impl FnOnce() -> Result<T, GatewayError>,
+    ) -> Result<T, GatewayError> {
+        let labels = [("op", op)];
+        self.telemetry.inc("gateway.requests", &labels, 1);
+        let start = self.started.elapsed();
+        let out = f();
+        let elapsed = (self.started.elapsed() - start).as_secs_f64();
+        self.telemetry.observe("gateway.op_seconds", &labels, elapsed);
+        if out.is_err() {
+            self.telemetry.inc("gateway.errors", &labels, 1);
+        }
+        out
+    }
+
+    /// Render the registry in Prometheus text exposition format — the
+    /// `/metrics` endpoint body. When a span sink is attached its drop
+    /// counter and per-operation span statistics are refreshed into the
+    /// registry first, so trace health is scraped alongside the metrics.
+    pub fn get_metrics(&self) -> String {
+        if let Some(sink) = &self.span_sink {
+            sads_telemetry::export_span_stats(&self.telemetry, sink);
+        }
+        self.telemetry.render()
+    }
+
+    /// Structured point-in-time view of the registry, for programmatic
+    /// consumers (the introspection timeseries ingester, tests).
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        self.telemetry.snapshot()
     }
 
     fn client(&self) -> &ClientHandle {
@@ -278,15 +335,17 @@ impl ObjectGateway {
         name: &str,
         acl: Acl,
     ) -> Result<(), GatewayError> {
-        if !valid_name(name) {
-            return Err(GatewayError::InvalidName);
-        }
-        let mut b = self.buckets.lock();
-        if b.contains_key(name) {
-            return Err(GatewayError::BucketAlreadyExists);
-        }
-        b.insert(name.to_owned(), Bucket { owner: principal, acl, objects: BTreeMap::new() });
-        Ok(())
+        self.track("create_bucket", || {
+            if !valid_name(name) {
+                return Err(GatewayError::InvalidName);
+            }
+            let mut b = self.buckets.lock();
+            if b.contains_key(name) {
+                return Err(GatewayError::BucketAlreadyExists);
+            }
+            b.insert(name.to_owned(), Bucket { owner: principal, acl, objects: BTreeMap::new() });
+            Ok(())
+        })
     }
 
     /// Delete an empty bucket.
@@ -335,7 +394,7 @@ impl ObjectGateway {
         key: &str,
         data: Bytes,
     ) -> Result<ObjectInfo, GatewayError> {
-        self.put_object_inner(principal, bucket, key, data, None)
+        self.track("put_object", || self.put_object_inner(principal, bucket, key, data, None))
     }
 
     /// [`put_object`](ObjectGateway::put_object) with request tracing:
@@ -351,7 +410,8 @@ impl ObjectGateway {
     ) -> Result<Traced<ObjectInfo>, GatewayError> {
         let req = self.begin_request();
         let trace = req.as_ref().map(|(_, tc, _)| *tc);
-        let result = self.put_object_inner(principal, bucket, key, data, trace);
+        let result =
+            self.track("put_object", || self.put_object_inner(principal, bucket, key, data, trace));
         if let Some(req) = &req {
             self.end_request(req, "put_object");
         }
@@ -432,9 +492,10 @@ impl ObjectGateway {
     ) -> Result<Traced<Bytes>, GatewayError> {
         let req = self.begin_request();
         let trace = req.as_ref().map(|(_, tc, _)| *tc);
-        let result = self
-            .head_object(principal, bucket, key)
-            .and_then(|info| self.read_pinned_inner(&info, 0, u64::MAX, trace));
+        let result = self.track("get_object", || {
+            self.head_inner(principal, bucket, key)
+                .and_then(|info| self.read_pinned_inner(&info, 0, u64::MAX, trace))
+        });
         if let Some(req) = &req {
             self.end_request(req, "get_object");
         }
@@ -452,8 +513,10 @@ impl ObjectGateway {
         offset: u64,
         len: u64,
     ) -> Result<Bytes, GatewayError> {
-        let info = self.head_object(principal, bucket, key)?;
-        self.read_pinned(&info, offset, len)
+        self.track("get_object", || {
+            let info = self.head_inner(principal, bucket, key)?;
+            self.read_pinned_inner(&info, offset, len, None)
+        })
     }
 
     /// Read through an [`ObjectInfo`] pin: always observes exactly the
@@ -465,7 +528,7 @@ impl ObjectGateway {
         offset: u64,
         len: u64,
     ) -> Result<Bytes, GatewayError> {
-        self.read_pinned_inner(info, offset, len, None)
+        self.track("read_pinned", || self.read_pinned_inner(info, offset, len, None))
     }
 
     fn read_pinned_inner(
@@ -492,6 +555,17 @@ impl ObjectGateway {
         bucket: &str,
         key: &str,
     ) -> Result<ObjectInfo, GatewayError> {
+        self.track("head_object", || self.head_inner(principal, bucket, key))
+    }
+
+    /// [`head_object`](ObjectGateway::head_object) body, untracked so the
+    /// GET paths that call it internally count as one request, not two.
+    fn head_inner(
+        &self,
+        principal: ClientId,
+        bucket: &str,
+        key: &str,
+    ) -> Result<ObjectInfo, GatewayError> {
         let b = self.buckets.lock();
         let bucket_ref = b.get(bucket).ok_or(GatewayError::NoSuchBucket)?;
         self.check_read(principal, bucket_ref)?;
@@ -506,11 +580,13 @@ impl ObjectGateway {
         bucket: &str,
         key: &str,
     ) -> Result<(), GatewayError> {
-        let mut b = self.buckets.lock();
-        let bucket_ref = b.get_mut(bucket).ok_or(GatewayError::NoSuchBucket)?;
-        self.check_write(principal, bucket_ref)?;
-        bucket_ref.objects.remove(key).ok_or(GatewayError::NoSuchKey)?;
-        Ok(())
+        self.track("delete_object", || {
+            let mut b = self.buckets.lock();
+            let bucket_ref = b.get_mut(bucket).ok_or(GatewayError::NoSuchBucket)?;
+            self.check_write(principal, bucket_ref)?;
+            bucket_ref.objects.remove(key).ok_or(GatewayError::NoSuchKey)?;
+            Ok(())
+        })
     }
 
     /// Begin a multipart upload (S3 `CreateMultipartUpload`). Every part
@@ -565,6 +641,16 @@ impl ObjectGateway {
         part_number: u32,
         data: Bytes,
     ) -> Result<(), GatewayError> {
+        self.track("upload_part", || self.upload_part_inner(principal, upload_id, part_number, data))
+    }
+
+    fn upload_part_inner(
+        &self,
+        principal: ClientId,
+        upload_id: u64,
+        part_number: u32,
+        data: Bytes,
+    ) -> Result<(), GatewayError> {
         let (blob, part_size, offset) = {
             let u = self.uploads.lock();
             let up = u.get(&upload_id).ok_or(GatewayError::NoSuchUpload)?;
@@ -601,6 +687,14 @@ impl ObjectGateway {
     /// numbers must be contiguous from 1 and every part except the last
     /// must be full-sized. Publishes the assembled object.
     pub fn complete_multipart(
+        &self,
+        principal: ClientId,
+        upload_id: u64,
+    ) -> Result<ObjectInfo, GatewayError> {
+        self.track("complete_multipart", || self.complete_multipart_inner(principal, upload_id))
+    }
+
+    fn complete_multipart_inner(
         &self,
         principal: ClientId,
         upload_id: u64,
@@ -883,6 +977,68 @@ mod tests {
         assert_eq!(info.size, 0);
         let got = gw.get_object(ALICE, "b", "empty").unwrap();
         assert!(got.is_empty());
+        cluster.shutdown();
+    }
+
+    /// The `/metrics` contract: sharing the cluster's registry with the
+    /// gateway makes one scrape cover the S3 front end and the BLOB
+    /// services behind it — ≥10 metric families across ≥4 services, all
+    /// surviving a Prometheus-text render/parse round trip.
+    #[test]
+    fn metrics_exposition_covers_gateway_and_cluster() {
+        let mut cluster = ClusterBuilder::new()
+            .data_providers(4)
+            .meta_providers(2)
+            .provider_capacity(256 << 20)
+            .start();
+        let client = cluster.client(ClientId(1000));
+        let mut gw = ObjectGateway::new(
+            client,
+            GatewayConfig { page_size: 64 * 1024, replication: 1 },
+        );
+        gw.set_telemetry(Arc::clone(cluster.telemetry()));
+
+        gw.create_bucket(ALICE, "m", Acl::Private).unwrap();
+        for i in 0..4u8 {
+            let key = format!("k{i}");
+            gw.put_object(ALICE, "m", &key, body(100_000, i)).unwrap();
+            assert!(gw.get_object(ALICE, "m", &key).is_ok());
+        }
+        assert!(gw.head_object(ALICE, "m", "missing").is_err());
+        // Let one service heartbeat land so node/pool/meta gauges exist.
+        std::thread::sleep(std::time::Duration::from_millis(1500));
+
+        let snap = gw.metrics_snapshot();
+        assert_eq!(snap.counter("gateway.requests", &[("op", "put_object")]), Some(4));
+        assert_eq!(snap.counter("gateway.requests", &[("op", "get_object")]), Some(4));
+        assert_eq!(snap.counter("gateway.errors", &[("op", "head_object")]), Some(1));
+        assert!(snap.counter_total("provider.reads").unwrap_or(0) > 0, "backend reads counted");
+        assert!(snap.counter_total("vman.tickets").unwrap_or(0) >= 4, "writes took tickets");
+
+        let families = snap.families();
+        assert!(
+            families.len() >= 10,
+            "expected ≥10 metric families, got {}: {families:?}",
+            families.len()
+        );
+        let mut services: Vec<&str> =
+            families.iter().map(|f| f.split('.').next().unwrap()).collect();
+        services.sort();
+        services.dedup();
+        assert!(
+            services.len() >= 4,
+            "expected families from ≥4 services, got {services:?}"
+        );
+
+        // The text endpoint renders the same data and parses back.
+        let text = gw.get_metrics();
+        let parsed = sads_telemetry::parse_prometheus(&text).expect("parseable exposition");
+        assert!(parsed
+            .iter()
+            .any(|s| s.name == "sads_gateway_requests"
+                && s.labels.iter().any(|(k, v)| k == "op" && v == "put_object")
+                && s.value == 4.0));
+        assert!(parsed.iter().any(|s| s.name == "sads_gateway_op_seconds_bucket"));
         cluster.shutdown();
     }
 }

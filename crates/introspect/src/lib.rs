@@ -9,6 +9,9 @@
 //! * [`IntrospectionService`] — polls the monitoring storage servers and
 //!   maintains a live [`SystemSnapshot`] that the elasticity controller,
 //!   replication manager and operators query,
+//! * [`SloAlertService`] — multi-window burn-rate rules over live
+//!   telemetry registry snapshots, pushing [`Alert`]s to the self-*
+//!   components,
 //! * [`TimeSeries`] — downsampling/smoothing utilities,
 //! * [`viz`] — the §IV-A visualization tool (ASCII charts + CSV of the
 //!   physical parameters, storage distribution, BLOB access patterns and
@@ -16,11 +19,16 @@
 
 #![warn(missing_docs)]
 
+pub mod alerts;
 pub mod service;
 pub mod snapshot;
 pub mod timeseries;
 pub mod viz;
 
+pub use alerts::{
+    alert_msg, into_alert, Alert, AlertMsg, BurnRateRule, RuleSource, SloAlertService,
+    TOKEN_ALERT_TICK,
+};
 pub use service::{IntrospectionService, TOKEN_INTRO_POLL};
 pub use snapshot::{intro_msg, into_intro, BlobView, IntroMsg, ProviderView, SystemSnapshot};
 pub use timeseries::TimeSeries;

@@ -175,6 +175,51 @@ mod tests {
     }
 
     #[test]
+    fn window_mean_boundaries_are_half_open() {
+        let s = TimeSeries::from_points(vec![(t(1), 1.0), (t(2), 2.0), (t(3), 3.0)]);
+        // [from, to): the sample at `from` is in, the one at `to` is out.
+        assert_eq!(s.window_mean(t(1), t(3)), Some(1.5));
+        // Zero-width and inverted windows select nothing.
+        assert_eq!(s.window_mean(t(2), t(2)), None);
+        assert_eq!(s.window_mean(t(3), t(1)), None);
+        // Empty series: no window has a mean.
+        assert_eq!(TimeSeries::new().window_mean(t(0), t(10)), None);
+    }
+
+    #[test]
+    fn stragglers_land_in_the_right_window() {
+        let mut s = TimeSeries::new();
+        s.push(t(1), 1.0);
+        s.push(t(5), 50.0);
+        s.push(t(2), 3.0); // out-of-order: belongs to the early window
+        assert_eq!(s.window_mean(t(0), t(3)), Some(2.0));
+        assert_eq!(s.window_mean(t(3), t(6)), Some(50.0));
+        // Equal timestamps append after existing points and all count.
+        s.push(t(5), 70.0);
+        assert_eq!(s.window_mean(t(5), t(6)), Some(60.0));
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn binning_stays_correct_after_straggler_inserts() {
+        let mut s = TimeSeries::new();
+        s.push(t(0), 10.0);
+        s.push(t(4), 40.0);
+        s.push(t(1), 20.0); // straggler into the first bin
+        assert_eq!(s.binned(2.0), vec![(0.0, 15.0), (4.0, 40.0)]);
+    }
+
+    #[test]
+    fn empty_series_degenerate_cases() {
+        let s = TimeSeries::new();
+        assert!(s.is_empty());
+        assert_eq!(s.last(), None);
+        assert_eq!(s.min_max(), None);
+        assert!(s.binned(1.0).is_empty());
+        assert!(s.ema(0.5).is_empty());
+    }
+
+    #[test]
     fn ema_smooths_towards_history() {
         let s = TimeSeries::from_points(vec![(t(0), 0.0), (t(1), 10.0), (t(2), 10.0)]);
         let e = s.ema(0.5);

@@ -456,6 +456,89 @@ mod tests {
     }
 
     #[test]
+    fn empty_window_flushes_are_empty_everywhere() {
+        // A flush with nothing ingested must ship nothing, for every
+        // filter in the default stack — otherwise idle monitors would
+        // spam the storage layer with zero-valued records.
+        for f in default_filters().iter_mut() {
+            let out = f.flush(t(5), 5.0);
+            assert!(out.is_empty(), "filter {:?} produced output from an empty window", f.name());
+        }
+    }
+
+    #[test]
+    fn zero_width_flush_window_stays_finite() {
+        // Back-to-back flushes give window_secs = 0; rates must clamp
+        // the divisor rather than emit inf/NaN.
+        let mut f = RateFilter::default();
+        f.ingest(NodeId(1), &write_event(1, 9, 1_000_000), t(0));
+        let out = f.flush(t(0), 0.0);
+        assert_eq!(out.params.len(), 1);
+        assert!(out.params[0].value.is_finite());
+    }
+
+    #[test]
+    fn events_never_straddle_a_flush_boundary() {
+        // An event ingested after a flush belongs to the next window
+        // only: no double counting, no loss.
+        let mut f = RateFilter::default();
+        f.ingest(NodeId(1), &write_event(1, 9, 10_000_000), t(1));
+        let first = f.flush(t(2), 2.0);
+        assert_eq!(first.params.len(), 1);
+        f.ingest(NodeId(1), &write_event(1, 9, 30_000_000), t(3));
+        let second = f.flush(t(4), 2.0);
+        assert_eq!(second.params.len(), 1);
+        assert!((second.params[0].value - 15.0).abs() < 1e-9, "only the second event counts");
+        // And a third, idle window is empty again.
+        assert!(f.flush(t(6), 2.0).is_empty());
+    }
+
+    #[test]
+    fn blob_sizes_survive_flushes_but_volumes_reset() {
+        let mut f = BlobAccessFilter::default();
+        f.ingest(NodeId(1), &write_event(1, 9, 8_000_000), t(0));
+        f.ingest(
+            NodeId(5),
+            &ProbeEvent::VersionPublished {
+                blob: BlobId(1),
+                version: VersionId(1),
+                size: 8_000_000,
+                writer: ClientId(9),
+            },
+            t(1),
+        );
+        let first = f.flush(t(2), 2.0);
+        assert!(first.params.iter().any(|p| p.key.metric == MetricId::BlobWriteMB));
+        // Next window: the windowed volume is gone, the size gauge —
+        // current state, not a delta — is re-emitted.
+        let second = f.flush(t(4), 2.0);
+        assert!(!second.params.iter().any(|p| p.key.metric == MetricId::BlobWriteMB));
+        let sz = second
+            .params
+            .iter()
+            .find(|p| p.key.metric == MetricId::BlobSizeMB)
+            .expect("size gauge persists");
+        assert!((sz.value - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn blob_access_ignores_read_misses() {
+        let mut f = BlobAccessFilter::default();
+        f.ingest(
+            NodeId(1),
+            &ProbeEvent::ChunkRead {
+                provider: NodeId(1),
+                client: ClientId(9),
+                key: ChunkKey { blob: BlobId(1), version: VersionId(1), page: 0 },
+                bytes: 4_000_000,
+                hit: false,
+            },
+            t(0),
+        );
+        assert!(f.flush(t(1), 1.0).is_empty(), "misses moved no data");
+    }
+
+    #[test]
     fn default_stack_has_four_filters() {
         let names: Vec<&str> = default_filters().iter().map(|f| f.name()).collect();
         assert_eq!(names, vec!["load", "rate", "blob_access", "activity"]);

@@ -10,6 +10,7 @@ use std::collections::HashMap;
 use sads_blob::model::ClientId;
 use sads_blob::rpc::Msg;
 use sads_blob::services::{Env, Service};
+use sads_introspect::{into_alert, AlertMsg};
 use sads_monitor::{mon_msg, MonMsg};
 use sads_sim::{NodeId, SimDuration, SimTime};
 
@@ -165,6 +166,18 @@ impl Service for SecurityEngineService {
     }
 
     fn on_msg(&mut self, env: &mut dyn Env, from: NodeId, msg: Msg) {
+        // A burn-rate alert (read-rate spike, for the DoS detectors) cuts
+        // the scan latency: scan what we have now and poll immediately
+        // instead of waiting out the rest of the period.
+        let is_alert = matches!(&msg, Msg::Ext(p) if p.downcast_ref::<AlertMsg>().is_some());
+        if is_alert {
+            if let Some(AlertMsg::Fire { .. }) = into_alert(msg) {
+                env.incr("sec.alert_scans", 1);
+                self.scan_and_enforce(env);
+                self.poll(env);
+            }
+            return;
+        }
         if let Some(MonMsg::ActivityBatch { records, last_seq, .. }) =
             sads_monitor::into_mon(msg)
         {

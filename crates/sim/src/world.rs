@@ -14,6 +14,7 @@ use std::sync::Arc;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
+use sads_telemetry::Registry;
 use sads_trace::{SpanKind, SpanRecord, SpanSink, TraceCtx};
 
 use crate::message::Message;
@@ -129,6 +130,11 @@ pub struct World {
     /// transfer arithmetic, so the event schedule is identical with the
     /// sink present or absent (verified by [`World::event_digest`]).
     span_sink: Option<Arc<SpanSink>>,
+    /// Live metrics registry, when telemetry is enabled. Like tracing it
+    /// is purely observational — registry cells are plain atomics that
+    /// never schedule events or draw RNG — so the event schedule is
+    /// identical with the registry present or absent.
+    telemetry: Option<Arc<Registry>>,
     /// Running FNV-style fold over every dispatched event's
     /// `(time, seq, target, kind)`. Always on (a few integer ops per
     /// event); lets tests assert two runs executed byte-identical event
@@ -151,6 +157,7 @@ impl World {
             events_processed: 0,
             loss: None,
             span_sink: None,
+            telemetry: None,
             digest: 0xcbf2_9ce4_8422_2325,
         }
     }
@@ -188,6 +195,19 @@ impl World {
     /// The installed span sink, if tracing is enabled.
     pub fn span_sink(&self) -> Option<&Arc<SpanSink>> {
         self.span_sink.as_ref()
+    }
+
+    /// Install a live telemetry registry: actors observe it through
+    /// [`Ctx::telemetry`] and instrument themselves with counters, gauges
+    /// and histograms. Telemetry never perturbs the event schedule — see
+    /// [`World::event_digest`].
+    pub fn set_telemetry(&mut self, registry: Arc<Registry>) {
+        self.telemetry = Some(registry);
+    }
+
+    /// The installed telemetry registry, if any.
+    pub fn telemetry(&self) -> Option<&Arc<Registry>> {
+        self.telemetry.as_ref()
     }
 
     /// Add a node running `actor` with NIC config `cfg`. Its
@@ -444,6 +464,11 @@ impl Ctx<'_> {
     /// The world's span sink, if tracing is enabled.
     pub fn span_sink(&self) -> Option<Arc<SpanSink>> {
         self.world.span_sink.clone()
+    }
+
+    /// The world's live telemetry registry, if enabled.
+    pub fn telemetry(&self) -> Option<Arc<Registry>> {
+        self.world.telemetry.clone()
     }
 
     /// Record a `Net` span for a transfer of `msg` departing `start` and

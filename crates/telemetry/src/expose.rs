@@ -1,0 +1,247 @@
+//! Prometheus text exposition: rendering a [`Snapshot`] and a small parser
+//! used by the round-trip tests.
+
+use crate::registry::{Sample, SampleValue, Snapshot};
+
+/// Map a dotted internal metric name onto the Prometheus name charset
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`), prefixing `sads_`:
+/// `provider.cache_hits` → `sads_provider_cache_hits`.
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 5);
+    out.push_str("sads_");
+    for (i, ch) in name.chars().enumerate() {
+        if ch.is_ascii_alphanumeric() || ch == '_' || ch == ':' {
+            if i == 0 && ch.is_ascii_digit() {
+                out.push('_');
+            }
+            out.push(ch);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+fn fmt_value(v: f64) -> String {
+    if v.is_infinite() {
+        if v > 0.0 { "+Inf".into() } else { "-Inf".into() }
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn fmt_labels(labels: &[(String, String)], extra: Option<(&str, String)>) -> String {
+    if labels.is_empty() && extra.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{v}\""));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+/// Render a registry [`Snapshot`] in the Prometheus text exposition
+/// format: one `# TYPE` line per family, then one sample line per label
+/// set (histograms expand to `_bucket`/`_sum`/`_count` series).
+pub fn render_prometheus(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    let mut last_family = "";
+    for s in &snap.samples {
+        let pname = sanitize_metric_name(&s.name);
+        if s.name != last_family {
+            let kind = match &s.value {
+                SampleValue::Counter(_) => "counter",
+                SampleValue::Gauge(_) => "gauge",
+                SampleValue::Histogram(_) => "histogram",
+            };
+            out.push_str(&format!("# TYPE {pname} {kind}\n"));
+            last_family = &s.name;
+        }
+        render_sample(&mut out, &pname, s);
+    }
+    out
+}
+
+fn render_sample(out: &mut String, pname: &str, s: &Sample) {
+    match &s.value {
+        SampleValue::Counter(c) => {
+            out.push_str(&format!("{pname}{} {c}\n", fmt_labels(&s.labels, None)));
+        }
+        SampleValue::Gauge(g) => {
+            out.push_str(&format!("{pname}{} {}\n", fmt_labels(&s.labels, None), fmt_value(*g)));
+        }
+        SampleValue::Histogram(h) => {
+            for (bound, cum) in &h.buckets {
+                out.push_str(&format!(
+                    "{pname}_bucket{} {cum}\n",
+                    fmt_labels(&s.labels, Some(("le", fmt_value(*bound))))
+                ));
+            }
+            out.push_str(&format!("{pname}_sum{} {}\n", fmt_labels(&s.labels, None), h.sum));
+            out.push_str(&format!("{pname}_count{} {}\n", fmt_labels(&s.labels, None), h.count));
+        }
+    }
+}
+
+/// One parsed exposition line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedSample {
+    /// Prometheus-side metric name (already sanitized, may carry a
+    /// `_bucket`/`_sum`/`_count` suffix).
+    pub name: String,
+    /// Sorted label pairs.
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+/// Parse Prometheus text exposition back into samples. Comment (`# …`) and
+/// blank lines are skipped; malformed lines yield `Err` with the offending
+/// line. Exists so CI can prove `render_prometheus` emits the format it
+/// claims to.
+pub fn parse_prometheus(text: &str) -> Result<Vec<ParsedSample>, String> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        out.push(parse_line(line).ok_or_else(|| format!("malformed exposition line: {line}"))?);
+    }
+    Ok(out)
+}
+
+fn parse_line(line: &str) -> Option<ParsedSample> {
+    let (name_and_labels, value) = match line.find('{') {
+        Some(open) => {
+            let close = line.rfind('}')?;
+            let name = &line[..open];
+            let labels = parse_labels(&line[open + 1..close])?;
+            (
+                (name.to_string(), labels),
+                line[close + 1..].trim(),
+            )
+        }
+        None => {
+            let mut it = line.split_whitespace();
+            let name = it.next()?;
+            let value = it.next()?;
+            ((name.to_string(), Vec::new()), value)
+        }
+    };
+    let (name, mut labels) = name_and_labels;
+    if name.is_empty()
+        || !name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        || name.chars().next()?.is_ascii_digit()
+    {
+        return None;
+    }
+    let value = match value {
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        v => v.parse().ok()?,
+    };
+    labels.sort();
+    Some(ParsedSample { name, labels, value })
+}
+
+fn parse_labels(body: &str) -> Option<Vec<(String, String)>> {
+    let mut out = Vec::new();
+    let mut rest = body.trim();
+    while !rest.is_empty() {
+        let eq = rest.find('=')?;
+        let key = rest[..eq].trim().to_string();
+        let after = rest[eq + 1..].trim_start();
+        if !after.starts_with('"') {
+            return None;
+        }
+        // Walk to the closing unescaped quote.
+        let mut value = String::new();
+        let mut chars = after[1..].char_indices();
+        let mut end = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => match chars.next() {
+                    Some((_, escaped)) => value.push(escaped),
+                    None => return None,
+                },
+                '"' => {
+                    end = Some(i);
+                    break;
+                }
+                c => value.push(c),
+            }
+        }
+        let end = end?;
+        out.push((key, value));
+        rest = after[1 + end + 1..].trim_start();
+        if let Some(r) = rest.strip_prefix(',') {
+            rest = r.trim_start();
+        } else if !rest.is_empty() {
+            return None;
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn names_are_sanitized() {
+        assert_eq!(sanitize_metric_name("provider.cache_hits"), "sads_provider_cache_hits");
+        assert_eq!(sanitize_metric_name("client.err.no-provider"), "sads_client_err_no_provider");
+        assert_eq!(sanitize_metric_name("9lives"), "sads__9lives");
+    }
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let reg = Registry::new();
+        reg.inc("provider.cache_hits", &[("node", "4")], 7);
+        reg.set("pool.providers", &[], 12.5);
+        reg.observe("gateway.op_seconds", &[("op", "get")], 0.02);
+        reg.observe("gateway.op_seconds", &[("op", "get")], 3.0);
+
+        let text = reg.render();
+        let parsed = parse_prometheus(&text).expect("render emits parseable text");
+
+        let find = |name: &str, labels: &[(&str, &str)]| {
+            let mut want: Vec<(String, String)> =
+                labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
+            want.sort();
+            parsed
+                .iter()
+                .find(|p| p.name == name && p.labels == want)
+                .map(|p| p.value)
+        };
+
+        assert_eq!(find("sads_provider_cache_hits", &[("node", "4")]), Some(7.0));
+        assert_eq!(find("sads_pool_providers", &[]), Some(12.5));
+        assert_eq!(find("sads_gateway_op_seconds_count", &[("op", "get")]), Some(2.0));
+        let sum = find("sads_gateway_op_seconds_sum", &[("op", "get")]).unwrap();
+        assert!((sum - 3.02).abs() < 1e-12);
+        // The +Inf bucket holds every observation.
+        assert_eq!(find("sads_gateway_op_seconds_bucket", &[("le", "+Inf"), ("op", "get")]), Some(2.0));
+        // TYPE lines present for each family.
+        assert!(text.contains("# TYPE sads_provider_cache_hits counter"));
+        assert!(text.contains("# TYPE sads_gateway_op_seconds histogram"));
+    }
+
+    #[test]
+    fn parser_rejects_garbage_and_handles_escapes() {
+        assert!(parse_prometheus("not a metric line at all !!!").is_err());
+        let ok = parse_prometheus("m{k=\"a\\\"b\"} 1\n# comment\n\n").unwrap();
+        assert_eq!(ok[0].labels, vec![("k".to_string(), "a\"b".to_string())]);
+        assert!(parse_prometheus("3bad 1").is_err());
+    }
+}

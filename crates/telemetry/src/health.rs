@@ -1,0 +1,121 @@
+//! The node health model: Ok/Degraded/Down derived from heartbeat gauges.
+//!
+//! Every service's runtime-agnostic heartbeat writes the
+//! [`HEARTBEAT_GAUGE`] (`node.heartbeat_seconds`, label `node`) with the
+//! current time. Crashes stop heartbeats in both runtimes — the sim's
+//! incarnation epochs drop the timer, the threaded runtime's kill stops
+//! the thread — so staleness of that gauge is a uniform health signal.
+
+use crate::registry::Snapshot;
+
+/// Gauge every service heartbeat refreshes with the current time
+/// (seconds); labeled `node="<id>"`.
+pub const HEARTBEAT_GAUGE: &str = "node.heartbeat_seconds";
+
+/// Coarse node health.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HealthState {
+    /// Heartbeating on schedule.
+    Ok,
+    /// Heartbeat is late but not yet presumed dead.
+    Degraded,
+    /// Heartbeat silent past the down threshold (crashed or partitioned).
+    Down,
+}
+
+/// Staleness thresholds for deriving [`HealthState`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthPolicy {
+    /// Heartbeat older than this (seconds) ⇒ at least Degraded.
+    pub degraded_after_s: f64,
+    /// Heartbeat older than this (seconds) ⇒ Down.
+    pub down_after_s: f64,
+}
+
+impl HealthPolicy {
+    /// Thresholds scaled from the deployment's heartbeat interval: a node
+    /// is Degraded after missing ~2.5 beats and Down after missing ~5.
+    pub fn for_interval(heartbeat_every_s: f64) -> Self {
+        HealthPolicy {
+            degraded_after_s: heartbeat_every_s * 2.5,
+            down_after_s: heartbeat_every_s * 5.0,
+        }
+    }
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        Self::for_interval(1.0)
+    }
+}
+
+/// One node's derived health.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeHealth {
+    /// Node id (parsed from the heartbeat gauge's `node` label).
+    pub node: u64,
+    /// Derived state.
+    pub state: HealthState,
+    /// When this node last heartbeat (seconds).
+    pub last_heartbeat_s: f64,
+}
+
+/// Derive per-node health from the heartbeat gauges in `snap`, sorted by
+/// node id. Nodes that have never heartbeat are invisible here — callers
+/// that know the expected membership should treat absence as Down.
+pub fn derive_health(snap: &Snapshot, now_s: f64, policy: &HealthPolicy) -> Vec<NodeHealth> {
+    let mut out: Vec<NodeHealth> = snap
+        .family(HEARTBEAT_GAUGE)
+        .filter_map(|s| {
+            let node = s
+                .labels
+                .iter()
+                .find(|(k, _)| k == "node")
+                .and_then(|(_, v)| v.parse::<u64>().ok())?;
+            let last = match &s.value {
+                crate::registry::SampleValue::Gauge(g) => *g,
+                _ => return None,
+            };
+            let age = now_s - last;
+            let state = if age <= policy.degraded_after_s {
+                HealthState::Ok
+            } else if age <= policy.down_after_s {
+                HealthState::Degraded
+            } else {
+                HealthState::Down
+            };
+            Some(NodeHealth { node, state, last_heartbeat_s: last })
+        })
+        .collect();
+    out.sort_by_key(|h| h.node);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn health_tracks_heartbeat_staleness() {
+        let reg = Registry::new();
+        reg.set(HEARTBEAT_GAUGE, &[("node", "1")], 99.0); // fresh
+        reg.set(HEARTBEAT_GAUGE, &[("node", "2")], 96.0); // late
+        reg.set(HEARTBEAT_GAUGE, &[("node", "3")], 10.0); // long gone
+        let policy = HealthPolicy::for_interval(1.0);
+        let hs = derive_health(&reg.snapshot(), 100.0, &policy);
+        assert_eq!(hs.len(), 3);
+        assert_eq!(hs[0].state, HealthState::Ok);
+        assert_eq!(hs[1].state, HealthState::Degraded);
+        assert_eq!(hs[2].state, HealthState::Down);
+        assert_eq!(hs[2].node, 3);
+    }
+
+    #[test]
+    fn unlabeled_or_non_gauge_samples_are_skipped() {
+        let reg = Registry::new();
+        reg.set(HEARTBEAT_GAUGE, &[], 1.0);
+        reg.set(HEARTBEAT_GAUGE, &[("node", "nope")], 1.0);
+        assert!(derive_health(&reg.snapshot(), 2.0, &HealthPolicy::default()).is_empty());
+    }
+}

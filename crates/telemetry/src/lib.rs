@@ -1,0 +1,92 @@
+//! # sads-telemetry — the live telemetry plane
+//!
+//! Post-hoc observability ([`MetricSink`](../sads_sim/struct.MetricSink.html)
+//! CSVs, `sads-trace` spans) only becomes readable after a run ends. This
+//! crate is the *live* counterpart, the substrate the paper's
+//! self-adaptation loop evaluates its policies against:
+//!
+//! * [`Registry`] — a lock-cheap map of `(name, labels)` → counter / gauge /
+//!   histogram cells. Interning takes a short mutex hold; the hot path
+//!   through a [`Counter`], [`Gauge`] or [`Histogram`] handle is a single
+//!   atomic op, safe to call from every actor in both runtimes.
+//! * [`Snapshot`] — a structured point-in-time copy of the registry that the
+//!   introspection layer ingests into its time-series machinery and the SLO
+//!   alert engine evaluates burn-rate rules over.
+//! * [`render_prometheus`] / [`parse_prometheus`] — Prometheus text
+//!   exposition (served by the object gateway's `get_metrics()`), plus a
+//!   small parser so tests can round-trip the format.
+//! * [`HealthState`] and [`derive_health`] — per-node Ok/Degraded/Down
+//!   derived from heartbeat gauges, the shared health model of the sim and
+//!   threaded runtimes.
+//! * [`export_span_stats`] — mirrors `SpanSink`'s dropped-span counter and
+//!   per-`(service, op)` latency totals into the registry so trace loss is
+//!   visible at runtime instead of silent.
+//!
+//! Registry operations never touch an event queue, a clock, or an RNG, so
+//! enabling telemetry cannot perturb a deterministic simulation schedule —
+//! the `telemetry` integration test pins that with `World::event_digest()`.
+
+#![warn(missing_docs)]
+
+mod expose;
+mod health;
+mod registry;
+
+pub use expose::{parse_prometheus, render_prometheus, sanitize_metric_name, ParsedSample};
+pub use health::{derive_health, HealthPolicy, HealthState, NodeHealth, HEARTBEAT_GAUGE};
+pub use registry::{
+    Counter, Gauge, Histogram, HistogramSnapshot, Registry, Sample, SampleValue, Snapshot,
+};
+
+use sads_trace::SpanSink;
+
+/// Mirror a [`SpanSink`]'s loss counter and per-`(service, op)` histogram
+/// totals into `reg` as gauges (`trace.dropped_spans`,
+/// `trace.retained_spans`, `trace.span_count`, `trace.span_mean_ns`,
+/// `trace.span_p99_ns`). Values are absolute snapshots, so repeated calls
+/// simply refresh them.
+pub fn export_span_stats(reg: &Registry, sink: &SpanSink) {
+    reg.set("trace.dropped_spans", &[], sink.dropped() as f64);
+    reg.set("trace.retained_spans", &[], sink.len() as f64);
+    for ((service, op), h) in sink.histograms() {
+        let labels = [("service", service), ("op", op)];
+        reg.set("trace.span_count", &labels, h.count as f64);
+        reg.set("trace.span_mean_ns", &labels, h.mean_ns);
+        reg.set("trace.span_p99_ns", &labels, h.p99 as f64);
+    }
+}
+
+#[cfg(test)]
+mod span_export_tests {
+    use super::*;
+    use sads_trace::{SpanClass, SpanKind, SpanRecord};
+
+    #[test]
+    fn span_stats_surface_as_gauges() {
+        let sink = SpanSink::with_capacity(1);
+        for d in [10_000u64, 20_000] {
+            sink.record(SpanRecord {
+                trace: 1,
+                span: sink.next_id(),
+                parent: 0,
+                service: "client",
+                op: "write",
+                node: 1,
+                start_ns: 0,
+                end_ns: d,
+                kind: SpanKind::Op,
+                class: SpanClass::Control,
+                queue_ns: 0,
+                xfer_ns: 0,
+                wire_ns: 0,
+            });
+        }
+        let reg = Registry::new();
+        export_span_stats(&reg, &sink);
+        let snap = reg.snapshot();
+        assert_eq!(snap.gauge("trace.dropped_spans", &[]), Some(1.0));
+        let labels = [("op", "write"), ("service", "client")];
+        assert_eq!(snap.gauge("trace.span_count", &labels), Some(2.0));
+        assert!(snap.gauge("trace.span_mean_ns", &labels).unwrap() > 0.0);
+    }
+}

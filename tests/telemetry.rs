@@ -1,0 +1,149 @@
+//! Telemetry-plane guarantees the rest of the repo relies on:
+//!
+//! * **Zero interference**: the deployment's event schedule is
+//!   byte-identical whether telemetry is off or on — registry cells are a
+//!   pure side channel, like spans.
+//! * **Repeatability with alerting**: the SLO alert engine is an ordinary
+//!   sim node, so same seed ⇒ same schedule, alerts included.
+//! * **Coverage**: a live deployment's registry spans the whole system —
+//!   providers, metadata, version manager, pool, per-node heartbeats.
+//! * **Health**: a crashed provider's heartbeat gauge goes stale and the
+//!   health model flags it Down while its peers stay Ok.
+
+use sads::blob::model::{BlobSpec, ClientId};
+use sads::blob::runtime::sim::{BlobRef, ScriptStep};
+use sads::blob::WriteKind;
+use sads::{default_alert_rules, Deployment, DeploymentConfig};
+use sads_sim::{HealthPolicy, HealthState, SimDuration, HEARTBEAT_GAUGE};
+
+const MB: u64 = 1_000_000;
+
+fn write_read_script() -> Vec<ScriptStep> {
+    let spec = BlobSpec { page_size: 4 * MB, replication: 1 };
+    vec![
+        ScriptStep::Create(spec),
+        ScriptStep::Write { blob: BlobRef::Created(0), kind: WriteKind::Append, bytes: 16 * MB },
+        ScriptStep::Read { blob: BlobRef::Created(0), version: None, offset: 0, len: 8 * MB },
+    ]
+}
+
+/// One small write/read workload; returns the finished deployment.
+fn run(telemetry: bool) -> Deployment {
+    let cfg = DeploymentConfig {
+        seed: 42,
+        data_providers: 4,
+        meta_providers: 2,
+        telemetry,
+        ..DeploymentConfig::default()
+    };
+    let mut d = Deployment::build(cfg);
+    d.add_client(ClientId(1), write_read_script(), "client");
+    d.world.run_for(SimDuration::from_secs(60), 10_000_000);
+    assert_eq!(d.world.metrics().counter("client.ops_err"), 0, "workload must succeed");
+    d
+}
+
+#[test]
+fn telemetry_toggle_never_changes_the_event_schedule() {
+    let off_a = run(false);
+    let off_b = run(false);
+    let on = run(true);
+    assert_eq!(
+        off_a.world.event_digest(),
+        off_b.world.event_digest(),
+        "same seed, same schedule"
+    );
+    assert_eq!(
+        off_a.world.event_digest(),
+        on.world.event_digest(),
+        "telemetry must be observational only"
+    );
+    assert_eq!(off_a.world.now(), on.world.now());
+    assert!(off_a.telemetry().is_none(), "telemetry off constructs no registry");
+}
+
+#[test]
+fn alerting_deployment_is_repeatable() {
+    let build = || {
+        let cfg = DeploymentConfig {
+            seed: 7,
+            data_providers: 4,
+            meta_providers: 2,
+            alerts: Some(default_alert_rules()),
+            ..DeploymentConfig::default()
+        };
+        let mut d = Deployment::build(cfg);
+        d.add_client(ClientId(1), write_read_script(), "client");
+        d.world.run_for(SimDuration::from_secs(60), 10_000_000);
+        d
+    };
+    let a = build();
+    let b = build();
+    assert_eq!(a.world.event_digest(), b.world.event_digest(), "alerting runs are repeatable");
+    assert!(a.alert_engine().is_some(), "alert engine deployed");
+    assert_eq!(
+        a.alert_engine().unwrap().history(),
+        b.alert_engine().unwrap().history(),
+        "identical fired-alert history"
+    );
+}
+
+#[test]
+fn registry_covers_a_live_deployment() {
+    let d = run(true);
+    let reg = d.telemetry().expect("telemetry on installs a registry");
+    let snap = reg.snapshot();
+
+    // Broad coverage: many families, from several services.
+    let families = snap.families();
+    assert!(
+        families.len() >= 10,
+        "expected ≥10 metric families, got {}: {families:?}",
+        families.len()
+    );
+    let mut services: Vec<&str> = families.iter().map(|f| f.split('.').next().unwrap()).collect();
+    services.sort();
+    services.dedup();
+    assert!(services.len() >= 4, "expected ≥4 services, got {services:?}");
+
+    // Spot checks across layers.
+    assert!(snap.counter_total("provider.reads").unwrap_or(0) > 0, "providers served reads");
+    assert!(snap.counter_total("vman.tickets").unwrap_or(0) > 0, "writes took tickets");
+    assert!(snap.counter_total("vman.published").unwrap_or(0) > 0, "versions published");
+    assert!(snap.gauge("pool.data_providers", &[]).unwrap_or(0.0) >= 4.0, "pool gauge live");
+    // Every data provider heartbeats with its node label.
+    for n in &d.data {
+        let label = n.0.to_string();
+        let hb = snap.gauge(HEARTBEAT_GAUGE, &[("node", label.as_str())]);
+        assert!(hb.is_some(), "provider {n:?} heartbeats into the registry");
+    }
+}
+
+#[test]
+fn health_flags_a_crashed_provider() {
+    let cfg = DeploymentConfig {
+        seed: 42,
+        data_providers: 4,
+        meta_providers: 2,
+        telemetry: true,
+        ..DeploymentConfig::default()
+    };
+    let mut d = Deployment::build(cfg);
+    d.add_client(ClientId(1), write_read_script(), "client");
+    d.world.run_for(SimDuration::from_secs(30), 10_000_000);
+
+    let victim = d.data[0];
+    d.crash(victim);
+    d.world.run_for(SimDuration::from_secs(30), 10_000_000);
+
+    let health = d.health(HealthPolicy::for_interval(1.0));
+    assert!(!health.is_empty());
+    let v = health
+        .iter()
+        .find(|h| h.node == victim.0 as u64)
+        .expect("victim heartbeat seen before the crash");
+    assert_eq!(v.state, HealthState::Down, "crashed provider goes Down");
+    let survivor = d.data[1];
+    let s = health.iter().find(|h| h.node == survivor.0 as u64).expect("survivor present");
+    assert_eq!(s.state, HealthState::Ok, "surviving provider stays Ok");
+}
