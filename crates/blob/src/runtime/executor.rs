@@ -1,0 +1,737 @@
+//! Sharded work-stealing service executor.
+//!
+//! The threaded runtime used to give every actor its own OS thread; past a
+//! few dozen clients the deployment became a few hundred threads fighting
+//! over the scheduler and throughput collapsed (see BENCH_perf.json history:
+//! 49 GB/s at 4 clients down to 13.5 GB/s at 64). This module replaces that
+//! with a **bounded pool of event-loop workers**:
+//!
+//! * every node — service or client core — is a [`Cell`]: a multiplexed
+//!   state machine with its own mailbox, timer heap and RNG,
+//! * cells are owned by `N ≈ cores` **shards**, each with a run queue and
+//!   one worker thread,
+//! * a sender marks the target cell *scheduled* (one atomic CAS) and pushes
+//!   it onto its home shard's run queue; idle workers **steal** ready cells
+//!   from the back of other shards' queues,
+//! * a worker drains a cell's mailbox in **batches** (up to
+//!   [`DRAIN_BATCH`] envelopes per mailbox lock, at most [`MAX_PER_RUN`]
+//!   per scheduling turn) so one hot service cannot starve its shard — the
+//!   cell is simply re-queued at the back and the worker moves on.
+//!
+//! Lifecycle guarantees the rest of the repo relies on:
+//!
+//! * **Panic isolation** — a handler panic poisons only its own cell: the
+//!   cell is marked dead, its mailbox dropped, its routing slot cleared and
+//!   `runtime.service_panics` incremented; the worker (and every other cell
+//!   on the shard) keeps running.
+//! * **Observability survives multiplexing** — envelopes still carry
+//!   `sent_ns`, so `Net` spans keep attributing mailbox wait as `queue_ns`,
+//!   and [`Env::queue_depth_seconds`] reports the age of the oldest queued
+//!   envelope of *this* cell (not of the whole shard).
+
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex, Weak};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::Sender;
+use parking_lot::{Mutex, RwLock};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sads_sim::{
+    MetricSink, NodeId, Registry as TelemetryRegistry, SimDuration, SimTime, SpanKind,
+    SpanRecord, SpanSink, TraceCtx,
+};
+
+use crate::client::{ClientConfig, ClientCore, ClientOp, Completion};
+use crate::model::ClientId;
+use crate::rpc::Msg;
+use crate::services::{Env, Service};
+
+/// Envelopes drained per mailbox lock acquisition.
+const DRAIN_BATCH: usize = 64;
+/// Envelopes handled per scheduling turn before the cell yields its worker.
+const MAX_PER_RUN: usize = 256;
+/// Idle park cap so workers notice `running == false` and freshly
+/// registered cross-shard work even without a notification.
+const PARK_CAP: Duration = Duration::from_millis(100);
+
+/// What travels between cells.
+pub(crate) enum Envelope {
+    Msg {
+        from: NodeId,
+        msg: Msg,
+        /// Causal context of the sender's operation, if tracing is on.
+        trace: Option<TraceCtx>,
+        /// Wall-clock send time (ns since cluster start), so the receiver
+        /// can attribute mailbox queueing delay to the trace.
+        sent_ns: u64,
+    },
+    Op {
+        op: ClientOp,
+        reply: Sender<Completion>,
+        /// Ambient context the operation should nest under (e.g. the S3
+        /// gateway's per-request span), if tracing is on.
+        trace: Option<TraceCtx>,
+    },
+}
+
+/// What a cell multiplexes: a service, or a client core with its
+/// outstanding-op reply routes.
+pub(crate) enum NodeKind {
+    Service(Box<dyn Service>),
+    Client {
+        core: Box<ClientCore>,
+        pending: HashMap<u64, Sender<Completion>>,
+        next_tag: u64,
+    },
+}
+
+impl NodeKind {
+    pub(crate) fn client(
+        client_id: ClientId,
+        vman: NodeId,
+        pman: NodeId,
+        meta: Vec<NodeId>,
+        cfg: ClientConfig,
+    ) -> Self {
+        NodeKind::Client {
+            core: Box::new(ClientCore::new(client_id, vman, pman, meta, cfg)),
+            pending: HashMap::new(),
+            next_tag: 1,
+        }
+    }
+}
+
+/// Per-cell mutable state, touched only by the worker currently running
+/// the cell (guarded by the `scheduled` flag plus this mutex).
+struct NodeState {
+    kind: NodeKind,
+    timers: BinaryHeap<std::cmp::Reverse<(u64, u64)>>,
+    rng: SmallRng,
+    started: bool,
+}
+
+/// One multiplexed node: mailbox + state machine + scheduling flag.
+pub(crate) struct Cell {
+    id: NodeId,
+    /// True while the cell sits in a run queue or is being run. The
+    /// transition false→true is the only way into a run queue, so a cell
+    /// is never queued twice.
+    scheduled: AtomicBool,
+    /// Dead cells (killed or panicked) drop their mail and never run again.
+    dead: AtomicBool,
+    /// Earliest deadline currently registered in a shard timer heap
+    /// (`u64::MAX` = none): hot cells run thousands of turns between timer
+    /// fires, and without this watermark each turn would push a duplicate
+    /// heap entry.
+    timer_registered: std::sync::atomic::AtomicU64,
+    /// Shard the cell last ran on; senders enqueue it there (locality),
+    /// thieves migrate it.
+    home: AtomicUsize,
+    mailbox: Mutex<VecDeque<Envelope>>,
+    node: Mutex<NodeState>,
+}
+
+/// Timer registration on a shard: wake at `deadline` and reschedule the
+/// cell (stale entries — cell already ran, or died — are skipped).
+struct ShardTimer {
+    deadline: u64,
+    seq: u64,
+    cell: Weak<Cell>,
+}
+
+impl PartialEq for ShardTimer {
+    fn eq(&self, other: &Self) -> bool {
+        (self.deadline, self.seq) == (other.deadline, other.seq)
+    }
+}
+impl Eq for ShardTimer {}
+impl PartialOrd for ShardTimer {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for ShardTimer {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deadline, self.seq).cmp(&(other.deadline, other.seq))
+    }
+}
+
+/// One executor shard: a run queue, its worker's parking lot, and the
+/// timers registered by cells that last ran here.
+struct Shard {
+    runq: StdMutex<VecDeque<Arc<Cell>>>,
+    cv: Condvar,
+    timers: Mutex<BinaryHeap<std::cmp::Reverse<ShardTimer>>>,
+    timer_seq: AtomicUsize,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            runq: StdMutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            timers: Mutex::new(BinaryHeap::new()),
+            timer_seq: AtomicUsize::new(0),
+        }
+    }
+}
+
+/// State shared by workers, senders and the cluster handle.
+pub(crate) struct ExecShared {
+    /// Grow-only routing table: `NodeId` → live cell.
+    slots: RwLock<Vec<Option<Arc<Cell>>>>,
+    shards: Vec<Shard>,
+    running: AtomicBool,
+    start: Instant,
+    metrics: Arc<Mutex<MetricSink>>,
+    telem: Arc<TelemetryRegistry>,
+    sink: Option<Arc<SpanSink>>,
+}
+
+impl ExecShared {
+    fn now_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+
+    /// Route an envelope; returns `false` if the slot is dead or unknown.
+    pub(crate) fn send_to(&self, to: NodeId, env: Envelope) -> bool {
+        let cell = {
+            let slots = self.slots.read();
+            match slots.get(to.index()) {
+                Some(Some(c)) => Arc::clone(c),
+                _ => return false,
+            }
+        };
+        cell.mailbox.lock().push_back(env);
+        self.schedule(&cell);
+        true
+    }
+
+    /// Mark `cell` runnable and hand it to its home shard. No-op if it is
+    /// already queued or running (the final mailbox re-check in
+    /// [`Executor::run_cell`] covers that race).
+    fn schedule(&self, cell: &Arc<Cell>) {
+        if cell.dead.load(Ordering::Acquire) {
+            return;
+        }
+        if cell.scheduled.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        let shard = &self.shards[cell.home.load(Ordering::Relaxed) % self.shards.len()];
+        shard.runq.lock().expect("runq").push_back(Arc::clone(cell));
+        shard.cv.notify_one();
+    }
+
+    /// Stop routing to `node`, drop its queued mail, and make sure it
+    /// never runs again. Its `NodeId` slot can later be re-occupied by
+    /// [`Executor::reinstall`].
+    pub(crate) fn kill(&self, node: NodeId) {
+        let cell = {
+            let mut slots = self.slots.write();
+            match slots.get_mut(node.index()) {
+                Some(slot) => slot.take(),
+                None => None,
+            }
+        };
+        if let Some(cell) = cell {
+            cell.dead.store(true, Ordering::Release);
+            cell.mailbox.lock().clear();
+        }
+    }
+}
+
+/// The executor: shared state plus the worker pool.
+pub(crate) struct Executor {
+    shared: Arc<ExecShared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Executor {
+    /// Spawn `shards` workers (0 = one per available core).
+    pub(crate) fn start(
+        shards: usize,
+        start: Instant,
+        metrics: Arc<Mutex<MetricSink>>,
+        telem: Arc<TelemetryRegistry>,
+        sink: Option<Arc<SpanSink>>,
+    ) -> Executor {
+        let n = if shards == 0 {
+            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).clamp(1, 16)
+        } else {
+            shards.min(64)
+        };
+        let shared = Arc::new(ExecShared {
+            slots: RwLock::new(Vec::new()),
+            shards: (0..n).map(|_| Shard::new()).collect(),
+            running: AtomicBool::new(true),
+            start,
+            metrics,
+            telem,
+            sink,
+        });
+        let workers = (0..n)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("sads-exec-{w}"))
+                    .spawn(move || worker_loop(&shared, w))
+                    .expect("spawn executor worker")
+            })
+            .collect();
+        Executor { shared, workers }
+    }
+
+    pub(crate) fn shared(&self) -> &Arc<ExecShared> {
+        &self.shared
+    }
+
+    pub(crate) fn shard_count(&self) -> usize {
+        self.shared.shards.len()
+    }
+
+    /// Register a new node and schedule its `on_start`.
+    pub(crate) fn add_node(&self, kind: NodeKind, seed: u64) -> NodeId {
+        let id = {
+            let mut slots = self.shared.slots.write();
+            slots.push(None);
+            NodeId(slots.len() as u32 - 1)
+        };
+        let cell = self.new_cell(id, kind, seed);
+        self.shared.slots.write()[id.index()] = Some(Arc::clone(&cell));
+        self.shared.schedule(&cell);
+        id
+    }
+
+    /// Re-occupy a previously killed slot with a fresh node at the
+    /// **same** [`NodeId`]. Fails if the slot is live or never existed.
+    pub(crate) fn reinstall(&self, node: NodeId, kind: NodeKind, seed: u64) -> bool {
+        let cell = self.new_cell(node, kind, seed);
+        {
+            let mut slots = self.shared.slots.write();
+            match slots.get_mut(node.index()) {
+                Some(slot @ None) => *slot = Some(Arc::clone(&cell)),
+                _ => return false,
+            }
+        }
+        self.shared.schedule(&cell);
+        true
+    }
+
+    fn new_cell(&self, id: NodeId, kind: NodeKind, seed: u64) -> Arc<Cell> {
+        Arc::new(Cell {
+            id,
+            scheduled: AtomicBool::new(false),
+            dead: AtomicBool::new(false),
+            timer_registered: std::sync::atomic::AtomicU64::new(u64::MAX),
+            home: AtomicUsize::new(id.index() % self.shared.shards.len()),
+            mailbox: Mutex::new(VecDeque::new()),
+            node: Mutex::new(NodeState {
+                kind,
+                timers: BinaryHeap::new(),
+                rng: SmallRng::seed_from_u64(seed),
+                started: false,
+            }),
+        })
+    }
+
+    /// Stop the workers and join them. Queued envelopes are dropped —
+    /// blocked [`ClientHandle`](super::threaded::ClientHandle) callers see
+    /// their reply channel disconnect.
+    pub(crate) fn shutdown(&mut self) {
+        self.shared.running.store(false, Ordering::Release);
+        for shard in &self.shared.shards {
+            let _g = shard.runq.lock().expect("runq");
+            shard.cv.notify_all();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        // Unroute every cell and drop its mailbox: queued `Op` envelopes
+        // hold the caller's reply `Sender`, so dropping them here is what
+        // turns a blocked `run()` into an immediate disconnect instead of
+        // a full op-timeout wait. Run queues pin cells with strong `Arc`s
+        // (a scheduled-but-never-run cell would otherwise outlive the
+        // routing table), so both must be cleared. Must happen only after
+        // the join above — workers may still be mid-turn until then.
+        self.shared.slots.write().clear();
+        for shard in &self.shared.shards {
+            shard.runq.lock().expect("runq").clear();
+        }
+    }
+}
+
+impl Drop for Executor {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The [`Env`] a multiplexed node sees during one callback.
+struct ExecEnv<'a> {
+    id: NodeId,
+    shared: &'a ExecShared,
+    timers: &'a mut BinaryHeap<std::cmp::Reverse<(u64, u64)>>,
+    rng: &'a mut SmallRng,
+    /// This cell's own mailbox, for per-node backlog depth.
+    mailbox: &'a Mutex<VecDeque<Envelope>>,
+    /// Causal context of the callback being handled; outgoing messages
+    /// carry it so replies land in the same trace.
+    current: Option<TraceCtx>,
+}
+
+impl Env for ExecEnv<'_> {
+    fn id(&self) -> NodeId {
+        self.id
+    }
+    fn now(&self) -> SimTime {
+        SimTime(self.shared.now_ns())
+    }
+    fn send(&mut self, to: NodeId, msg: Msg) {
+        let sent_ns = self.shared.now_ns();
+        self.shared.send_to(
+            to,
+            Envelope::Msg { from: self.id, msg, trace: self.current, sent_ns },
+        );
+    }
+    fn set_timer(&mut self, delay: SimDuration, token: u64) {
+        let deadline = self.shared.now_ns() + delay.as_nanos();
+        self.timers.push(std::cmp::Reverse((deadline, token)));
+    }
+    fn rng(&mut self) -> &mut SmallRng {
+        self.rng
+    }
+    fn record(&mut self, name: &str, value: f64) {
+        let now = self.now();
+        self.shared.metrics.lock().record(name, now, value);
+        // Mirror into the live registry as a node-labeled gauge, so the
+        // existing call sites feed the telemetry plane with no churn.
+        self.shared.telem.set(name, &[("node", self.id.0.to_string().as_str())], value);
+    }
+    fn incr(&mut self, name: &str, delta: u64) {
+        self.shared.metrics.lock().incr(name, delta);
+        self.shared.telem.inc(name, &[("node", self.id.0.to_string().as_str())], delta);
+    }
+    fn span_sink(&self) -> Option<Arc<SpanSink>> {
+        self.shared.sink.clone()
+    }
+    fn telemetry(&self) -> Option<Arc<TelemetryRegistry>> {
+        Some(Arc::clone(&self.shared.telem))
+    }
+    fn trace_ctx(&self) -> Option<TraceCtx> {
+        self.current
+    }
+    fn set_trace_ctx(&mut self, trace: Option<TraceCtx>) {
+        self.current = trace;
+    }
+    fn queue_depth_seconds(&self) -> f64 {
+        // Age of the oldest envelope still queued for *this* cell: the
+        // multiplexed equivalent of "how far behind is my inbox".
+        let mb = self.mailbox.lock();
+        match mb.front() {
+            Some(Envelope::Msg { sent_ns, .. }) => {
+                self.shared.now_ns().saturating_sub(*sent_ns) as f64 / 1e9
+            }
+            _ => 0.0,
+        }
+    }
+}
+
+/// Record the mailbox-queueing delay of a traced envelope as a `Net`
+/// span: in the threaded runtime there is no modeled wire, so the whole
+/// delivery delay is queueing (send → drain on the target cell).
+fn record_net_span(
+    sink: &SpanSink,
+    tc: TraceCtx,
+    msg: &Msg,
+    node: NodeId,
+    sent_ns: u64,
+    recv_ns: u64,
+) {
+    sink.record(SpanRecord {
+        trace: tc.trace_id,
+        span: sink.next_id(),
+        parent: tc.span_id,
+        service: "net",
+        op: sads_sim::Message::op_name(msg),
+        node: node.0 as u64,
+        start_ns: sent_ns,
+        end_ns: recv_ns,
+        kind: SpanKind::Net,
+        class: sads_sim::Message::span_class(msg),
+        queue_ns: recv_ns.saturating_sub(sent_ns),
+        xfer_ns: 0,
+        wire_ns: 0,
+    });
+}
+
+fn worker_loop(shared: &ExecShared, w: usize) {
+    while shared.running.load(Ordering::Acquire) {
+        // Wake cells whose registered timers are due.
+        let now = shared.now_ns();
+        loop {
+            let due = {
+                let mut th = shared.shards[w].timers.lock();
+                match th.peek() {
+                    Some(std::cmp::Reverse(t)) if t.deadline <= now => th.pop(),
+                    _ => None,
+                }
+            };
+            match due {
+                Some(std::cmp::Reverse(t)) => {
+                    if let Some(cell) = t.cell.upgrade() {
+                        cell.timer_registered.store(u64::MAX, Ordering::Release);
+                        shared.schedule(&cell);
+                    }
+                }
+                None => break,
+            }
+        }
+
+        // Own queue first, then steal from the back of a busier shard.
+        let next = pop_front(&shared.shards[w]).or_else(|| steal(shared, w));
+        if let Some(cell) = next {
+            run_cell(shared, w, &cell);
+            continue;
+        }
+
+        // Park until the next registered timer, a notification, or the cap.
+        let wait = {
+            let th = shared.shards[w].timers.lock();
+            th.peek()
+                .map(|std::cmp::Reverse(t)| {
+                    Duration::from_nanos(t.deadline.saturating_sub(now))
+                })
+                .unwrap_or(PARK_CAP)
+                .min(PARK_CAP)
+        };
+        let g = shared.shards[w].runq.lock().expect("runq");
+        if g.is_empty() && shared.running.load(Ordering::Acquire) {
+            let _ = shared.shards[w].cv.wait_timeout(g, wait);
+        }
+    }
+}
+
+fn pop_front(shard: &Shard) -> Option<Arc<Cell>> {
+    shard.runq.lock().expect("runq").pop_front()
+}
+
+fn steal(shared: &ExecShared, w: usize) -> Option<Arc<Cell>> {
+    let n = shared.shards.len();
+    for i in 1..n {
+        let victim = &shared.shards[(w + i) % n];
+        if let Some(cell) = victim.runq.lock().expect("runq").pop_back() {
+            return Some(cell);
+        }
+    }
+    None
+}
+
+/// Run one scheduling turn of `cell` on worker `w`: lazy `on_start`, due
+/// timers, then batched mailbox drain up to the fairness cap.
+fn run_cell(shared: &ExecShared, w: usize, cell: &Arc<Cell>) {
+    cell.home.store(w, Ordering::Relaxed);
+    if cell.dead.load(Ordering::Acquire) {
+        cell.scheduled.store(false, Ordering::Release);
+        return;
+    }
+
+    let mut node = cell.node.lock();
+    let panicked = catch_unwind(AssertUnwindSafe(|| drive(shared, cell, &mut node))).is_err();
+    let next_deadline = node.timers.peek().map(|std::cmp::Reverse((d, _))| *d);
+    drop(node);
+
+    if panicked {
+        // Poison only this cell: unroute it, drop its mail, count it. The
+        // worker and every other cell on the shard keep going.
+        shared.kill(cell.id);
+        shared.metrics.lock().incr("runtime.service_panics", 1);
+        shared.telem.inc(
+            "runtime.service_panics",
+            &[("node", cell.id.0.to_string().as_str())],
+            1,
+        );
+        cell.scheduled.store(false, Ordering::Release);
+        return;
+    }
+
+    if let Some(deadline) = next_deadline {
+        if deadline < cell.timer_registered.load(Ordering::Acquire) {
+            cell.timer_registered.store(deadline, Ordering::Release);
+            let shard = &shared.shards[w];
+            let seq = shard.timer_seq.fetch_add(1, Ordering::Relaxed) as u64;
+            shard.timers.lock().push(std::cmp::Reverse(ShardTimer {
+                deadline,
+                seq,
+                cell: Arc::downgrade(cell),
+            }));
+        }
+    }
+
+    cell.scheduled.store(false, Ordering::SeqCst);
+    // Re-check after clearing the flag: a sender that pushed while we were
+    // draining (and saw `scheduled == true`) relies on this to not lose
+    // its wakeup.
+    if !cell.mailbox.lock().is_empty() {
+        shared.schedule(cell);
+    }
+}
+
+fn drive(shared: &ExecShared, cell: &Arc<Cell>, node: &mut NodeState) {
+    let NodeState { kind, timers, rng, started } = node;
+    if !*started {
+        *started = true;
+        if let NodeKind::Service(service) = kind {
+            let mut env = ExecEnv {
+                id: cell.id,
+                shared,
+                timers,
+                rng,
+                mailbox: &cell.mailbox,
+                current: None,
+            };
+            service.on_start(&mut env);
+        }
+    }
+
+    fire_due_timers(shared, cell, kind, timers, rng);
+
+    let mut handled = 0usize;
+    loop {
+        let batch: Vec<Envelope> = {
+            let mut mb = cell.mailbox.lock();
+            let n = mb.len().min(DRAIN_BATCH);
+            mb.drain(..n).collect()
+        };
+        if batch.is_empty() {
+            break;
+        }
+        handled += batch.len();
+        for env in batch {
+            handle_envelope(shared, cell, kind, timers, rng, env);
+        }
+        // Time advanced while handling; fire anything that came due.
+        fire_due_timers(shared, cell, kind, timers, rng);
+        if handled >= MAX_PER_RUN {
+            break; // Yield the worker; run_cell re-queues us at the back.
+        }
+    }
+}
+
+fn fire_due_timers(
+    shared: &ExecShared,
+    cell: &Arc<Cell>,
+    kind: &mut NodeKind,
+    timers: &mut BinaryHeap<std::cmp::Reverse<(u64, u64)>>,
+    rng: &mut SmallRng,
+) {
+    loop {
+        let now = shared.now_ns();
+        let token = match timers.peek() {
+            Some(std::cmp::Reverse((deadline, token))) if *deadline <= now => *token,
+            _ => break,
+        };
+        timers.pop();
+        let mut env = ExecEnv {
+            id: cell.id,
+            shared,
+            timers,
+            rng,
+            mailbox: &cell.mailbox,
+            current: None,
+        };
+        match kind {
+            NodeKind::Service(service) => service.on_timer(&mut env, token),
+            NodeKind::Client { core, pending, .. } => {
+                if ClientCore::owns_timer(token) {
+                    let completions = core.handle_timer(&mut env, token);
+                    deliver(pending, completions);
+                }
+            }
+        }
+    }
+}
+
+fn deliver(pending: &mut HashMap<u64, Sender<Completion>>, completions: Vec<Completion>) {
+    for c in completions {
+        if let Some(tx) = pending.remove(&c.tag) {
+            let _ = tx.send(c);
+        }
+    }
+}
+
+fn handle_envelope(
+    shared: &ExecShared,
+    cell: &Arc<Cell>,
+    kind: &mut NodeKind,
+    timers: &mut BinaryHeap<std::cmp::Reverse<(u64, u64)>>,
+    rng: &mut SmallRng,
+    envelope: Envelope,
+) {
+    match envelope {
+        Envelope::Msg { from, msg, trace, sent_ns } => {
+            let recv_ns = shared.now_ns();
+            let traced = match (&shared.sink, trace) {
+                (Some(s), Some(tc)) => {
+                    record_net_span(s, tc, &msg, cell.id, sent_ns, recv_ns);
+                    Some((Arc::clone(s), tc, sads_sim::Message::op_name(&msg)))
+                }
+                _ => None,
+            };
+            let mut env = ExecEnv {
+                id: cell.id,
+                shared,
+                timers,
+                rng,
+                mailbox: &cell.mailbox,
+                current: trace,
+            };
+            match kind {
+                NodeKind::Service(service) => {
+                    service.on_msg(&mut env, from, msg);
+                    if let Some((s, tc, op)) = traced {
+                        let end_ns = shared.now_ns();
+                        s.record(SpanRecord {
+                            trace: tc.trace_id,
+                            span: s.next_id(),
+                            parent: tc.span_id,
+                            service: service.name(),
+                            op,
+                            node: cell.id.0 as u64,
+                            start_ns: recv_ns,
+                            end_ns,
+                            kind: SpanKind::Handle,
+                            class: sads_sim::SpanClass::Control,
+                            queue_ns: 0,
+                            xfer_ns: 0,
+                            wire_ns: 0,
+                        });
+                    }
+                }
+                NodeKind::Client { core, pending, .. } => {
+                    let completions = core.handle_msg(&mut env, from, msg);
+                    deliver(pending, completions);
+                }
+            }
+        }
+        Envelope::Op { op, reply, trace } => {
+            if let NodeKind::Client { core, pending, next_tag } = kind {
+                let tag = *next_tag;
+                *next_tag += 1;
+                pending.insert(tag, reply);
+                let mut env = ExecEnv {
+                    id: cell.id,
+                    shared,
+                    timers,
+                    rng,
+                    mailbox: &cell.mailbox,
+                    current: trace,
+                };
+                core.start_op(&mut env, op, tag);
+            }
+        }
+    }
+}

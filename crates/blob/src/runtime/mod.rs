@@ -2,5 +2,6 @@
 //! deterministic cluster simulator ([`sim`]) or real threads with real
 //! bytes ([`threaded`]).
 
+mod executor;
 pub mod sim;
 pub mod threaded;

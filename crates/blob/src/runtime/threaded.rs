@@ -1,430 +1,86 @@
-//! Threaded runtime: each BlobSeer actor runs on its own OS thread,
-//! exchanging messages over crossbeam channels and storing **real bytes**.
-//! This is the runtime a downstream user embeds; the examples and the S3
-//! gateway run on it.
+//! Threaded runtime: BlobSeer actors multiplexed onto a bounded pool of
+//! sharded event-loop workers (the private `executor` module), exchanging
+//! messages through per-cell mailboxes and storing **real bytes**. This is
+//! the runtime a downstream user embeds; the examples and the S3 gateway
+//! run on it.
+//!
+//! Earlier revisions ran one OS thread per actor; a 64-client sweep meant
+//! ~140 threads thrashing the scheduler and throughput collapsed. Now the
+//! node count is decoupled from the thread count: `N ≈ cores` workers own
+//! every service and client core, so 256–1024-client sweeps scale.
 //!
 //! Time is wall-clock nanoseconds since cluster start, surfaced as
 //! [`SimTime`] so the same service code runs unchanged.
 
-use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
-use parking_lot::{Mutex, RwLock};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use crossbeam::channel::bounded;
+use parking_lot::Mutex;
 use sads_sim::{
-    MetricSink, NodeId, Registry as TelemetryRegistry, SimDuration, SimTime, SpanKind,
-    SpanRecord, SpanSink, TraceCtx,
+    MetricSink, NodeId, Registry as TelemetryRegistry, SimTime, SpanSink, TraceCtx,
 };
 
-use crate::client::{ClientConfig, ClientCore, ClientOp, Completion, OpOutput};
+use super::executor::{Envelope, ExecShared, Executor, NodeKind};
+use crate::client::{ClientConfig, ClientOp, OpOutput};
 use crate::model::{BlobError, BlobId, BlobSpec, ClientId, Payload, VersionId};
 use crate::pmanager::AllocationStrategy;
 use crate::rpc::Msg;
 use crate::services::{
-    DataProviderService, Env, MetaProviderService, ProviderManagerService, Service,
-    ServiceConfig, VersionManagerService,
+    DataProviderService, MetaProviderService, ProviderManagerService, Service, ServiceConfig,
+    VersionManagerService,
 };
 use crate::vmanager::WriteKind;
 
-/// What travels between node threads.
-enum Envelope {
-    Msg {
-        from: NodeId,
-        msg: Msg,
-        /// Causal context of the sender's operation, if tracing is on.
-        trace: Option<TraceCtx>,
-        /// Wall-clock send time (ns since cluster start), so the receiver
-        /// can attribute channel queueing delay to the trace.
-        sent_ns: u64,
-    },
-    Op {
-        op: ClientOp,
-        reply: Sender<Completion>,
-        /// Ambient context the operation should nest under (e.g. the S3
-        /// gateway's per-request span), if tracing is on.
-        trace: Option<TraceCtx>,
-    },
-    Stop,
-}
-
-/// Grow-only routing table shared by every node thread.
-#[derive(Default)]
-struct Registry {
-    senders: RwLock<Vec<Option<Sender<Envelope>>>>,
-}
-
-impl Registry {
-    fn add(&self, tx: Sender<Envelope>) -> NodeId {
-        let mut s = self.senders.write();
-        s.push(Some(tx));
-        NodeId(s.len() as u32 - 1)
-    }
-
-    fn send(&self, to: NodeId, env: Envelope) {
-        let s = self.senders.read();
-        if let Some(Some(tx)) = s.get(to.index()) {
-            let _ = tx.send(env);
-        }
-    }
-
-    fn remove(&self, node: NodeId) {
-        let mut s = self.senders.write();
-        if let Some(slot) = s.get_mut(node.index()) {
-            *slot = None;
-        }
-    }
-
-    /// Re-occupy a previously removed slot. Fails if the slot is live
-    /// (the node was never killed) or the address was never allocated.
-    fn reinstall(&self, node: NodeId, tx: Sender<Envelope>) -> bool {
-        let mut s = self.senders.write();
-        match s.get_mut(node.index()) {
-            Some(slot @ None) => {
-                *slot = Some(tx);
-                true
-            }
-            _ => false,
-        }
-    }
-
-    fn all(&self) -> Vec<NodeId> {
-        let s = self.senders.read();
-        (0..s.len() as u32).filter(|i| s[*i as usize].is_some()).map(NodeId).collect()
-    }
-}
-
-/// The [`Env`] a threaded service sees during one callback.
-struct ThreadedEnv<'a> {
-    id: NodeId,
-    registry: &'a Registry,
-    start: Instant,
-    timers: &'a mut BinaryHeap<std::cmp::Reverse<(u64, u64)>>,
-    rng: &'a mut SmallRng,
-    metrics: &'a Mutex<MetricSink>,
-    /// Span sink when tracing is on for this cluster.
-    sink: Option<Arc<SpanSink>>,
-    /// The cluster's live telemetry registry (always on: registry cells
-    /// are plain atomics, cheap enough to keep unconditionally).
-    telem: &'a Arc<TelemetryRegistry>,
-    /// Causal context of the callback being handled; outgoing messages
-    /// carry it so replies land in the same trace.
-    current: Option<TraceCtx>,
-}
-
-impl Env for ThreadedEnv<'_> {
-    fn id(&self) -> NodeId {
-        self.id
-    }
-    fn now(&self) -> SimTime {
-        SimTime(self.start.elapsed().as_nanos() as u64)
-    }
-    fn send(&mut self, to: NodeId, msg: Msg) {
-        let sent_ns = self.start.elapsed().as_nanos() as u64;
-        self.registry.send(
-            to,
-            Envelope::Msg { from: self.id, msg, trace: self.current, sent_ns },
-        );
-    }
-    fn set_timer(&mut self, delay: SimDuration, token: u64) {
-        let deadline = self.start.elapsed().as_nanos() as u64 + delay.as_nanos();
-        self.timers.push(std::cmp::Reverse((deadline, token)));
-    }
-    fn rng(&mut self) -> &mut SmallRng {
-        self.rng
-    }
-    fn record(&mut self, name: &str, value: f64) {
-        let now = self.now();
-        self.metrics.lock().record(name, now, value);
-        // Mirror into the live registry as a node-labeled gauge, so the
-        // existing call sites feed the telemetry plane with no churn.
-        self.telem.set(name, &[("node", self.id.0.to_string().as_str())], value);
-    }
-    fn incr(&mut self, name: &str, delta: u64) {
-        self.metrics.lock().incr(name, delta);
-        self.telem.inc(name, &[("node", self.id.0.to_string().as_str())], delta);
-    }
-    fn span_sink(&self) -> Option<Arc<SpanSink>> {
-        self.sink.clone()
-    }
-    fn telemetry(&self) -> Option<Arc<TelemetryRegistry>> {
-        Some(Arc::clone(self.telem))
-    }
-    fn trace_ctx(&self) -> Option<TraceCtx> {
-        self.current
-    }
-    fn set_trace_ctx(&mut self, trace: Option<TraceCtx>) {
-        self.current = trace;
-    }
-}
-
-/// Record the channel-queueing delay of a traced envelope as a `Net`
-/// span: in the threaded runtime there is no modeled wire, so the whole
-/// delivery delay is queueing (send → receive on the node's inbox).
-fn record_net_span(
-    sink: &SpanSink,
-    tc: TraceCtx,
-    msg: &Msg,
-    node: NodeId,
-    sent_ns: u64,
-    recv_ns: u64,
-) {
-    sink.record(SpanRecord {
-        trace: tc.trace_id,
-        span: sink.next_id(),
-        parent: tc.span_id,
-        service: "net",
-        op: sads_sim::Message::op_name(msg),
-        node: node.0 as u64,
-        start_ns: sent_ns,
-        end_ns: recv_ns,
-        kind: SpanKind::Net,
-        class: sads_sim::Message::span_class(msg),
-        queue_ns: recv_ns.saturating_sub(sent_ns),
-        xfer_ns: 0,
-        wire_ns: 0,
-    });
-}
-
-#[allow(clippy::too_many_arguments)]
-fn run_service_thread(
-    id: NodeId,
-    mut service: Box<dyn Service>,
-    rx: Receiver<Envelope>,
-    registry: Arc<Registry>,
-    start: Instant,
-    metrics: Arc<Mutex<MetricSink>>,
-    running: Arc<AtomicBool>,
-    seed: u64,
-    sink: Option<Arc<SpanSink>>,
-    telem: Arc<TelemetryRegistry>,
-) {
-    let mut timers: BinaryHeap<std::cmp::Reverse<(u64, u64)>> = BinaryHeap::new();
-    let mut rng = SmallRng::seed_from_u64(seed);
-    {
-        let mut env = ThreadedEnv {
-            id,
-            registry: &registry,
-            start,
-            timers: &mut timers,
-            rng: &mut rng,
-            metrics: &metrics,
-            sink: sink.clone(),
-            telem: &telem,
-            current: None,
-        };
-        service.on_start(&mut env);
-    }
-    loop {
-        if !running.load(Ordering::Relaxed) {
-            break;
-        }
-        // Fire due timers.
-        let now = start.elapsed().as_nanos() as u64;
-        while let Some(std::cmp::Reverse((deadline, token))) = timers.peek().copied() {
-            if deadline > now {
-                break;
-            }
-            timers.pop();
-            let mut env = ThreadedEnv {
-                id,
-                registry: &registry,
-                start,
-                timers: &mut timers,
-                rng: &mut rng,
-                metrics: &metrics,
-                sink: sink.clone(),
-                telem: &telem,
-                current: None,
-            };
-            service.on_timer(&mut env, token);
-        }
-        // Idle threads park until the next timer deadline, capped so the
-        // `running` flag is still noticed without a Stop envelope. The cap
-        // is generous: shutdown paths send Stop, which wakes recv at once,
-        // and a shorter cap just burns context switches across the whole
-        // cluster's threads.
-        let wait = timers
-            .peek()
-            .map(|std::cmp::Reverse((deadline, _))| {
-                Duration::from_nanos(deadline.saturating_sub(now))
-            })
-            .unwrap_or(Duration::from_millis(500));
-        match rx.recv_timeout(wait.min(Duration::from_millis(500))) {
-            Ok(Envelope::Msg { from, msg, trace, sent_ns }) => {
-                let recv_ns = start.elapsed().as_nanos() as u64;
-                let traced = match (&sink, trace) {
-                    (Some(s), Some(tc)) => {
-                        record_net_span(s, tc, &msg, id, sent_ns, recv_ns);
-                        Some((Arc::clone(s), tc, sads_sim::Message::op_name(&msg)))
-                    }
-                    _ => None,
-                };
-                let mut env = ThreadedEnv {
-                    id,
-                    registry: &registry,
-                    start,
-                    timers: &mut timers,
-                    rng: &mut rng,
-                    metrics: &metrics,
-                    sink: sink.clone(),
-                    telem: &telem,
-                    current: trace,
-                };
-                service.on_msg(&mut env, from, msg);
-                if let Some((s, tc, op)) = traced {
-                    let end_ns = start.elapsed().as_nanos() as u64;
-                    s.record(SpanRecord {
-                        trace: tc.trace_id,
-                        span: s.next_id(),
-                        parent: tc.span_id,
-                        service: service.name(),
-                        op,
-                        node: id.0 as u64,
-                        start_ns: recv_ns,
-                        end_ns,
-                        kind: SpanKind::Handle,
-                        class: sads_sim::SpanClass::Control,
-                        queue_ns: 0,
-                        xfer_ns: 0,
-                        wire_ns: 0,
-                    });
-                }
-            }
-            Ok(Envelope::Op { .. }) => { /* services do not take client ops */ }
-            Ok(Envelope::Stop) | Err(RecvTimeoutError::Disconnected) => break,
-            Err(RecvTimeoutError::Timeout) => {}
-        }
-    }
-}
-
-/// Client thread: wraps a [`ClientCore`], mapping injected ops to reply
-/// channels.
-#[allow(clippy::too_many_arguments)]
-fn run_client_thread(
-    id: NodeId,
-    client_id: ClientId,
-    vman: NodeId,
-    pman: NodeId,
-    meta: Vec<NodeId>,
-    cfg: ClientConfig,
-    rx: Receiver<Envelope>,
-    registry: Arc<Registry>,
-    start: Instant,
-    metrics: Arc<Mutex<MetricSink>>,
-    running: Arc<AtomicBool>,
-    seed: u64,
-    sink: Option<Arc<SpanSink>>,
-    telem: Arc<TelemetryRegistry>,
-) {
-    let mut core = ClientCore::new(client_id, vman, pman, meta, cfg);
-    let mut timers: BinaryHeap<std::cmp::Reverse<(u64, u64)>> = BinaryHeap::new();
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let mut pending: std::collections::HashMap<u64, Sender<Completion>> =
-        std::collections::HashMap::new();
-    let mut next_tag = 1u64;
-
-    let deliver = |completions: Vec<Completion>,
-                       pending: &mut std::collections::HashMap<u64, Sender<Completion>>| {
-        for c in completions {
-            if let Some(tx) = pending.remove(&c.tag) {
-                let _ = tx.send(c);
-            }
-        }
-    };
-
-    loop {
-        if !running.load(Ordering::Relaxed) {
-            break;
-        }
-        let now = start.elapsed().as_nanos() as u64;
-        while let Some(std::cmp::Reverse((deadline, token))) = timers.peek().copied() {
-            if deadline > now {
-                break;
-            }
-            timers.pop();
-            if ClientCore::owns_timer(token) {
-                let completions = {
-                    let mut env = ThreadedEnv {
-                        id,
-                        registry: &registry,
-                        start,
-                        timers: &mut timers,
-                        rng: &mut rng,
-                        metrics: &metrics,
-                        sink: sink.clone(),
-                        telem: &telem,
-                        current: None,
-                    };
-                    core.handle_timer(&mut env, token)
-                };
-                deliver(completions, &mut pending);
-            }
-        }
-        // Same parking policy as service threads (see above).
-        let wait = timers
-            .peek()
-            .map(|std::cmp::Reverse((deadline, _))| {
-                Duration::from_nanos(deadline.saturating_sub(now))
-            })
-            .unwrap_or(Duration::from_millis(500));
-        match rx.recv_timeout(wait.min(Duration::from_millis(500))) {
-            Ok(Envelope::Msg { from, msg, trace, sent_ns }) => {
-                let recv_ns = start.elapsed().as_nanos() as u64;
-                if let (Some(s), Some(tc)) = (&sink, trace) {
-                    record_net_span(s, tc, &msg, id, sent_ns, recv_ns);
-                }
-                let completions = {
-                    let mut env = ThreadedEnv {
-                        id,
-                        registry: &registry,
-                        start,
-                        timers: &mut timers,
-                        rng: &mut rng,
-                        metrics: &metrics,
-                        sink: sink.clone(),
-                        telem: &telem,
-                        current: trace,
-                    };
-                    core.handle_msg(&mut env, from, msg)
-                };
-                deliver(completions, &mut pending);
-            }
-            Ok(Envelope::Op { op, reply, trace }) => {
-                let tag = next_tag;
-                next_tag += 1;
-                pending.insert(tag, reply);
-                let mut env = ThreadedEnv {
-                    id,
-                    registry: &registry,
-                    start,
-                    timers: &mut timers,
-                    rng: &mut rng,
-                    metrics: &metrics,
-                    sink: sink.clone(),
-                    telem: &telem,
-                    current: trace,
-                };
-                core.start_op(&mut env, op, tag);
-            }
-            Ok(Envelope::Stop) | Err(RecvTimeoutError::Disconnected) => break,
-            Err(RecvTimeoutError::Timeout) => {}
-        }
-    }
-}
-
-/// Handle to a client thread: a blocking BlobSeer API over real bytes.
+/// Handle to a client cell: a blocking BlobSeer API over real bytes.
+///
+/// The handle itself is not a thread — `run` injects the op into the
+/// client's mailbox and parks the *calling* thread on a one-shot reply
+/// channel, so any number of driver threads can block cheaply while the
+/// executor's few workers do the protocol work.
 #[derive(Clone)]
 pub struct ClientHandle {
     node: NodeId,
     client_id: ClientId,
-    tx: Sender<Envelope>,
+    exec: Arc<ExecShared>,
     op_timeout: Duration,
+}
+
+/// One in-flight client op submitted with [`ClientHandle::submit`]: a
+/// one-shot completion channel plus the op deadline.
+pub struct OpTicket {
+    rx: crossbeam::channel::Receiver<crate::client::Completion>,
+    timeout: Duration,
+    routed: bool,
+    submitted: Instant,
+}
+
+impl OpTicket {
+    /// Block until the op completes (or its deadline passes) and return
+    /// the protocol result.
+    pub fn wait(self) -> Result<OpOutput, BlobError> {
+        if !self.routed {
+            return Err(BlobError::Protocol("client node gone"));
+        }
+        match self.rx.recv_timeout(self.timeout) {
+            Ok(c) => c.result,
+            Err(_) => Err(BlobError::Timeout),
+        }
+    }
+
+    /// Time since the op was injected into the client cell's mailbox.
+    pub fn elapsed(&self) -> Duration {
+        self.submitted.elapsed()
+    }
+
+    /// [`wait`](OpTicket::wait), also returning the elapsed time from
+    /// submission to the wait returning (the closed-loop op latency).
+    pub fn wait_timed(self) -> (Result<OpOutput, BlobError>, Duration) {
+        let submitted = self.submitted;
+        let out = self.wait();
+        (out, submitted.elapsed())
+    }
 }
 
 impl ClientHandle {
@@ -439,14 +95,43 @@ impl ClientHandle {
     }
 
     fn run(&self, op: ClientOp, trace: Option<TraceCtx>) -> Result<OpOutput, BlobError> {
+        self.submit(op, trace).wait()
+    }
+
+    /// Inject `op` into the client cell's mailbox and return immediately;
+    /// the returned [`OpTicket`] resolves when the protocol completes.
+    ///
+    /// This is the non-blocking submission path: a single driver thread
+    /// can keep an op in flight on hundreds of client cells at once
+    /// (load generators and the scaling sweeps do exactly that), instead
+    /// of parking one OS thread per concurrent client. One handle may
+    /// have any number of tickets outstanding; completions are matched by
+    /// tag inside the cell, not by submission order.
+    pub fn submit(&self, op: ClientOp, trace: Option<TraceCtx>) -> OpTicket {
         let (tx, rx) = bounded(1);
-        self.tx
-            .send(Envelope::Op { op, reply: tx, trace })
-            .map_err(|_| BlobError::Protocol("client thread gone"))?;
-        match rx.recv_timeout(self.op_timeout) {
-            Ok(c) => c.result,
-            Err(_) => Err(BlobError::Timeout),
-        }
+        let routed = self.exec.send_to(self.node, Envelope::Op { op, reply: tx, trace });
+        OpTicket { rx, timeout: self.op_timeout, routed, submitted: Instant::now() }
+    }
+
+    /// [`append`](ClientHandle::append) without blocking: returns a
+    /// ticket that resolves to `OpOutput::Written`.
+    pub fn submit_append(&self, blob: BlobId, data: Bytes) -> OpTicket {
+        self.submit(
+            ClientOp::Write { blob, kind: WriteKind::Append, data: Payload::Data(data) },
+            None,
+        )
+    }
+
+    /// [`read`](ClientHandle::read) without blocking: returns a ticket
+    /// that resolves to `OpOutput::Read`.
+    pub fn submit_read(
+        &self,
+        blob: BlobId,
+        version: Option<VersionId>,
+        offset: u64,
+        len: u64,
+    ) -> OpTicket {
+        self.submit(ClientOp::Read { blob, version, offset, len }, None)
     }
 
     /// Create a BLOB.
@@ -540,6 +225,7 @@ pub struct ClusterBuilder {
     client_cfg: ClientConfig,
     span_sink: Option<Arc<SpanSink>>,
     telemetry: Option<Arc<TelemetryRegistry>>,
+    executor_shards: usize,
 }
 
 impl Default for ClusterBuilder {
@@ -553,6 +239,7 @@ impl Default for ClusterBuilder {
             client_cfg: ClientConfig { materialize_zeros: true, ..ClientConfig::default() },
             span_sink: None,
             telemetry: None,
+            executor_shards: 0,
         }
     }
 }
@@ -599,9 +286,18 @@ impl ClusterBuilder {
         self
     }
 
-    /// Enable request tracing: every node thread records `Net` and
-    /// `Handle` spans into `sink`, and clients open one trace per op.
-    /// Without this call (the default) no span work happens at all.
+    /// Number of executor shards (worker threads) the cluster's nodes are
+    /// multiplexed onto. `0` (the default) means one per available core.
+    /// Tests force small fixed counts to exercise stealing and isolation
+    /// deterministically.
+    pub fn executor_shards(mut self, n: usize) -> Self {
+        self.executor_shards = n;
+        self
+    }
+
+    /// Enable request tracing: every node records `Net` and `Handle`
+    /// spans into `sink`, and clients open one trace per op. Without this
+    /// call (the default) no span work happens at all.
     pub fn span_sink(mut self, sink: Arc<SpanSink>) -> Self {
         self.span_sink = Some(sink);
         self
@@ -610,25 +306,28 @@ impl ClusterBuilder {
     /// Share an externally created telemetry registry (e.g. one also
     /// installed on an `ObjectGateway` in `sads-gateway`) instead of the
     /// cluster's own. Telemetry is always on in the threaded runtime;
-    /// this only controls *which* registry the node threads write.
+    /// this only controls *which* registry the nodes write.
     pub fn telemetry(mut self, registry: Arc<TelemetryRegistry>) -> Self {
         self.telemetry = Some(registry);
         self
     }
 
-    /// Spawn every thread and return the running cluster.
+    /// Spawn the executor workers and return the running cluster.
     pub fn start(self) -> Cluster {
-        let registry = Arc::new(Registry::default());
         let metrics = Arc::new(Mutex::new(MetricSink::new()));
         let start = Instant::now();
-        let running = Arc::new(AtomicBool::new(true));
         let telemetry = self.telemetry.unwrap_or_else(|| Arc::new(TelemetryRegistry::new()));
+        let exec = Executor::start(
+            self.executor_shards,
+            start,
+            Arc::clone(&metrics),
+            Arc::clone(&telemetry),
+            self.span_sink.clone(),
+        );
         let mut cluster = Cluster {
-            registry,
+            exec,
             metrics,
             start,
-            running,
-            handles: Vec::new(),
             pman: NodeId(0),
             vman: NodeId(0),
             meta: Vec::new(),
@@ -661,11 +360,9 @@ impl ClusterBuilder {
 
 /// A running threaded BlobSeer deployment.
 pub struct Cluster {
-    registry: Arc<Registry>,
+    exec: Executor,
     metrics: Arc<Mutex<MetricSink>>,
     start: Instant,
-    running: Arc<AtomicBool>,
-    handles: Vec<JoinHandle<()>>,
     /// Provider manager address.
     pub pman: NodeId,
     /// Version manager address.
@@ -687,11 +384,16 @@ impl Cluster {
         self.span_sink.as_ref()
     }
 
-    /// The cluster's live telemetry registry — every node thread's
-    /// counters, gauges and heartbeat health gauges, readable while the
-    /// cluster runs.
+    /// The cluster's live telemetry registry — every node's counters,
+    /// gauges and heartbeat health gauges, readable while the cluster
+    /// runs.
     pub fn telemetry(&self) -> &Arc<TelemetryRegistry> {
         &self.telemetry
+    }
+
+    /// How many executor shards (worker threads) this cluster runs on.
+    pub fn executor_shards(&self) -> usize {
+        self.exec.shard_count()
     }
 
     /// Change the service wiring used by nodes added from now on (e.g.
@@ -706,25 +408,12 @@ impl Cluster {
         self.service_cfg
     }
 
-    /// Host an arbitrary service (monitoring, security, …) on its own
-    /// thread; returns its address.
+    /// Host an arbitrary service (monitoring, security, …) as a new
+    /// executor cell; returns its address.
     pub fn add_service(&mut self, service: Box<dyn Service>) -> NodeId {
-        let (tx, rx) = unbounded();
-        let id = self.registry.add(tx);
-        let registry = Arc::clone(&self.registry);
-        let metrics = Arc::clone(&self.metrics);
-        let running = Arc::clone(&self.running);
-        let start = self.start;
         let seed = self.next_seed;
         self.next_seed += 1;
-        let sink = self.span_sink.clone();
-        let telem = Arc::clone(&self.telemetry);
-        self.handles.push(std::thread::spawn(move || {
-            run_service_thread(
-                id, service, rx, registry, start, metrics, running, seed, sink, telem,
-            );
-        }));
-        id
+        self.exec.add_node(NodeKind::Service(service), seed)
     }
 
     /// Add a data provider at runtime (elastic scale-up).
@@ -734,7 +423,8 @@ impl Cluster {
         self.add_service(Box::new(DataProviderService::new(pman, capacity, cfg)))
     }
 
-    /// Create a client; each client runs on its own thread.
+    /// Create a client; each client is one more multiplexed cell, so
+    /// thousands are cheap.
     pub fn client(&mut self, client_id: ClientId) -> ClientHandle {
         let ccfg = self.client_cfg;
         self.client_with_config(client_id, ccfg)
@@ -745,68 +435,44 @@ impl Cluster {
     /// batched read path against the sequential one) side by side in
     /// the same deployment.
     pub fn client_with_config(&mut self, client_id: ClientId, ccfg: ClientConfig) -> ClientHandle {
-        let (tx, rx) = unbounded();
-        let id = self.registry.add(tx.clone());
-        let registry = Arc::clone(&self.registry);
-        let metrics = Arc::clone(&self.metrics);
-        let running = Arc::clone(&self.running);
-        let start = self.start;
-        let vman = self.vman;
-        let pman = self.pman;
-        let meta = self.meta.clone();
         let seed = self.next_seed;
         self.next_seed += 1;
-        let sink = self.span_sink.clone();
-        let telem = Arc::clone(&self.telemetry);
-        self.handles.push(std::thread::spawn(move || {
-            run_client_thread(
-                id, client_id, vman, pman, meta, ccfg, rx, registry, start, metrics, running,
-                seed, sink, telem,
-            );
-        }));
-        ClientHandle { node: id, client_id, tx, op_timeout: Duration::from_secs(60) }
+        let kind =
+            NodeKind::client(client_id, self.vman, self.pman, self.meta.clone(), ccfg);
+        let id = self.exec.add_node(kind, seed);
+        ClientHandle {
+            node: id,
+            client_id,
+            exec: Arc::clone(self.exec.shared()),
+            op_timeout: Duration::from_secs(60),
+        }
     }
 
     /// Send a raw message into the cluster (enforcement, tests).
     pub fn send(&self, to: NodeId, msg: Msg) {
         let sent_ns = self.start.elapsed().as_nanos() as u64;
-        self.registry.send(
+        self.exec.shared().send_to(
             to,
             Envelope::Msg { from: NodeId::EXTERNAL, msg, trace: None, sent_ns },
         );
     }
 
-    /// Stop a single node (crash injection); its thread exits.
+    /// Stop a single node (crash injection): it is unrouted, its queued
+    /// mail dropped, and it never runs again.
     pub fn kill(&self, node: NodeId) {
-        self.registry.send(node, Envelope::Stop);
-        self.registry.remove(node);
+        self.exec.shared().kill(node);
     }
 
     /// Restart a previously [`kill`](Cluster::kill)ed node with a fresh
     /// service at the **same** [`NodeId`]: the routing-table slot is
-    /// re-occupied and a new thread spawned, so peers keep addressing the
-    /// node as before while its in-memory state starts from scratch.
-    /// Returns `false` if the slot is still live (never killed) or the
-    /// address was never allocated.
+    /// re-occupied by a new cell, so peers keep addressing the node as
+    /// before while its in-memory state starts from scratch. Returns
+    /// `false` if the slot is still live (never killed) or the address was
+    /// never allocated.
     pub fn restart_service(&mut self, node: NodeId, service: Box<dyn Service>) -> bool {
-        let (tx, rx) = unbounded();
-        if !self.registry.reinstall(node, tx) {
-            return false;
-        }
-        let registry = Arc::clone(&self.registry);
-        let metrics = Arc::clone(&self.metrics);
-        let running = Arc::clone(&self.running);
-        let start = self.start;
         let seed = self.next_seed;
         self.next_seed += 1;
-        let sink = self.span_sink.clone();
-        let telem = Arc::clone(&self.telemetry);
-        self.handles.push(std::thread::spawn(move || {
-            run_service_thread(
-                node, service, rx, registry, start, metrics, running, seed, sink, telem,
-            );
-        }));
-        true
+        self.exec.reinstall(node, NodeKind::Service(service), seed)
     }
 
     /// Restart a killed data provider at its old address with an empty
@@ -830,33 +496,18 @@ impl Cluster {
         SimTime(self.start.elapsed().as_nanos() as u64)
     }
 
-    /// Shut every thread down and join them.
+    /// Shut the executor down and join its workers. Envelopes still
+    /// queued in cell mailboxes are dropped; blocked client callers see
+    /// their reply channels disconnect.
     pub fn shutdown(mut self) {
-        self.running.store(false, Ordering::Relaxed);
-        for n in self.registry.all() {
-            self.registry.send(n, Envelope::Stop);
-        }
-        for h in self.handles.drain(..) {
-            let _ = h.join();
-        }
-    }
-}
-
-impl Drop for Cluster {
-    fn drop(&mut self) {
-        self.running.store(false, Ordering::Relaxed);
-        for n in self.registry.all() {
-            self.registry.send(n, Envelope::Stop);
-        }
-        for h in self.handles.drain(..) {
-            let _ = h.join();
-        }
+        self.exec.shutdown();
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sads_sim::SpanKind;
 
     const PAGE: u64 = 64 * 1024;
 
@@ -1036,7 +687,7 @@ mod tests {
         );
         assert!(
             in_write.iter().any(|s| s.kind == SpanKind::Net),
-            "write trace records channel-queueing Net spans"
+            "write trace records mailbox-queueing Net spans"
         );
         // Histograms aggregate per (service, op).
         assert!(sink
@@ -1051,7 +702,9 @@ mod tests {
             .data_providers(6)
             .meta_providers(2)
             .provider_capacity(512 << 20)
+            .executor_shards(2)
             .start();
+        assert_eq!(cluster.executor_shards(), 2);
         let mut handles = Vec::new();
         for i in 0..4u64 {
             let client = cluster.client(ClientId(10 + i));

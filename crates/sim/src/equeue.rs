@@ -1,0 +1,281 @@
+//! A calendar-queue event queue: a timer-wheel front end over the DES
+//! engine's pending-event set.
+//!
+//! The engine used to keep every pending event in one `BinaryHeap`; at
+//! 10^5–10^6 simulated clients the heap holds hundreds of thousands of
+//! entries and every push/pop pays `O(log n)` comparisons over a working
+//! set far larger than cache. A calendar queue (Brown 1988, the structure
+//! CloudSim-class simulators use for future-event lists) exploits what DES
+//! schedules actually look like — most events land within a short horizon
+//! of *now*, plus a thin tail of far-future timers:
+//!
+//! * a **wheel** of [`DEFAULT_SLOTS`] buckets, each covering
+//!   `2^granularity_shift` ns, holds events within the rotation horizon as
+//!   unsorted `Vec`s — push is `O(1)`,
+//! * an **active** min-heap holds only the events of buckets the cursor
+//!   has passed — pops sort just the current bucket's handful of events,
+//! * an **overflow** min-heap holds the far tail (idle-period heartbeats,
+//!   multi-second timeouts) and migrates into the wheel as the cursor
+//!   approaches; when the wheel drains, the cursor fast-forwards straight
+//!   to the next overflow event instead of stepping empty buckets.
+//!
+//! Ordering is **exactly** the total order `(at, seq)` the `BinaryHeap`
+//! produced — two events with equal timestamps pop in push order — so the
+//! engine's event digests (and every determinism test built on them) are
+//! unchanged. The equivalence is enforced by a randomized
+//! reference test below.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Default bucket width: `2^16` ns ≈ 65.5 µs, a fraction of the modeled
+/// network's per-hop latency so wheel buckets stay small.
+pub const DEFAULT_GRANULARITY_SHIFT: u32 = 16;
+/// Default wheel size: 8192 buckets ≈ 537 ms of rotation horizon, which
+/// covers virtually every scheduled delivery; only long timers overflow.
+pub const DEFAULT_SLOTS: usize = 8192;
+
+struct Entry<T> {
+    at: u64,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A strict-priority event queue keyed by `(at, seq)` with `O(1)`
+/// near-future pushes. See the module docs for the structure.
+pub struct CalendarQueue<T> {
+    shift: u32,
+    slots: usize,
+    /// Highest absolute bucket index whose events have been merged into
+    /// `active`. Ring and overflow entries always live in buckets
+    /// strictly beyond the cursor, so `active`'s head is the global
+    /// minimum whenever `active` is non-empty.
+    cursor: u64,
+    ring: Vec<Vec<Entry<T>>>,
+    ring_len: usize,
+    active: BinaryHeap<Reverse<Entry<T>>>,
+    overflow: BinaryHeap<Reverse<Entry<T>>>,
+    len: usize,
+}
+
+impl<T> Default for CalendarQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> CalendarQueue<T> {
+    /// A queue with the default geometry (65.5 µs buckets, ~537 ms wheel).
+    pub fn new() -> Self {
+        Self::with_geometry(DEFAULT_GRANULARITY_SHIFT, DEFAULT_SLOTS)
+    }
+
+    /// A queue with `2^granularity_shift`-ns buckets and `slots` of them.
+    pub fn with_geometry(granularity_shift: u32, slots: usize) -> Self {
+        assert!(slots >= 2, "wheel needs at least two buckets");
+        assert!(granularity_shift < 63, "bucket width must fit in u64");
+        CalendarQueue {
+            shift: granularity_shift,
+            slots,
+            cursor: 0,
+            ring: (0..slots).map(|_| Vec::new()).collect(),
+            ring_len: 0,
+            active: BinaryHeap::new(),
+            overflow: BinaryHeap::new(),
+            len: 0,
+        }
+    }
+
+    /// Pending events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the queue empty?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn bucket(&self, at: u64) -> u64 {
+        at >> self.shift
+    }
+
+    /// Insert an event. `(at, seq)` must be unique per queue (the DES
+    /// engine's monotone sequence numbers guarantee it); `seq` breaks
+    /// timestamp ties in push order.
+    pub fn push(&mut self, at: u64, seq: u64, item: T) {
+        let entry = Entry { at, seq, item };
+        let b = self.bucket(at);
+        if b <= self.cursor {
+            self.active.push(Reverse(entry));
+        } else if b - self.cursor < self.slots as u64 {
+            let slot = (b % self.slots as u64) as usize;
+            self.ring[slot].push(entry);
+            self.ring_len += 1;
+        } else {
+            self.overflow.push(Reverse(entry));
+        }
+        self.len += 1;
+    }
+
+    /// Key of the earliest event, advancing the wheel cursor if needed.
+    pub fn peek_key(&mut self) -> Option<(u64, u64)> {
+        self.ensure_head();
+        self.active.peek().map(|Reverse(e)| (e.at, e.seq))
+    }
+
+    /// Remove and return the earliest event.
+    pub fn pop(&mut self) -> Option<T> {
+        self.ensure_head();
+        self.active.pop().map(|Reverse(e)| {
+            self.len -= 1;
+            e.item
+        })
+    }
+
+    /// Make `active` hold the global minimum (non-empty unless the queue
+    /// is empty): merge wheel buckets up to the next occupied one, or
+    /// fast-forward to the overflow tail when the wheel is idle.
+    fn ensure_head(&mut self) {
+        while self.active.is_empty() {
+            if self.ring_len == 0 {
+                let Some(Reverse(top)) = self.overflow.peek() else {
+                    return; // truly empty
+                };
+                self.cursor = self.bucket(top.at);
+                self.migrate_overflow();
+                continue;
+            }
+            // The wheel is occupied somewhere within `slots` buckets of
+            // the cursor; step to the next occupied bucket and merge it.
+            loop {
+                self.cursor += 1;
+                let slot = (self.cursor % self.slots as u64) as usize;
+                if !self.ring[slot].is_empty() {
+                    self.ring_len -= self.ring[slot].len();
+                    for e in self.ring[slot].drain(..) {
+                        self.active.push(Reverse(e));
+                    }
+                    break;
+                }
+            }
+            // The horizon moved; far events may now be within it.
+            self.migrate_overflow();
+        }
+    }
+
+    /// Pull overflow events that entered the rotation horizon into the
+    /// wheel (or straight into `active` if their bucket has passed).
+    fn migrate_overflow(&mut self) {
+        while let Some(Reverse(top)) = self.overflow.peek() {
+            let b = self.bucket(top.at);
+            if b <= self.cursor {
+                let Some(Reverse(e)) = self.overflow.pop() else { unreachable!() };
+                self.active.push(Reverse(e));
+            } else if b - self.cursor < self.slots as u64 {
+                let Some(Reverse(e)) = self.overflow.pop() else { unreachable!() };
+                let slot = (b % self.slots as u64) as usize;
+                self.ring[slot].push(e);
+                self.ring_len += 1;
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn pops_in_strict_at_seq_order() {
+        let mut q = CalendarQueue::with_geometry(4, 8);
+        // Same timestamp: seq breaks the tie in push order.
+        q.push(100, 0, "a");
+        q.push(100, 1, "b");
+        q.push(50, 2, "c");
+        q.push(1_000_000, 3, "far");
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.peek_key(), Some((50, 2)));
+        assert_eq!(q.pop(), Some("c"));
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.pop(), Some("b"));
+        assert_eq!(q.pop(), Some("far"));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn fast_forwards_over_idle_stretches() {
+        let mut q = CalendarQueue::with_geometry(4, 8);
+        q.push(1 << 40, 0, 0u64); // far beyond the wheel horizon
+        assert_eq!(q.pop(), Some(0));
+        // Cursor jumped; near-cursor pushes still order correctly.
+        q.push((1 << 40) + 5, 1, 1u64);
+        q.push((1 << 40) + 1, 2, 2u64);
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(1));
+    }
+
+    /// The DES workload shape: monotonically advancing "now", bursts of
+    /// near-future deliveries, a tail of far-future timers. The calendar
+    /// queue must pop the exact sequence a reference BinaryHeap pops.
+    #[test]
+    fn matches_binary_heap_reference_on_random_des_workload() {
+        for seed in 0..4u64 {
+            let mut rng = SmallRng::seed_from_u64(0xE0_0E + seed);
+            let mut q = CalendarQueue::with_geometry(6, 32);
+            let mut reference: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+            let mut now = 0u64;
+            let mut seq = 0u64;
+            for _ in 0..20_000 {
+                if !reference.is_empty() && rng.random_bool(0.55) {
+                    let Reverse((at, s)) = reference.pop().unwrap();
+                    assert_eq!(q.peek_key(), Some((at, s)), "head key diverged");
+                    let got = q.pop().unwrap();
+                    assert_eq!(got, (at, s), "pop order diverged from reference");
+                    now = at;
+                } else {
+                    // Mixed horizon: mostly near-future, some ties, a few
+                    // far-future (beyond the 32-slot wheel).
+                    let delta = match rng.random_range(0..10u32) {
+                        0 => 0,                                  // tie with "now"
+                        1..=6 => rng.random_range(0..2_000),     // in-wheel
+                        7 | 8 => rng.random_range(0..50_000),    // edge of wheel
+                        _ => rng.random_range(100_000..5_000_000), // overflow
+                    };
+                    let at = now + delta;
+                    reference.push(Reverse((at, seq)));
+                    q.push(at, seq, (at, seq));
+                    seq += 1;
+                }
+            }
+            // Drain both completely.
+            while let Some(Reverse((at, s))) = reference.pop() {
+                assert_eq!(q.pop(), Some((at, s)));
+            }
+            assert!(q.is_empty());
+        }
+    }
+}

@@ -38,6 +38,7 @@
 
 #![warn(missing_docs)]
 
+pub mod equeue;
 pub mod fault;
 pub mod message;
 pub mod metrics;
@@ -45,6 +46,7 @@ pub mod net;
 pub mod time;
 pub mod world;
 
+pub use equeue::CalendarQueue;
 pub use fault::{run_with_faults, FaultEvent, FaultKind, FaultPlan};
 pub use message::{Message, MessageExt};
 pub use metrics::{MetricId, MetricSink, Sample};
