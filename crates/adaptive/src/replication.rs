@@ -291,7 +291,14 @@ impl Service for ReplicationManagerService {
                         sads_monitor::into_mon(other)
                     {
                         for r in &records {
-                            if r.kind == ActivityKind::ChunkWrite {
+                            // Recovery announcements count like writes: a
+                            // restarted durable provider re-enters the
+                            // placement view before the deficit debounce
+                            // can confirm, so no repair is scheduled.
+                            if matches!(
+                                r.kind,
+                                ActivityKind::ChunkWrite | ActivityKind::ChunkRecovered
+                            ) {
                                 if let (Some(chunk), Some(provider)) = (r.chunk, r.provider) {
                                     let holders = self.placement.entry(chunk).or_default();
                                     if !holders.contains(&provider) {
@@ -417,6 +424,49 @@ mod tests {
         feed_placement(&mut m, &mut env);
         assert_eq!(m.placement().len(), 2);
         assert_eq!(m.placement()[&chunk(0)], vec![NodeId(20), NodeId(21)]);
+    }
+
+    #[test]
+    fn recovery_announcement_rejoins_placement_without_repair() {
+        let mut env = TestEnv::new();
+        let mut m = mgr();
+        feed_placement(&mut m, &mut env);
+        // Provider 20 crashes: it drops out of the directory, and the
+        // first sweep marks chunk 0 deficient (not yet confirmed).
+        m.on_msg(
+            &mut env,
+            NodeId(1),
+            Msg::Directory {
+                req: 9,
+                meta_providers: vec![NodeId(30)],
+                data_providers: vec![NodeId(21), NodeId(22), NodeId(23)],
+            },
+        );
+        assert!(!env.sent.iter().any(|(_, msg)| matches!(msg, Msg::ReplicateChunk { .. })));
+        // The provider restarts on a durable backend and its recovery
+        // announcement arrives before the confirming sweep.
+        let rec = ActivityRecord {
+            at: SimTime::ZERO,
+            client: ClientId::SYSTEM,
+            kind: ActivityKind::ChunkRecovered,
+            blob: Some(BlobId(1)),
+            provider: Some(NodeId(20)),
+            chunk: Some(chunk(0)),
+            bytes: 100,
+        };
+        m.on_msg(
+            &mut env,
+            NodeId(10),
+            mon_msg(MonMsg::ActivityBatch { req: 2, records: vec![rec], last_seq: 5 }),
+        );
+        assert!(m.placement()[&chunk(0)].contains(&NodeId(20)), "placement re-learned");
+        // Back in the directory; the next two sweeps see no deficit.
+        sweep_twice(&mut m, &mut env, 10, &[20, 21, 22, 23]);
+        assert!(
+            !env.sent.iter().any(|(_, msg)| matches!(msg, Msg::ReplicateChunk { .. })),
+            "no repair for a recovered provider"
+        );
+        assert_eq!(m.repairs_done(), 0);
     }
 
     #[test]

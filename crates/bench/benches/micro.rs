@@ -347,18 +347,18 @@ fn bench_simulator(c: &mut Criterion) {
             );
             let vman = add_service(
                 &mut world,
-                Box::new(VersionManagerService::new(scfg)),
+                Box::new(VersionManagerService::new(scfg.clone())),
                 sads_sim::NodeConfig::unlimited(),
             );
             let meta = vec![add_service(
                 &mut world,
-                Box::new(MetaProviderService::new(pman, 1 << 30, scfg)),
+                Box::new(MetaProviderService::new(pman, 1 << 30, scfg.clone())),
                 sads_sim::NodeConfig::default(),
             )];
             for _ in 0..8 {
                 add_service(
                     &mut world,
-                    Box::new(DataProviderService::new(pman, 1 << 40, scfg)),
+                    Box::new(DataProviderService::new(pman, 1 << 40, scfg.clone())),
                     sads_sim::NodeConfig::default(),
                 );
             }

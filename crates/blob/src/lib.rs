@@ -56,6 +56,7 @@ pub mod provider;
 pub mod rpc;
 pub mod runtime;
 pub mod services;
+pub mod storage;
 pub mod vmanager;
 
 pub use client::{ClientConfig, ClientCore, ClientOp, Completion, OpOutput};
@@ -63,4 +64,5 @@ pub use model::{
     BlobError, BlobId, BlobSpec, ChunkDescriptor, ChunkKey, ClientId, PageInterval, Payload,
     VersionId, VersionInfo,
 };
+pub use storage::{BackendConfig, BackendSpec, ChunkBackend, DiskConfig};
 pub use vmanager::{WriteKind, WriteTicket};

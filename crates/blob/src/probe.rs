@@ -48,6 +48,17 @@ pub enum ProbeEvent {
         /// Whether the chunk existed.
         hit: bool,
     },
+    /// A restarted data provider re-announced a chunk it recovered from
+    /// its durable backend — the replication manager re-learns placement
+    /// from these instead of scheduling repair traffic.
+    ChunkRecovered {
+        /// Recovering provider.
+        provider: NodeId,
+        /// Chunk identity.
+        key: ChunkKey,
+        /// Payload size.
+        bytes: u64,
+    },
     /// A data provider rejected a request.
     ChunkRejected {
         /// Serving provider.

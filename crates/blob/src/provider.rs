@@ -1,6 +1,6 @@
-//! Data-provider storage: a bounded in-memory chunk store with access
-//! accounting (feeding the introspection layer and the data-removal
-//! strategies).
+//! Data-provider storage: a bounded chunk store with access accounting
+//! (feeding the introspection layer and the data-removal strategies),
+//! optionally persisted through a durable [`ChunkBackend`].
 //!
 //! The store is sharded: keys stripe across independently locked shards
 //! so concurrent readers and writers on different shards never contend.
@@ -9,6 +9,13 @@
 //! simulated runtime drives it single-threaded with zero semantic
 //! difference. Byte payloads are reference-counted [`Payload`] views, so
 //! a `get` hands back the stored bytes without copying them.
+//!
+//! Every payload is served from memory regardless of backend: the
+//! backend is a durable log consulted on mutation (put/delete append a
+//! record under the owning shard lock) and at open, when
+//! [`ChunkStore::open`] replays the surviving chunk set back into the
+//! shards. See [`crate::storage`] for the disk format and recovery
+//! semantics.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -17,6 +24,7 @@ use parking_lot::Mutex;
 use sads_sim::SimTime;
 
 use crate::model::{BlobId, ChunkKey, Payload};
+use crate::storage::{BackendConfig, BackendStats, ChunkBackend, MemoryBackend, RecoveryReport};
 
 /// Number of lock stripes. A small power of two: enough to make chunk
 /// operations from a handful of concurrent clients collision-free, small
@@ -46,14 +54,18 @@ struct Shard {
     chunks: HashMap<ChunkKey, (Payload, ChunkMeta)>,
 }
 
-/// Bounded in-memory chunk store — the storage engine of one data
-/// provider. Sharded and internally synchronized; see the module docs.
+/// Bounded chunk store — the storage engine of one data provider.
+/// Sharded and internally synchronized; see the module docs.
 #[derive(Debug)]
 pub struct ChunkStore {
     capacity: u64,
     used: AtomicU64,
     items: AtomicU64,
     shards: Box<[Mutex<Shard>]>,
+    /// Durable log beneath the shards. Appends happen while the owning
+    /// shard lock is held, so per-key log order always matches the
+    /// acknowledgment order (lock order is shard → backend everywhere).
+    backend: Mutex<Box<dyn ChunkBackend>>,
     total_puts: AtomicU64,
     total_gets: AtomicU64,
     total_misses: AtomicU64,
@@ -71,17 +83,62 @@ fn shard_of(key: &ChunkKey) -> usize {
 }
 
 impl ChunkStore {
-    /// A store that can hold up to `capacity` bytes.
+    /// A store that can hold up to `capacity` bytes, with no durability
+    /// (in-memory backend).
     pub fn new(capacity: u64) -> Self {
         ChunkStore {
             capacity,
             used: AtomicU64::new(0),
             items: AtomicU64::new(0),
             shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            backend: Mutex::new(Box::new(MemoryBackend)),
             total_puts: AtomicU64::new(0),
             total_gets: AtomicU64::new(0),
             total_misses: AtomicU64::new(0),
         }
+    }
+
+    /// Open a store over the configured backend, recovering whatever
+    /// survived the last crash into the in-memory shards. Recovered
+    /// chunks are stamped `now` and report zero reads. Returns the store
+    /// and the backend's [`RecoveryReport`] (chunk list, quarantined and
+    /// torn-record counts) so the owning service can re-announce its
+    /// inventory.
+    ///
+    /// A backend that fails to open is a deployment error (bad
+    /// directory, corrupt superblock) and panics: a provider must not
+    /// come up half-durable.
+    pub fn open(capacity: u64, backend: &BackendConfig, now: SimTime) -> (Self, RecoveryReport) {
+        let mut backend = backend
+            .build()
+            .unwrap_or_else(|e| panic!("chunk backend failed to open ({backend:?}): {e}"));
+        let report = backend.recover();
+        let store = ChunkStore {
+            capacity,
+            used: AtomicU64::new(0),
+            items: AtomicU64::new(0),
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            backend: Mutex::new(backend),
+            total_puts: AtomicU64::new(0),
+            total_gets: AtomicU64::new(0),
+            total_misses: AtomicU64::new(0),
+        };
+        for (key, data) in &report.chunks {
+            let size = data.len();
+            let mut shard = store.shards[shard_of(key)].lock();
+            if store.used.load(Ordering::Relaxed) + size > capacity {
+                // A shrunk capacity cannot re-admit everything; keep the
+                // prefix that fits. (The log still holds the rest.)
+                break;
+            }
+            store.used.fetch_add(size, Ordering::Relaxed);
+            store.items.fetch_add(1, Ordering::Relaxed);
+            shard.chunks.insert(
+                *key,
+                (data.clone(), ChunkMeta { stored_at: now, last_access: now, reads: 0 }),
+            );
+        }
+        (store, report)
     }
 
     /// Store a chunk. Idempotent for retransmissions (an existing key is
@@ -100,6 +157,12 @@ impl ChunkStore {
             self.used.fetch_sub(size, Ordering::Relaxed);
             return Err(PutError::Full);
         }
+        // Persist before acknowledging; a backend that cannot write is
+        // fail-stop (better a dead provider than a lying one).
+        self.backend
+            .lock()
+            .append_put(&key, &data)
+            .expect("chunk backend append failed; provider is fail-stop");
         self.items.fetch_add(1, Ordering::Relaxed);
         self.total_puts.fetch_add(1, Ordering::Relaxed);
         shard
@@ -158,15 +221,37 @@ impl ChunkStore {
         self.shards[shard_of(key)].lock().chunks.get(key).map(|(_, m)| *m)
     }
 
-    /// Delete a chunk; returns the freed bytes.
+    /// Delete a chunk; returns the freed bytes. The in-memory removal
+    /// and the backend tombstone happen under the same shard lock, so no
+    /// interleaved put/recovery can observe one without the other.
     pub fn delete(&self, key: &ChunkKey) -> Option<u64> {
         let mut shard = self.shards[shard_of(key)].lock();
         shard.chunks.remove(key).map(|(d, _)| {
+            self.backend
+                .lock()
+                .append_delete(key)
+                .expect("chunk backend delete failed; provider is fail-stop");
             let n = d.len();
             self.used.fetch_sub(n, Ordering::Relaxed);
             self.items.fetch_sub(1, Ordering::Relaxed);
             n
         })
+    }
+
+    /// Give the backend a compaction opportunity (called from the
+    /// provider's heartbeat). Returns the bytes reclaimed, 0 when no
+    /// segment crossed its dead-byte threshold.
+    pub fn maybe_compact(&self) -> u64 {
+        self.backend
+            .lock()
+            .maybe_compact()
+            .expect("chunk backend compaction failed; provider is fail-stop")
+    }
+
+    /// Occupancy / maintenance counters of the durable backend (all
+    /// zeros for the memory backend).
+    pub fn backend_stats(&self) -> BackendStats {
+        self.backend.lock().stats()
     }
 
     /// Number of chunks held.
@@ -478,5 +563,59 @@ mod tests {
         c.insert(key(0), Payload::Sim(1));
         c.remove(&key(0));
         assert!(c.get(&key(0)).is_none());
+    }
+
+    fn disk_cfg(name: &str) -> (BackendConfig, std::path::PathBuf) {
+        let dir = std::env::temp_dir()
+            .join(format!("sads-provider-test-{}-{name}", std::process::id()));
+        (BackendConfig::Disk(crate::storage::DiskConfig::new(&dir)), dir)
+    }
+
+    #[test]
+    fn open_with_disk_backend_recovers_after_crash() {
+        let (cfg, dir) = disk_cfg("recover");
+        {
+            let (s, r) = ChunkStore::open(1 << 20, &cfg, t(0));
+            assert!(r.chunks.is_empty(), "fresh dir recovers nothing");
+            s.put(key(0), Payload::Data(bytes::Bytes::from(vec![3u8; 256])), t(1)).unwrap();
+            s.put(key(1), Payload::Sim(512), t(1)).unwrap();
+            // crash: drop without any shutdown protocol
+        }
+        let (s, r) = ChunkStore::open(1 << 20, &cfg, t(9));
+        assert_eq!(r.chunks.len(), 2);
+        assert_eq!(r.bytes, 768);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.used(), 768);
+        assert_eq!(s.get(&key(0), t(10)).unwrap().len(), 256);
+        assert_eq!(s.meta(&key(1)).unwrap().stored_at, t(9), "recovered chunks restamped");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn delete_tombstone_survives_crash() {
+        let (cfg, dir) = disk_cfg("delete");
+        {
+            let (s, _) = ChunkStore::open(1 << 20, &cfg, t(0));
+            s.put(key(0), Payload::Sim(64), t(0)).unwrap();
+            s.put(key(1), Payload::Sim(64), t(0)).unwrap();
+            assert_eq!(s.delete(&key(0)), Some(64));
+        }
+        let (s, r) = ChunkStore::open(1 << 20, &cfg, t(5));
+        assert_eq!(r.chunks.len(), 1);
+        assert!(s.get(&key(0), t(6)).is_none(), "deleted chunk stays gone after recovery");
+        assert!(s.get(&key(1), t(6)).is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn memory_backend_recovers_nothing() {
+        let (s, r) = ChunkStore::open(1 << 20, &BackendConfig::Memory, t(0));
+        s.put(key(0), Payload::Sim(64), t(0)).unwrap();
+        assert!(r.chunks.is_empty());
+        drop(s);
+        let (s, r) = ChunkStore::open(1 << 20, &BackendConfig::Memory, t(1));
+        assert!(r.chunks.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.backend_stats(), BackendStats::default());
     }
 }

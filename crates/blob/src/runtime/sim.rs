@@ -389,14 +389,14 @@ mod tests {
         );
         let vman = add_service(
             &mut world,
-            Box::new(VersionManagerService::new(scfg)),
+            Box::new(VersionManagerService::new(scfg.clone())),
             NodeConfig::unlimited(),
         );
         let meta: Vec<NodeId> = (0..n_meta)
             .map(|_| {
                 add_service(
                     &mut world,
-                    Box::new(MetaProviderService::new(pman, 1 << 30, scfg)),
+                    Box::new(MetaProviderService::new(pman, 1 << 30, scfg.clone())),
                     NodeConfig::default(),
                 )
             })
@@ -404,7 +404,7 @@ mod tests {
         for _ in 0..n_data {
             add_service(
                 &mut world,
-                Box::new(DataProviderService::new(pman, 1 << 40, scfg)),
+                Box::new(DataProviderService::new(pman, 1 << 40, scfg.clone())),
                 NodeConfig::default(),
             );
         }

@@ -31,6 +31,7 @@ use crate::services::{
     DataProviderService, MetaProviderService, ProviderManagerService, Service, ServiceConfig,
     VersionManagerService,
 };
+use crate::storage::{BackendConfig, BackendSpec};
 use crate::vmanager::WriteKind;
 
 /// Handle to a client cell: a blocking BlobSeer API over real bytes.
@@ -226,6 +227,7 @@ pub struct ClusterBuilder {
     span_sink: Option<Arc<SpanSink>>,
     telemetry: Option<Arc<TelemetryRegistry>>,
     executor_shards: usize,
+    backend: BackendSpec,
 }
 
 impl Default for ClusterBuilder {
@@ -240,6 +242,7 @@ impl Default for ClusterBuilder {
             span_sink: None,
             telemetry: None,
             executor_shards: 0,
+            backend: BackendSpec::Memory,
         }
     }
 }
@@ -283,6 +286,16 @@ impl ClusterBuilder {
     /// Client tuning.
     pub fn client_config(mut self, cfg: ClientConfig) -> Self {
         self.client_cfg = cfg;
+        self
+    }
+
+    /// Durable chunk backend for the data providers. Each provider gets
+    /// its own subdirectory of the spec's root, and the cluster remembers
+    /// the assignment so [`Cluster::restart_data_provider`] re-opens the
+    /// same directory — a restarted provider recovers its chunks instead
+    /// of coming back empty.
+    pub fn backend(mut self, spec: BackendSpec) -> Self {
+        self.backend = spec;
         self
     }
 
@@ -332,21 +345,24 @@ impl ClusterBuilder {
             vman: NodeId(0),
             meta: Vec::new(),
             data: Vec::new(),
-            service_cfg: self.service_cfg,
+            service_cfg: self.service_cfg.clone(),
             client_cfg: self.client_cfg,
             next_seed: 1,
             span_sink: self.span_sink,
             telemetry,
+            backend: self.backend,
+            provider_backends: std::collections::HashMap::new(),
+            next_backend_ordinal: 0,
         };
         cluster.pman =
             cluster.add_service(Box::new(ProviderManagerService::new(self.strategy)));
         cluster.vman =
-            cluster.add_service(Box::new(VersionManagerService::new(self.service_cfg)));
+            cluster.add_service(Box::new(VersionManagerService::new(self.service_cfg.clone())));
         for _ in 0..self.meta_providers {
             let n = cluster.add_service(Box::new(MetaProviderService::new(
                 cluster.pman,
                 self.provider_capacity,
-                self.service_cfg,
+                self.service_cfg.clone(),
             )));
             cluster.meta.push(n);
         }
@@ -376,6 +392,13 @@ pub struct Cluster {
     next_seed: u64,
     span_sink: Option<Arc<SpanSink>>,
     telemetry: Arc<TelemetryRegistry>,
+    /// Deployment-wide backend selection for data providers.
+    backend: BackendSpec,
+    /// Which backend each data provider was opened with — consulted by
+    /// [`Cluster::restart_data_provider`] so a restart re-opens the same
+    /// directory instead of a fresh (empty) one.
+    provider_backends: std::collections::HashMap<NodeId, BackendConfig>,
+    next_backend_ordinal: usize,
 }
 
 impl Cluster {
@@ -405,7 +428,7 @@ impl Cluster {
 
     /// The service wiring currently applied to new nodes.
     pub fn service_config(&self) -> ServiceConfig {
-        self.service_cfg
+        self.service_cfg.clone()
     }
 
     /// Host an arbitrary service (monitoring, security, …) as a new
@@ -416,11 +439,19 @@ impl Cluster {
         self.exec.add_node(NodeKind::Service(service), seed)
     }
 
-    /// Add a data provider at runtime (elastic scale-up).
+    /// Add a data provider at runtime (elastic scale-up). The provider's
+    /// backend directory is assigned from the cluster's [`BackendSpec`]
+    /// and remembered for restarts.
     pub fn add_data_provider(&mut self, capacity: u64) -> NodeId {
         let pman = self.pman;
-        let cfg = self.service_cfg;
-        self.add_service(Box::new(DataProviderService::new(pman, capacity, cfg)))
+        let ordinal = self.next_backend_ordinal;
+        self.next_backend_ordinal += 1;
+        let backend = self.backend.for_provider(ordinal);
+        let mut cfg = self.service_cfg.clone();
+        cfg.backend = backend.clone();
+        let node = self.add_service(Box::new(DataProviderService::new(pman, capacity, cfg)));
+        self.provider_backends.insert(node, backend);
+        node
     }
 
     /// Create a client; each client is one more multiplexed cell, so
@@ -475,12 +506,17 @@ impl Cluster {
         self.exec.reinstall(node, NodeKind::Service(service), seed)
     }
 
-    /// Restart a killed data provider at its old address with an empty
-    /// store of `capacity` bytes (crash-recovery convenience over
-    /// [`restart_service`](Cluster::restart_service)).
+    /// Restart a killed data provider at its old address (crash-recovery
+    /// convenience over [`restart_service`](Cluster::restart_service)).
+    /// With the memory backend the store comes back empty; with a disk
+    /// backend the provider re-opens the directory it was originally
+    /// assigned, recovers its chunks and re-announces them.
     pub fn restart_data_provider(&mut self, node: NodeId, capacity: u64) -> bool {
         let pman = self.pman;
-        let cfg = self.service_cfg;
+        let mut cfg = self.service_cfg.clone();
+        if let Some(backend) = self.provider_backends.get(&node) {
+            cfg.backend = backend.clone();
+        }
         self.restart_service(node, Box::new(DataProviderService::new(pman, capacity, cfg)))
     }
 

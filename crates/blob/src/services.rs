@@ -19,6 +19,7 @@ use crate::pmanager::{AllocationStrategy, ProviderKind, ProviderLoad, ProviderRe
 use crate::probe::{Instrument, ProbeEvent, RejectReason};
 use crate::provider::{ChunkStore, PutError, ReadCache};
 use crate::rpc::{ChunkErr, Msg};
+use crate::storage::BackendConfig;
 use crate::vmanager::VersionManagerState;
 
 /// Everything a service may do to the outside world. Implemented by the
@@ -115,8 +116,9 @@ pub const TOKEN_EXPIRE: u64 = u64::MAX - 2;
 pub const TOKEN_STALL: u64 = u64::MAX - 3;
 
 /// Shared service wiring: where the managers live, whether instrumentation
-/// is on, and the periodic intervals.
-#[derive(Clone, Copy, Debug)]
+/// is on, the periodic intervals, and which storage backend data
+/// providers persist through.
+#[derive(Clone, Debug)]
 pub struct ServiceConfig {
     /// Monitoring service receiving this node's probe batches (`None`
     /// disables the instrumentation layer).
@@ -133,6 +135,11 @@ pub struct ServiceConfig {
     /// construction: chunks are immutable once written, so cached entries
     /// can never go stale (see [`crate::provider::ReadCache`]).
     pub read_cache_chunks: usize,
+    /// Durable chunk backend for the data provider's store. The default
+    /// [`BackendConfig::Memory`] keeps the historical crash-loses-all
+    /// semantics; [`BackendConfig::Disk`] makes a restarted provider
+    /// recover and re-announce its chunks (see [`crate::storage`]).
+    pub backend: BackendConfig,
 }
 
 impl Default for ServiceConfig {
@@ -143,6 +150,7 @@ impl Default for ServiceConfig {
             instr_flush_every: SimDuration::from_secs(1),
             nic_bandwidth: 125_000_000,
             read_cache_chunks: 128,
+            backend: BackendConfig::Memory,
         }
     }
 }
@@ -180,16 +188,24 @@ pub struct DataProviderService {
     /// In-flight replication relays: our PutChunk req → (manager, its req).
     relays: HashMap<u64, (NodeId, u64)>,
     next_req: u64,
+    /// Chunks recovered from the durable backend at construction,
+    /// awaiting re-announcement in `on_start` (key, bytes).
+    recovered: Vec<(ChunkKey, u64)>,
+    /// Records the backend quarantined during recovery (CRC mismatches).
+    recovery_quarantined: u64,
 }
 
 impl DataProviderService {
     /// A provider with `capacity` bytes of chunk storage, managed by
-    /// `pman`.
+    /// `pman`. Opens the backend named by `cfg.backend`; whatever it
+    /// recovers is re-announced to the monitoring plane in
+    /// [`Service::on_start`].
     pub fn new(pman: NodeId, capacity: u64, cfg: ServiceConfig) -> Self {
+        let (store, report) = ChunkStore::open(capacity, &cfg.backend, SimTime(0));
+        let recovered = report.chunks.iter().map(|(k, p)| (*k, p.len())).collect();
         DataProviderService {
             pman,
-            cfg,
-            store: ChunkStore::new(capacity),
+            store,
             read_cache: ReadCache::new(cfg.read_cache_chunks),
             blacklist: HashSet::new(),
             instr: Instrument::new(cfg.monitor.is_some()),
@@ -197,6 +213,9 @@ impl DataProviderService {
             bytes_since_hb: 0,
             relays: HashMap::new(),
             next_req: 1,
+            recovered,
+            recovery_quarantined: report.quarantined,
+            cfg,
         }
     }
 
@@ -250,6 +269,13 @@ impl DataProviderService {
             mem,
         });
         telemetry_heartbeat(env);
+        // Piggyback backend maintenance on the heartbeat tick: compaction
+        // only runs when a sealed segment crossed its dead-byte
+        // threshold, so this is free for the memory backend.
+        let reclaimed = self.store.maybe_compact();
+        if reclaimed > 0 {
+            env.incr("provider.compacted_bytes", reclaimed);
+        }
         if let Some(reg) = env.telemetry() {
             let node = env.id().0.to_string();
             let labels = [("node", node.as_str())];
@@ -257,6 +283,9 @@ impl DataProviderService {
             reg.set("provider.store_bytes", &labels, self.store.used() as f64);
             reg.set("provider.fill", &labels, self.store.fill_ratio());
             reg.set("provider.cache_evictions", &labels, self.read_cache.evictions() as f64);
+            let bs = self.store.backend_stats();
+            reg.set("provider.backend_dead_bytes", &labels, bs.dead_bytes as f64);
+            reg.set("provider.backend_segments", &labels, bs.segments as f64);
         }
         self.ops_since_hb = 0;
         self.bytes_since_hb = 0;
@@ -278,6 +307,24 @@ impl Service for DataProviderService {
             self.pman,
             Msg::Register { kind: ProviderKind::Data, capacity: self.store.capacity() },
         );
+        // Re-announce chunks the durable backend recovered: the probes
+        // flow through the monitoring pipeline to the replication
+        // manager, which re-learns placement instead of seeing a deficit
+        // and scheduling repair traffic.
+        if !self.recovered.is_empty() {
+            let provider = env.id();
+            let count = self.recovered.len() as u64;
+            let mut bytes = 0;
+            for (key, len) in self.recovered.drain(..) {
+                self.instr.emit(ProbeEvent::ChunkRecovered { provider, key, bytes: len });
+                bytes += len;
+            }
+            env.incr("provider.recovered_chunks", count);
+            env.incr("provider.recovered_bytes", bytes);
+        }
+        if self.recovery_quarantined > 0 {
+            env.incr("provider.quarantined_chunks", self.recovery_quarantined);
+        }
         env.set_timer(self.cfg.heartbeat_every, TOKEN_HEARTBEAT);
         if self.cfg.monitor.is_some() {
             env.set_timer(self.cfg.instr_flush_every, TOKEN_INSTR);
@@ -301,6 +348,12 @@ impl Service for DataProviderService {
                 let bytes = data.len();
                 match self.store.put(key, data, env.now()) {
                     Ok(()) => {
+                        // SYSTEM puts are replication repair relays —
+                        // exactly the traffic a durable restart avoids.
+                        if client == ClientId::SYSTEM {
+                            env.incr("provider.repair_chunks", 1);
+                            env.incr("provider.repair_bytes", bytes);
+                        }
                         self.instr.emit(ProbeEvent::ChunkWritten {
                             provider: env.id(),
                             client,
@@ -338,6 +391,10 @@ impl Service for DataProviderService {
                     self.bytes_since_hb += bytes;
                     match self.store.put(key, data, env.now()) {
                         Ok(()) => {
+                            if client == ClientId::SYSTEM {
+                                env.incr("provider.repair_chunks", 1);
+                                env.incr("provider.repair_bytes", bytes);
+                            }
                             self.instr.emit(ProbeEvent::ChunkWritten {
                                 provider: env.id(),
                                 client,
@@ -521,11 +578,11 @@ impl MetaProviderService {
     pub fn new(pman: NodeId, capacity: u64, cfg: ServiceConfig) -> Self {
         MetaProviderService {
             pman,
-            cfg,
             store: crate::meta::MetaStore::new(),
             instr: Instrument::new(cfg.monitor.is_some()),
             ops_since_hb: 0,
             capacity,
+            cfg,
         }
     }
 

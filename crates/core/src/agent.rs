@@ -72,7 +72,7 @@ impl Actor for DeployAgent {
                         Box::new(SimService::new(Box::new(DataProviderService::new(
                             self.pman,
                             self.capacity,
-                            self.svc_cfg,
+                            self.svc_cfg.clone(),
                         )))),
                         NodeConfig::default(),
                     );

@@ -16,6 +16,7 @@ use sads_blob::services::{
     VersionManagerService,
 };
 use sads_blob::ClientId;
+use sads_blob::{BackendConfig, BackendSpec};
 use sads_introspect::{BurnRateRule, IntrospectionService, RuleSource, SloAlertService};
 use sads_monitor::{MonitoringService, StorageConfig, StorageServerService};
 use sads_security::{PolicySet, SecurityConfig, SecurityEngineService};
@@ -84,6 +85,12 @@ pub struct DeploymentConfig {
     /// controller, the replication manager and the security engine —
     /// whichever of them are deployed.
     pub alerts: Option<Vec<BurnRateRule>>,
+    /// Chunk-backend family for data providers. `Memory` (the default)
+    /// loses all chunks on a crash; `Disk` gives each provider a
+    /// log-structured store under a per-provider directory, and a
+    /// restart at the same address recovers its chunks from the log
+    /// (see [`sads_blob::storage`]).
+    pub backend: BackendSpec,
 }
 
 impl Default for DeploymentConfig {
@@ -110,6 +117,7 @@ impl Default for DeploymentConfig {
             tracing: false,
             telemetry: false,
             alerts: None,
+            backend: BackendSpec::Memory,
         }
     }
 }
@@ -185,6 +193,10 @@ pub struct Deployment {
     /// Config the deployment was built from.
     pub cfg: DeploymentConfig,
     next_monitor: usize,
+    /// Which chunk backend each data provider was built with, so a
+    /// restart at the same address re-opens the same on-disk store.
+    provider_backends: std::collections::HashMap<NodeId, BackendConfig>,
+    next_backend_ordinal: usize,
 }
 
 impl Deployment {
@@ -263,17 +275,21 @@ impl Deployment {
                 )
             })
             .collect();
+        let mut provider_backends = std::collections::HashMap::new();
+        let mut next_backend_ordinal = 0usize;
         let data: Vec<NodeId> = (0..cfg.data_providers)
             .map(|_| {
-                add_service(
+                let backend = cfg.backend.for_provider(next_backend_ordinal);
+                next_backend_ordinal += 1;
+                let mut sc = svc_cfg(&monitors);
+                sc.backend = backend.clone();
+                let n = add_service(
                     &mut world,
-                    Box::new(DataProviderService::new(
-                        pman,
-                        cfg.provider_capacity,
-                        svc_cfg(&monitors),
-                    )),
+                    Box::new(DataProviderService::new(pman, cfg.provider_capacity, sc)),
                     NodeConfig::default(),
-                )
+                );
+                provider_backends.insert(n, backend);
+                n
             })
             .collect();
         let _ = &mut svc_cfg;
@@ -394,6 +410,8 @@ impl Deployment {
             alert_engine,
             cfg,
             next_monitor,
+            provider_backends,
+            next_backend_ordinal,
         }
     }
 
@@ -421,12 +439,16 @@ impl Deployment {
     /// Add an extra data provider at runtime (manual scale-up; the
     /// elasticity controller does this itself through the deploy agent).
     pub fn add_data_provider(&mut self) -> NodeId {
-        let cfg = self.next_service_cfg();
+        let backend = self.cfg.backend.for_provider(self.next_backend_ordinal);
+        self.next_backend_ordinal += 1;
+        let mut cfg = self.next_service_cfg();
+        cfg.backend = backend.clone();
         let n = add_service(
             &mut self.world,
             Box::new(DataProviderService::new(self.pman, self.cfg.provider_capacity, cfg)),
             NodeConfig::default(),
         );
+        self.provider_backends.insert(n, backend);
         self.data.push(n);
         n
     }
@@ -436,12 +458,14 @@ impl Deployment {
         self.world.crash(node);
     }
 
-    /// Restart a crashed data provider at its **old address** with a
-    /// clean store — the sim analogue of respawning the provider process
-    /// on the same endpoint. Registration with the provider manager
+    /// Restart a crashed data provider at its **old address** — the sim
+    /// analogue of respawning the provider process on the same endpoint.
+    /// With the `Memory` backend the store comes back empty; with a
+    /// `Disk` backend the new actor re-opens the provider's on-disk log
+    /// and recovers its chunks. Registration with the provider manager
     /// happens through the service's normal start-up path.
     pub fn restart_data_provider(&mut self, node: NodeId) {
-        let actor = self.fresh_data_provider_actor();
+        let actor = self.fresh_data_provider_actor(node);
         self.world.restart(node, actor);
     }
 
@@ -452,8 +476,13 @@ impl Deployment {
     pub fn data_provider_revive(&mut self) -> impl FnMut(NodeId) -> Box<dyn Actor> + 'static {
         let pman = self.pman;
         let capacity = self.cfg.provider_capacity;
-        let cfg = self.next_service_cfg();
-        move |_node| {
+        let base = self.next_service_cfg();
+        let backends = self.provider_backends.clone();
+        move |node| {
+            let mut cfg = base.clone();
+            if let Some(b) = backends.get(&node) {
+                cfg.backend = b.clone();
+            }
             Box::new(SimService::new(Box::new(DataProviderService::new(pman, capacity, cfg))))
                 as Box<dyn Actor>
         }
@@ -489,8 +518,11 @@ impl Deployment {
         }
     }
 
-    fn fresh_data_provider_actor(&mut self) -> Box<dyn Actor> {
-        let cfg = self.next_service_cfg();
+    fn fresh_data_provider_actor(&mut self, node: NodeId) -> Box<dyn Actor> {
+        let mut cfg = self.next_service_cfg();
+        if let Some(b) = self.provider_backends.get(&node) {
+            cfg.backend = b.clone();
+        }
         Box::new(SimService::new(Box::new(DataProviderService::new(
             self.pman,
             self.cfg.provider_capacity,

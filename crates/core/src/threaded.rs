@@ -86,16 +86,16 @@ impl SelfAdaptiveCluster {
             nic_bandwidth: 125_000_000,
             ..ServiceConfig::default()
         };
-        cluster.set_service_config(svc);
+        cluster.set_service_config(svc.clone());
 
         // A monitored version manager replaces the builder's bare one.
-        let vman = cluster.add_service(Box::new(VersionManagerService::new(svc)));
+        let vman = cluster.add_service(Box::new(VersionManagerService::new(svc.clone())));
         cluster.vman = vman;
 
         for _ in 0..cfg.meta_providers {
             let pman = cluster.pman;
             let n = cluster
-                .add_service(Box::new(MetaProviderService::new(pman, cfg.provider_capacity, svc)));
+                .add_service(Box::new(MetaProviderService::new(pman, cfg.provider_capacity, svc.clone())));
             cluster.meta.push(n);
         }
         for _ in 0..cfg.data_providers {

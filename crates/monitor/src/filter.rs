@@ -241,6 +241,15 @@ impl DataFilter for ActivityFilter {
                 chunk: Some(*key),
                 bytes: *bytes,
             },
+            ProbeEvent::ChunkRecovered { provider, key, bytes } => ActivityRecord {
+                at,
+                client: sads_blob::model::ClientId::SYSTEM,
+                kind: ActivityKind::ChunkRecovered,
+                blob: Some(key.blob),
+                provider: Some(*provider),
+                chunk: Some(*key),
+                bytes: *bytes,
+            },
             ProbeEvent::ChunkRejected { provider, client, .. } => ActivityRecord {
                 at,
                 client: *client,

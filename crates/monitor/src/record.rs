@@ -91,6 +91,10 @@ impl MonRecord {
 pub enum ActivityKind {
     /// Stored a chunk.
     ChunkWrite,
+    /// A restarted provider re-announced a chunk recovered from its
+    /// durable backend (attributed to `ClientId::SYSTEM`). The
+    /// replication manager treats it like a write for placement.
+    ChunkRecovered,
     /// Read a chunk that existed.
     ChunkRead,
     /// Asked for a chunk that did not exist.
