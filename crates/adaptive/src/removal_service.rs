@@ -228,6 +228,8 @@ mod tests {
                 blob: BlobId(1),
                 page_size: PAGE,
                 versions: vec![vs(0, 0, 0, 0), vs(1, 0, 4, 4), vs(2, 0, 4, 4)],
+                snapshots: vec![],
+                decommissioned: false,
             },
         );
         let get_meta = env
@@ -305,6 +307,8 @@ mod tests {
                 blob: BlobId(1),
                 page_size: PAGE,
                 versions: vec![vs(0, 0, 0, 0), vs(1, 0, 4, 4), vs(2, 0, 4, 4)],
+                snapshots: vec![],
+                decommissioned: false,
             },
         );
         assert!(env.sent.is_empty());

@@ -256,6 +256,45 @@ impl Service for ReplicationManagerService {
                 self.meta_providers = meta_providers;
                 self.reconcile(env);
             }
+            Msg::ReportCorrupt { key, provider } => {
+                // The scrub found (and already quarantined) a damaged
+                // replica: that copy is gone *now*, not pending a write
+                // record, so the two-sweep deficit debounce does not
+                // apply — drop the holder, point readers away from it,
+                // and dispatch the repair immediately.
+                env.incr("repl.corrupt_reports", 1);
+                let Some(holders) = self.placement.get_mut(&key) else { return };
+                holders.retain(|p| *p != provider);
+                let survivors = holders.clone();
+                if survivors.is_empty() {
+                    env.incr("repl.lost_chunks", 1);
+                    self.placement.remove(&key);
+                    return;
+                }
+                self.patch_leaf(env, key, survivors.clone());
+                if survivors.len() < self.target_for(key.blob) as usize
+                    && !self.repairing.contains(&key)
+                    && !self.live.is_empty()
+                {
+                    let candidates: Vec<NodeId> = self
+                        .live
+                        .iter()
+                        .copied()
+                        .filter(|p| *p != provider && !survivors.contains(p))
+                        .collect();
+                    if let Some(&dest) = candidates.get(self.rr % candidates.len().max(1)) {
+                        self.rr += 1;
+                        let source = survivors[0];
+                        let req = self.req();
+                        self.pending.insert(req, (key, dest));
+                        self.repairing.insert(key);
+                        env.send(source, Msg::ReplicateChunk { req, key, to: dest });
+                    }
+                }
+                // Whether or not a repair went out, mark the deficit
+                // confirmed so the next sweep retries without debounce.
+                self.deficient_prev.insert(key);
+            }
             Msg::ReplicateChunkOk { req, ok } => {
                 if let Some((key, dest)) = self.pending.remove(&req) {
                     self.repairing.remove(&key);
@@ -583,6 +622,61 @@ mod tests {
         let deletes =
             env.sent.iter().filter(|(_, m)| matches!(m, Msg::DeleteChunk { .. })).count();
         assert_eq!(deletes, 2, "one excess replica trimmed per chunk");
+    }
+
+    #[test]
+    fn corruption_report_repairs_immediately_without_debounce() {
+        let mut env = TestEnv::new();
+        let mut m = mgr();
+        feed_placement(&mut m, &mut env);
+        // One directory so `live` is known; no deficit seen yet, so the
+        // two-sweep debounce would normally delay any repair.
+        m.on_msg(
+            &mut env,
+            NodeId(1),
+            Msg::Directory {
+                req: 9,
+                meta_providers: vec![NodeId(30)],
+                data_providers: vec![NodeId(20), NodeId(21), NodeId(22), NodeId(23)],
+            },
+        );
+        env.sent.clear();
+        // The scrubber reports chunk 0's replica on 20 corrupt
+        // (already quarantined at the provider).
+        m.on_msg(&mut env, NodeId(50), Msg::ReportCorrupt { key: chunk(0), provider: NodeId(20) });
+        assert_eq!(m.placement()[&chunk(0)], vec![NodeId(21)], "corrupt holder dropped");
+        // Readers are pointed at the survivors right away…
+        assert!(env.sent.iter().any(|(to, msg)| *to == NodeId(30)
+            && matches!(msg, Msg::PatchLeaf { replicas, .. } if replicas == &vec![NodeId(21)])));
+        // …and the repair goes out on the spot, sourced from a survivor.
+        let (to, msg) = env
+            .sent
+            .iter()
+            .find(|(_, msg)| matches!(msg, Msg::ReplicateChunk { .. }))
+            .expect("immediate repair");
+        assert_eq!(*to, NodeId(21));
+        let Msg::ReplicateChunk { req, key, to: dest } = msg else { unreachable!() };
+        assert_eq!(*key, chunk(0));
+        assert_ne!(*dest, NodeId(20), "corrupt provider is not the destination");
+        let (req, dest) = (*req, *dest);
+        m.on_msg(&mut env, NodeId(21), Msg::ReplicateChunkOk { req, ok: true });
+        assert!(m.placement()[&chunk(0)].contains(&dest));
+        assert_eq!(m.repairs_done(), 1);
+    }
+
+    #[test]
+    fn corruption_of_the_last_replica_counts_as_loss() {
+        let mut env = TestEnv::new();
+        let mut m = mgr();
+        // Chunk 0 held by provider 20 only.
+        m.on_msg(
+            &mut env,
+            NodeId(10),
+            mon_msg(MonMsg::ActivityBatch { req: 1, records: vec![write_record(0, 20)], last_seq: 1 }),
+        );
+        m.on_msg(&mut env, NodeId(50), Msg::ReportCorrupt { key: chunk(0), provider: NodeId(20) });
+        assert!(m.placement().is_empty(), "chunk is lost, not repairable");
+        assert!(env.sent.iter().all(|(_, m)| !matches!(m, Msg::ReplicateChunk { .. })));
     }
 
     #[test]

@@ -69,6 +69,21 @@ pub enum ClientOp {
         /// Byte length (clamped to the version size).
         len: u64,
     },
+    /// Pin a version as a snapshot (latest if `version` is `None`). A
+    /// metadata-only O(1) operation: the pinned version becomes a GC
+    /// root, its segment tree is shared, never copied.
+    Snapshot {
+        /// Target BLOB.
+        blob: BlobId,
+        /// Version to pin, or latest.
+        version: Option<VersionId>,
+    },
+    /// Decommission a BLOB: unpin every snapshot and mark the whole
+    /// version history reclaimable by the lifecycle sweeper.
+    Decommission {
+        /// Target BLOB.
+        blob: BlobId,
+    },
 }
 
 /// Successful operation output.
@@ -93,6 +108,20 @@ pub enum OpOutput {
         data: Payload,
         /// The version that was read.
         version: VersionId,
+    },
+    /// Snapshot pinned.
+    Snapshotted {
+        /// Target BLOB.
+        blob: BlobId,
+        /// The pinned version.
+        version: VersionId,
+    },
+    /// BLOB decommissioned (`false` = refused, e.g. blocked client).
+    Decommissioned {
+        /// Target BLOB.
+        blob: BlobId,
+        /// Whether the version manager accepted.
+        ok: bool,
     },
 }
 
@@ -355,6 +384,8 @@ enum SessKind {
     // and pending queues, and are much larger than the other variants.
     Write(Box<WriteSess>),
     Read(Box<ReadSess>),
+    Snapshot(BlobId),
+    Decommission(BlobId),
 }
 
 /// Causal-trace state of one operation: the root span identity plus the
@@ -513,6 +544,8 @@ impl ClientCore {
             ClientOp::Create { .. } => "create",
             ClientOp::Write { .. } => "write",
             ClientOp::Read { .. } => "read",
+            ClientOp::Snapshot { .. } => "snapshot",
+            ClientOp::Decommission { .. } => "decommission",
         };
         let trace = env.span_sink().map(|sink| {
             // Nest under an ambient context when one exists (e.g. the S3
@@ -581,6 +614,20 @@ impl ClientCore {
                 sess.outstanding.insert(req);
                 self.sessions.insert(sid, sess);
                 env.send(self.vman, Msg::GetVersion { req, client: self.id, blob, version });
+            }
+            ClientOp::Snapshot { blob, version } => {
+                sess.kind = SessKind::Snapshot(blob);
+                let req = self.fresh_req(sid, ReqRole::Plain);
+                sess.outstanding.insert(req);
+                self.sessions.insert(sid, sess);
+                env.send(self.vman, Msg::SnapshotVersion { req, client: self.id, blob, version });
+            }
+            ClientOp::Decommission { blob } => {
+                sess.kind = SessKind::Decommission(blob);
+                let req = self.fresh_req(sid, ReqRole::Plain);
+                sess.outstanding.insert(req);
+                self.sessions.insert(sid, sess);
+                env.send(self.vman, Msg::DecommissionBlob { req, client: self.id, blob });
             }
         }
         env.set_trace_ctx(None);
@@ -723,6 +770,8 @@ impl ClientCore {
     fn stage_of(kind: &SessKind) -> &'static str {
         match kind {
             SessKind::Create => "create",
+            SessKind::Snapshot(_) => "snapshot",
+            SessKind::Decommission(_) => "decommission",
             SessKind::Write(w) => match w.phase {
                 WritePhase::Ticket => "ticket",
                 WritePhase::Alloc => "alloc",
@@ -809,6 +858,21 @@ impl ClientCore {
             SessKind::Create => match msg {
                 Msg::CreateBlobOk { blob, .. } => Step::Done(Ok(OpOutput::Created(blob)), 0),
                 _ => Step::Done(Err(BlobError::Protocol("unexpected reply to create")), 0),
+            },
+
+            SessKind::Snapshot(blob) => match msg {
+                Msg::SnapshotVersionOk { version, .. } => {
+                    Step::Done(Ok(OpOutput::Snapshotted { blob: *blob, version }), 0)
+                }
+                Msg::SnapshotVersionErr { err, .. } => Step::Done(Err(err), 0),
+                _ => Step::Done(Err(BlobError::Protocol("unexpected reply to snapshot")), 0),
+            },
+
+            SessKind::Decommission(blob) => match msg {
+                Msg::DecommissionBlobOk { ok, .. } => {
+                    Step::Done(Ok(OpOutput::Decommissioned { blob: *blob, ok }), 0)
+                }
+                _ => Step::Done(Err(BlobError::Protocol("unexpected reply to decommission")), 0),
             },
 
             SessKind::Write(w) => match (std::mem::replace(&mut w.phase, WritePhase::Ticket), msg)
@@ -1783,6 +1847,9 @@ fn req_of(msg: &Msg) -> Option<u64> {
         | Msg::GetMetaOk { req, .. }
         | Msg::DeleteMetaOk { req, .. }
         | Msg::CreateBlobOk { req, .. }
+        | Msg::SnapshotVersionOk { req, .. }
+        | Msg::SnapshotVersionErr { req, .. }
+        | Msg::DecommissionBlobOk { req, .. }
         | Msg::TicketOk { req, .. }
         | Msg::TicketErr { req, .. }
         | Msg::CommitOk { req, .. }
@@ -1890,6 +1957,55 @@ mod tests {
         assert_eq!(done[0].tag, 42);
         assert_eq!(done[0].result.as_ref().unwrap(), &OpOutput::Created(BlobId(5)));
         assert_eq!(c.active_ops(), 0);
+    }
+
+    #[test]
+    fn snapshot_and_decommission_round_trips() {
+        let mut env = TestEnv::new();
+        let mut c = core();
+        c.start_op(&mut env, ClientOp::Snapshot { blob: BlobId(5), version: None }, 1);
+        let (to, msg) = env.take_sent().pop().expect("snapshot sent");
+        assert_eq!(to, VMAN);
+        let Msg::SnapshotVersion { req, version: None, .. } = msg else { panic!("{msg:?}") };
+        let done =
+            c.handle_msg(&mut env, VMAN, Msg::SnapshotVersionOk { req, version: VersionId(3) });
+        assert_eq!(
+            done[0].result.as_ref().unwrap(),
+            &OpOutput::Snapshotted { blob: BlobId(5), version: VersionId(3) }
+        );
+
+        c.start_op(&mut env, ClientOp::Decommission { blob: BlobId(5) }, 2);
+        let (to, msg) = env.take_sent().pop().expect("decommission sent");
+        assert_eq!(to, VMAN);
+        let Msg::DecommissionBlob { req, .. } = msg else { panic!("{msg:?}") };
+        let done = c.handle_msg(&mut env, VMAN, Msg::DecommissionBlobOk { req, ok: true });
+        assert_eq!(
+            done[0].result.as_ref().unwrap(),
+            &OpOutput::Decommissioned { blob: BlobId(5), ok: true }
+        );
+        assert_eq!(c.active_ops(), 0);
+    }
+
+    #[test]
+    fn snapshot_of_unknown_version_fails_the_op() {
+        let mut env = TestEnv::new();
+        let mut c = core();
+        c.start_op(
+            &mut env,
+            ClientOp::Snapshot { blob: BlobId(5), version: Some(VersionId(9)) },
+            1,
+        );
+        let (_, msg) = env.take_sent().pop().unwrap();
+        let Msg::SnapshotVersion { req, .. } = msg else { panic!() };
+        let done = c.handle_msg(
+            &mut env,
+            VMAN,
+            Msg::SnapshotVersionErr {
+                req,
+                err: BlobError::UnknownVersion(BlobId(5), VersionId(9)),
+            },
+        );
+        assert!(matches!(done[0].result, Err(BlobError::UnknownVersion(..))));
     }
 
     #[test]

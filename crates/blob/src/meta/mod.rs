@@ -6,6 +6,6 @@ pub mod tree;
 
 pub use store::{node_key_hash, partition, MetaStore};
 pub use tree::{
-    BaseSnapshot, MetaNode, NodeKey, NodeRange, NodeRef, PageSource, PendingWrite, TreeBuilder,
-    TreeReader,
+    created_ranges, BaseSnapshot, MetaNode, NodeKey, NodeRange, NodeRef, PageSource,
+    PendingWrite, TreeBuilder, TreeReader,
 };

@@ -105,6 +105,28 @@ impl std::fmt::Display for NodeRange {
     }
 }
 
+/// Ranges a version's writer created: every tree range within its root
+/// coverage that intersects its write interval. This is the exact node
+/// set [`TreeBuilder`] materializes for that write (spine nodes grown
+/// past the old root aside), so GC planners can reason about ownership
+/// without fetching the tree.
+pub fn created_ranges(interval: PageInterval, size_after: u64, page_size: u64) -> Vec<NodeRange> {
+    let root = NodeRange::root_for(crate::model::pages_for(size_after, page_size));
+    let mut out = Vec::new();
+    fn walk(r: NodeRange, i: &PageInterval, out: &mut Vec<NodeRange>) {
+        if !r.intersects(i) {
+            return;
+        }
+        out.push(r);
+        if !r.is_leaf() {
+            walk(r.left(), i, out);
+            walk(r.right(), i, out);
+        }
+    }
+    walk(root, &interval, &mut out);
+    out
+}
+
 /// Globally unique key of a stored metadata node.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct NodeKey {

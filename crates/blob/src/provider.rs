@@ -24,7 +24,9 @@ use parking_lot::Mutex;
 use sads_sim::SimTime;
 
 use crate::model::{BlobId, ChunkKey, Payload};
-use crate::storage::{BackendConfig, BackendStats, ChunkBackend, MemoryBackend, RecoveryReport};
+use crate::storage::{
+    payload_crc, BackendConfig, BackendStats, ChunkBackend, MemoryBackend, RecoveryReport,
+};
 
 /// Number of lock stripes. A small power of two: enough to make chunk
 /// operations from a handful of concurrent clients collision-free, small
@@ -40,6 +42,19 @@ pub struct ChunkMeta {
     pub last_access: SimTime,
     /// Number of reads served.
     pub reads: u64,
+    /// CRC-32 of the payload recorded at store time — the integrity
+    /// scrub's ground truth for the in-memory copy.
+    pub crc: u32,
+}
+
+/// Result of verifying one stored chunk (see [`ChunkStore::verify`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerifyOutcome {
+    /// Both the in-memory payload and the durable record (when one
+    /// exists) match their recorded checksums.
+    Clean,
+    /// A checksum mismatch — in memory or on the durable log.
+    Corrupt,
 }
 
 /// Why a `put` was refused.
@@ -133,10 +148,9 @@ impl ChunkStore {
             }
             store.used.fetch_add(size, Ordering::Relaxed);
             store.items.fetch_add(1, Ordering::Relaxed);
-            shard.chunks.insert(
-                *key,
-                (data.clone(), ChunkMeta { stored_at: now, last_access: now, reads: 0 }),
-            );
+            let meta =
+                ChunkMeta { stored_at: now, last_access: now, reads: 0, crc: payload_crc(data) };
+            shard.chunks.insert(*key, (data.clone(), meta));
         }
         (store, report)
     }
@@ -150,6 +164,7 @@ impl ChunkStore {
             return Ok(());
         }
         let size = data.len();
+        let crc = payload_crc(&data);
         // Reserve capacity optimistically; roll back on overflow. The
         // shard lock is held, so the same key cannot double-reserve.
         let prev = self.used.fetch_add(size, Ordering::Relaxed);
@@ -167,7 +182,7 @@ impl ChunkStore {
         self.total_puts.fetch_add(1, Ordering::Relaxed);
         shard
             .chunks
-            .insert(key, (data, ChunkMeta { stored_at: now, last_access: now, reads: 0 }));
+            .insert(key, (data, ChunkMeta { stored_at: now, last_access: now, reads: 0, crc }));
         Ok(())
     }
 
@@ -226,16 +241,98 @@ impl ChunkStore {
     /// interleaved put/recovery can observe one without the other.
     pub fn delete(&self, key: &ChunkKey) -> Option<u64> {
         let mut shard = self.shards[shard_of(key)].lock();
-        shard.chunks.remove(key).map(|(d, _)| {
-            self.backend
-                .lock()
-                .append_delete(key)
-                .expect("chunk backend delete failed; provider is fail-stop");
-            let n = d.len();
-            self.used.fetch_sub(n, Ordering::Relaxed);
-            self.items.fetch_sub(1, Ordering::Relaxed);
-            n
+        match shard.chunks.remove(key) {
+            Some((d, _)) => {
+                self.backend
+                    .lock()
+                    .append_delete(key)
+                    .expect("chunk backend delete failed; provider is fail-stop");
+                let n = d.len();
+                self.used.fetch_sub(n, Ordering::Relaxed);
+                self.items.fetch_sub(1, Ordering::Relaxed);
+                Some(n)
+            }
+            None => {
+                // No memory copy, but the durable log may still hold the
+                // record: capacity-bounded recovery re-admits only a
+                // prefix of what survived. Tombstone it anyway — GC
+                // sweeps hit exactly these cold chunks, and without the
+                // tombstone the dead bytes never accrue, compaction
+                // never triggers, and the chunk resurrects on restart.
+                // (A backend with no record for the key appends nothing.)
+                self.backend
+                    .lock()
+                    .append_delete(key)
+                    .expect("chunk backend delete failed; provider is fail-stop");
+                None
+            }
+        }
+    }
+
+    /// Verify one chunk's integrity: recompute the in-memory payload's
+    /// CRC against the checksum recorded at store time, then ask the
+    /// durable backend to re-verify its own record (a disk backend
+    /// re-reads the frame and checks the on-disk CRC; the memory
+    /// backend has nothing durable to check). Returns `None` when the
+    /// chunk is not stored here — the scrubber treats that as a miss,
+    /// not corruption, since GC may race ahead of the cursor.
+    pub fn verify(&self, key: &ChunkKey) -> Option<VerifyOutcome> {
+        let shard = self.shards[shard_of(key)].lock();
+        let (data, meta) = shard.chunks.get(key)?;
+        if payload_crc(data) != meta.crc {
+            return Some(VerifyOutcome::Corrupt);
+        }
+        // An unreadable durable record is exactly the damage the scrub
+        // exists to find, so an I/O error verifies as corrupt rather
+        // than tripping the fail-stop path.
+        Some(match self.backend.lock().verify(key) {
+            Ok(true) => VerifyOutcome::Clean,
+            Ok(false) | Err(_) => VerifyOutcome::Corrupt,
         })
+    }
+
+    /// Remove a chunk that failed verification. Mechanically identical
+    /// to [`ChunkStore::delete`] (tombstone included), kept distinct so
+    /// callers account scrub-driven removals separately from GC.
+    pub fn quarantine(&self, key: &ChunkKey) -> Option<u64> {
+        self.delete(key)
+    }
+
+    /// Fault injection for tests and experiments: silently damage the
+    /// stored copy of `key` — flip a byte of a real payload, or skew
+    /// the recorded checksum of a simulated one — and damage the
+    /// durable record too. No accounting changes; the next
+    /// [`ChunkStore::verify`] must be what notices. Returns whether the
+    /// chunk existed.
+    pub fn inject_corruption(&self, key: &ChunkKey) -> bool {
+        let mut shard = self.shards[shard_of(key)].lock();
+        let Some((data, meta)) = shard.chunks.get_mut(key) else {
+            return false;
+        };
+        match data {
+            Payload::Data(bytes) if !bytes.is_empty() => {
+                let mut v = bytes.to_vec();
+                v[0] ^= 0xff;
+                *data = Payload::Data(bytes::Bytes::from(v));
+            }
+            _ => meta.crc ^= 0xdead_beef,
+        }
+        self.backend.lock().corrupt(key).ok();
+        true
+    }
+
+    /// Keys strictly after `after` in sorted order, up to `max` — the
+    /// integrity scrub's cursor walk. A `None` cursor starts from the
+    /// beginning; fewer than `max` keys means the walk reached the end.
+    pub fn keys_after(&self, after: Option<ChunkKey>, max: usize) -> Vec<ChunkKey> {
+        let mut out = Vec::new();
+        for shard in self.shards.iter() {
+            let s = shard.lock();
+            out.extend(s.chunks.keys().copied().filter(|k| after.is_none_or(|a| *k > a)));
+        }
+        out.sort();
+        out.truncate(max);
+        out
     }
 
     /// Give the backend a compaction opportunity (called from the
@@ -532,6 +629,81 @@ mod tests {
         assert_eq!(s.total_gets(), 2);
         assert!(!s.touch(&key(9), t(8)), "absent chunk");
         assert_eq!(s.total_misses(), 1);
+    }
+
+    #[test]
+    fn verify_is_clean_until_corruption_is_injected() {
+        let s = ChunkStore::new(1 << 20);
+        s.put(key(0), Payload::Data(bytes::Bytes::from(vec![5u8; 128])), t(0)).unwrap();
+        s.put(key(1), Payload::Sim(64), t(0)).unwrap();
+        assert_eq!(s.verify(&key(0)), Some(VerifyOutcome::Clean));
+        assert_eq!(s.verify(&key(1)), Some(VerifyOutcome::Clean));
+        assert_eq!(s.verify(&key(9)), None, "absent chunk is a miss, not corruption");
+        assert!(s.inject_corruption(&key(0)), "real bytes: payload flip");
+        assert!(s.inject_corruption(&key(1)), "sim payload: checksum skew");
+        assert!(!s.inject_corruption(&key(9)));
+        assert_eq!(s.verify(&key(0)), Some(VerifyOutcome::Corrupt));
+        assert_eq!(s.verify(&key(1)), Some(VerifyOutcome::Corrupt));
+        // Quarantine behaves like delete: frees bytes, leaves a tombstone.
+        assert_eq!(s.quarantine(&key(0)), Some(128));
+        assert_eq!(s.verify(&key(0)), None);
+        assert_eq!(s.used(), 64);
+    }
+
+    #[test]
+    fn verify_catches_disk_level_damage() {
+        let (cfg, dir) = disk_cfg("verify");
+        let (s, _) = ChunkStore::open(1 << 20, &cfg, t(0));
+        s.put(key(0), Payload::Data(bytes::Bytes::from(vec![9u8; 256])), t(0)).unwrap();
+        assert_eq!(s.verify(&key(0)), Some(VerifyOutcome::Clean));
+        assert!(s.inject_corruption(&key(0)));
+        assert_eq!(s.verify(&key(0)), Some(VerifyOutcome::Corrupt));
+        // Quarantine, then reopen: the tombstone keeps the damaged
+        // record from resurrecting.
+        assert_eq!(s.quarantine(&key(0)), Some(256));
+        drop(s);
+        let (s, r) = ChunkStore::open(1 << 20, &cfg, t(5));
+        assert!(r.chunks.is_empty());
+        assert!(s.get(&key(0), t(6)).is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn gc_delete_tombstones_disk_only_chunks() {
+        let (cfg, dir) = disk_cfg("gc-dead");
+        {
+            let (s, _) = ChunkStore::open(1 << 20, &cfg, t(0));
+            s.put(key(0), Payload::Sim(400), t(0)).unwrap();
+            s.put(key(1), Payload::Sim(400), t(0)).unwrap();
+        }
+        // Reopen with room for only one chunk: key(1) stays disk-only.
+        let (s, _) = ChunkStore::open(500, &cfg, t(1));
+        assert_eq!(s.len(), 1);
+        let before = s.backend_stats().dead_bytes;
+        assert_eq!(s.delete(&key(1)), None, "no memory copy to free");
+        assert!(
+            s.backend_stats().dead_bytes > before,
+            "the disk-only record still turns into dead bytes for compaction"
+        );
+        drop(s);
+        let (s, r) = ChunkStore::open(1 << 20, &cfg, t(2));
+        assert_eq!(r.chunks.len(), 1);
+        assert!(s.get(&key(1), t(3)).is_none(), "GC-deleted chunk must not resurrect");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn keys_after_pages_through_the_store() {
+        let s = ChunkStore::new(1 << 20);
+        for p in 0..10 {
+            s.put(key(p), Payload::Sim(8), t(0)).unwrap();
+        }
+        let first = s.keys_after(None, 4);
+        assert_eq!(first.iter().map(|k| k.page).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        let second = s.keys_after(Some(first[3]), 4);
+        assert_eq!(second.iter().map(|k| k.page).collect::<Vec<_>>(), vec![4, 5, 6, 7]);
+        let tail = s.keys_after(Some(second[3]), 4);
+        assert_eq!(tail.len(), 2, "short page signals the end of the walk");
     }
 
     #[test]

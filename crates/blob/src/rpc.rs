@@ -422,6 +422,102 @@ pub enum Msg {
         /// `(version, size, interval, published_at)` per published
         /// version, in order.
         versions: Vec<crate::vmanager::VersionSummary>,
+        /// Versions pinned as snapshots (GC roots), in order.
+        snapshots: Vec<VersionId>,
+        /// Whether the BLOB was decommissioned (no version is a root).
+        decommissioned: bool,
+    },
+    /// Client/gateway → version manager: pin a published version (or the
+    /// latest when `None`) as a **snapshot** — an O(1) metadata-only
+    /// operation. Snapshotted versions are GC roots: the lifecycle
+    /// sweeper never reclaims their chunks or tree nodes, and the version
+    /// manager refuses to forget them.
+    SnapshotVersion {
+        /// Correlation id.
+        req: u64,
+        /// Requesting client.
+        client: ClientId,
+        /// Target BLOB.
+        blob: BlobId,
+        /// Version to pin, or `None` for the latest published one.
+        version: Option<VersionId>,
+    },
+    /// Snapshot pinned.
+    SnapshotVersionOk {
+        /// Correlation id.
+        req: u64,
+        /// The pinned version.
+        version: VersionId,
+    },
+    /// Snapshot refused (unknown BLOB/version, blocked client).
+    SnapshotVersionErr {
+        /// Correlation id.
+        req: u64,
+        /// Why.
+        err: BlobError,
+    },
+    /// Client/gateway → version manager: mark a BLOB decommissioned. The
+    /// record stays (ids are never reused) but every version — snapshots
+    /// and the latest included — stops being a GC root, so the lifecycle
+    /// sweeper reclaims all of its chunks and tree nodes.
+    DecommissionBlob {
+        /// Correlation id.
+        req: u64,
+        /// Requesting client.
+        client: ClientId,
+        /// Target BLOB.
+        blob: BlobId,
+    },
+    /// Decommission result.
+    DecommissionBlobOk {
+        /// Correlation id.
+        req: u64,
+        /// Whether the BLOB existed (idempotent: re-decommissioning an
+        /// already-decommissioned BLOB also reports `true`).
+        ok: bool,
+    },
+    /// Lifecycle scrubber → data provider: verify the integrity of up to
+    /// `max` stored chunks with keys after `after` (`None` starts from
+    /// the beginning). The provider recomputes payload checksums against
+    /// the ones recorded at store time (and asks a durable backend to
+    /// re-verify its on-disk record), quarantines failures, and reports
+    /// them.
+    ScrubChunks {
+        /// Correlation id.
+        req: u64,
+        /// Resume cursor: scan keys strictly greater than this.
+        after: Option<crate::model::ChunkKey>,
+        /// Verification budget for this request.
+        max: u32,
+    },
+    /// Scrub batch result.
+    ScrubChunksOk {
+        /// Correlation id.
+        req: u64,
+        /// Chunks verified in this batch.
+        scanned: u32,
+        /// Chunks that failed verification (already quarantined locally).
+        corrupt: Vec<crate::model::ChunkKey>,
+        /// Cursor to resume from, or `None` when the walk wrapped.
+        next: Option<crate::model::ChunkKey>,
+    },
+    /// Lifecycle scrubber → replication manager: `provider`'s replica of
+    /// `key` failed verification and was quarantined — drop it from the
+    /// placement and repair the replication degree from the surviving
+    /// replicas (bypasses the deficit debounce; corruption is confirmed,
+    /// not suspected).
+    ReportCorrupt {
+        /// The damaged chunk.
+        key: crate::model::ChunkKey,
+        /// The provider whose replica was quarantined.
+        provider: NodeId,
+    },
+    /// Fault injection (tests and the E14 integrity experiment): flip a
+    /// byte of the stored replica of `key`, in memory and in the durable
+    /// backend's record when one exists. Never sent by production code.
+    CorruptChunk {
+        /// The chunk to damage.
+        key: crate::model::ChunkKey,
     },
     /// Adaptive layer → version manager: forget a retired version's
     /// record (after its chunks/nodes were reclaimed).
@@ -566,6 +662,10 @@ impl sads_sim::Message for Msg {
                 .map(|(_, r)| 40 + r.as_ref().map(|d| d.len()).unwrap_or(0))
                 .sum(),
             Msg::GetMetaRange { .. } => 64,
+            Msg::ScrubChunksOk { corrupt, .. } => 48 + 32 * corrupt.len() as u64,
+            Msg::VersionList { versions, snapshots, .. } => {
+                40 * versions.len() as u64 + 8 * snapshots.len() as u64
+            }
             Msg::GetMetaRangeOk { nodes, .. } => {
                 nodes.iter().map(|(_, n)| 32 + n.wire_size()).sum()
             }
@@ -633,6 +733,15 @@ impl sads_sim::Message for Msg {
             Msg::GetVersionErr { .. } => "GetVersionErr",
             Msg::ListVersions { .. } => "ListVersions",
             Msg::VersionList { .. } => "VersionList",
+            Msg::SnapshotVersion { .. } => "SnapshotVersion",
+            Msg::SnapshotVersionOk { .. } => "SnapshotVersionOk",
+            Msg::SnapshotVersionErr { .. } => "SnapshotVersionErr",
+            Msg::DecommissionBlob { .. } => "DecommissionBlob",
+            Msg::DecommissionBlobOk { .. } => "DecommissionBlobOk",
+            Msg::ScrubChunks { .. } => "ScrubChunks",
+            Msg::ScrubChunksOk { .. } => "ScrubChunksOk",
+            Msg::ReportCorrupt { .. } => "ReportCorrupt",
+            Msg::CorruptChunk { .. } => "CorruptChunk",
             Msg::RetireVersion { .. } => "RetireVersion",
             Msg::RetireVersionOk { .. } => "RetireVersionOk",
             Msg::ListStalled { .. } => "ListStalled",
@@ -662,7 +771,10 @@ impl sads_sim::Message for Msg {
             | Msg::DeleteChunk { .. }
             | Msg::DeleteChunkOk { .. }
             | Msg::ReplicateChunk { .. }
-            | Msg::ReplicateChunkOk { .. } => SpanClass::Store,
+            | Msg::ReplicateChunkOk { .. }
+            | Msg::ScrubChunks { .. }
+            | Msg::ScrubChunksOk { .. }
+            | Msg::CorruptChunk { .. } => SpanClass::Store,
             // Metadata segment-tree traffic.
             Msg::PutMeta { .. }
             | Msg::PutMetaOk { .. }

@@ -305,6 +305,10 @@ impl ScriptedClient {
                             ctx.record(&self.read_mbps_name, c.throughput_mbps());
                             ctx.record("op_seconds", c.finished.since(c.started).as_secs_f64());
                         }
+                        // Metadata-only lifecycle ops: counted, no
+                        // throughput to record.
+                        crate::client::OpOutput::Snapshotted { .. }
+                        | crate::client::OpOutput::Decommissioned { .. } => {}
                     }
                 }
                 Err(e) => {

@@ -196,6 +196,50 @@ impl ClientHandle {
         self.read_traced(blob, version, offset, len, None)
     }
 
+    /// Pin a version (latest when `None`) as a snapshot: an O(1)
+    /// metadata-only operation. The pinned version stays readable — and
+    /// keeps its chunks and tree nodes alive — across lifecycle GC
+    /// sweeps until the BLOB is decommissioned.
+    pub fn snapshot(
+        &self,
+        blob: BlobId,
+        version: Option<VersionId>,
+    ) -> Result<VersionId, BlobError> {
+        self.snapshot_traced(blob, version, None)
+    }
+
+    /// [`snapshot`](ClientHandle::snapshot), nesting the op under `trace`.
+    pub fn snapshot_traced(
+        &self,
+        blob: BlobId,
+        version: Option<VersionId>,
+        trace: Option<TraceCtx>,
+    ) -> Result<VersionId, BlobError> {
+        match self.run(ClientOp::Snapshot { blob, version }, trace)? {
+            OpOutput::Snapshotted { version, .. } => Ok(version),
+            _ => Err(BlobError::Protocol("wrong output for snapshot")),
+        }
+    }
+
+    /// Decommission a BLOB: unpin its snapshots and mark its whole
+    /// version history reclaimable by the lifecycle sweeper. Returns
+    /// whether the version manager accepted.
+    pub fn decommission(&self, blob: BlobId) -> Result<bool, BlobError> {
+        self.decommission_traced(blob, None)
+    }
+
+    /// [`decommission`](ClientHandle::decommission), nesting under `trace`.
+    pub fn decommission_traced(
+        &self,
+        blob: BlobId,
+        trace: Option<TraceCtx>,
+    ) -> Result<bool, BlobError> {
+        match self.run(ClientOp::Decommission { blob }, trace)? {
+            OpOutput::Decommissioned { ok, .. } => Ok(ok),
+            _ => Err(BlobError::Protocol("wrong output for decommission")),
+        }
+    }
+
     /// [`read`](ClientHandle::read), nesting the op under `trace`.
     pub fn read_traced(
         &self,

@@ -17,7 +17,7 @@ use sads_sim::{NodeId, SimDuration, SimTime};
 use crate::model::{BlobId, ChunkKey, ClientId, Payload, VersionId};
 use crate::pmanager::{AllocationStrategy, ProviderKind, ProviderLoad, ProviderRegistry};
 use crate::probe::{Instrument, ProbeEvent, RejectReason};
-use crate::provider::{ChunkStore, PutError, ReadCache};
+use crate::provider::{ChunkStore, PutError, ReadCache, VerifyOutcome};
 use crate::rpc::{ChunkErr, Msg};
 use crate::storage::BackendConfig;
 use crate::vmanager::VersionManagerState;
@@ -511,6 +511,35 @@ impl Service for DataProviderService {
                 let existed = self.store.delete(&key).is_some();
                 self.read_cache.remove(&key);
                 env.send(from, Msg::DeleteChunkOk { req, existed });
+            }
+            Msg::ScrubChunks { req, after, max } => {
+                let budget = (max as usize).max(1);
+                let keys = self.store.keys_after(after, budget);
+                // A short batch means the walk reached the end of the
+                // store; the scrubber restarts from the top next pass.
+                let next = if keys.len() < budget { None } else { keys.last().copied() };
+                let mut corrupt = Vec::new();
+                for key in &keys {
+                    if self.store.verify(key) == Some(VerifyOutcome::Corrupt) {
+                        self.store.quarantine(key);
+                        self.read_cache.remove(key);
+                        corrupt.push(*key);
+                    }
+                }
+                env.incr("provider.scrubbed_chunks", keys.len() as u64);
+                if !corrupt.is_empty() {
+                    env.incr("provider.quarantined_chunks", corrupt.len() as u64);
+                }
+                env.send(
+                    from,
+                    Msg::ScrubChunksOk { req, scanned: keys.len() as u32, corrupt, next },
+                );
+            }
+            Msg::CorruptChunk { key } => {
+                // Fault injection only (tests, E14): damage the stored
+                // replica so the next scrub pass has something to find.
+                self.store.inject_corruption(&key);
+                self.read_cache.remove(&key);
             }
             Msg::ReplicateChunk { req, key, to } => {
                 match self.store.peek(&key) {
@@ -1015,7 +1044,67 @@ impl Service for VersionManagerService {
                     ),
                     None => (0, vec![]),
                 };
-                env.send(from, Msg::VersionList { req, blob, page_size, versions });
+                let (snapshots, decommissioned) = self
+                    .state
+                    .blob(blob)
+                    .map(|st| (st.snapshots(), st.is_decommissioned()))
+                    .unwrap_or((vec![], false));
+                env.send(
+                    from,
+                    Msg::VersionList { req, blob, page_size, versions, snapshots, decommissioned },
+                );
+            }
+            Msg::SnapshotVersion { req, client, blob, version } => {
+                if self.blacklist.contains(&client) {
+                    env.send(
+                        from,
+                        Msg::SnapshotVersionErr {
+                            req,
+                            err: crate::model::BlobError::Blocked(client),
+                        },
+                    );
+                    return;
+                }
+                let Some(st) = self.state.blob_mut(blob) else {
+                    env.send(
+                        from,
+                        Msg::SnapshotVersionErr {
+                            req,
+                            err: crate::model::BlobError::UnknownBlob(blob),
+                        },
+                    );
+                    return;
+                };
+                let v = version.unwrap_or(st.latest().version);
+                if st.snapshot(v) {
+                    env.incr("vman.snapshots", 1);
+                    env.send(from, Msg::SnapshotVersionOk { req, version: v });
+                } else {
+                    env.send(
+                        from,
+                        Msg::SnapshotVersionErr {
+                            req,
+                            err: crate::model::BlobError::UnknownVersion(blob, v),
+                        },
+                    );
+                }
+            }
+            Msg::DecommissionBlob { req, client, blob } => {
+                if self.blacklist.contains(&client) {
+                    env.send(from, Msg::DecommissionBlobOk { req, ok: false });
+                    return;
+                }
+                let ok = match self.state.blob_mut(blob) {
+                    Some(st) => {
+                        st.decommission();
+                        true
+                    }
+                    None => false,
+                };
+                if ok {
+                    env.incr("vman.decommissions", 1);
+                }
+                env.send(from, Msg::DecommissionBlobOk { req, ok });
             }
             Msg::RetireVersion { req, blob, version } => {
                 let ok = self

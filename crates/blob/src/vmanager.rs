@@ -7,7 +7,7 @@
 //! RPC lives in [`crate::services`], and the same code backs the threaded
 //! and simulated runtimes.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use sads_sim::{SimDuration, SimTime};
 
@@ -118,6 +118,11 @@ pub struct BlobState {
     projected_size: u64,
     /// Ticketed-but-unpublished writes.
     pending: BTreeMap<VersionId, PendingEntry>,
+    /// Versions pinned as snapshots (lifecycle GC roots).
+    snapshots: BTreeSet<VersionId>,
+    /// Decommissioned BLOBs keep their record (ids are never reused) but
+    /// no version of theirs is a GC root any more.
+    decommissioned: bool,
 }
 
 impl BlobState {
@@ -141,12 +146,19 @@ impl BlobState {
             last_ticketed: VersionId::INITIAL,
             projected_size: 0,
             pending: BTreeMap::new(),
+            snapshots: BTreeSet::new(),
+            decommissioned: false,
         }
     }
 
-    /// The latest published version.
+    /// The latest published version. (After a decommission the sweeper
+    /// may forget the highest version; the greatest remaining record —
+    /// ultimately v0 — then stands in, so readers degrade gracefully
+    /// while reclamation drains.)
     pub fn latest(&self) -> &PublishedVersion {
-        &self.published[&self.last_published]
+        self.published
+            .get(&self.last_published)
+            .unwrap_or_else(|| self.published.values().next_back().expect("v0 always present"))
     }
 
     /// A specific published version.
@@ -165,13 +177,53 @@ impl BlobState {
     }
 
     /// Remove a published version's record (data-removal strategies call
-    /// this after deleting its chunks and nodes). The latest version and
-    /// v0 are never removable.
+    /// this after deleting its chunks and nodes). v0 is never removable;
+    /// snapshots and the latest version are protected unless the BLOB was
+    /// decommissioned.
     pub fn forget_version(&mut self, v: VersionId) -> bool {
-        if v == self.last_published || v == VersionId::INITIAL {
+        if v == VersionId::INITIAL {
             return false;
         }
+        if !self.decommissioned && (v == self.last_published || self.snapshots.contains(&v)) {
+            return false;
+        }
+        self.snapshots.remove(&v);
         self.published.remove(&v).is_some()
+    }
+
+    /// Pin a published version as a snapshot — an O(1) metadata-only
+    /// operation; the version's whole segment tree is shared, not copied.
+    /// Snapshots are lifecycle GC roots. Idempotent; fails on unpublished
+    /// versions and on decommissioned BLOBs.
+    pub fn snapshot(&mut self, v: VersionId) -> bool {
+        if self.decommissioned || !self.published.contains_key(&v) {
+            return false;
+        }
+        self.snapshots.insert(v);
+        true
+    }
+
+    /// Versions currently pinned as snapshots, in order.
+    pub fn snapshots(&self) -> Vec<VersionId> {
+        self.snapshots.iter().copied().collect()
+    }
+
+    /// Whether `v` is pinned as a snapshot.
+    pub fn is_snapshot(&self, v: VersionId) -> bool {
+        self.snapshots.contains(&v)
+    }
+
+    /// Mark the BLOB decommissioned: snapshots unpin and every version
+    /// (the latest included) becomes reclaimable by the lifecycle
+    /// sweeper. The record itself stays so the id is never reused.
+    pub fn decommission(&mut self) {
+        self.decommissioned = true;
+        self.snapshots.clear();
+    }
+
+    /// Whether the BLOB was decommissioned.
+    pub fn is_decommissioned(&self) -> bool {
+        self.decommissioned
     }
 }
 
@@ -233,6 +285,11 @@ impl VersionManagerState {
         now: SimTime,
     ) -> Result<WriteTicket, BlobError> {
         let st = self.blobs.get_mut(&blob).ok_or(BlobError::UnknownBlob(blob))?;
+        if st.decommissioned {
+            // A deleted object's backing BLOB takes no new writes; the
+            // id is never reused, so the caller sees it as gone.
+            return Err(BlobError::UnknownBlob(blob));
+        }
         let page = st.spec.page_size;
         if len == 0 {
             return Err(BlobError::EmptyWrite);
@@ -535,6 +592,51 @@ mod tests {
         assert!(st.forget_version(VersionId(1)));
         assert!(st.version(VersionId(1)).is_none());
         assert!(st.version(VersionId(2)).is_some());
+    }
+
+    #[test]
+    fn snapshots_pin_versions_against_forget() {
+        let mut vm = VersionManagerState::new();
+        let b = vm.create_blob(spec(), t(0));
+        let c = ClientId(1);
+        for _ in 0..3 {
+            let tk = vm.ticket(b, WriteKind::At(0), PAGE, c, t(0)).unwrap();
+            vm.commit(b, tk.version, root_ref(tk.version.0, 1), PAGE, t(1)).unwrap();
+        }
+        let st = vm.blob_mut(b).unwrap();
+        assert!(st.snapshot(VersionId(1)));
+        assert!(st.snapshot(VersionId(1)), "snapshot is idempotent");
+        assert!(!st.snapshot(VersionId(9)), "unpublished versions cannot be pinned");
+        assert_eq!(st.snapshots(), vec![VersionId(1)]);
+        assert!(st.is_snapshot(VersionId(1)));
+        assert!(!st.forget_version(VersionId(1)), "snapshots are protected");
+        assert!(st.forget_version(VersionId(2)), "unpinned middles still collect");
+        assert!(st.version(VersionId(1)).is_some());
+    }
+
+    #[test]
+    fn decommission_unpins_everything_and_refuses_writes() {
+        let mut vm = VersionManagerState::new();
+        let b = vm.create_blob(spec(), t(0));
+        let c = ClientId(1);
+        for _ in 0..2 {
+            let tk = vm.ticket(b, WriteKind::At(0), PAGE, c, t(0)).unwrap();
+            vm.commit(b, tk.version, root_ref(tk.version.0, 1), PAGE, t(1)).unwrap();
+        }
+        let st = vm.blob_mut(b).unwrap();
+        st.snapshot(VersionId(1));
+        st.decommission();
+        assert!(st.is_decommissioned());
+        assert!(st.snapshots().is_empty(), "decommission unpins snapshots");
+        assert!(!st.snapshot(VersionId(1)), "no new pins after decommission");
+        assert!(st.forget_version(VersionId(1)));
+        assert!(st.forget_version(VersionId(2)), "even the latest collects");
+        assert!(!st.forget_version(VersionId::INITIAL), "v0 stays as the tombstone");
+        assert_eq!(st.latest().version, VersionId::INITIAL, "latest degrades to v0");
+        assert!(
+            matches!(vm.ticket(b, WriteKind::At(0), PAGE, c, t(2)), Err(BlobError::UnknownBlob(_))),
+            "decommissioned BLOBs take no new writes"
+        );
     }
 
     #[test]

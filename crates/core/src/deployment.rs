@@ -18,6 +18,7 @@ use sads_blob::services::{
 use sads_blob::ClientId;
 use sads_blob::{BackendConfig, BackendSpec};
 use sads_introspect::{BurnRateRule, IntrospectionService, RuleSource, SloAlertService};
+use sads_lifecycle::{LifecycleConfig, LifecycleGcService, ScrubConfig, ScrubberService};
 use sads_monitor::{MonitoringService, StorageConfig, StorageServerService};
 use sads_security::{PolicySet, SecurityConfig, SecurityEngineService};
 use sads_blob::runtime::sim::SimService;
@@ -65,6 +66,16 @@ pub struct DeploymentConfig {
     pub replication: Option<ReplicationConfig>,
     /// Deploy the removal manager.
     pub removal: Option<(RetirePolicy, SimDuration)>,
+    /// Deploy the lifecycle GC sweeper (retention-driven chunk/node
+    /// reclamation over the version DAG; snapshots and the latest
+    /// version are always GC roots). Supersedes `removal` for new
+    /// deployments — both can coexist but should not target the same
+    /// BLOBs.
+    pub lifecycle: Option<LifecycleConfig>,
+    /// Deploy the background integrity scrub. Corruption found is
+    /// quarantined at the provider and, when the replication manager is
+    /// deployed, routed to it for immediate repair.
+    pub scrub: Option<ScrubConfig>,
     /// Deploy the stalled-write recovery agent (poll period).
     pub recovery: Option<SimDuration>,
     /// Default client tuning for `add_client`.
@@ -112,6 +123,8 @@ impl Default for DeploymentConfig {
             elasticity: None,
             replication: None,
             removal: None,
+            lifecycle: None,
+            scrub: None,
             recovery: None,
             client_cfg: ClientConfig::default(),
             tracing: false,
@@ -186,6 +199,10 @@ pub struct Deployment {
     pub repl: Option<NodeId>,
     /// Removal manager, if deployed.
     pub removal: Option<NodeId>,
+    /// Lifecycle GC sweeper, if deployed.
+    pub lifecycle: Option<NodeId>,
+    /// Integrity scrubber, if deployed.
+    pub scrubber: Option<NodeId>,
     /// Stalled-write recovery agent, if deployed.
     pub recovery: Option<NodeId>,
     /// SLO alert engine, if deployed.
@@ -374,6 +391,22 @@ impl Deployment {
             )
         });
 
+        let lifecycle = cfg.lifecycle.clone().map(|lc| {
+            add_service(
+                &mut world,
+                Box::new(LifecycleGcService::new(vman, meta.clone(), lc)),
+                NodeConfig::default(),
+            )
+        });
+
+        let scrubber = cfg.scrub.clone().map(|sc| {
+            add_service(
+                &mut world,
+                Box::new(ScrubberService::new(pman, repl, sc)),
+                NodeConfig::default(),
+            )
+        });
+
         // The alert engine goes in last so every subscriber address is
         // known. Subscribers are the deployed self-* components.
         let alert_engine = cfg.alerts.clone().map(|rules| {
@@ -406,6 +439,8 @@ impl Deployment {
             deploy_agent,
             repl,
             removal,
+            lifecycle,
+            scrubber,
             recovery,
             alert_engine,
             cfg,
@@ -594,6 +629,16 @@ impl Deployment {
     /// Post-run access to the recovery agent.
     pub fn recovery_agent(&self) -> Option<&RecoveryAgentService> {
         self.world.actor_as::<RecoveryAgentService>(self.recovery?)
+    }
+
+    /// Post-run access to the lifecycle GC sweeper (reclamation totals).
+    pub fn lifecycle_gc(&self) -> Option<&LifecycleGcService> {
+        self.world.actor_as::<LifecycleGcService>(self.lifecycle?)
+    }
+
+    /// Post-run access to the integrity scrubber (scan/corruption totals).
+    pub fn scrubber(&self) -> Option<&ScrubberService> {
+        self.world.actor_as::<ScrubberService>(self.scrubber?)
     }
 
     /// Live data providers according to the deploy agent + initial set

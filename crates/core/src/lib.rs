@@ -39,6 +39,7 @@ pub use threaded::{AdaptiveClusterConfig, SelfAdaptiveCluster};
 pub use sads_adaptive as adaptive;
 pub use sads_blob as blob;
 pub use sads_introspect as introspect;
+pub use sads_lifecycle as lifecycle;
 pub use sads_monitor as monitor;
 pub use sads_security as security;
 pub use sads_sim as sim;

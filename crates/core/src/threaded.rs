@@ -3,10 +3,13 @@
 //! a downstream user runs (the simulated twin in
 //! [`crate::deployment`] is for Grid'5000-scale experiments).
 
+use sads_adaptive::{ReplicationConfig, ReplicationManagerService};
 use sads_blob::pmanager::AllocationStrategy;
 use sads_blob::runtime::threaded::{Cluster, ClusterBuilder, ClientHandle};
 use sads_blob::services::{MetaProviderService, ServiceConfig, VersionManagerService};
 use sads_blob::ClientId;
+use sads_blob::storage::BackendSpec;
+use sads_lifecycle::{LifecycleConfig, LifecycleGcService, ScrubConfig, ScrubberService};
 use sads_monitor::{MonitoringService, StorageConfig, StorageServerService};
 use sads_security::{PolicySet, SecurityConfig, SecurityEngineService};
 use sads_sim::{NodeId, SimDuration};
@@ -27,6 +30,16 @@ pub struct AdaptiveClusterConfig {
     pub security: Option<PolicySet>,
     /// Instrumentation/monitoring flush period.
     pub flush_every: SimDuration,
+    /// Deploy the replication manager (placement tracking + repair).
+    pub replication: Option<ReplicationConfig>,
+    /// Deploy the lifecycle GC sweeper (retention-driven reclamation;
+    /// snapshots and the latest version are always GC roots).
+    pub lifecycle: Option<LifecycleConfig>,
+    /// Deploy the background integrity scrub; with replication also on,
+    /// detected corruption is quarantined and repaired automatically.
+    pub scrub: Option<ScrubConfig>,
+    /// Chunk backend for the data providers.
+    pub backend: BackendSpec,
 }
 
 impl Default for AdaptiveClusterConfig {
@@ -39,6 +52,10 @@ impl Default for AdaptiveClusterConfig {
             storage_servers: 1,
             security: Some(sads_security::default_dos_policies()),
             flush_every: SimDuration::from_millis(500),
+            replication: None,
+            lifecycle: None,
+            scrub: None,
+            backend: BackendSpec::Memory,
         }
     }
 }
@@ -53,6 +70,12 @@ pub struct SelfAdaptiveCluster {
     pub storage: Vec<NodeId>,
     /// Security engine, if enabled.
     pub security: Option<NodeId>,
+    /// Replication manager, if enabled.
+    pub repl: Option<NodeId>,
+    /// Lifecycle GC sweeper, if enabled.
+    pub lifecycle: Option<NodeId>,
+    /// Integrity scrubber, if enabled.
+    pub scrubber: Option<NodeId>,
 }
 
 impl SelfAdaptiveCluster {
@@ -66,6 +89,7 @@ impl SelfAdaptiveCluster {
             .meta_providers(0)
             .provider_capacity(cfg.provider_capacity)
             .strategy(cfg.strategy)
+            .backend(cfg.backend.clone())
             .start();
 
         let storage: Vec<NodeId> = (0..cfg.storage_servers.max(1))
@@ -118,7 +142,24 @@ impl SelfAdaptiveCluster {
             )))
         });
 
-        SelfAdaptiveCluster { cluster, monitor, storage, security }
+        let repl = cfg.replication.map(|rc| {
+            let pman = cluster.pman;
+            cluster
+                .add_service(Box::new(ReplicationManagerService::new(storage.clone(), pman, None, rc)))
+        });
+
+        let lifecycle = cfg.lifecycle.map(|lc| {
+            let vman = cluster.vman;
+            let meta = cluster.meta.clone();
+            cluster.add_service(Box::new(LifecycleGcService::new(vman, meta, lc)))
+        });
+
+        let scrubber = cfg.scrub.map(|sc| {
+            let pman = cluster.pman;
+            cluster.add_service(Box::new(ScrubberService::new(pman, repl, sc)))
+        });
+
+        SelfAdaptiveCluster { cluster, monitor, storage, security, repl, lifecycle, scrubber }
     }
 
     /// Create a client.

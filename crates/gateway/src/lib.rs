@@ -572,8 +572,12 @@ impl ObjectGateway {
         bucket_ref.objects.get(key).cloned().ok_or(GatewayError::NoSuchKey)
     }
 
-    /// Remove an object from the bucket index. (The backing BLOB versions
-    /// are reclaimed asynchronously by the data-removal strategies.)
+    /// Remove an object (S3 `DELETE /objects/{key}`): decommissions the
+    /// backing BLOB at the version manager — unpinning its snapshots and
+    /// marking every version reclaimable — then drops the key from the
+    /// bucket index. The bytes themselves are reclaimed asynchronously by
+    /// the lifecycle GC sweeper; in-flight pinned GETs keep working until
+    /// the sweep reaches their version.
     pub fn delete_object(
         &self,
         principal: ClientId,
@@ -581,11 +585,46 @@ impl ObjectGateway {
         key: &str,
     ) -> Result<(), GatewayError> {
         self.track("delete_object", || {
+            let blob = {
+                let b = self.buckets.lock();
+                let bucket_ref = b.get(bucket).ok_or(GatewayError::NoSuchBucket)?;
+                self.check_write(principal, bucket_ref)?;
+                bucket_ref.objects.get(key).ok_or(GatewayError::NoSuchKey)?.blob
+            };
+            // Decommission outside the lock (it is a round trip to the
+            // version manager), before unlinking the key: a transient
+            // failure leaves the object visible so the client's retry
+            // finds it again.
+            self.client().decommission(blob)?;
             let mut b = self.buckets.lock();
             let bucket_ref = b.get_mut(bucket).ok_or(GatewayError::NoSuchBucket)?;
-            self.check_write(principal, bucket_ref)?;
-            bucket_ref.objects.remove(key).ok_or(GatewayError::NoSuchKey)?;
+            bucket_ref.objects.remove(key);
             Ok(())
+        })
+    }
+
+    /// Pin the object's current content as a snapshot (S3-ish
+    /// `POST /objects/{key}/snapshots`): an O(1), metadata-only operation
+    /// at the version manager — the backing version's segment tree is
+    /// shared, not copied — that makes the pinned version a lifecycle GC
+    /// root. The returned [`ObjectInfo`] reads the snapshotted bytes via
+    /// [`read_pinned`](ObjectGateway::read_pinned) regardless of later
+    /// overwrites or retention sweeps.
+    pub fn snapshot_object(
+        &self,
+        principal: ClientId,
+        bucket: &str,
+        key: &str,
+    ) -> Result<ObjectInfo, GatewayError> {
+        self.track("snapshot_object", || {
+            let info = {
+                let b = self.buckets.lock();
+                let bucket_ref = b.get(bucket).ok_or(GatewayError::NoSuchBucket)?;
+                self.check_write(principal, bucket_ref)?;
+                bucket_ref.objects.get(key).cloned().ok_or(GatewayError::NoSuchKey)?
+            };
+            let pinned = self.client().snapshot(info.blob, Some(info.version))?;
+            Ok(ObjectInfo { version: pinned, ..info })
         })
     }
 
@@ -927,6 +966,53 @@ mod tests {
         assert_eq!(keys.len(), 2);
         let all = gw.list_objects(ALICE, "b", "", 10).unwrap();
         assert_eq!(all.len(), 4);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn delete_decommissions_the_backing_blob() {
+        let (mut cluster, gw) = cluster_and_gateway();
+        gw.create_bucket(ALICE, "b", Acl::Private).unwrap();
+        let info = gw.put_object(ALICE, "b", "k", body(1000, 1)).unwrap();
+        gw.delete_object(ALICE, "b", "k").unwrap();
+        assert_eq!(gw.get_object(ALICE, "b", "k"), Err(GatewayError::NoSuchKey));
+        // The backing BLOB was decommissioned at the version manager: it
+        // takes no new pins and no new writes.
+        let probe = cluster.client(ClientId(2000));
+        assert!(probe.snapshot(info.blob, None).is_err(), "decommissioned blob refuses pins");
+        // Re-putting the key gets a fresh BLOB — decommissioned ids are
+        // never reused.
+        let again = gw.put_object(ALICE, "b", "k", body(1000, 2)).unwrap();
+        assert_ne!(again.blob, info.blob);
+        let snap = gw.metrics_snapshot();
+        assert_eq!(snap.counter("gateway.requests", &[("op", "delete_object")]), Some(1));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn snapshot_object_pins_the_current_version() {
+        let (cluster, gw) = cluster_and_gateway();
+        gw.create_bucket(ALICE, "b", Acl::PublicRead).unwrap();
+        let d1 = body(150_000, 1);
+        gw.put_object(ALICE, "b", "k", d1.clone()).unwrap();
+        let pin = gw.snapshot_object(ALICE, "b", "k").unwrap();
+        assert_eq!(pin.version, gw.head_object(ALICE, "b", "k").unwrap().version);
+        // Snapshots are owner-only mutations even on public-read buckets,
+        // and unknown keys surface as NoSuchKey.
+        assert_eq!(
+            gw.snapshot_object(BOB, "b", "k"),
+            Err(GatewayError::AccessDenied)
+        );
+        assert_eq!(
+            gw.snapshot_object(ALICE, "b", "missing"),
+            Err(GatewayError::NoSuchKey)
+        );
+        // The pin keeps serving the snapshotted bytes across overwrites.
+        gw.put_object(ALICE, "b", "k", body(150_000, 2)).unwrap();
+        assert_eq!(gw.read_pinned(&pin, 0, pin.size).unwrap(), d1);
+        let snap = gw.metrics_snapshot();
+        assert_eq!(snap.counter("gateway.requests", &[("op", "snapshot_object")]), Some(3));
+        assert_eq!(snap.counter("gateway.errors", &[("op", "snapshot_object")]), Some(2));
         cluster.shutdown();
     }
 

@@ -1,0 +1,276 @@
+//! The background integrity scrub: a paced cursor walk over every data
+//! provider's chunk set. Each tick asks the current provider to verify
+//! one batch ([`Msg::ScrubChunks`]); the provider recomputes checksums,
+//! quarantines failures locally, and reports them. The scrubber forwards
+//! every confirmed corruption to the replication manager
+//! ([`Msg::ReportCorrupt`]), whose repair path re-replicates from the
+//! surviving replicas — corrupt → quarantine → repair.
+//!
+//! Pacing is `batch` chunks per `every`: the scrub's read amplification
+//! is bounded and tunable, so a full pass over a provider takes
+//! `chunks / batch` ticks regardless of how hot the data plane is. The
+//! provider directory refreshes from the provider manager after every
+//! completed pass, so scaled-in/out providers join the rotation within
+//! one pass.
+
+use std::collections::HashMap;
+
+use sads_blob::model::ChunkKey;
+use sads_blob::rpc::Msg;
+use sads_blob::services::{Env, Service};
+use sads_sim::{NodeId, SimDuration};
+
+/// Timer token: scrub tick.
+pub const TOKEN_SCRUB_TICK: u64 = u64::MAX - 44;
+
+/// Tuning for the integrity scrub.
+#[derive(Clone, Debug)]
+pub struct ScrubConfig {
+    /// Tick period: one verification batch per tick.
+    pub every: SimDuration,
+    /// Chunks verified per tick.
+    pub batch: u32,
+}
+
+impl Default for ScrubConfig {
+    fn default() -> Self {
+        ScrubConfig { every: SimDuration::from_secs(5), batch: 64 }
+    }
+}
+
+/// The scrubber node.
+pub struct ScrubberService {
+    pman: NodeId,
+    /// Replication manager receiving corruption reports (`None` leaves
+    /// quarantine-only behavior: damage is removed but not repaired).
+    repl: Option<NodeId>,
+    cfg: ScrubConfig,
+    providers: Vec<NodeId>,
+    /// Walk cursor per provider.
+    cursors: HashMap<NodeId, Option<ChunkKey>>,
+    /// Index of the provider currently being walked.
+    idx: usize,
+    next_req: u64,
+    scanned: u64,
+    corrupt_found: u64,
+    passes: u64,
+}
+
+impl ScrubberService {
+    /// A scrubber learning its provider directory from `pman` and
+    /// reporting corruption to `repl`.
+    pub fn new(pman: NodeId, repl: Option<NodeId>, cfg: ScrubConfig) -> Self {
+        ScrubberService {
+            pman,
+            repl,
+            cfg,
+            providers: vec![],
+            cursors: HashMap::new(),
+            idx: 0,
+            next_req: 1,
+            scanned: 0,
+            corrupt_found: 0,
+            passes: 0,
+        }
+    }
+
+    /// Chunks verified so far (post-run inspection).
+    pub fn scanned(&self) -> u64 {
+        self.scanned
+    }
+
+    /// Corruptions detected so far.
+    pub fn corrupt_found(&self) -> u64 {
+        self.corrupt_found
+    }
+
+    /// Completed passes over the whole provider set.
+    pub fn passes(&self) -> u64 {
+        self.passes
+    }
+
+    fn req(&mut self) -> u64 {
+        let r = self.next_req;
+        self.next_req += 1;
+        r
+    }
+
+    fn refresh_directory(&mut self, env: &mut dyn Env) {
+        let req = self.req();
+        env.send(self.pman, Msg::GetDirectory { req });
+    }
+}
+
+impl Service for ScrubberService {
+    fn name(&self) -> &'static str {
+        "scrubber"
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn on_start(&mut self, env: &mut dyn Env) {
+        self.refresh_directory(env);
+        env.set_timer(self.cfg.every, TOKEN_SCRUB_TICK);
+    }
+
+    fn on_msg(&mut self, env: &mut dyn Env, from: NodeId, msg: Msg) {
+        match msg {
+            Msg::Directory { data_providers, .. } => {
+                // Keep cursors of providers that survived the refresh.
+                self.cursors.retain(|n, _| data_providers.contains(n));
+                if self.idx >= data_providers.len() {
+                    self.idx = 0;
+                }
+                self.providers = data_providers;
+            }
+            Msg::ScrubChunksOk { scanned, corrupt, next, .. } => {
+                self.scanned += scanned as u64;
+                env.incr("lifecycle.scrub_scanned", scanned as u64);
+                if !corrupt.is_empty() {
+                    self.corrupt_found += corrupt.len() as u64;
+                    env.incr("lifecycle.scrub_corrupt", corrupt.len() as u64);
+                    if let Some(repl) = self.repl {
+                        for key in corrupt {
+                            env.send(repl, Msg::ReportCorrupt { key, provider: from });
+                        }
+                    }
+                }
+                self.cursors.insert(from, next);
+                if next.is_none() && !self.providers.is_empty() {
+                    // This provider's walk wrapped: move to the next one;
+                    // wrapping the whole rotation completes a pass.
+                    self.idx += 1;
+                    if self.idx >= self.providers.len() {
+                        self.idx = 0;
+                        self.passes += 1;
+                        env.incr("lifecycle.scrub_passes", 1);
+                        self.refresh_directory(env);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, env: &mut dyn Env, token: u64) {
+        if token == TOKEN_SCRUB_TICK {
+            if self.providers.is_empty() {
+                self.refresh_directory(env);
+            } else {
+                let provider = self.providers[self.idx.min(self.providers.len() - 1)];
+                let after = self.cursors.get(&provider).copied().flatten();
+                let req = self.req();
+                env.send(provider, Msg::ScrubChunks { req, after, max: self.cfg.batch });
+            }
+            env.set_timer(self.cfg.every, TOKEN_SCRUB_TICK);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testenv::TestEnv;
+    use sads_blob::model::{BlobId, VersionId};
+
+    fn key(p: u64) -> ChunkKey {
+        ChunkKey { blob: BlobId(1), version: VersionId(1), page: p }
+    }
+
+    #[test]
+    fn walks_providers_round_robin_and_counts_passes() {
+        let mut env = TestEnv::new();
+        let mut s = ScrubberService::new(
+            NodeId(1),
+            Some(NodeId(9)),
+            ScrubConfig { batch: 2, ..ScrubConfig::default() },
+        );
+        s.on_start(&mut env);
+        assert!(matches!(env.sent[0].1, Msg::GetDirectory { .. }));
+        s.on_msg(
+            &mut env,
+            NodeId(1),
+            Msg::Directory {
+                req: 1,
+                meta_providers: vec![NodeId(5)],
+                data_providers: vec![NodeId(10), NodeId(11)],
+            },
+        );
+        // Tick 1: batch against provider 10, cursor advances.
+        s.on_timer(&mut env, TOKEN_SCRUB_TICK);
+        assert!(matches!(
+            env.sent.last().unwrap(),
+            (NodeId(10), Msg::ScrubChunks { after: None, max: 2, .. })
+        ));
+        s.on_msg(
+            &mut env,
+            NodeId(10),
+            Msg::ScrubChunksOk { req: 2, scanned: 2, corrupt: vec![], next: Some(key(1)) },
+        );
+        s.on_timer(&mut env, TOKEN_SCRUB_TICK);
+        assert!(matches!(
+            env.sent.last().unwrap(),
+            (NodeId(10), Msg::ScrubChunks { after: Some(_), .. })
+        ));
+        // Wrap provider 10 → move to 11; wrap 11 → pass complete.
+        s.on_msg(
+            &mut env,
+            NodeId(10),
+            Msg::ScrubChunksOk { req: 3, scanned: 1, corrupt: vec![], next: None },
+        );
+        s.on_timer(&mut env, TOKEN_SCRUB_TICK);
+        assert!(matches!(env.sent.last().unwrap(), (NodeId(11), Msg::ScrubChunks { .. })));
+        s.on_msg(
+            &mut env,
+            NodeId(11),
+            Msg::ScrubChunksOk { req: 4, scanned: 0, corrupt: vec![], next: None },
+        );
+        assert_eq!(s.passes(), 1);
+        assert_eq!(s.scanned(), 3);
+        assert!(
+            matches!(env.sent.last().unwrap().1, Msg::GetDirectory { .. }),
+            "directory refreshes after each pass"
+        );
+    }
+
+    #[test]
+    fn corruption_reports_route_to_the_replication_manager() {
+        let mut env = TestEnv::new();
+        let mut s = ScrubberService::new(NodeId(1), Some(NodeId(9)), ScrubConfig::default());
+        s.on_msg(
+            &mut env,
+            NodeId(10),
+            Msg::ScrubChunksOk {
+                req: 1,
+                scanned: 4,
+                corrupt: vec![key(0), key(3)],
+                next: Some(key(3)),
+            },
+        );
+        let reports: Vec<_> = env
+            .sent
+            .iter()
+            .filter_map(|(to, m)| match m {
+                Msg::ReportCorrupt { key, provider } => Some((*to, *key, *provider)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(reports, vec![(NodeId(9), key(0), NodeId(10)), (NodeId(9), key(3), NodeId(10))]);
+        assert_eq!(s.corrupt_found(), 2);
+    }
+
+    #[test]
+    fn no_repair_target_still_counts_detections() {
+        let mut env = TestEnv::new();
+        let mut s = ScrubberService::new(NodeId(1), None, ScrubConfig::default());
+        s.on_msg(
+            &mut env,
+            NodeId(10),
+            Msg::ScrubChunksOk { req: 1, scanned: 1, corrupt: vec![key(0)], next: None },
+        );
+        assert_eq!(s.corrupt_found(), 1);
+        assert!(env.sent.iter().all(|(_, m)| !matches!(m, Msg::ReportCorrupt { .. })));
+    }
+}
