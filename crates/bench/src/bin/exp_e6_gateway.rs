@@ -32,7 +32,7 @@ fn run(args: &BenchArgs, concurrency: usize) -> (f64, f64) {
         .collect();
     let gw = Arc::new(ObjectGateway::with_clients(
         pool,
-        GatewayConfig { page_size: 1 << 20, replication: 1 },
+        GatewayConfig { page_size: 1 << 20, replication: 1, ..Default::default() },
     ));
     gw.create_bucket(ClientId(0), "bench", Acl::PublicRead).unwrap();
 

@@ -169,7 +169,7 @@ fn gateway_run(concurrency: usize) -> (f64, f64) {
         .collect();
     let gw = Arc::new(ObjectGateway::with_clients(
         pool,
-        GatewayConfig { page_size: 1 << 20, replication: 1 },
+        GatewayConfig { page_size: 1 << 20, replication: 1, ..Default::default() },
     ));
     gw.create_bucket(ClientId(0), "bench", Acl::PublicRead).unwrap();
     let total_bytes = (concurrency * OBJS * OBJ_SIZE) as f64;
@@ -335,11 +335,15 @@ fn threaded_sweep(configs: &[usize], repeats: usize) -> (String, Option<f64>, Op
 /// fell off the concurrency wall (skipped with a note when no baseline is
 /// checked in — e.g. a fresh clone without artifacts).
 fn smoke() {
-    println!("perf --smoke: threaded blob layer, CI regression gate\n");
+    println!("perf --smoke: threaded blob layer + gateway, CI regression gate\n");
     let (threaded_json, write_at_8, read_at_8) = threaded_sweep(&[2, 8, 32, 64], 3);
+    let (put, get) = sample(|| gateway_run(8), 2);
+    println!("\ngateway (8 clients): PUT {:.0} MB/s, GET {:.0} MB/s", put.best, get.best);
     let json = format!(
         "{{\n  \"repeats\": 3, \"policy\": \"best\", \"mode\": \"smoke\",\n  \
-         \"threaded\": {threaded_json}\n}}\n"
+         \"threaded\": {threaded_json},\n  \
+         \"gateway\": {{\"clients\": 8, \"put_mbps\": {:.1}, \"get_mbps\": {:.1}}}\n}}\n",
+        put.best, get.best
     );
     write_artifact("BENCH_smoke.json", &json);
 
@@ -361,6 +365,8 @@ fn smoke() {
             mbps_at(&json, 64, "write_mbps"),
             mbps_at(&baseline, 64, "write_mbps"),
         ),
+        ("gateway_put@8", Some(put.best), mbps_at(&baseline, 8, "put_mbps")),
+        ("gateway_get@8", Some(get.best), mbps_at(&baseline, 8, "get_mbps")),
     ] {
         let (Some(now), Some(before)) = (now, before) else {
             println!("baseline lacks a {label} figure; skipping that gate");

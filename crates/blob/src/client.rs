@@ -84,6 +84,70 @@ pub enum ClientOp {
         /// Target BLOB.
         blob: BlobId,
     },
+    /// Open a streaming write of `len` bytes (declared up front: the
+    /// ticket pre-assigns the version and the page range). Completes with
+    /// [`OpOutput::WriteStreamOpened`] once ticket + placements are held;
+    /// the stream then accepts [`ClientOp::FeedWriteStream`] calls.
+    OpenWriteStream {
+        /// Target BLOB.
+        blob: BlobId,
+        /// Offset or append.
+        kind: WriteKind,
+        /// Total byte length that will be fed (page-aligned).
+        len: u64,
+    },
+    /// Push bytes into an open write stream. Completes (with
+    /// [`OpOutput::Fed`]) only once the stream has window headroom for
+    /// the *next* feed — this completion is the backpressure signal that
+    /// bounds buffered bytes at `chunk_window × page_size`.
+    FeedWriteStream {
+        /// Stream id from [`OpOutput::WriteStreamOpened`].
+        stream: u64,
+        /// Bytes to append to the stream (at most one page per feed to
+        /// keep the memory bound exact).
+        data: Payload,
+    },
+    /// Publish an open write stream: drains in-flight chunks, writes the
+    /// metadata tree, commits at the version manager. Completes with
+    /// [`OpOutput::Written`]. Every declared byte must have been fed.
+    CommitWriteStream {
+        /// Stream id.
+        stream: u64,
+    },
+    /// Abandon an open write stream without publishing. Already-stored
+    /// chunks are reclaimed by the version manager's stalled-write
+    /// recovery and the lifecycle sweeper.
+    AbortWriteStream {
+        /// Stream id.
+        stream: u64,
+    },
+    /// Open a streaming read of a byte range (latest version if `None`).
+    /// Completes with [`OpOutput::ReadStreamOpened`] once the metadata
+    /// descent resolved the chunk plan; data then arrives window-by-window
+    /// via [`ClientOp::ReadStreamNext`].
+    OpenReadStream {
+        /// Target BLOB.
+        blob: BlobId,
+        /// Version to read, or latest.
+        version: Option<VersionId>,
+        /// Byte offset.
+        offset: u64,
+        /// Byte length (clamped to the version size).
+        len: u64,
+    },
+    /// Pull the next window of bytes from an open read stream. Completes
+    /// with [`OpOutput::ReadChunk`]; at most `chunk_window` pages are in
+    /// client memory at any point. The stream closes itself when the
+    /// chunk carrying `eof = true` is delivered.
+    ReadStreamNext {
+        /// Stream id from [`OpOutput::ReadStreamOpened`].
+        stream: u64,
+    },
+    /// Close a read stream early (before `eof`).
+    CloseReadStream {
+        /// Stream id.
+        stream: u64,
+    },
 }
 
 /// Successful operation output.
@@ -122,6 +186,49 @@ pub enum OpOutput {
         blob: BlobId,
         /// Whether the version manager accepted.
         ok: bool,
+    },
+    /// A write stream is open and accepting feeds.
+    WriteStreamOpened {
+        /// Stream id for subsequent feed/commit/abort ops.
+        stream: u64,
+        /// The version the commit will publish.
+        version: VersionId,
+        /// Byte offset the stream writes at.
+        offset: u64,
+        /// Declared byte length.
+        len: u64,
+        /// BLOB page size (the stream's chunk size).
+        page_size: u64,
+    },
+    /// A feed was absorbed and the stream has headroom for the next one.
+    Fed {
+        /// Stream id.
+        stream: u64,
+    },
+    /// A read stream is open; its chunk plan is resolved.
+    ReadStreamOpened {
+        /// Stream id for subsequent next/close ops.
+        stream: u64,
+        /// The version being read.
+        version: VersionId,
+        /// Effective (clamped) byte length the stream will deliver.
+        len: u64,
+        /// BLOB page size (the stream's chunk size).
+        page_size: u64,
+    },
+    /// One window of streamed read data.
+    ReadChunk {
+        /// Stream id.
+        stream: u64,
+        /// The bytes (zeros for holes; `Payload::Sim` in simulation).
+        data: Payload,
+        /// True on the final chunk; the stream is closed after this.
+        eof: bool,
+    },
+    /// A stream was closed (abort or explicit close).
+    StreamClosed {
+        /// Stream id.
+        stream: u64,
     },
 }
 
@@ -377,6 +484,177 @@ impl ReadSess {
     }
 }
 
+/// What a parked stream sub-operation is waiting for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WaiterKind {
+    Open,
+    Feed,
+    Commit,
+    Next,
+}
+
+/// The one stream sub-operation currently awaiting completion. Streams
+/// are strictly half-duplex per handle: at most one feed/commit/next is
+/// outstanding at a time, which is exactly what gives the backpressure
+/// completion its meaning.
+#[derive(Debug)]
+struct StreamWaiter {
+    tag: u64,
+    started: SimTime,
+    kind: WaiterKind,
+    /// Payload bytes this sub-operation moves (a feed's accepted bytes,
+    /// a commit's declared length); stamped on its [`Completion`].
+    bytes: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WStreamPhase {
+    /// Awaiting the version manager's ticket.
+    Ticket,
+    /// Awaiting chunk placements.
+    Alloc,
+    /// Open: accepting feeds, shipping cut pages under the window.
+    Streaming,
+    /// Commit requested: draining in-flight chunk stores.
+    Draining,
+    /// Resolving untouched base-tree subtrees.
+    MetaResolve,
+    /// Storing the new tree nodes.
+    MetaPut,
+    /// Awaiting the version manager's publish ack.
+    Commit,
+}
+
+/// A streaming write: the ticket/alloc handshake runs at open (the
+/// declared length pins the version and page range), then feeds cut
+/// page-sized chunks that ship through the same pipelined put path as a
+/// whole-buffer write — but the client never holds more than
+/// `chunk_window × page_size` un-acknowledged bytes: a feed's completion
+/// is withheld until there is headroom for the next page.
+#[derive(Debug)]
+struct WriteStreamSess {
+    blob: BlobId,
+    ticket: Option<WriteTicket>,
+    chunks: Vec<ChunkDescriptor>,
+    builder: Option<TreeBuilder>,
+    root: Option<crate::meta::NodeRef>,
+    phase: WStreamPhase,
+    /// Partial page under accumulation (real-data streams).
+    acc: BytesMut,
+    /// Partial page under accumulation (size-only simulation streams).
+    acc_sim: u64,
+    /// `Some(true)` once the first feed fixed the payload flavor to
+    /// real data, `Some(false)` for simulation; mixing is a protocol
+    /// error.
+    data_mode: Option<bool>,
+    /// Index into `chunks` of the next page to cut.
+    next_page: u64,
+    /// Cut pages (one entry per replica) not yet issued because the
+    /// window is full.
+    queued: std::collections::VecDeque<(NodeId, ChunkKey, Payload)>,
+    /// Replica acks still owed per cut page; the page's bytes stay
+    /// "buffered" until the last replica acks.
+    page_acks: HashMap<u64, u32>,
+    /// Bytes cut but not yet fully acknowledged (each page counted once
+    /// — replicas share one refcounted buffer).
+    unacked_bytes: u64,
+    /// Total bytes accepted so far.
+    fed: u64,
+    /// High-water mark of `buffered()`, exported as the
+    /// `client.stream_buffered_bytes` gauge.
+    peak_buffered: u64,
+    waiter: Option<StreamWaiter>,
+    /// A fatal error that arrived while no sub-op was parked; delivered
+    /// to (and ending the stream at) the next sub-op.
+    failed: Option<BlobError>,
+    reallocs: u32,
+    /// Progress clock for the idle-timeout check: message arrivals and
+    /// waiter completions refresh it.
+    last_activity: SimTime,
+}
+
+impl WriteStreamSess {
+    fn page_size(&self) -> u64 {
+        self.ticket.as_ref().map(|t| t.page_size).unwrap_or(0)
+    }
+
+    /// Bytes this stream currently holds: the partial page plus every
+    /// cut-but-not-fully-acked page.
+    fn buffered(&self) -> u64 {
+        self.acc.len() as u64 + self.acc_sim + self.unacked_bytes
+    }
+
+    /// May a feed completion be released? Yes once every cut page is at
+    /// least in flight and there is headroom for one more page under the
+    /// window cap — so the *next* feed cannot push `buffered()` past
+    /// `chunk_window × page_size`.
+    fn feed_ready(&self, window: usize) -> bool {
+        if !self.queued.is_empty() {
+            return false;
+        }
+        if window == 0 {
+            return true;
+        }
+        let cap = (window as u64).max(2) * self.page_size();
+        self.unacked_bytes == 0 || self.buffered() + self.page_size() <= cap
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RStreamPhase {
+    /// Awaiting the version lookup.
+    Version,
+    /// Running the metadata descent for the whole range.
+    Meta,
+    /// Open, no fetch in flight; awaiting the next pull.
+    Idle,
+    /// One window of chunk fetches in flight.
+    Fetching,
+}
+
+/// A streaming read: the version lookup and the (bulk, cache-warming)
+/// metadata descent run at open and resolve the whole chunk plan — an
+/// O(#pages) table of descriptors, not data — then each `next()` pulls
+/// at most `chunk_window` pages of actual bytes, so a multi-GB read
+/// runs in O(window) data memory.
+#[derive(Debug)]
+struct ReadStreamSess {
+    blob: BlobId,
+    offset: u64,
+    len: u64,
+    info: Option<VersionInfo>,
+    reader: Option<TreeReader>,
+    phase: RStreamPhase,
+    page0: u64,
+    /// Resolved page plan for the whole range.
+    sources: Vec<PageSource>,
+    /// Index into `sources` of the next page to deliver.
+    cursor: usize,
+    /// Plan index of `parts[0]` for the batch in flight.
+    batch_base: usize,
+    /// The batch in flight (at most `chunk_window` entries).
+    parts: Vec<Option<Payload>>,
+    waiter: Option<StreamWaiter>,
+    failed: Option<BlobError>,
+    range_used: bool,
+    last_activity: SimTime,
+}
+
+impl ReadStreamSess {
+    /// Version + page interval of the open descent's bulk range query
+    /// (see [`ReadSess::range_query`] for the root-version subtlety).
+    fn range_query(&self) -> (VersionId, PageInterval) {
+        let info = self.info.as_ref().expect("info set");
+        let version = match info.root {
+            Some(crate::meta::NodeRef::Node { version, .. }) => version,
+            _ => info.version,
+        };
+        let page = info.page_size;
+        let last = (self.offset + self.len - 1) / page;
+        (version, PageInterval::new(self.page0, last - self.page0 + 1))
+    }
+}
+
 #[derive(Debug)]
 enum SessKind {
     Create,
@@ -386,6 +664,11 @@ enum SessKind {
     Read(Box<ReadSess>),
     Snapshot(BlobId),
     Decommission(BlobId),
+    // Long-lived streaming sessions: the session outlives each sub-op
+    // (open/feed/commit/next), which complete through the parked
+    // [`StreamWaiter`] instead of the session tag.
+    WriteStream(Box<WriteStreamSess>),
+    ReadStream(Box<ReadStreamSess>),
 }
 
 /// Causal-trace state of one operation: the root span identity plus the
@@ -535,7 +818,30 @@ impl ClientCore {
     }
 
     /// Begin an operation; its completion will carry `tag`.
-    pub fn start_op(&mut self, env: &mut dyn Env, op: ClientOp, tag: u64) {
+    ///
+    /// Most operations complete later, through [`handle_msg`] /
+    /// [`handle_timer`]; stream sub-operations (feeds, pulls) can
+    /// complete synchronously when the stream already has headroom, so
+    /// completions may also be returned here.
+    ///
+    /// [`handle_msg`]: ClientCore::handle_msg
+    /// [`handle_timer`]: ClientCore::handle_timer
+    pub fn start_op(&mut self, env: &mut dyn Env, op: ClientOp, tag: u64) -> Vec<Completion> {
+        // Stream sub-operations act on an existing session instead of
+        // opening one.
+        match op {
+            ClientOp::FeedWriteStream { stream, data } => {
+                return self.wstream_feed(env, stream, data, tag)
+            }
+            ClientOp::CommitWriteStream { stream } => {
+                return self.wstream_commit(env, stream, tag)
+            }
+            ClientOp::AbortWriteStream { stream } | ClientOp::CloseReadStream { stream } => {
+                return self.stream_close(env, stream, tag)
+            }
+            ClientOp::ReadStreamNext { stream } => return self.rstream_next(env, stream, tag),
+            _ => {}
+        }
         let sid = self.next_sid;
         self.next_sid += 1;
         let started = env.now();
@@ -546,6 +852,9 @@ impl ClientCore {
             ClientOp::Read { .. } => "read",
             ClientOp::Snapshot { .. } => "snapshot",
             ClientOp::Decommission { .. } => "decommission",
+            ClientOp::OpenWriteStream { .. } => "write_stream",
+            ClientOp::OpenReadStream { .. } => "read_stream",
+            _ => unreachable!("stream sub-ops handled above"),
         };
         let trace = env.span_sink().map(|sink| {
             // Nest under an ambient context when one exists (e.g. the S3
@@ -629,8 +938,64 @@ impl ClientCore {
                 self.sessions.insert(sid, sess);
                 env.send(self.vman, Msg::DecommissionBlob { req, client: self.id, blob });
             }
+            ClientOp::OpenWriteStream { blob, kind, len } => {
+                sess.kind = SessKind::WriteStream(Box::new(WriteStreamSess {
+                    blob,
+                    ticket: None,
+                    chunks: Vec::new(),
+                    builder: None,
+                    root: None,
+                    phase: WStreamPhase::Ticket,
+                    acc: BytesMut::new(),
+                    acc_sim: 0,
+                    data_mode: None,
+                    next_page: 0,
+                    queued: std::collections::VecDeque::new(),
+                    page_acks: HashMap::new(),
+                    unacked_bytes: 0,
+                    fed: 0,
+                    peak_buffered: 0,
+                    waiter: Some(StreamWaiter { tag, started, kind: WaiterKind::Open, bytes: 0 }),
+                    failed: None,
+                    reallocs: 0,
+                    last_activity: started,
+                }));
+                let req = self.fresh_req(sid, ReqRole::Plain);
+                sess.outstanding.insert(req);
+                self.sessions.insert(sid, sess);
+                env.send(self.vman, Msg::Ticket { req, client: self.id, blob, kind, len });
+            }
+            ClientOp::OpenReadStream { blob, version, offset, len } => {
+                sess.kind = SessKind::ReadStream(Box::new(ReadStreamSess {
+                    blob,
+                    offset,
+                    len,
+                    info: None,
+                    reader: None,
+                    phase: RStreamPhase::Version,
+                    page0: 0,
+                    sources: Vec::new(),
+                    cursor: 0,
+                    batch_base: 0,
+                    parts: Vec::new(),
+                    waiter: Some(StreamWaiter { tag, started, kind: WaiterKind::Open, bytes: 0 }),
+                    failed: None,
+                    range_used: false,
+                    last_activity: started,
+                }));
+                let req = self.fresh_req(sid, ReqRole::Plain);
+                sess.outstanding.insert(req);
+                self.sessions.insert(sid, sess);
+                env.send(self.vman, Msg::GetVersion { req, client: self.id, blob, version });
+            }
+            ClientOp::FeedWriteStream { .. }
+            | ClientOp::CommitWriteStream { .. }
+            | ClientOp::AbortWriteStream { .. }
+            | ClientOp::ReadStreamNext { .. }
+            | ClientOp::CloseReadStream { .. } => unreachable!("handled above"),
         }
         env.set_trace_ctx(None);
+        vec![]
     }
 
     /// Feed a timer owned by the client core (see [`ClientCore::owns_timer`]).
@@ -660,6 +1025,23 @@ impl ClientCore {
             return self.handle_msg(env, NodeId::EXTERNAL, msg);
         }
         let sid = token & !CLIENT_TIMER_BIT;
+        // Stream sessions are long-lived: their deadline is an *idle*
+        // timeout. If the stream made progress since the timer was
+        // armed, re-arm for the remainder instead of killing it.
+        let idle_since = match self.sessions.get(&sid).map(|s| &s.kind) {
+            Some(SessKind::WriteStream(w)) => Some(w.last_activity),
+            Some(SessKind::ReadStream(r)) => Some(r.last_activity),
+            _ => None,
+        };
+        if let Some(last) = idle_since {
+            let deadline = last + self.cfg.op_timeout;
+            let now = env.now();
+            if deadline > now {
+                env.set_timer(deadline.since(now), CLIENT_TIMER_BIT | sid);
+                return vec![];
+            }
+            return self.fail_stream(env, sid, BlobError::Timeout);
+        }
         if let Some(sess) = self.sessions.remove(&sid) {
             for req in &sess.outstanding {
                 self.req_index.remove(req);
@@ -710,6 +1092,14 @@ impl ClientCore {
         let Some((sid, role)) = self.req_index.remove(&req) else { return vec![] };
         let Some(sess) = self.sessions.get_mut(&sid) else { return vec![] };
         sess.outstanding.remove(&req);
+
+        // Stream sessions complete sub-operations without ending the
+        // session, so they run their own state machines.
+        match &sess.kind {
+            SessKind::WriteStream(_) => return self.wstream_msg(env, sid, role, msg),
+            SessKind::ReadStream(_) => return self.rstream_msg(env, sid, role, msg),
+            _ => {}
+        }
 
         // Restore this operation's causal context so every message sent
         // while advancing the protocol nests under its root span, and
@@ -785,6 +1175,21 @@ impl ClientCore {
                 ReadPhase::Meta => "meta",
                 ReadPhase::Chunks => "chunks",
             },
+            SessKind::WriteStream(w) => match w.phase {
+                WStreamPhase::Ticket => "ticket",
+                WStreamPhase::Alloc => "alloc",
+                WStreamPhase::Streaming => "stream",
+                WStreamPhase::Draining => "drain",
+                WStreamPhase::MetaResolve => "meta_resolve",
+                WStreamPhase::MetaPut => "meta_put",
+                WStreamPhase::Commit => "commit",
+            },
+            SessKind::ReadStream(r) => match r.phase {
+                RStreamPhase::Version => "version",
+                RStreamPhase::Meta => "meta",
+                RStreamPhase::Idle => "stream",
+                RStreamPhase::Fetching => "chunks",
+            },
         }
     }
 
@@ -855,6 +1260,12 @@ impl ClientCore {
         };
 
         match &mut sess.kind {
+            // Stream sessions are routed to their own machines in
+            // `handle_msg` before `advance` is ever reached.
+            SessKind::WriteStream(_) | SessKind::ReadStream(_) => {
+                unreachable!("stream sessions bypass advance")
+            }
+
             SessKind::Create => match msg {
                 Msg::CreateBlobOk { blob, .. } => Step::Done(Ok(OpOutput::Created(blob)), 0),
                 _ => Step::Done(Err(BlobError::Protocol("unexpected reply to create")), 0),
@@ -1823,11 +2234,1497 @@ impl ClientCore {
         let bytes = total;
         Step::Done(Ok(OpOutput::Read { data, version }), bytes)
     }
+
+    // ---- streaming sessions ------------------------------------------
+
+    /// A zero-duration completion (sub-ops that finish synchronously).
+    fn instant(tag: u64, now: SimTime, result: Result<OpOutput, BlobError>) -> Completion {
+        Completion { tag, result, started: now, finished: now, bytes: 0 }
+    }
+
+    /// Take (and clear) a stored fatal error from a stream session.
+    fn stream_take_failure(&mut self, sid: u64) -> Option<BlobError> {
+        match self.sessions.get_mut(&sid).map(|s| &mut s.kind) {
+            Some(SessKind::WriteStream(w)) => w.failed.take(),
+            Some(SessKind::ReadStream(r)) => r.failed.take(),
+            _ => None,
+        }
+    }
+
+    /// Tear a stream session down and deliver `err` to the sub-operation
+    /// tagged `tag` (used when a stored failure is picked up, or when a
+    /// sub-operation itself turns out to be fatal).
+    fn stream_reap(
+        &mut self,
+        env: &mut dyn Env,
+        sid: u64,
+        tag: u64,
+        err: BlobError,
+    ) -> Vec<Completion> {
+        let now = env.now();
+        if let Some(sess) = self.sessions.remove(&sid) {
+            for req in &sess.outstanding {
+                self.req_index.remove(req);
+            }
+            if let Some(t) = &sess.trace {
+                Self::record_stage(env, t, Self::stage_of(&sess.kind), now);
+                Self::record_op(env, t, sess.started, now);
+            }
+        }
+        vec![Self::instant(tag, now, Err(err))]
+    }
+
+    /// Idle-timeout a stream session: the error goes to the parked
+    /// sub-operation if one is waiting, and the stream is torn down.
+    fn fail_stream(&mut self, env: &mut dyn Env, sid: u64, err: BlobError) -> Vec<Completion> {
+        let now = env.now();
+        let Some(mut sess) = self.sessions.remove(&sid) else { return vec![] };
+        for req in &sess.outstanding {
+            self.req_index.remove(req);
+        }
+        let waiter = match &mut sess.kind {
+            SessKind::WriteStream(w) => w.waiter.take(),
+            SessKind::ReadStream(r) => r.waiter.take(),
+            _ => None,
+        };
+        if let Some(t) = &sess.trace {
+            Self::record_stage(env, t, Self::stage_of(&sess.kind), now);
+            Self::record_op(env, t, sess.started, now);
+        }
+        match waiter {
+            Some(wt) => vec![Completion {
+                tag: wt.tag,
+                result: Err(err),
+                started: wt.started,
+                finished: now,
+                bytes: 0,
+            }],
+            None => vec![],
+        }
+    }
+
+    /// Close a stream (write-stream abort or read-stream close).
+    /// Idempotent: closing an already-gone stream succeeds, so handle
+    /// drop paths can race eof/timeout teardown safely.
+    fn stream_close(&mut self, env: &mut dyn Env, sid: u64, tag: u64) -> Vec<Completion> {
+        let now = env.now();
+        let is_stream = matches!(
+            self.sessions.get(&sid).map(|s| &s.kind),
+            Some(SessKind::WriteStream(_) | SessKind::ReadStream(_))
+        );
+        if !is_stream {
+            if self.sessions.contains_key(&sid) {
+                return vec![Self::instant(tag, now, Err(BlobError::Protocol("not a stream")))];
+            }
+            return vec![Self::instant(tag, now, Ok(OpOutput::StreamClosed { stream: sid }))];
+        }
+        let mut sess = self.sessions.remove(&sid).expect("checked present");
+        for req in &sess.outstanding {
+            self.req_index.remove(req);
+        }
+        let waiter = match &mut sess.kind {
+            SessKind::WriteStream(w) => w.waiter.take(),
+            SessKind::ReadStream(r) => r.waiter.take(),
+            _ => None,
+        };
+        if let Some(t) = &sess.trace {
+            Self::record_stage(env, t, Self::stage_of(&sess.kind), now);
+            Self::record_op(env, t, sess.started, now);
+        }
+        let mut out = Vec::new();
+        // Handles are half-duplex, so no sub-operation should be parked
+        // here — but a racing caller gets a clean error, not silence.
+        if let Some(wt) = waiter {
+            out.push(Completion {
+                tag: wt.tag,
+                result: Err(BlobError::Protocol("stream closed")),
+                started: wt.started,
+                finished: now,
+                bytes: 0,
+            });
+        }
+        out.push(Self::instant(tag, now, Ok(OpOutput::StreamClosed { stream: sid })));
+        out
+    }
+
+    /// Push bytes into an open write stream (see
+    /// [`ClientOp::FeedWriteStream`]). Completes synchronously when the
+    /// stream has headroom; otherwise the completion parks until enough
+    /// chunk acks arrive.
+    fn wstream_feed(
+        &mut self,
+        env: &mut dyn Env,
+        sid: u64,
+        data: Payload,
+        tag: u64,
+    ) -> Vec<Completion> {
+        let now = env.now();
+        if let Some(err) = self.stream_take_failure(sid) {
+            return self.stream_reap(env, sid, tag, err);
+        }
+        let Some(sess) = self.sessions.get_mut(&sid) else {
+            return vec![Self::instant(tag, now, Err(BlobError::Protocol("unknown stream")))];
+        };
+        let SessKind::WriteStream(w) = &mut sess.kind else {
+            return vec![Self::instant(tag, now, Err(BlobError::Protocol("not a write stream")))];
+        };
+        if w.waiter.is_some() {
+            return vec![Self::instant(
+                tag,
+                now,
+                Err(BlobError::Protocol("stream sub-operation already in flight")),
+            )];
+        }
+        if w.phase != WStreamPhase::Streaming {
+            return vec![Self::instant(
+                tag,
+                now,
+                Err(BlobError::Protocol("stream is not accepting feeds")),
+            )];
+        }
+        let len = data.len();
+        let declared = w.ticket.as_ref().map(|t| t.len).unwrap_or(0);
+        if w.fed + len > declared {
+            return self.stream_reap(
+                env,
+                sid,
+                tag,
+                BlobError::Protocol("feed exceeds the declared stream length"),
+            );
+        }
+        match data {
+            Payload::Data(b) => {
+                if w.data_mode == Some(false) {
+                    return self.stream_reap(
+                        env,
+                        sid,
+                        tag,
+                        BlobError::Protocol("mixed real and simulated payloads in one stream"),
+                    );
+                }
+                w.data_mode = Some(true);
+                // Zero-copy fast path: with an empty accumulator, whole
+                // pages are cut straight off the fed buffer as refcounted
+                // sub-slices; only a sub-page tail goes through `acc`.
+                let page = w.page_size() as usize;
+                let mut b = b;
+                if page > 0 && w.acc.is_empty() {
+                    let mut at = 0usize;
+                    while b.len() - at >= page && (w.next_page as usize) < w.chunks.len() {
+                        let piece = Payload::Data(b.slice(at..at + page));
+                        Self::wstream_enqueue(w, piece);
+                        at += page;
+                    }
+                    if at > 0 {
+                        b = b.slice(at..b.len());
+                    }
+                }
+                if !b.is_empty() {
+                    w.acc.extend_from_slice(&b);
+                }
+            }
+            Payload::Sim(n) => {
+                if w.data_mode == Some(true) {
+                    return self.stream_reap(
+                        env,
+                        sid,
+                        tag,
+                        BlobError::Protocol("mixed real and simulated payloads in one stream"),
+                    );
+                }
+                w.data_mode = Some(false);
+                w.acc_sim += n;
+            }
+        }
+        w.fed += len;
+        w.last_activity = now;
+        Self::wstream_cut(w);
+        env.set_trace_ctx(sess.trace.as_ref().map(|t| t.ctx));
+        let next_req = &mut self.next_req;
+        let req_index = &mut self.req_index;
+        let mut fresh = |outstanding: &mut HashSet<u64>, role: ReqRole| {
+            let req = *next_req;
+            *next_req += 1;
+            req_index.insert(req, (sid, role));
+            outstanding.insert(req);
+            req
+        };
+        Self::wstream_pump(self.id, self.cfg, &mut fresh, &mut sess.outstanding, w, env);
+        env.set_trace_ctx(None);
+        let buffered = w.buffered();
+        if buffered > w.peak_buffered {
+            w.peak_buffered = buffered;
+            env.record("client.stream_buffered_bytes", buffered as f64);
+        }
+        if w.feed_ready(self.cfg.chunk_window) {
+            return vec![Completion {
+                tag,
+                result: Ok(OpOutput::Fed { stream: sid }),
+                started: now,
+                finished: now,
+                bytes: len,
+            }];
+        }
+        w.waiter = Some(StreamWaiter { tag, started: now, kind: WaiterKind::Feed, bytes: len });
+        vec![]
+    }
+
+    /// Publish an open write stream (see [`ClientOp::CommitWriteStream`]):
+    /// drain in-flight chunk stores, then run the metadata/commit tail of
+    /// the write protocol.
+    fn wstream_commit(&mut self, env: &mut dyn Env, sid: u64, tag: u64) -> Vec<Completion> {
+        let now = env.now();
+        if let Some(err) = self.stream_take_failure(sid) {
+            return self.stream_reap(env, sid, tag, err);
+        }
+        let Some(sess) = self.sessions.get_mut(&sid) else {
+            return vec![Self::instant(tag, now, Err(BlobError::Protocol("unknown stream")))];
+        };
+        let stage_before = Self::stage_of(&sess.kind);
+        let SessKind::WriteStream(w) = &mut sess.kind else {
+            return vec![Self::instant(tag, now, Err(BlobError::Protocol("not a write stream")))];
+        };
+        if w.waiter.is_some() {
+            return vec![Self::instant(
+                tag,
+                now,
+                Err(BlobError::Protocol("stream sub-operation already in flight")),
+            )];
+        }
+        if w.phase != WStreamPhase::Streaming {
+            return vec![Self::instant(
+                tag,
+                now,
+                Err(BlobError::Protocol("stream is not accepting a commit")),
+            )];
+        }
+        let declared = w.ticket.as_ref().map(|t| t.len).unwrap_or(0);
+        if w.fed != declared {
+            return self.stream_reap(
+                env,
+                sid,
+                tag,
+                BlobError::Protocol("commit before the declared length was fed"),
+            );
+        }
+        w.phase = WStreamPhase::Draining;
+        w.last_activity = now;
+        w.waiter = Some(StreamWaiter { tag, started: now, kind: WaiterKind::Commit, bytes: declared });
+        if !sess.outstanding.is_empty() {
+            return self.stream_epilogue(env, sid, stage_before, StreamStep::Park);
+        }
+        debug_assert!(w.queued.is_empty(), "queued chunks with an empty in-flight window");
+        // Nothing in flight: go straight to the metadata phase.
+        env.set_trace_ctx(sess.trace.as_ref().map(|t| t.ctx));
+        let next_req = &mut self.next_req;
+        let req_index = &mut self.req_index;
+        let mut fresh = |outstanding: &mut HashSet<u64>, role: ReqRole| {
+            let req = *next_req;
+            *next_req += 1;
+            req_index.insert(req, (sid, role));
+            outstanding.insert(req);
+            req
+        };
+        let step = Self::wstream_meta_step(
+            &self.meta_providers,
+            &mut self.meta_cache,
+            &mut fresh,
+            &mut sess.outstanding,
+            w,
+            env,
+        );
+        self.stream_epilogue(env, sid, stage_before, step)
+    }
+
+    /// Pull the next window of bytes from an open read stream (see
+    /// [`ClientOp::ReadStreamNext`]).
+    fn rstream_next(&mut self, env: &mut dyn Env, sid: u64, tag: u64) -> Vec<Completion> {
+        let now = env.now();
+        if let Some(err) = self.stream_take_failure(sid) {
+            return self.stream_reap(env, sid, tag, err);
+        }
+        let Some(sess) = self.sessions.get_mut(&sid) else {
+            return vec![Self::instant(tag, now, Err(BlobError::Protocol("unknown stream")))];
+        };
+        let stage_before = Self::stage_of(&sess.kind);
+        let SessKind::ReadStream(r) = &mut sess.kind else {
+            return vec![Self::instant(tag, now, Err(BlobError::Protocol("not a read stream")))];
+        };
+        if r.waiter.is_some() {
+            return vec![Self::instant(
+                tag,
+                now,
+                Err(BlobError::Protocol("stream sub-operation already in flight")),
+            )];
+        }
+        if r.phase != RStreamPhase::Idle {
+            return vec![Self::instant(tag, now, Err(BlobError::Protocol("stream is not open")))];
+        }
+        r.last_activity = now;
+        // Past the last page: deliver eof, auto-closing the stream.
+        if r.cursor >= r.sources.len() {
+            let data = if self.cfg.materialize_zeros {
+                Payload::Data(bytes::Bytes::new())
+            } else {
+                Payload::Sim(0)
+            };
+            r.waiter = Some(StreamWaiter { tag, started: now, kind: WaiterKind::Next, bytes: 0 });
+            let out = OpOutput::ReadChunk { stream: sid, data, eof: true };
+            return self.stream_epilogue(env, sid, stage_before, StreamStep::Finish(Ok(out), 0));
+        }
+        let page = r.info.as_ref().expect("info set").page_size;
+        let remaining = r.sources.len() - r.cursor;
+        // Besides the pipelining window, cap one delivered batch below
+        // 32 MiB: glibc never raises its dynamic mmap threshold past that
+        // (`DEFAULT_MMAP_THRESHOLD_MAX`), so a ≥ 32 MiB assembly buffer is
+        // freshly mmap'd — and page-fault-zeroed — on every `next()`,
+        // which measures ~6× slower than reusable sub-threshold buffers
+        // (E15). The memory bound only tightens.
+        const BATCH_BYTES_CAP: u64 = 16 << 20;
+        let page_cap = ((BATCH_BYTES_CAP / page.max(1)) as usize).max(1);
+        let window = if self.cfg.chunk_window == 0 {
+            remaining.min(page_cap)
+        } else {
+            self.cfg.chunk_window.min(remaining).min(page_cap)
+        };
+        r.batch_base = r.cursor;
+        r.parts = (0..window).map(|_| None).collect();
+        r.cursor += window;
+        let mut jobs: Vec<(usize, ChunkDescriptor)> = Vec::new();
+        for i in 0..window {
+            match r.sources[r.batch_base + i].clone() {
+                PageSource::Hole { .. } => r.parts[i] = Some(Payload::Sim(page)),
+                PageSource::Chunk(desc) if desc.replicas.is_empty() => {
+                    // Tombstone leaf from stalled-write recovery: zeros.
+                    r.parts[i] = Some(Payload::Sim(page));
+                }
+                PageSource::Chunk(desc) => jobs.push((i, desc)),
+            }
+        }
+        if jobs.is_empty() {
+            let (result, bytes, eof) = Self::rstream_assemble(sid, r, self.cfg.materialize_zeros);
+            r.waiter = Some(StreamWaiter { tag, started: now, kind: WaiterKind::Next, bytes });
+            let step = if eof {
+                StreamStep::Finish(result, bytes)
+            } else {
+                StreamStep::Complete(result, bytes)
+            };
+            return self.stream_epilogue(env, sid, stage_before, step);
+        }
+        env.set_trace_ctx(sess.trace.as_ref().map(|t| t.ctx));
+        let mut groups: Vec<(NodeId, Vec<(usize, ChunkDescriptor)>)> = Vec::new();
+        for (idx, desc) in jobs {
+            let pick = env.rng().random_range(0..desc.replicas.len());
+            let target = desc.replicas[pick];
+            match groups.iter_mut().find(|(t, _)| *t == target) {
+                Some((_, items)) => items.push((idx, desc)),
+                None => groups.push((target, vec![(idx, desc)])),
+            }
+        }
+        let next_req = &mut self.next_req;
+        let req_index = &mut self.req_index;
+        let mut fresh = |outstanding: &mut HashSet<u64>, role: ReqRole| {
+            let req = *next_req;
+            *next_req += 1;
+            req_index.insert(req, (sid, role));
+            outstanding.insert(req);
+            req
+        };
+        for (target, items) in groups {
+            Self::issue_chunk_get_batch(
+                self.id,
+                self.cfg.chunk_timeout,
+                &mut fresh,
+                &mut sess.outstanding,
+                target,
+                items,
+                env,
+            );
+        }
+        env.set_trace_ctx(None);
+        r.phase = RStreamPhase::Fetching;
+        r.waiter = Some(StreamWaiter { tag, started: now, kind: WaiterKind::Next, bytes: 0 });
+        vec![]
+    }
+
+    /// Route a message to a write-stream session's state machine.
+    fn wstream_msg(
+        &mut self,
+        env: &mut dyn Env,
+        sid: u64,
+        role: ReqRole,
+        msg: Msg,
+    ) -> Vec<Completion> {
+        let sess = self.sessions.get_mut(&sid).expect("stream session present");
+        let stage_before = Self::stage_of(&sess.kind);
+        env.set_trace_ctx(sess.trace.as_ref().map(|t| t.ctx));
+        let step = Self::wstream_step(
+            self.id,
+            self.vman,
+            self.pman,
+            &self.meta_providers,
+            self.cfg,
+            &mut self.meta_cache,
+            &mut self.next_req,
+            &mut self.req_index,
+            sid,
+            sess,
+            role,
+            msg,
+            env,
+        );
+        self.stream_epilogue(env, sid, stage_before, step)
+    }
+
+    /// Route a message to a read-stream session's state machine.
+    fn rstream_msg(
+        &mut self,
+        env: &mut dyn Env,
+        sid: u64,
+        role: ReqRole,
+        msg: Msg,
+    ) -> Vec<Completion> {
+        let sess = self.sessions.get_mut(&sid).expect("stream session present");
+        let stage_before = Self::stage_of(&sess.kind);
+        env.set_trace_ctx(sess.trace.as_ref().map(|t| t.ctx));
+        let step = Self::rstream_step(
+            self.id,
+            &self.meta_providers,
+            self.cfg,
+            &mut self.meta_cache,
+            &mut self.next_req,
+            &mut self.req_index,
+            sid,
+            sess,
+            role,
+            msg,
+            env,
+        );
+        self.stream_epilogue(env, sid, stage_before, step)
+    }
+
+    /// Apply a [`StreamStep`] to the session: deliver waiter completions,
+    /// tear the stream down on [`StreamStep::Finish`], store fatal errors,
+    /// and keep the stage-span bookkeeping in line with the classic path.
+    fn stream_epilogue(
+        &mut self,
+        env: &mut dyn Env,
+        sid: u64,
+        stage_before: &'static str,
+        step: StreamStep,
+    ) -> Vec<Completion> {
+        let now = env.now();
+        let out = match step {
+            StreamStep::Park => {
+                self.stream_stage_note(env, sid, stage_before);
+                vec![]
+            }
+            StreamStep::Complete(result, bytes) => {
+                self.stream_stage_note(env, sid, stage_before);
+                let mut out = Vec::new();
+                if let Some(sess) = self.sessions.get_mut(&sid) {
+                    let waiter = match &mut sess.kind {
+                        SessKind::WriteStream(w) => {
+                            w.last_activity = now;
+                            w.waiter.take()
+                        }
+                        SessKind::ReadStream(r) => {
+                            r.last_activity = now;
+                            r.waiter.take()
+                        }
+                        _ => None,
+                    };
+                    if let Some(wt) = waiter {
+                        if let Some(t) = &sess.trace {
+                            Self::record_stream_span(env, t, sub_op_label(wt.kind), wt.started, now);
+                        }
+                        out.push(Completion {
+                            tag: wt.tag,
+                            result,
+                            started: wt.started,
+                            finished: now,
+                            bytes,
+                        });
+                    }
+                }
+                out
+            }
+            StreamStep::Finish(result, bytes) => {
+                let mut out = Vec::new();
+                if let Some(mut sess) = self.sessions.remove(&sid) {
+                    for req in &sess.outstanding {
+                        self.req_index.remove(req);
+                    }
+                    let waiter = match &mut sess.kind {
+                        SessKind::WriteStream(w) => w.waiter.take(),
+                        SessKind::ReadStream(r) => r.waiter.take(),
+                        _ => None,
+                    };
+                    if let Some(t) = &sess.trace {
+                        if let Some(wt) = &waiter {
+                            Self::record_stream_span(env, t, sub_op_label(wt.kind), wt.started, now);
+                        }
+                        Self::record_stage(env, t, stage_before, now);
+                        Self::record_op(env, t, sess.started, now);
+                    }
+                    if let Some(wt) = waiter {
+                        out.push(Completion {
+                            tag: wt.tag,
+                            result,
+                            started: wt.started,
+                            finished: now,
+                            bytes,
+                        });
+                    }
+                }
+                out
+            }
+            StreamStep::Fatal(err) => {
+                self.stream_stage_note(env, sid, stage_before);
+                if let Some(sess) = self.sessions.get_mut(&sid) {
+                    let reqs: Vec<u64> = sess.outstanding.drain().collect();
+                    for req in reqs {
+                        self.req_index.remove(&req);
+                    }
+                    match &mut sess.kind {
+                        SessKind::WriteStream(w) => w.failed = Some(err),
+                        SessKind::ReadStream(r) => r.failed = Some(err),
+                        _ => {}
+                    }
+                }
+                vec![]
+            }
+        };
+        env.set_trace_ctx(None);
+        out
+    }
+
+    /// Close the previous stage's span if the stream just moved stages.
+    fn stream_stage_note(&mut self, env: &mut dyn Env, sid: u64, stage_before: &'static str) {
+        if let Some(sess) = self.sessions.get_mut(&sid) {
+            if Self::stage_of(&sess.kind) != stage_before {
+                if let Some(t) = sess.trace.as_mut() {
+                    let now = env.now();
+                    Self::record_stage(env, &*t, stage_before, now);
+                    t.stage_start = now;
+                }
+            }
+        }
+    }
+
+    /// Emit a Stage span for one stream sub-operation (the open
+    /// handshake, a parked feed, the commit drain, a pull) with an
+    /// explicit start time. Synchronous completions (start == end) carry
+    /// no latency information and are skipped.
+    fn record_stream_span(
+        env: &mut dyn Env,
+        t: &OpTrace,
+        label: &'static str,
+        start: SimTime,
+        end: SimTime,
+    ) {
+        if start == end {
+            return;
+        }
+        let Some(sink) = env.span_sink() else { return };
+        sink.record(SpanRecord {
+            trace: t.ctx.trace_id,
+            span: sink.next_id(),
+            parent: t.ctx.span_id,
+            service: "client",
+            op: label,
+            node: env.id().0 as u64,
+            start_ns: start.as_nanos(),
+            end_ns: end.as_nanos(),
+            kind: SpanKind::Stage,
+            class: SpanClass::Control,
+            queue_ns: 0,
+            xfer_ns: 0,
+            wire_ns: 0,
+        });
+    }
+
+    /// Queue one full-page payload for the next page slot, one send per
+    /// replica. Each cut page is counted once in `unacked_bytes` until
+    /// its last replica acks.
+    fn wstream_enqueue(w: &mut WriteStreamSess, payload: Payload) {
+        let desc = w.chunks[w.next_page as usize].clone();
+        if !desc.replicas.is_empty() {
+            w.page_acks.insert(desc.key.page, desc.replicas.len() as u32);
+            w.unacked_bytes += desc.size;
+            for replica in &desc.replicas {
+                w.queued.push_back((*replica, desc.key, payload.clone()));
+            }
+        }
+        w.next_page += 1;
+    }
+
+    /// Cut full pages off the stream's accumulator into per-replica
+    /// queued sends.
+    fn wstream_cut(w: &mut WriteStreamSess) {
+        let page = w.page_size();
+        if page == 0 {
+            return;
+        }
+        while (w.acc.len() as u64 >= page || w.acc_sim >= page)
+            && (w.next_page as usize) < w.chunks.len()
+        {
+            let payload = if w.acc.len() as u64 >= page {
+                Payload::Data(w.acc.split_to(page as usize).freeze())
+            } else {
+                w.acc_sim -= page;
+                Payload::Sim(page)
+            };
+            Self::wstream_enqueue(w, payload);
+        }
+    }
+
+    /// Issue queued chunk sends while the in-flight window has room. One
+    /// issue takes every queued item headed for the same provider — the
+    /// same per-provider batching as the whole-buffer write path.
+    fn wstream_pump(
+        client: ClientId,
+        cfg: ClientConfig,
+        fresh: &mut dyn FnMut(&mut HashSet<u64>, ReqRole) -> u64,
+        outstanding: &mut HashSet<u64>,
+        w: &mut WriteStreamSess,
+        env: &mut dyn Env,
+    ) {
+        let window = if cfg.chunk_window == 0 { usize::MAX } else { cfg.chunk_window };
+        while outstanding.len() < window && !w.queued.is_empty() {
+            let target = w.queued.front().expect("non-empty").0;
+            let mut items: Vec<(ChunkKey, Payload)> = Vec::new();
+            let mut rest = std::collections::VecDeque::new();
+            for (t, key, data) in w.queued.drain(..) {
+                if t == target {
+                    items.push((key, data));
+                } else {
+                    rest.push_back((t, key, data));
+                }
+            }
+            w.queued = rest;
+            Self::issue_chunk_put(client, cfg.retry, fresh, outstanding, target, items, env);
+        }
+    }
+
+    /// The metadata/commit tail of a draining write stream: build (or
+    /// keep resolving) the tree, then store nodes — the same steps as
+    /// [`write_meta_step`](Self::write_meta_step), on stream state.
+    fn wstream_meta_step(
+        meta_providers: &[NodeId],
+        meta_cache: &mut MetaCache,
+        fresh: &mut dyn FnMut(&mut HashSet<u64>, ReqRole) -> u64,
+        outstanding: &mut HashSet<u64>,
+        w: &mut WriteStreamSess,
+        env: &mut dyn Env,
+    ) -> StreamStep {
+        if w.builder.is_none() {
+            let ticket = w.ticket.clone().expect("ticket set");
+            w.builder = Some(TreeBuilder::new(
+                w.blob,
+                ticket.version,
+                ticket.interval(),
+                ticket.page_size,
+                ticket.new_size,
+                ticket.base,
+                ticket.pending.clone(),
+            ));
+        }
+        let builder = w.builder.as_mut().expect("builder set");
+        while !builder.is_ready() {
+            let fetches = builder.needed_fetches();
+            debug_assert!(!fetches.is_empty());
+            let mut missing: Vec<NodeKey> = Vec::new();
+            let mut hits = 0usize;
+            for k in &fetches {
+                match meta_cache.get(k) {
+                    Some(n) => {
+                        builder.supply(*k, n);
+                        hits += 1;
+                    }
+                    None => missing.push(*k),
+                }
+            }
+            if hits == 0 {
+                for (target, keys) in group_by_partition(&missing, meta_providers) {
+                    let req = fresh(outstanding, ReqRole::MetaGet);
+                    env.send(target, Msg::GetMeta { req, keys });
+                }
+                w.phase = WStreamPhase::MetaResolve;
+                return StreamStep::Park;
+            }
+        }
+        let (nodes, root) = builder.build(&w.chunks);
+        w.root = Some(root);
+        let mut per_provider: HashMap<NodeId, Vec<(NodeKey, MetaNode)>> = HashMap::new();
+        for (k, n) in nodes {
+            meta_cache.insert(k, n.clone());
+            let target = meta_providers[partition(&k, meta_providers.len())];
+            per_provider.entry(target).or_default().push((k, n));
+        }
+        let mut targets: Vec<NodeId> = per_provider.keys().copied().collect();
+        targets.sort();
+        for target in targets {
+            let nodes = per_provider.remove(&target).expect("present");
+            let req = fresh(outstanding, ReqRole::Plain);
+            env.send(target, Msg::PutMeta { req, nodes });
+        }
+        w.phase = WStreamPhase::MetaPut;
+        StreamStep::Park
+    }
+
+    /// One write-stream protocol step. Static to sidestep split borrows.
+    #[allow(clippy::too_many_arguments)]
+    fn wstream_step(
+        client: ClientId,
+        vman: NodeId,
+        pman: NodeId,
+        meta_providers: &[NodeId],
+        cfg: ClientConfig,
+        meta_cache: &mut MetaCache,
+        next_req: &mut u64,
+        req_index: &mut HashMap<u64, (u64, ReqRole)>,
+        sid: u64,
+        sess: &mut Session,
+        role: ReqRole,
+        msg: Msg,
+        env: &mut dyn Env,
+    ) -> StreamStep {
+        let mut fresh = |outstanding: &mut HashSet<u64>, role: ReqRole| {
+            let req = *next_req;
+            *next_req += 1;
+            req_index.insert(req, (sid, role));
+            outstanding.insert(req);
+            req
+        };
+        let SessKind::WriteStream(w) = &mut sess.kind else {
+            unreachable!("write-stream session")
+        };
+        w.last_activity = env.now();
+        match (w.phase, msg) {
+            (WStreamPhase::Ticket, Msg::TicketOk { ticket, .. }) => {
+                let pages = ticket.interval().len;
+                let req = fresh(&mut sess.outstanding, ReqRole::Plain);
+                env.send(
+                    pman,
+                    Msg::Alloc {
+                        req,
+                        client,
+                        chunks: pages as u32,
+                        replication: ticket.replication,
+                        chunk_size: ticket.page_size,
+                    },
+                );
+                w.ticket = Some(ticket);
+                w.phase = WStreamPhase::Alloc;
+                StreamStep::Park
+            }
+            (WStreamPhase::Ticket, Msg::TicketErr { err, .. }) => StreamStep::Finish(Err(err), 0),
+
+            (WStreamPhase::Alloc, Msg::AllocOk { placement, .. }) => {
+                let ticket = w.ticket.as_ref().expect("ticket set");
+                let interval = ticket.interval();
+                debug_assert_eq!(placement.len() as u64, interval.len);
+                let page = ticket.page_size;
+                w.chunks = placement
+                    .iter()
+                    .enumerate()
+                    .map(|(i, replicas)| ChunkDescriptor {
+                        key: ChunkKey {
+                            blob: w.blob,
+                            version: ticket.version,
+                            page: interval.start + i as u64,
+                        },
+                        replicas: replicas.clone(),
+                        size: page,
+                    })
+                    .collect();
+                w.phase = WStreamPhase::Streaming;
+                StreamStep::Complete(
+                    Ok(OpOutput::WriteStreamOpened {
+                        stream: sid,
+                        version: ticket.version,
+                        offset: ticket.offset,
+                        len: ticket.len,
+                        page_size: page,
+                    }),
+                    0,
+                )
+            }
+            (WStreamPhase::Alloc, Msg::AllocErr { available, .. }) => {
+                let requested =
+                    w.ticket.as_ref().map(|t| t.interval().len as u32).unwrap_or(0);
+                StreamStep::Finish(Err(BlobError::AllocationFailed { requested, available }), 0)
+            }
+
+            (WStreamPhase::Streaming | WStreamPhase::Draining, Msg::PutChunkOk { .. }) => {
+                if let ReqRole::ChunkPut { items, .. } = role {
+                    for (key, data) in &items {
+                        if let Some(n) = w.page_acks.get_mut(&key.page) {
+                            *n -= 1;
+                            if *n == 0 {
+                                w.page_acks.remove(&key.page);
+                                w.unacked_bytes = w.unacked_bytes.saturating_sub(data.len());
+                            }
+                        }
+                    }
+                }
+                Self::wstream_pump(client, cfg, &mut fresh, &mut sess.outstanding, w, env);
+                if w.phase == WStreamPhase::Draining && sess.outstanding.is_empty() {
+                    return Self::wstream_meta_step(
+                        meta_providers,
+                        meta_cache,
+                        &mut fresh,
+                        &mut sess.outstanding,
+                        w,
+                        env,
+                    );
+                }
+                if let Some(waiter) = &w.waiter {
+                    if waiter.kind == WaiterKind::Feed && w.feed_ready(cfg.chunk_window) {
+                        let bytes = waiter.bytes;
+                        return StreamStep::Complete(Ok(OpOutput::Fed { stream: sid }), bytes);
+                    }
+                }
+                StreamStep::Park
+            }
+            (WStreamPhase::Streaming | WStreamPhase::Draining, Msg::PutChunkErr { err, .. }) => {
+                if err == ChunkErr::Blocked {
+                    return wfail(w, BlobError::Blocked(client));
+                }
+                let ReqRole::ChunkPut { target, items, attempts } = role else {
+                    return wfail(w, chunk_err(err, client));
+                };
+                if !cfg.retry.enabled() {
+                    return wfail(w, chunk_err(err, client));
+                }
+                if err != ChunkErr::Full && attempts < cfg.retry.max_attempts {
+                    env.incr("client.rpc_retries", 1);
+                    let delay = cfg.retry.backoff(attempts);
+                    let req = fresh(
+                        &mut sess.outstanding,
+                        ReqRole::ChunkPut { target, items, attempts: attempts + 1 },
+                    );
+                    env.set_timer(delay, CLIENT_TIMER_BIT | RETRY_TIMER_BIT | req);
+                    return StreamStep::Park;
+                }
+                if w.reallocs < cfg.retry.max_reallocs {
+                    w.reallocs += 1;
+                    env.incr("client.reallocs", 1);
+                    let page = w.page_size();
+                    let chunks = items.len() as u32;
+                    let req = fresh(
+                        &mut sess.outstanding,
+                        ReqRole::ReAlloc { failed: target, items },
+                    );
+                    env.send(
+                        pman,
+                        Msg::Alloc { req, client, chunks, replication: 1, chunk_size: page },
+                    );
+                    return StreamStep::Park;
+                }
+                match items.first() {
+                    Some((key, _)) => wfail(w, BlobError::ChunkUnavailable(*key)),
+                    None => wfail(w, chunk_err(err, client)),
+                }
+            }
+            (WStreamPhase::Streaming | WStreamPhase::Draining, Msg::AllocOk { placement, .. }) => {
+                // Replacement placements for chunk stores whose target
+                // died: patch the descriptor table, re-send each chunk.
+                let ReqRole::ReAlloc { failed, items } = role else {
+                    return wfail(w, BlobError::Protocol("unexpected write-stream reply"));
+                };
+                debug_assert_eq!(placement.len(), items.len());
+                let mut jobs: Vec<(NodeId, Vec<(ChunkKey, Payload)>)> = Vec::new();
+                for ((key, data), replicas) in items.into_iter().zip(placement) {
+                    let Some(&new_target) = replicas.first() else {
+                        return wfail(w, BlobError::ChunkUnavailable(key));
+                    };
+                    if let Some(desc) = w.chunks.iter_mut().find(|d| d.key == key) {
+                        for r in &mut desc.replicas {
+                            if *r == failed {
+                                *r = new_target;
+                            }
+                        }
+                    }
+                    match jobs.iter_mut().find(|(t, _)| *t == new_target) {
+                        Some((_, batch)) => batch.push((key, data)),
+                        None => jobs.push((new_target, vec![(key, data)])),
+                    }
+                }
+                for (target, batch) in jobs {
+                    Self::issue_chunk_put(
+                        client,
+                        cfg.retry,
+                        &mut fresh,
+                        &mut sess.outstanding,
+                        target,
+                        batch,
+                        env,
+                    );
+                }
+                StreamStep::Park
+            }
+            (WStreamPhase::Streaming | WStreamPhase::Draining, Msg::AllocErr { available, .. }) => {
+                if let ReqRole::ReAlloc { items, .. } = role {
+                    if let Some((key, _)) = items.first() {
+                        return wfail(w, BlobError::ChunkUnavailable(*key));
+                    }
+                }
+                wfail(w, BlobError::AllocationFailed { requested: 0, available })
+            }
+
+            (WStreamPhase::MetaResolve, Msg::GetMetaOk { nodes, .. }) => {
+                let builder = w.builder.as_mut().expect("builder set");
+                for (k, n) in nodes {
+                    match n {
+                        Some(node) => {
+                            builder.supply(k, &node);
+                            meta_cache.insert(k, node);
+                        }
+                        None => return StreamStep::Finish(Err(BlobError::MetaUnavailable), 0),
+                    }
+                }
+                if !sess.outstanding.is_empty() {
+                    return StreamStep::Park;
+                }
+                Self::wstream_meta_step(
+                    meta_providers,
+                    meta_cache,
+                    &mut fresh,
+                    &mut sess.outstanding,
+                    w,
+                    env,
+                )
+            }
+            (WStreamPhase::MetaPut, Msg::PutMetaOk { .. }) => {
+                if !sess.outstanding.is_empty() {
+                    return StreamStep::Park;
+                }
+                let ticket = w.ticket.as_ref().expect("ticket set");
+                let req = fresh(&mut sess.outstanding, ReqRole::Plain);
+                env.send(
+                    vman,
+                    Msg::Commit {
+                        req,
+                        client,
+                        blob: w.blob,
+                        version: ticket.version,
+                        root: w.root.expect("root set in meta phase"),
+                        size: ticket.new_size,
+                    },
+                );
+                w.phase = WStreamPhase::Commit;
+                StreamStep::Park
+            }
+            (WStreamPhase::Commit, Msg::CommitOk { version, .. }) => {
+                let ticket = w.ticket.as_ref().expect("ticket set");
+                StreamStep::Finish(
+                    Ok(OpOutput::Written {
+                        blob: w.blob,
+                        version,
+                        offset: ticket.offset,
+                        len: ticket.len,
+                    }),
+                    ticket.len,
+                )
+            }
+            (WStreamPhase::Commit, Msg::TicketErr { err, .. }) => StreamStep::Finish(Err(err), 0),
+
+            (_, _) => wfail(w, BlobError::Protocol("unexpected write-stream reply")),
+        }
+    }
+
+    /// The open-time metadata descent of a read stream: resolve the whole
+    /// chunk plan (an O(#pages) descriptor table, no data), then open.
+    #[allow(clippy::too_many_arguments)]
+    fn rstream_meta_step(
+        cfg: ClientConfig,
+        meta_providers: &[NodeId],
+        meta_cache: &mut MetaCache,
+        fresh: &mut dyn FnMut(&mut HashSet<u64>, ReqRole) -> u64,
+        outstanding: &mut HashSet<u64>,
+        sid: u64,
+        r: &mut ReadStreamSess,
+        env: &mut dyn Env,
+    ) -> StreamStep {
+        let reader = r.reader.as_mut().expect("reader set");
+        while !reader.is_done() {
+            let fetches = reader.needed_fetches();
+            debug_assert!(!fetches.is_empty());
+            let mut missing: Vec<NodeKey> = Vec::new();
+            let mut hits = 0usize;
+            for k in &fetches {
+                match meta_cache.get(k) {
+                    Some(n) => {
+                        reader.supply(*k, n);
+                        hits += 1;
+                    }
+                    None => missing.push(*k),
+                }
+            }
+            if hits == 0 {
+                if cfg.meta_range_fetch && !r.range_used {
+                    r.range_used = true;
+                    let (version, query) = r.range_query();
+                    for target in meta_providers {
+                        let req = fresh(outstanding, ReqRole::MetaRange { target: *target });
+                        env.send(
+                            *target,
+                            Msg::GetMetaRange {
+                                req,
+                                blob: r.blob,
+                                version,
+                                query,
+                                after: None,
+                                max_nodes: cfg.meta_range_max_nodes,
+                            },
+                        );
+                    }
+                } else {
+                    for (target, keys) in group_by_partition(&missing, meta_providers) {
+                        let req = fresh(outstanding, ReqRole::MetaGet);
+                        env.send(target, Msg::GetMeta { req, keys });
+                    }
+                }
+                r.phase = RStreamPhase::Meta;
+                return StreamStep::Park;
+            }
+        }
+        let reader = r.reader.take().expect("reader set");
+        r.sources = reader.into_sources();
+        r.phase = RStreamPhase::Idle;
+        let info = r.info.as_ref().expect("info set");
+        StreamStep::Complete(
+            Ok(OpOutput::ReadStreamOpened {
+                stream: sid,
+                version: info.version,
+                len: r.len,
+                page_size: info.page_size,
+            }),
+            0,
+        )
+    }
+
+    /// Splice the current batch into one delivered chunk. Returns the
+    /// output, the delivered byte count, and whether this was the final
+    /// batch of the stream.
+    fn rstream_assemble(
+        sid: u64,
+        r: &mut ReadStreamSess,
+        materialize_zeros: bool,
+    ) -> (Result<OpOutput, BlobError>, u64, bool) {
+        let page = r.info.as_ref().expect("info set").page_size;
+        let base = (r.page0 + r.batch_base as u64) * page;
+        let lo = r.offset.max(base);
+        let hi = (r.offset + r.len).min(base + r.parts.len() as u64 * page);
+        let skip = lo - base;
+        let total = hi.saturating_sub(lo);
+        let eof = r.batch_base + r.parts.len() >= r.sources.len();
+        let parts = std::mem::take(&mut r.parts);
+        r.phase = RStreamPhase::Idle;
+        // Zero-copy fast path: one real-data page serves the delivered
+        // range as a refcounted sub-slice.
+        if parts.len() == 1 {
+            if let Some(Payload::Data(b)) = &parts[0] {
+                if (skip + total) as usize <= b.len() {
+                    let data = Payload::Data(b.slice(skip as usize..(skip + total) as usize));
+                    return (Ok(OpOutput::ReadChunk { stream: sid, data, eof }), total, eof);
+                }
+            }
+        }
+        let any_real = parts.iter().flatten().any(|p| matches!(p, Payload::Data(_)));
+        let data = if any_real || materialize_zeros {
+            let mut buf = BytesMut::with_capacity(total as usize);
+            let mut remaining = total;
+            let mut offset_in_part = skip;
+            for part in parts.iter().flatten() {
+                if remaining == 0 {
+                    break;
+                }
+                let avail = page - offset_in_part;
+                let take = avail.min(remaining);
+                match part {
+                    Payload::Data(b) => {
+                        let s = offset_in_part as usize;
+                        let e = ((offset_in_part + take) as usize).min(b.len());
+                        if s < b.len() {
+                            buf.extend_from_slice(&b[s..e]);
+                        }
+                        let got = e.saturating_sub(s) as u64;
+                        if got < take {
+                            buf.extend(std::iter::repeat_n(0u8, (take - got) as usize));
+                        }
+                    }
+                    Payload::Sim(_) => {
+                        buf.extend(std::iter::repeat_n(0u8, take as usize));
+                    }
+                }
+                remaining -= take;
+                offset_in_part = 0;
+            }
+            Payload::Data(buf.freeze())
+        } else {
+            Payload::Sim(total)
+        };
+        (Ok(OpOutput::ReadChunk { stream: sid, data, eof }), total, eof)
+    }
+
+    /// One read-stream protocol step. Static to sidestep split borrows.
+    #[allow(clippy::too_many_arguments)]
+    fn rstream_step(
+        client: ClientId,
+        meta_providers: &[NodeId],
+        cfg: ClientConfig,
+        meta_cache: &mut MetaCache,
+        next_req: &mut u64,
+        req_index: &mut HashMap<u64, (u64, ReqRole)>,
+        sid: u64,
+        sess: &mut Session,
+        role: ReqRole,
+        msg: Msg,
+        env: &mut dyn Env,
+    ) -> StreamStep {
+        let mut fresh = |outstanding: &mut HashSet<u64>, role: ReqRole| {
+            let req = *next_req;
+            *next_req += 1;
+            req_index.insert(req, (sid, role));
+            outstanding.insert(req);
+            req
+        };
+        let SessKind::ReadStream(r) = &mut sess.kind else {
+            unreachable!("read-stream session")
+        };
+        r.last_activity = env.now();
+        match (r.phase, msg, role) {
+            (RStreamPhase::Version, Msg::GetVersionOk { info, .. }, _) => {
+                if r.len == 0 {
+                    let (version, page_size) = (info.version, info.page_size);
+                    r.info = Some(info);
+                    r.phase = RStreamPhase::Idle;
+                    return StreamStep::Complete(
+                        Ok(OpOutput::ReadStreamOpened { stream: sid, version, len: 0, page_size }),
+                        0,
+                    );
+                }
+                if r.offset >= info.size {
+                    return StreamStep::Finish(
+                        Err(BlobError::OutOfBounds {
+                            offset: r.offset,
+                            len: r.len,
+                            size: info.size,
+                        }),
+                        0,
+                    );
+                }
+                let eff_len = r.len.min(info.size - r.offset);
+                r.len = eff_len;
+                let page = info.page_size;
+                r.page0 = r.offset / page;
+                let last = (r.offset + eff_len - 1) / page;
+                let interval = PageInterval::new(r.page0, last - r.page0 + 1);
+                let reader = TreeReader::new(r.blob, info.root, interval);
+                r.info = Some(info);
+                r.reader = Some(reader);
+                Self::rstream_meta_step(
+                    cfg,
+                    meta_providers,
+                    meta_cache,
+                    &mut fresh,
+                    &mut sess.outstanding,
+                    sid,
+                    r,
+                    env,
+                )
+            }
+            (RStreamPhase::Version, Msg::GetVersionErr { err, .. }, _) => {
+                StreamStep::Finish(Err(err), 0)
+            }
+
+            (RStreamPhase::Meta, Msg::GetMetaOk { nodes, .. }, ReqRole::MetaGet) => {
+                let reader = r.reader.as_mut().expect("reader set");
+                for (k, n) in nodes {
+                    match n {
+                        Some(node) => {
+                            reader.supply(k, &node);
+                            meta_cache.insert(k, node);
+                        }
+                        None => return StreamStep::Finish(Err(BlobError::MetaUnavailable), 0),
+                    }
+                }
+                if !sess.outstanding.is_empty() {
+                    return StreamStep::Park;
+                }
+                Self::rstream_meta_step(
+                    cfg,
+                    meta_providers,
+                    meta_cache,
+                    &mut fresh,
+                    &mut sess.outstanding,
+                    sid,
+                    r,
+                    env,
+                )
+            }
+            (
+                RStreamPhase::Meta,
+                Msg::GetMetaRangeOk { nodes, more, .. },
+                ReqRole::MetaRange { target },
+            ) => {
+                let mut last = None;
+                for (k, n) in nodes {
+                    last = Some(k.range);
+                    meta_cache.insert(k, n);
+                }
+                if more {
+                    if let Some(after) = last {
+                        let (version, query) = r.range_query();
+                        let req = fresh(&mut sess.outstanding, ReqRole::MetaRange { target });
+                        env.send(
+                            target,
+                            Msg::GetMetaRange {
+                                req,
+                                blob: r.blob,
+                                version,
+                                query,
+                                after: Some(after),
+                                max_nodes: cfg.meta_range_max_nodes,
+                            },
+                        );
+                        return StreamStep::Park;
+                    }
+                }
+                if !sess.outstanding.is_empty() {
+                    return StreamStep::Park;
+                }
+                Self::rstream_meta_step(
+                    cfg,
+                    meta_providers,
+                    meta_cache,
+                    &mut fresh,
+                    &mut sess.outstanding,
+                    sid,
+                    r,
+                    env,
+                )
+            }
+
+            (RStreamPhase::Fetching, Msg::GetChunkOk { data, .. }, ReqRole::ChunkGet { idx, .. }) => {
+                r.parts[idx] = Some(data);
+                let done = sess.outstanding.is_empty();
+                Self::rstream_batch_done(sid, cfg.materialize_zeros, done, r)
+            }
+            (
+                RStreamPhase::Fetching,
+                Msg::GetChunkBatchOk { items, .. },
+                ReqRole::ChunkGetBatch { target, items: req_items },
+            ) => {
+                let mut failed: Vec<(usize, ChunkDescriptor)> = Vec::new();
+                for (idx, desc) in req_items {
+                    match items.iter().find(|(k, _)| *k == desc.key) {
+                        Some((_, Ok(data))) => r.parts[idx] = Some(data.clone()),
+                        Some((_, Err(ChunkErr::Blocked))) => {
+                            return rfail(r, BlobError::Blocked(client))
+                        }
+                        _ => failed.push((idx, desc)),
+                    }
+                }
+                for (idx, desc) in failed {
+                    let first = desc.replicas.iter().position(|t| *t == target).unwrap_or(0);
+                    if let Err(key) = Self::failover_chunk_get(
+                        client,
+                        cfg,
+                        meta_providers,
+                        &mut fresh,
+                        &mut sess.outstanding,
+                        idx,
+                        desc,
+                        first,
+                        1,
+                        env,
+                    ) {
+                        return rfail(r, BlobError::ChunkUnavailable(key));
+                    }
+                }
+                let done = sess.outstanding.is_empty();
+                Self::rstream_batch_done(sid, cfg.materialize_zeros, done, r)
+            }
+            (
+                RStreamPhase::Fetching,
+                Msg::GetChunkErr { err, .. },
+                ReqRole::ChunkGetBatch { target, items },
+            ) => {
+                if err == ChunkErr::Blocked {
+                    return rfail(r, BlobError::Blocked(client));
+                }
+                for (idx, desc) in items {
+                    let first = desc.replicas.iter().position(|t| *t == target).unwrap_or(0);
+                    if let Err(key) = Self::failover_chunk_get(
+                        client,
+                        cfg,
+                        meta_providers,
+                        &mut fresh,
+                        &mut sess.outstanding,
+                        idx,
+                        desc,
+                        first,
+                        1,
+                        env,
+                    ) {
+                        return rfail(r, BlobError::ChunkUnavailable(key));
+                    }
+                }
+                StreamStep::Park
+            }
+            (
+                RStreamPhase::Fetching,
+                Msg::GetChunkErr { err, .. },
+                ReqRole::ChunkGet { idx, desc, first, attempts, refreshed },
+            ) => {
+                if err == ChunkErr::Blocked {
+                    return rfail(r, BlobError::Blocked(client));
+                }
+                if !refreshed {
+                    if let Err(key) = Self::failover_chunk_get(
+                        client,
+                        cfg,
+                        meta_providers,
+                        &mut fresh,
+                        &mut sess.outstanding,
+                        idx,
+                        desc,
+                        first,
+                        attempts,
+                        env,
+                    ) {
+                        return rfail(r, BlobError::ChunkUnavailable(key));
+                    }
+                    return StreamStep::Park;
+                }
+                // Post-refresh walk: no second leaf refresh.
+                if attempts < desc.replicas.len() {
+                    env.incr("client.replica_walks", 1);
+                    let target = desc.replicas[(first + attempts) % desc.replicas.len()];
+                    let key = desc.key;
+                    let req = fresh(
+                        &mut sess.outstanding,
+                        ReqRole::ChunkGet {
+                            idx,
+                            desc,
+                            first,
+                            attempts: attempts + 1,
+                            refreshed,
+                        },
+                    );
+                    env.send(target, Msg::GetChunk { req, client, key });
+                    env.set_timer(
+                        cfg.chunk_timeout,
+                        CLIENT_TIMER_BIT | CHUNK_TIMEOUT_BIT | req,
+                    );
+                    return StreamStep::Park;
+                }
+                rfail(r, BlobError::ChunkUnavailable(desc.key))
+            }
+            (
+                RStreamPhase::Fetching,
+                Msg::GetMetaOk { nodes, .. },
+                ReqRole::LeafRefresh { idx, desc },
+            ) => {
+                let mut fresh_desc = None;
+                for (k, n) in nodes {
+                    if let Some(MetaNode::Leaf { chunk }) = &n {
+                        fresh_desc = Some(chunk.clone());
+                        meta_cache.insert(k, n.expect("checked Some"));
+                    }
+                }
+                match fresh_desc {
+                    Some(chunk) if !chunk.replicas.is_empty() => {
+                        Self::issue_chunk_get(
+                            client,
+                            cfg.chunk_timeout,
+                            &mut fresh,
+                            &mut sess.outstanding,
+                            idx,
+                            chunk,
+                            true,
+                            env,
+                        );
+                        StreamStep::Park
+                    }
+                    _ => rfail(r, BlobError::ChunkUnavailable(desc.key)),
+                }
+            }
+
+            (_, _, _) => rfail(r, BlobError::Protocol("unexpected read-stream reply")),
+        }
+    }
+
+    /// After absorbing one chunk reply: deliver the batch if it is whole.
+    fn rstream_batch_done(
+        sid: u64,
+        materialize_zeros: bool,
+        outstanding_empty: bool,
+        r: &mut ReadStreamSess,
+    ) -> StreamStep {
+        if !outstanding_empty {
+            return StreamStep::Park;
+        }
+        let (result, bytes, eof) = Self::rstream_assemble(sid, r, materialize_zeros);
+        if eof {
+            StreamStep::Finish(result, bytes)
+        } else {
+            StreamStep::Complete(result, bytes)
+        }
+    }
 }
 
 enum Step {
     Continue,
     Done(Result<OpOutput, BlobError>, u64),
+}
+
+/// What a stream state machine decided after absorbing one message.
+enum StreamStep {
+    /// Keep waiting; nothing completes.
+    Park,
+    /// Complete the parked sub-operation; the stream stays open.
+    Complete(Result<OpOutput, BlobError>, u64),
+    /// Complete the parked sub-operation and tear the stream down
+    /// (commit acknowledged, eof delivered, or a fatal error with a
+    /// sub-operation waiting to receive it).
+    Finish(Result<OpOutput, BlobError>, u64),
+    /// Fatal error with no sub-operation parked: remember it; the next
+    /// sub-operation delivers it and reaps the stream.
+    Fatal(BlobError),
+}
+
+/// Route a fatal write-stream error: to the parked sub-operation if one
+/// is waiting, stored for the next sub-operation otherwise.
+fn wfail(w: &WriteStreamSess, err: BlobError) -> StreamStep {
+    if w.waiter.is_some() {
+        StreamStep::Finish(Err(err), 0)
+    } else {
+        StreamStep::Fatal(err)
+    }
+}
+
+/// Route a fatal read-stream error (see [`wfail`]).
+fn rfail(r: &ReadStreamSess, err: BlobError) -> StreamStep {
+    if r.waiter.is_some() {
+        StreamStep::Finish(Err(err), 0)
+    } else {
+        StreamStep::Fatal(err)
+    }
+}
+
+/// Span label of a stream sub-operation.
+fn sub_op_label(kind: WaiterKind) -> &'static str {
+    match kind {
+        WaiterKind::Open => "stream_open",
+        WaiterKind::Feed => "stream_feed",
+        WaiterKind::Commit => "stream_commit",
+        WaiterKind::Next => "stream_next",
+    }
 }
 
 /// Extract the correlation id of a reply message.

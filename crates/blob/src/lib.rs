@@ -57,9 +57,11 @@ pub mod rpc;
 pub mod runtime;
 pub mod services;
 pub mod storage;
+pub mod stream;
 pub mod vmanager;
 
 pub use client::{ClientConfig, ClientCore, ClientOp, Completion, OpOutput};
+pub use stream::{BlobReadHandle, BlobWriteHandle};
 pub use model::{
     BlobError, BlobId, BlobSpec, ChunkDescriptor, ChunkKey, ClientId, PageInterval, Payload,
     VersionId, VersionInfo,

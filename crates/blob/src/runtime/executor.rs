@@ -730,7 +730,10 @@ fn handle_envelope(
                     mailbox: &cell.mailbox,
                     current: trace,
                 };
-                core.start_op(&mut env, op, tag);
+                // Stream sub-operations (a feed with headroom, a close)
+                // can complete synchronously.
+                let completions = core.start_op(&mut env, op, tag);
+                deliver(pending, completions);
             }
         }
     }

@@ -309,6 +309,14 @@ impl ScriptedClient {
                         // throughput to record.
                         crate::client::OpOutput::Snapshotted { .. }
                         | crate::client::OpOutput::Decommissioned { .. } => {}
+                        // Scripted clients drive only whole-op writes and
+                        // reads; stream sub-completions are counted, no
+                        // per-chunk throughput series.
+                        crate::client::OpOutput::WriteStreamOpened { .. }
+                        | crate::client::OpOutput::Fed { .. }
+                        | crate::client::OpOutput::ReadStreamOpened { .. }
+                        | crate::client::OpOutput::ReadChunk { .. }
+                        | crate::client::OpOutput::StreamClosed { .. } => {}
                     }
                 }
                 Err(e) => {

@@ -1,0 +1,132 @@
+//! Property tests for the streaming write path: a streamed write — fed
+//! in arbitrary slices, from single bytes to multi-chunk bursts — must
+//! publish exactly the bytes a whole-buffer [`ClientHandle::write`]
+//! would, regardless of how the feed was split.
+//!
+//! [`ClientHandle::write`]: sads_blob::runtime::threaded::ClientHandle::write
+
+use std::sync::OnceLock;
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use sads_blob::runtime::threaded::{ClientHandle, ClusterBuilder};
+use sads_blob::{BlobSpec, ClientId, WriteKind};
+
+const PAGE: u64 = 4096;
+
+/// One shared cluster for every generated case: cluster spin-up is the
+/// expensive part, so the property loop reuses a process-wide instance
+/// (the threads are reclaimed at process exit).
+fn client() -> &'static ClientHandle {
+    static CLIENT: OnceLock<ClientHandle> = OnceLock::new();
+    CLIENT.get_or_init(|| {
+        let mut cluster = ClusterBuilder::new()
+            .data_providers(4)
+            .meta_providers(2)
+            .provider_capacity(512 << 20)
+            .start();
+        let handle = cluster.client(ClientId(7000));
+        std::mem::forget(cluster);
+        handle
+    })
+}
+
+/// Deterministic pseudo-random body so failures reproduce bytewise.
+fn body(len: usize, seed: u64) -> Bytes {
+    let mut x = seed | 1;
+    Bytes::from(
+        (0..len)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x as u8
+            })
+            .collect::<Vec<u8>>(),
+    )
+}
+
+/// Split `data` into feed slices drawn from `cuts` (cycled): the values
+/// deliberately span 1-byte feeds, sub-page tails, and bursts larger
+/// than a whole chunk.
+fn feed_in_slices(
+    handle: &mut sads_blob::BlobWriteHandle,
+    data: &Bytes,
+    cuts: &[usize],
+) -> Result<(), sads_blob::BlobError> {
+    let mut at = 0usize;
+    let mut i = 0usize;
+    while at < data.len() {
+        let take = cuts[i % cuts.len()].clamp(1, data.len() - at);
+        handle.feed(data.slice(at..at + take))?;
+        at += take;
+        i += 1;
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn streamed_write_matches_whole_buffer_write(
+        pages in 1u64..6,
+        seed in 1u64..u64::MAX,
+        cuts in prop::collection::vec(
+            prop_oneof![
+                Just(1usize),                      // single-byte feeds
+                2usize..(PAGE as usize),           // sub-page slices
+                (PAGE as usize)..(3 * PAGE as usize), // multi-chunk bursts
+            ],
+            1..6,
+        ),
+    ) {
+        let c = client();
+        let len = pages * PAGE;
+        let data = body(len as usize, seed);
+
+        // Reference: classic whole-buffer write.
+        let whole = c.create(BlobSpec { page_size: PAGE, replication: 1 }).unwrap();
+        let vw = c.write(whole, 0, data.clone()).unwrap();
+
+        // Candidate: streamed write fed in the generated slicing.
+        let streamed = c.create(BlobSpec { page_size: PAGE, replication: 1 }).unwrap();
+        let mut h = c.open_write_stream(streamed, WriteKind::At(0), len, None).unwrap();
+        feed_in_slices(&mut h, &data, &cuts).unwrap();
+        let vs = h.commit().unwrap();
+
+        let expect = c.read(whole, Some(vw), 0, len).unwrap();
+        let got = c.read(streamed, Some(vs), 0, len).unwrap();
+        prop_assert_eq!(&expect, &data, "whole-buffer write roundtrip");
+        prop_assert!(got == data, "streamed write diverged (cuts {:?})", &cuts);
+    }
+
+    #[test]
+    fn streamed_read_matches_whole_buffer_read(
+        pages in 1u64..8,
+        seed in 1u64..u64::MAX,
+        off_frac in 0.0f64..1.0,
+        len_frac in 0.0f64..1.2,
+    ) {
+        let c = client();
+        let total = pages * PAGE;
+        let data = body(total as usize, seed);
+        let blob = c.create(BlobSpec { page_size: PAGE, replication: 1 }).unwrap();
+        let v = c.write(blob, 0, data.clone()).unwrap();
+
+        // An arbitrary (possibly empty, possibly end-clamped) range.
+        let offset = (off_frac * total as f64) as u64;
+        let len = ((len_frac * total as f64) as u64).min(total.saturating_sub(offset));
+
+        let mut h = c.open_read_stream(blob, Some(v), offset, len, None).unwrap();
+        let mut got = Vec::new();
+        while let Some(chunk) = h.next().unwrap() {
+            got.extend_from_slice(&chunk);
+        }
+        prop_assert_eq!(got.len() as u64, len);
+        prop_assert!(
+            got == data[offset as usize..(offset + len) as usize],
+            "streamed range [{offset}, +{len}) diverged"
+        );
+    }
+}

@@ -19,12 +19,13 @@
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use bytes::{Bytes, BytesMut};
+use bytes::Bytes;
 use parking_lot::Mutex;
 use sads_blob::runtime::threaded::ClientHandle;
-use sads_blob::{BlobError, BlobId, BlobSpec, ClientId, VersionId};
+use sads_blob::stream::BlobReadHandle;
+use sads_blob::{BlobError, BlobId, BlobSpec, ClientId, VersionId, WriteKind};
 use sads_sim::{SpanClass, SpanKind, SpanRecord, SpanSink, TraceCtx};
 use sads_telemetry::{Registry as TelemetryRegistry, Snapshot};
 
@@ -121,7 +122,7 @@ pub struct ObjectInfo {
     pub blob: BlobId,
     /// BLOB version holding the current object data.
     pub version: VersionId,
-    /// Weak content tag (FNV-1a of the payload).
+    /// Weak content tag (word-at-a-time mix of the payload).
     pub etag: u64,
 }
 
@@ -140,11 +141,20 @@ pub struct GatewayConfig {
     pub page_size: u64,
     /// Replication degree for object BLOBs.
     pub replication: u32,
+    /// Idle lifetime of an in-flight multipart upload. Uploads whose
+    /// last part (or creation) is older than this are swept on the next
+    /// `create_multipart`, counted in `gateway.multipart_expired` —
+    /// without a bound, abandoned uploads leak forever.
+    pub multipart_ttl: Duration,
 }
 
 impl Default for GatewayConfig {
     fn default() -> Self {
-        GatewayConfig { page_size: 256 * 1024, replication: 1 }
+        GatewayConfig {
+            page_size: 256 * 1024,
+            replication: 1,
+            multipart_ttl: Duration::from_secs(24 * 3600),
+        }
     }
 }
 
@@ -181,6 +191,50 @@ pub struct Traced<T> {
     pub trace_id: u64,
 }
 
+/// Bounded-memory streaming GET body, returned by
+/// [`ObjectGateway::get_object_reader`].
+///
+/// Wraps a pinned [`sads_blob::BlobReadHandle`]: each [`next`](Self::next)
+/// call pulls at most one window of pages off the wire, so the caller —
+/// not the gateway — decides how much of the object is resident at once.
+#[derive(Debug)]
+pub struct ObjectReader {
+    handle: BlobReadHandle,
+}
+
+impl ObjectReader {
+    /// Total bytes this reader will deliver (the requested range clamped
+    /// to the object size at open).
+    pub fn len(&self) -> u64 {
+        self.handle.len()
+    }
+
+    /// Whether the reader delivers zero bytes.
+    pub fn is_empty(&self) -> bool {
+        self.handle.is_empty()
+    }
+
+    /// Bytes delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.handle.delivered()
+    }
+
+    /// Pull the next batch of bytes, or `None` at end of stream.
+    // Not `Iterator`, for the same reason as `BlobReadHandle::next`:
+    // an `Item = Result<_>` iterator invites dropping stream errors.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Result<Option<Bytes>, GatewayError> {
+        Ok(self.handle.next()?)
+    }
+
+    /// Tear down the stream early; dropping the reader does the same
+    /// best-effort.
+    pub fn close(self) -> Result<(), GatewayError> {
+        self.handle.close()?;
+        Ok(())
+    }
+}
+
 /// In-flight multipart upload state.
 #[derive(Debug)]
 struct Multipart {
@@ -192,6 +246,9 @@ struct Multipart {
     part_size: u64,
     /// part number → (length, content tag, publishing version).
     parts: BTreeMap<u32, (u64, u64, VersionId)>,
+    /// When the upload last made progress (created, or a part landed) —
+    /// the TTL sweep's staleness clock.
+    last_touched: Instant,
 }
 
 fn valid_name(s: &str) -> bool {
@@ -200,13 +257,78 @@ fn valid_name(s: &str) -> bool {
         && s.chars().all(|c| c.is_ascii_alphanumeric() || "-._/".contains(c))
 }
 
-fn etag(data: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in data {
-        h ^= *b as u64;
-        h = h.wrapping_mul(0x1000_0000_01b3);
+/// Incremental weak content tag, word-at-a-time.
+///
+/// The original byte-serial FNV-1a burned ~1.2 ms/MiB of the gateway's
+/// single core per PUT; this mixes 8 bytes per multiply (same weak-tag
+/// contract: equality ⇔ same bytes with high probability, not
+/// cryptographic). Split-point independent: feeding the same bytes in any
+/// slicing produces the same tag, which is what lets the streaming PUT
+/// path hash slices as they are fed.
+#[derive(Debug, Clone)]
+struct EtagHasher {
+    h: u64,
+    /// Sub-word carry between updates (stream splits are arbitrary).
+    carry: [u8; 8],
+    carry_len: usize,
+    len: u64,
+}
+
+impl EtagHasher {
+    const K: u64 = 0x517c_c1b7_2722_0a95;
+
+    fn new() -> Self {
+        EtagHasher { h: 0xcbf2_9ce4_8422_2325, carry: [0; 8], carry_len: 0, len: 0 }
     }
-    h
+
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.h = (self.h ^ word).rotate_left(23).wrapping_mul(Self::K);
+    }
+
+    fn update(&mut self, mut data: &[u8]) {
+        self.len += data.len() as u64;
+        if self.carry_len > 0 {
+            let take = (8 - self.carry_len).min(data.len());
+            self.carry[self.carry_len..self.carry_len + take].copy_from_slice(&data[..take]);
+            self.carry_len += take;
+            data = &data[take..];
+            if self.carry_len < 8 {
+                return;
+            }
+            let word = u64::from_le_bytes(self.carry);
+            self.mix(word);
+            self.carry_len = 0;
+        }
+        let mut words = data.chunks_exact(8);
+        for w in &mut words {
+            let word = u64::from_le_bytes(w.try_into().expect("8-byte chunk"));
+            self.mix(word);
+        }
+        let rest = words.remainder();
+        self.carry[..rest.len()].copy_from_slice(rest);
+        self.carry_len = rest.len();
+    }
+
+    fn finish(mut self) -> u64 {
+        if self.carry_len > 0 {
+            let mut word = 0u64;
+            for (i, b) in self.carry[..self.carry_len].iter().enumerate() {
+                word |= (*b as u64) << (8 * i);
+            }
+            self.mix(word);
+        }
+        let len = self.len;
+        self.mix(len);
+        self.h
+    }
+}
+
+#[cfg(test)]
+fn etag(data: &[u8]) -> u64 {
+    let mut h = EtagHasher::new();
+    h.update(data);
+    h.finish()
 }
 
 impl ObjectGateway {
@@ -449,25 +571,44 @@ impl ObjectGateway {
             )?,
         };
         let size = data.len() as u64;
-        let tag = etag(&data);
-        // Pad to a whole number of pages (at least one page so empty
-        // objects still publish a version).
-        let page = self.cfg.page_size;
-        let padded_len = size.div_ceil(page).max(1) * page;
-        let padded = if padded_len == size {
-            data
-        } else {
-            let mut buf = BytesMut::with_capacity(padded_len as usize);
-            buf.extend_from_slice(&data);
-            buf.extend(std::iter::repeat_n(0u8, (padded_len - size) as usize));
-            buf.freeze()
-        };
-        let version = self.client().write_traced(blob, 0, padded, trace)?;
+        // At least one page so empty objects still publish a version.
+        let (version, tag) = self.stream_in(blob, WriteKind::At(0), data, 1, trace)?;
         let info = ObjectInfo { key: key.to_owned(), size, blob, version, etag: tag };
         let mut b = self.buckets.lock();
         let bucket_ref = b.get_mut(bucket).ok_or(GatewayError::NoSuchBucket)?;
         bucket_ref.objects.insert(key.to_owned(), info.clone());
         Ok(info)
+    }
+
+    /// Stream `data` into `blob` through a bounded-memory write handle:
+    /// pages ship through the pipelined chunk path as they are fed (the
+    /// client cell never buffers more than `chunk_window × page_size`
+    /// bytes), the content tag is hashed over the same slices, and only
+    /// the final partial page is padded — the old path copied the whole
+    /// object once just to pad it. Returns the published version and the
+    /// etag of the *unpadded* bytes.
+    fn stream_in(
+        &self,
+        blob: BlobId,
+        kind: WriteKind,
+        data: Bytes,
+        min_pages: u64,
+        trace: Option<TraceCtx>,
+    ) -> Result<(VersionId, u64), GatewayError> {
+        let size = data.len() as u64;
+        let page = self.cfg.page_size;
+        let padded_len = size.div_ceil(page).max(min_pages) * page;
+        let mut tag = EtagHasher::new();
+        tag.update(&data);
+        let mut h = self.client().open_write_stream(blob, kind, padded_len, trace)?;
+        h.feed(data)?;
+        let pad = padded_len - size;
+        if pad > 0 {
+            h.feed(Bytes::from(vec![0u8; pad as usize]))?;
+        }
+        let version = h.commit()?;
+        self.telemetry.inc("gateway.put_stream_chunks", &[], padded_len / page);
+        Ok((version, tag.finish()))
     }
 
     /// Fetch an object's full contents.
@@ -516,6 +657,36 @@ impl ObjectGateway {
         self.track("get_object", || {
             let info = self.head_inner(principal, bucket, key)?;
             self.read_pinned_inner(&info, offset, len, None)
+        })
+    }
+
+    /// Open a bounded-memory streaming reader over a byte range of an
+    /// object (S3 `Range` semantics: clamped to the object end).
+    ///
+    /// The reader pins the object's current version at open — concurrent
+    /// overwrites never tear the stream — and pulls at most
+    /// `chunk_window` pages off the wire per [`ObjectReader::next`]
+    /// call, so a multi-GB GET holds `O(chunk_window × page_size)`
+    /// bytes regardless of object size.
+    pub fn get_object_reader(
+        &self,
+        principal: ClientId,
+        bucket: &str,
+        key: &str,
+        offset: u64,
+        len: u64,
+    ) -> Result<ObjectReader, GatewayError> {
+        self.track("get_object", || {
+            let info = self.head_inner(principal, bucket, key)?;
+            let len = if offset >= info.size { 0 } else { len.min(info.size - offset) };
+            let handle = self.client().open_read_stream(
+                info.blob,
+                Some(info.version),
+                offset,
+                len,
+                None,
+            )?;
+            Ok(ObjectReader { handle })
         })
     }
 
@@ -651,6 +822,9 @@ impl ObjectGateway {
             let bucket_ref = b.get(bucket).ok_or(GatewayError::NoSuchBucket)?;
             self.check_write(principal, bucket_ref)?;
         }
+        // Lazy TTL sweep: uploads that were never completed or aborted
+        // would otherwise sit in the map forever.
+        self.sweep_stale_uploads();
         let blob = self.client().create(BlobSpec {
             page_size: self.cfg.page_size,
             replication: self.cfg.replication,
@@ -665,9 +839,49 @@ impl ObjectGateway {
                 blob,
                 part_size,
                 parts: BTreeMap::new(),
+                last_touched: Instant::now(),
             },
         );
         Ok(id)
+    }
+
+    /// Drop every multipart upload idle for longer than
+    /// [`GatewayConfig::multipart_ttl`], decommissioning its backing BLOB
+    /// so the uploaded part bytes become reclaimable. Counted in
+    /// `gateway.multipart_expired`. Runs lazily on `create_multipart`;
+    /// callable directly from an operator tick as well.
+    pub fn sweep_stale_uploads(&self) -> usize {
+        let ttl = self.cfg.multipart_ttl;
+        let stale: Vec<(u64, BlobId)> = {
+            let u = self.uploads.lock();
+            u.iter()
+                .filter(|(_, up)| up.last_touched.elapsed() > ttl)
+                .map(|(id, up)| (*id, up.blob))
+                .collect()
+        };
+        let mut expired = 0usize;
+        for (id, blob) in stale {
+            // Re-check under the lock: a racing part upload refreshes
+            // the clock and keeps its upload alive.
+            let still_stale = {
+                let mut u = self.uploads.lock();
+                match u.get(&id) {
+                    Some(up) if up.last_touched.elapsed() > ttl => {
+                        u.remove(&id);
+                        true
+                    }
+                    _ => false,
+                }
+            };
+            if still_stale {
+                // Best-effort: the sweep must not fail creation because a
+                // decommission round trip hit a transient outage.
+                let _ = self.client().decommission(blob);
+                expired += 1;
+                self.telemetry.inc("gateway.multipart_expired", &[], 1);
+            }
+        }
+        expired
     }
 
     /// Upload one part (1-based part numbers, S3 `UploadPart`). Parts may
@@ -702,23 +916,15 @@ impl ObjectGateway {
             (up.blob, up.part_size, (part_number as u64 - 1) * up.part_size)
         };
         let size = data.len() as u64;
-        let tag = etag(&data);
-        // Pad the (possibly last) part to whole pages on the wire.
-        let page = self.cfg.page_size;
-        let padded_len = size.div_ceil(page) * page;
-        let padded = if padded_len == size {
-            data
-        } else {
-            let mut buf = BytesMut::with_capacity(padded_len as usize);
-            buf.extend_from_slice(&data);
-            buf.extend(std::iter::repeat_n(0u8, (padded_len - size) as usize));
-            buf.freeze()
-        };
-        let version = self.client().write(blob, offset, padded)?;
+        // Stream the part into the blob at its slot — the (possibly
+        // short last) part is padded to whole pages on the wire, but
+        // only its final page; nothing is buffered in the uploads map.
+        let (version, tag) = self.stream_in(blob, WriteKind::At(offset), data, 0, None)?;
         let mut u = self.uploads.lock();
         let up = u.get_mut(&upload_id).ok_or(GatewayError::NoSuchUpload)?;
         debug_assert_eq!(up.part_size, part_size);
         up.parts.insert(part_number, (size, tag, version));
+        up.last_touched = Instant::now();
         Ok(())
     }
 
@@ -819,7 +1025,7 @@ mod tests {
         let client = cluster.client(ClientId(1000));
         let gw = ObjectGateway::new(
             client,
-            GatewayConfig { page_size: 64 * 1024, replication: 1 },
+            GatewayConfig { page_size: 64 * 1024, replication: 1, ..Default::default() },
         );
         (cluster, gw)
     }
@@ -843,7 +1049,7 @@ mod tests {
         let client = cluster.client(ClientId(1000));
         let mut gw = ObjectGateway::new(
             client,
-            GatewayConfig { page_size: 64 * 1024, replication: 1 },
+            GatewayConfig { page_size: 64 * 1024, replication: 1, ..Default::default() },
         );
         gw.set_span_sink(Arc::clone(&sink));
         gw.create_bucket(ALICE, "t", Acl::Private).unwrap();
@@ -865,9 +1071,9 @@ mod tests {
             .any(|s| s.service == "gateway" && s.op == "put_object" && s.kind == SpanKind::Op));
         let client_write = in_put
             .iter()
-            .find(|s| s.service == "client" && s.op == "write")
-            .expect("client write nests in the gateway trace");
-        assert_ne!(client_write.parent, 0, "write hangs off the gateway root");
+            .find(|s| s.service == "client" && s.op == "write_stream")
+            .expect("client write stream nests in the gateway trace");
+        assert_ne!(client_write.parent, 0, "write stream hangs off the gateway root");
         assert!(in_put.iter().any(|s| s.service == "provider"));
         // The GET trace likewise covers the nested read.
         assert!(spans
@@ -890,6 +1096,42 @@ mod tests {
         assert_eq!(&got[..], &data[99_000..]);
         let h = gw.head_object(ALICE, "data", "a/b.bin").unwrap();
         assert_eq!(h.etag, info.etag);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn streaming_reader_matches_range_reads() {
+        let (cluster, gw) = cluster_and_gateway();
+        gw.create_bucket(ALICE, "s", Acl::Private).unwrap();
+        let data = body(5 * 64 * 1024 + 777, 9);
+        gw.put_object(ALICE, "s", "obj", data.clone()).unwrap();
+
+        // Full-object stream reassembles the body.
+        let mut r = gw.get_object_reader(ALICE, "s", "obj", 0, u64::MAX).unwrap();
+        assert_eq!(r.len(), data.len() as u64);
+        let mut got = Vec::new();
+        while let Some(chunk) = r.next().unwrap() {
+            got.extend_from_slice(&chunk);
+        }
+        assert_eq!(&got[..], &data[..]);
+
+        // Unaligned range, clamped at the logical object end (padding
+        // pages stay invisible).
+        let (off, len) = (64 * 1024 + 13, u64::MAX);
+        let mut r = gw.get_object_reader(ALICE, "s", "obj", off, len).unwrap();
+        assert_eq!(r.len(), data.len() as u64 - off);
+        let mut got = Vec::new();
+        while let Some(chunk) = r.next().unwrap() {
+            got.extend_from_slice(&chunk);
+        }
+        assert_eq!(&got[..], &data[off as usize..]);
+
+        // Offset past the end streams nothing; early close is clean.
+        let mut r = gw.get_object_reader(ALICE, "s", "obj", data.len() as u64 + 1, 10).unwrap();
+        assert!(r.is_empty());
+        assert_eq!(r.next().unwrap(), None);
+        let r = gw.get_object_reader(ALICE, "s", "obj", 0, u64::MAX).unwrap();
+        r.close().unwrap();
         cluster.shutdown();
     }
 
@@ -1080,7 +1322,7 @@ mod tests {
         let client = cluster.client(ClientId(1000));
         let mut gw = ObjectGateway::new(
             client,
-            GatewayConfig { page_size: 64 * 1024, replication: 1 },
+            GatewayConfig { page_size: 64 * 1024, replication: 1, ..Default::default() },
         );
         gw.set_telemetry(Arc::clone(cluster.telemetry()));
 
@@ -1147,7 +1389,7 @@ mod multipart_tests {
             .start();
         let client = cluster.client(ClientId(1000));
         let gw =
-            ObjectGateway::new(client, GatewayConfig { page_size: PAGE, replication: 1 });
+            ObjectGateway::new(client, GatewayConfig { page_size: PAGE, replication: 1, ..Default::default() });
         gw.create_bucket(ALICE, "b", Acl::Private).unwrap();
         (cluster, gw)
     }
@@ -1242,6 +1484,58 @@ mod multipart_tests {
         assert_eq!(gw.abort_multipart(BOB, id), Err(GatewayError::AccessDenied));
         gw.abort_multipart(ALICE, id).unwrap();
         assert_eq!(gw.abort_multipart(ALICE, id), Err(GatewayError::NoSuchUpload));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn stale_uploads_expire_after_ttl() {
+        let mut cluster = ClusterBuilder::new()
+            .data_providers(4)
+            .meta_providers(2)
+            .provider_capacity(512 << 20)
+            .start();
+        let client = cluster.client(ClientId(1000));
+        let mut gw = ObjectGateway::new(
+            client,
+            GatewayConfig {
+                page_size: PAGE,
+                replication: 1,
+                multipart_ttl: Duration::from_millis(50),
+            },
+        );
+        gw.set_telemetry(Arc::clone(cluster.telemetry()));
+        gw.create_bucket(ALICE, "b", Acl::Private).unwrap();
+
+        let stale = gw.create_multipart(ALICE, "b", "stale", PART).unwrap();
+        gw.upload_part(ALICE, stale, 1, body(PART as usize, 1)).unwrap();
+        std::thread::sleep(Duration::from_millis(120));
+        // Creating a new upload runs the lazy sweep and reaps the idle one.
+        let live = gw.create_multipart(ALICE, "b", "live", PART).unwrap();
+        assert_eq!(
+            gw.upload_part(ALICE, stale, 2, body(PART as usize, 2)),
+            Err(GatewayError::NoSuchUpload),
+            "expired upload is gone"
+        );
+        assert_eq!(gw.abort_multipart(ALICE, stale), Err(GatewayError::NoSuchUpload));
+        assert_eq!(
+            gw.metrics_snapshot().counter("gateway.multipart_expired", &[]),
+            Some(1),
+            "sweep counted exactly the stale upload"
+        );
+        // Part uploads refresh the staleness clock: touch `live` every
+        // 30 ms (under the 50 ms TTL), then run the sweep again — it must
+        // survive, with the expiry counter unchanged.
+        std::thread::sleep(Duration::from_millis(30));
+        gw.upload_part(ALICE, live, 1, body(700, 9)).unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        gw.upload_part(ALICE, live, 1, body(800, 9)).unwrap();
+        assert_eq!(gw.sweep_stale_uploads(), 0, "refreshed upload is not stale");
+        assert_eq!(
+            gw.metrics_snapshot().counter("gateway.multipart_expired", &[]),
+            Some(1)
+        );
+        let info = gw.complete_multipart(ALICE, live).unwrap();
+        assert_eq!(info.size, 800);
         cluster.shutdown();
     }
 }

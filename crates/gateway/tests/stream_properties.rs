@@ -1,0 +1,115 @@
+//! Property test for the streaming GET path: a reader opened through
+//! [`ObjectGateway::get_object_reader`] pins the object version at open,
+//! so the bytes it streams must match a pinned whole-buffer
+//! [`ObjectGateway::read_pinned`] of the same range even while a
+//! concurrent writer overwrites the object mid-stream.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use sads_blob::runtime::threaded::ClusterBuilder;
+use sads_blob::ClientId;
+use sads_gateway::{Acl, GatewayConfig, ObjectGateway};
+
+const PAGE: u64 = 4096;
+const ALICE: ClientId = ClientId(1);
+
+/// One shared gateway for every generated case (cluster spin-up
+/// dominates; threads are reclaimed at process exit).
+fn gateway() -> &'static Arc<ObjectGateway> {
+    static GW: OnceLock<Arc<ObjectGateway>> = OnceLock::new();
+    GW.get_or_init(|| {
+        let mut cluster = ClusterBuilder::new()
+            .data_providers(4)
+            .meta_providers(2)
+            .provider_capacity(512 << 20)
+            .start();
+        let client = cluster.client(ClientId(7100));
+        std::mem::forget(cluster);
+        let gw = ObjectGateway::new(
+            client,
+            GatewayConfig { page_size: PAGE, replication: 1, ..Default::default() },
+        );
+        gw.create_bucket(ALICE, "prop", Acl::Private).unwrap();
+        Arc::new(gw)
+    })
+}
+
+fn body(len: usize, seed: u64) -> Bytes {
+    let mut x = seed | 1;
+    Bytes::from(
+        (0..len)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x as u8
+            })
+            .collect::<Vec<u8>>(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn streamed_get_is_snapshot_isolated_from_overwrites(
+        pages in 2u64..7,
+        seed in 1u64..u64::MAX,
+        off_frac in 0.0f64..1.0,
+        case in 0u64..u64::MAX,
+    ) {
+        let gw = gateway();
+        let key = format!("obj-{case}");
+        let total = pages * PAGE;
+        let data = body(total as usize, seed);
+        gw.put_object(ALICE, "prop", &key, data.clone()).unwrap();
+
+        let offset = (off_frac * (total - 1) as f64) as u64;
+        let len = total - offset;
+
+        // Open pins the current version; the pinned whole-buffer read is
+        // the oracle for what the stream must deliver.
+        let info = gw.head_object(ALICE, "prop", &key).unwrap();
+        let expect = gw.read_pinned(&info, offset, len).unwrap();
+        let mut reader = gw.get_object_reader(ALICE, "prop", &key, offset, len).unwrap();
+        prop_assert_eq!(reader.len(), len);
+
+        // Overwrite the object continuously while the stream drains.
+        let stop = Arc::new(AtomicBool::new(false));
+        let writer = {
+            let gw = Arc::clone(gw);
+            let stop = Arc::clone(&stop);
+            let key = key.clone();
+            std::thread::spawn(move || {
+                let mut round = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let alt = body((PAGE + 17) as usize, seed ^ round.wrapping_add(0x9e37));
+                    gw.put_object(ALICE, "prop", &key, alt).unwrap();
+                    round += 1;
+                }
+                round
+            })
+        };
+
+        let mut got = Vec::new();
+        let drained = loop {
+            match reader.next() {
+                Ok(Some(chunk)) => got.extend_from_slice(&chunk),
+                Ok(None) => break Ok(()),
+                Err(e) => break Err(e),
+            }
+        };
+        stop.store(true, Ordering::Relaxed);
+        let rounds = writer.join().unwrap();
+        drained.unwrap();
+
+        prop_assert_eq!(&expect[..], &data[offset as usize..], "pinned oracle");
+        prop_assert!(
+            got[..] == expect[..],
+            "stream diverged from its pinned version after {rounds} overwrites"
+        );
+    }
+}

@@ -23,7 +23,7 @@ fn main() {
         .start();
     let gw = ObjectGateway::new(
         cluster.client(ClientId(1000)),
-        GatewayConfig { page_size: 128 * 1024, replication: 2 },
+        GatewayConfig { page_size: 128 * 1024, replication: 2, ..Default::default() },
     );
 
     // Buckets with S3-style canned ACLs.

@@ -211,6 +211,15 @@ impl BytesMut {
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.buf)
     }
+
+    /// Split the buffer at `at`, returning the front `at` bytes and
+    /// leaving the rest in `self`. Panics when `at > len`, matching the
+    /// upstream crate.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(at <= self.buf.len(), "split_to at {at} out of bounds (len {})", self.buf.len());
+        let rest = self.buf.split_off(at);
+        BytesMut { buf: std::mem::replace(&mut self.buf, rest) }
+    }
 }
 
 impl Extend<u8> for BytesMut {
@@ -267,6 +276,15 @@ mod tests {
         let f = m.freeze();
         assert_eq!(f, Bytes::from_static(b"abcd"));
         assert_eq!(&f[1..3], b"bc");
+    }
+
+    #[test]
+    fn split_to_front_and_rest() {
+        let mut m = BytesMut::new();
+        m.extend_from_slice(b"abcdef");
+        let front = m.split_to(4);
+        assert_eq!(front.freeze(), Bytes::from_static(b"abcd"));
+        assert_eq!(m.freeze(), Bytes::from_static(b"ef"));
     }
 
     #[test]
