@@ -1,0 +1,341 @@
+//! E16 — runtime introspection: the EWMA throughput-anomaly detector
+//! arming the always-on flight recorder, with memory-state attribution.
+//!
+//! The ROADMAP's read@256×32 bistability (256 clients reading 32 MiB
+//! each lands at ~2 GB/s on some rounds, ~4.4–5.0 GB/s on others, with
+//! no in-process cause) is exactly the failure shape an absolute SLO
+//! threshold cannot catch: the slow state is still "fast" by any floor
+//! an operator would dare declare. This experiment closes the loop the
+//! introspection plane was built for:
+//!
+//! 1. every round runs with the **flight recorder** on (the production
+//!    default) and samples `/proc/self/stat` before/after, so each
+//!    throughput point carries its own page-fault and RSS deltas;
+//! 2. an [`EwmaAnomalyDetector`] learns the workload's own baseline
+//!    from warm-up rounds on a neighbouring fast shape, then judges
+//!    each bistable-shape round against it;
+//! 3. a trip **auto-captures** the round: the recorder dumps every
+//!    ring (executor turns, per-service events) as chrome://tracing
+//!    JSON plus a `statusz` text snapshot, with the anomaly evidence
+//!    and the fault/RSS attribution in the dump note — the artifact an
+//!    operator would otherwise need a debugger attached at the right
+//!    moment to obtain.
+//!
+//! Output: `results/e16_introspect.json` (one row per round), and on a
+//! trip `results/e16_flight.json` + `results/e16_statusz.txt`.
+//!
+//! `--smoke` runs a tiny shape, injects one synthetic degraded
+//! observation (host bistability cannot be summoned on demand in CI),
+//! and gates on the whole capture path: detector trips, dump fires,
+//! the chrome JSON is well-formed, the note carries fault/RSS
+//! attribution, and the executor/proc metric families are live.
+
+use std::time::Instant;
+
+use bytes::Bytes;
+use sads_bench::{print_table, row, write_artifact, BenchArgs};
+use sads_blob::model::BlobSpec;
+use sads_blob::runtime::threaded::{Cluster, ClusterBuilder};
+use sads_blob::ClientId;
+use sads_introspect::EwmaAnomalyDetector;
+use sads_sim::{ProcSampler, SampleValue};
+
+const MB: u64 = 1_000_000;
+const OP_SIZE: u64 = 4 * 1024 * 1024;
+const PAGE: u64 = 256 * 1024;
+
+/// Memory-state deltas across one round, from `/proc/self/stat`.
+#[derive(Clone, Copy, Default)]
+struct ProcDelta {
+    minflt: u64,
+    majflt: u64,
+    rss_hwm_mb: f64,
+}
+
+impl ProcDelta {
+    fn note(&self, prefix: &str) -> String {
+        format!(
+            "{prefix}minflt={} {prefix}majflt={} {prefix}rss_hwm_mb={:.0}",
+            self.minflt, self.majflt, self.rss_hwm_mb
+        )
+    }
+}
+
+/// One measured round: write `ops × 4 MiB` per client (untimed), read it
+/// back in waves (timed). The cluster is returned **alive** so a trip
+/// verdict can still dump its flight recorder; the caller shuts it down.
+fn read_round(clients: usize, ops: u64) -> (Cluster, f64, ProcDelta) {
+    let sampler = ProcSampler::new();
+    let before = sampler.sample().unwrap_or_default();
+    let mut cluster = ClusterBuilder::new()
+        .data_providers(8)
+        .meta_providers(2)
+        .provider_capacity(64 << 30)
+        .start();
+    let handles: Vec<_> =
+        (0..clients).map(|i| cluster.client(ClientId(100 + i as u64))).collect();
+    let blobs: Vec<_> = handles
+        .iter()
+        .map(|h| h.create(BlobSpec { page_size: PAGE, replication: 1 }).expect("create"))
+        .collect();
+    let bodies: Vec<_> =
+        (0..clients).map(|t| Bytes::from(vec![t as u8; OP_SIZE as usize])).collect();
+    for _ in 0..ops {
+        let tickets: Vec<_> = handles
+            .iter()
+            .zip(&blobs)
+            .zip(&bodies)
+            .map(|((h, &blob), body)| h.submit_append(blob, body.clone()))
+            .collect();
+        for t in tickets {
+            t.wait().expect("append");
+        }
+    }
+
+    let start = Instant::now();
+    for k in 0..ops {
+        let tickets: Vec<_> = handles
+            .iter()
+            .zip(&blobs)
+            .map(|(h, &blob)| h.submit_read(blob, None, k * OP_SIZE, OP_SIZE))
+            .collect();
+        for t in tickets {
+            t.wait().expect("read");
+        }
+    }
+    let read_bytes = (clients as u64 * ops * OP_SIZE) as f64;
+    let read_mbps = read_bytes / 1e6 / start.elapsed().as_secs_f64();
+
+    let after = sampler.sample().unwrap_or_default();
+    let proc = ProcDelta {
+        minflt: after.minflt.saturating_sub(before.minflt),
+        majflt: after.majflt.saturating_sub(before.majflt),
+        rss_hwm_mb: sampler.rss_hwm_bytes() as f64 / 1e6,
+    };
+    (cluster, read_mbps, proc)
+}
+
+/// Trigger the auto-capture on a tripped round and write the artifacts.
+/// Returns `(chrome_json, statusz_text, note)`.
+#[allow(clippy::too_many_arguments)]
+fn capture(
+    cluster: &Cluster,
+    reason: &str,
+    observed: f64,
+    expected: f64,
+    slow: ProcDelta,
+    fast: ProcDelta,
+    at_ns: u64,
+    suffix: &str,
+) -> (String, String, String) {
+    let note = format!(
+        "read_mbps={observed:.0} expected_mbps={expected:.0} ratio={:.2}\n{}\n{}",
+        observed / expected,
+        slow.note(""),
+        fast.note("fast_"),
+    );
+    let rec = cluster.flight_recorder().expect("recorder is on by default");
+    let dump = rec.trigger_dump(reason, &note, at_ns);
+    let chrome = dump.chrome_json();
+    let statusz = dump.statusz();
+    write_artifact(&format!("e16_flight{suffix}.json"), &chrome);
+    write_artifact(&format!("e16_statusz{suffix}.txt"), &statusz);
+    (chrome, statusz, note)
+}
+
+/// Chrome Trace Event JSON never embeds braces in strings (labels are
+/// static identifiers), so well-formedness reduces to balance + envelope.
+fn chrome_json_well_formed(s: &str) -> bool {
+    let (mut obj, mut arr) = (0i64, 0i64);
+    for c in s.chars() {
+        match c {
+            '{' => obj += 1,
+            '}' => obj -= 1,
+            '[' => arr += 1,
+            ']' => arr -= 1,
+            _ => {}
+        }
+        if obj < 0 || arr < 0 {
+            return false;
+        }
+    }
+    obj == 0 && arr == 0 && s.starts_with("{\"traceEvents\":[")
+}
+
+/// CI gate over the full capture path, with one synthetic degraded
+/// observation standing in for the host's (unsummonable) slow state.
+fn smoke(origin: Instant) {
+    println!("E16 --smoke: detector + auto-capture path on a tiny shape\n");
+    let (clients, ops, rounds) = (16usize, 4u64, 3usize);
+    let mut det = EwmaAnomalyDetector::new(0.4, 0.5, 2);
+    let mut fast_proc = ProcDelta::default();
+    let mut last_mbps = 0.0;
+    let mut last: Option<(Cluster, ProcDelta)> = None;
+    for r in 0..rounds {
+        if let Some((c, _)) = last.take() {
+            c.shutdown();
+        }
+        let (cluster, mbps, proc) = read_round(clients, ops);
+        println!(
+            "  round {r}: read {mbps:.0} MB/s (minflt {} majflt {} rss_hwm {:.0} MB)",
+            proc.minflt, proc.majflt, proc.rss_hwm_mb
+        );
+        assert!(
+            det.observe(mbps).is_none(),
+            "steady warm-up round {r} must not trip the detector"
+        );
+        if r + 1 < rounds {
+            fast_proc = proc;
+        }
+        last_mbps = mbps;
+        last = Some((cluster, proc));
+    }
+    let (cluster, slow_proc) = last.expect("at least one round ran");
+
+    // The executor and proc telemetry the tentpole added must be live in
+    // an ordinary round — the introspection plane is always-on, not an
+    // opt-in debug build.
+    let snap = cluster.telemetry().snapshot();
+    let dispatched = snap
+        .family("runtime.dispatch_batch")
+        .filter_map(|s| match &s.value {
+            SampleValue::Histogram(h) => Some(h.count),
+            _ => None,
+        })
+        .sum::<u64>();
+    assert!(dispatched > 0, "runtime.dispatch_batch saw no scheduling turns");
+    assert!(
+        snap.family("runtime.mailbox_hwm").next().is_some(),
+        "per-cell mailbox high-water gauges missing"
+    );
+    assert!(
+        snap.gauge("proc.rss_bytes", &[]).is_some_and(|v| v > 0.0),
+        "proc sampler wrote no RSS gauge"
+    );
+
+    // Inject the degraded observation: a quarter of the last real round.
+    let degraded = last_mbps * 0.25;
+    let anomaly = det
+        .observe(degraded)
+        .expect("a 75% drop past warm-up must trip the EWMA detector");
+    println!(
+        "\n  injected degraded round: {degraded:.0} MB/s vs expected {:.0} MB/s -> tripped",
+        anomaly.expected
+    );
+
+    let (chrome, statusz, note) = capture(
+        &cluster,
+        "throughput-anomaly:read_round",
+        anomaly.observed,
+        anomaly.expected,
+        slow_proc,
+        fast_proc,
+        origin.elapsed().as_nanos() as u64,
+        "_smoke",
+    );
+    cluster.shutdown();
+
+    assert!(chrome_json_well_formed(&chrome), "chrome trace JSON malformed:\n{chrome}");
+    assert!(chrome.contains("\"ph\":\"X\""), "no complete events in the trace");
+    assert!(note.contains("majflt=") && note.contains("rss_hwm_mb="), "attribution missing");
+    assert!(statusz.contains("flight dump #1"), "statusz lacks the dump header:\n{statusz}");
+    assert!(statusz.contains("throughput-anomaly:read_round"), "statusz lacks the reason");
+    assert!(
+        slow_proc.minflt != fast_proc.minflt
+            || slow_proc.majflt != fast_proc.majflt
+            || slow_proc.rss_hwm_mb != fast_proc.rss_hwm_mb,
+        "slow-round attribution identical to fast rounds — counters are not live"
+    );
+    println!("  capture path verified: dump fired, JSON well-formed, attribution present");
+}
+
+fn main() {
+    let origin = Instant::now();
+    let args = BenchArgs::parse();
+    if args.smoke {
+        return smoke(origin);
+    }
+    println!("E16: EWMA anomaly detection + flight-recorder auto-capture\n");
+
+    // Warm the baseline on a neighbouring fast shape, then judge the
+    // bistable one: 256 clients × 32 MiB, the ROADMAP's problem child.
+    let warmup_rounds = 2usize;
+    let main_rounds = args.scaled(6);
+    let mut det = EwmaAnomalyDetector::new(0.3, 0.3, 1);
+    let mut rows = vec![row![
+        "round", "clients", "read_MBps", "expected", "verdict", "minflt", "majflt", "rss_hwm_MB"
+    ]];
+    let mut json = String::from("[");
+    let mut fast_proc = ProcDelta::default();
+    let mut captures = 0usize;
+    for r in 0..warmup_rounds + main_rounds {
+        let clients = if r < warmup_rounds { 192 } else { 256 };
+        let (cluster, mbps, proc) = read_round(clients, 8);
+        let expected = det.expected().unwrap_or(mbps);
+        let anomaly = det.observe(mbps);
+        let verdict = match &anomaly {
+            Some(a) => {
+                captures += 1;
+                // First capture keeps the artifact name the docs point
+                // at; later ones get numbered suffixes.
+                let suffix =
+                    if captures == 1 { String::new() } else { format!("_{captures}") };
+                capture(
+                    &cluster,
+                    "throughput-anomaly:read@256x32",
+                    a.observed,
+                    a.expected,
+                    proc,
+                    fast_proc,
+                    origin.elapsed().as_nanos() as u64,
+                    &suffix,
+                );
+                "ANOMALY"
+            }
+            None => {
+                fast_proc = proc;
+                "ok"
+            }
+        };
+        cluster.shutdown();
+        rows.push(row![
+            r,
+            clients,
+            format!("{mbps:.0}"),
+            format!("{expected:.0}"),
+            verdict,
+            proc.minflt,
+            proc.majflt,
+            format!("{:.0}", proc.rss_hwm_mb)
+        ]);
+        if r > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!(
+            "\n  {{\"round\": {r}, \"clients\": {clients}, \"read_mbps\": {mbps:.1}, \
+             \"expected_mbps\": {expected:.1}, \"anomaly\": {}, \
+             \"minflt\": {}, \"majflt\": {}, \"rss_hwm_mb\": {:.0}}}",
+            anomaly.is_some(),
+            proc.minflt,
+            proc.majflt,
+            proc.rss_hwm_mb
+        ));
+    }
+    json.push_str("\n]\n");
+    print_table(&rows);
+    write_artifact("e16_introspect.json", &json);
+    if captures > 0 {
+        println!(
+            "\n{captures} anomalous round(s) auto-captured -> results/e16_flight.json, \
+             results/e16_statusz.txt"
+        );
+    } else {
+        println!(
+            "\nno anomalous rounds this run (host stayed in its fast memory state); \
+             detector baseline ended at {:.0} MB/s",
+            det.expected().unwrap_or(0.0)
+        );
+    }
+    let total_mb = ((warmup_rounds * 192 + main_rounds * 256) as u64 * 8 * OP_SIZE) / MB;
+    println!("moved {total_mb} MB of reads across {} rounds", warmup_rounds + main_rounds);
+}

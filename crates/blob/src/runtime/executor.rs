@@ -41,8 +41,8 @@ use parking_lot::{Mutex, RwLock};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use sads_sim::{
-    MetricSink, NodeId, Registry as TelemetryRegistry, SimDuration, SimTime, SpanKind,
-    SpanRecord, SpanSink, TraceCtx,
+    Counter, FlightEvent, FlightRecorder, FlightRing, Gauge, Histogram, MetricSink, NodeId,
+    Registry as TelemetryRegistry, SimDuration, SimTime, SpanKind, SpanRecord, SpanSink, TraceCtx,
 };
 
 use crate::client::{ClientConfig, ClientCore, ClientOp, Completion};
@@ -131,6 +131,14 @@ pub(crate) struct Cell {
     /// Shard the cell last ran on; senders enqueue it there (locality),
     /// thieves migrate it.
     home: AtomicUsize,
+    /// Deepest mailbox ever observed on this cell. The paired gauge
+    /// (`runtime.mailbox_hwm{node=…}`) is only written when the watermark
+    /// actually rises, so the steady-state send cost is one `fetch_max`.
+    mail_hwm: std::sync::atomic::AtomicU64,
+    hwm_gauge: Gauge,
+    /// Flight-recorder ring for this cell's service family, resolved once
+    /// at creation so a recorded turn is a single `Ring::record`.
+    ring: Option<Arc<FlightRing>>,
     mailbox: Mutex<VecDeque<Envelope>>,
     node: Mutex<NodeState>,
 }
@@ -180,16 +188,58 @@ impl Shard {
     }
 }
 
+/// Bucket bounds for `runtime.dispatch_batch` (envelopes per scheduling
+/// turn): powers of two up to the [`MAX_PER_RUN`] fairness cap.
+const DISPATCH_BOUNDS: &[f64] = &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0];
+
+/// Pre-interned per-shard `runtime.*` handles, so the scheduler hot paths
+/// pay one atomic op per update instead of a registry lookup.
+struct ShardStats {
+    /// `runtime.runq_depth{shard}` — cells queued on the shard right now.
+    runq_depth: Gauge,
+    /// `runtime.steals{shard}` — cells this shard's worker stole.
+    steals: Counter,
+    /// `runtime.parks{shard}` / `runtime.unparks{shard}` — idle waits.
+    parks: Counter,
+    unparks: Counter,
+    /// `runtime.dispatch_batch{shard}` — envelopes handled per turn.
+    dispatch_batch: Histogram,
+    /// `runtime.timer_lag_seconds{shard}` — how late shard timers fire.
+    timer_lag: Histogram,
+}
+
+impl ShardStats {
+    fn new(telem: &TelemetryRegistry, shard: usize) -> Self {
+        let s = shard.to_string();
+        let labels: &[(&str, &str)] = &[("shard", s.as_str())];
+        ShardStats {
+            runq_depth: telem.gauge("runtime.runq_depth", labels),
+            steals: telem.counter("runtime.steals", labels),
+            parks: telem.counter("runtime.parks", labels),
+            unparks: telem.counter("runtime.unparks", labels),
+            dispatch_batch: telem.histogram_with_bounds(
+                "runtime.dispatch_batch",
+                labels,
+                DISPATCH_BOUNDS,
+            ),
+            timer_lag: telem.histogram("runtime.timer_lag_seconds", labels),
+        }
+    }
+}
+
 /// State shared by workers, senders and the cluster handle.
 pub(crate) struct ExecShared {
     /// Grow-only routing table: `NodeId` → live cell.
     slots: RwLock<Vec<Option<Arc<Cell>>>>,
     shards: Vec<Shard>,
+    /// Per-shard telemetry handles, parallel to `shards`.
+    stats: Vec<ShardStats>,
     running: AtomicBool,
     start: Instant,
     metrics: Arc<Mutex<MetricSink>>,
     telem: Arc<TelemetryRegistry>,
     sink: Option<Arc<SpanSink>>,
+    recorder: Option<Arc<FlightRecorder>>,
 }
 
 impl ExecShared {
@@ -206,7 +256,14 @@ impl ExecShared {
                 _ => return false,
             }
         };
-        cell.mailbox.lock().push_back(env);
+        let depth = {
+            let mut mb = cell.mailbox.lock();
+            mb.push_back(env);
+            mb.len() as u64
+        };
+        if depth > cell.mail_hwm.fetch_max(depth, Ordering::Relaxed) {
+            cell.hwm_gauge.set(depth as f64);
+        }
         self.schedule(&cell);
         true
     }
@@ -221,9 +278,14 @@ impl ExecShared {
         if cell.scheduled.swap(true, Ordering::AcqRel) {
             return;
         }
-        let shard = &self.shards[cell.home.load(Ordering::Relaxed) % self.shards.len()];
-        shard.runq.lock().expect("runq").push_back(Arc::clone(cell));
-        shard.cv.notify_one();
+        let home = cell.home.load(Ordering::Relaxed) % self.shards.len();
+        let depth = {
+            let mut q = self.shards[home].runq.lock().expect("runq");
+            q.push_back(Arc::clone(cell));
+            q.len()
+        };
+        self.stats[home].runq_depth.set(depth as f64);
+        self.shards[home].cv.notify_one();
     }
 
     /// Stop routing to `node`, drop its queued mail, and make sure it
@@ -258,6 +320,7 @@ impl Executor {
         metrics: Arc<Mutex<MetricSink>>,
         telem: Arc<TelemetryRegistry>,
         sink: Option<Arc<SpanSink>>,
+        recorder: Option<Arc<FlightRecorder>>,
     ) -> Executor {
         let n = if shards == 0 {
             std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).clamp(1, 16)
@@ -267,11 +330,13 @@ impl Executor {
         let shared = Arc::new(ExecShared {
             slots: RwLock::new(Vec::new()),
             shards: (0..n).map(|_| Shard::new()).collect(),
+            stats: (0..n).map(|w| ShardStats::new(&telem, w)).collect(),
             running: AtomicBool::new(true),
             start,
             metrics,
             telem,
             sink,
+            recorder,
         });
         let workers = (0..n)
             .map(|w| {
@@ -322,12 +387,23 @@ impl Executor {
     }
 
     fn new_cell(&self, id: NodeId, kind: NodeKind, seed: u64) -> Arc<Cell> {
+        let family = match &kind {
+            NodeKind::Service(s) => s.name(),
+            NodeKind::Client { .. } => "client",
+        };
+        let node_label = id.0.to_string();
         Arc::new(Cell {
             id,
             scheduled: AtomicBool::new(false),
             dead: AtomicBool::new(false),
             timer_registered: std::sync::atomic::AtomicU64::new(u64::MAX),
             home: AtomicUsize::new(id.index() % self.shared.shards.len()),
+            mail_hwm: std::sync::atomic::AtomicU64::new(0),
+            hwm_gauge: self
+                .shared
+                .telem
+                .gauge("runtime.mailbox_hwm", &[("node", node_label.as_str())]),
+            ring: self.shared.recorder.as_ref().map(|r| r.ring(family)),
             mailbox: Mutex::new(VecDeque::new()),
             node: Mutex::new(NodeState {
                 kind,
@@ -482,6 +558,11 @@ fn worker_loop(shared: &ExecShared, w: usize) {
             };
             match due {
                 Some(std::cmp::Reverse(t)) => {
+                    // How far past its deadline the heap let this timer
+                    // drift — queueing lag of the timer plane itself.
+                    shared.stats[w]
+                        .timer_lag
+                        .observe(now.saturating_sub(t.deadline) as f64 / 1e9);
                     if let Some(cell) = t.cell.upgrade() {
                         cell.timer_registered.store(u64::MAX, Ordering::Release);
                         shared.schedule(&cell);
@@ -492,7 +573,7 @@ fn worker_loop(shared: &ExecShared, w: usize) {
         }
 
         // Own queue first, then steal from the back of a busier shard.
-        let next = pop_front(&shared.shards[w]).or_else(|| steal(shared, w));
+        let next = pop_front(shared, w).or_else(|| steal(shared, w));
         if let Some(cell) = next {
             run_cell(shared, w, &cell);
             continue;
@@ -510,21 +591,38 @@ fn worker_loop(shared: &ExecShared, w: usize) {
         };
         let g = shared.shards[w].runq.lock().expect("runq");
         if g.is_empty() && shared.running.load(Ordering::Acquire) {
+            shared.stats[w].parks.inc(1);
             let _ = shared.shards[w].cv.wait_timeout(g, wait);
+            shared.stats[w].unparks.inc(1);
         }
     }
 }
 
-fn pop_front(shard: &Shard) -> Option<Arc<Cell>> {
-    shard.runq.lock().expect("runq").pop_front()
+fn pop_front(shared: &ExecShared, w: usize) -> Option<Arc<Cell>> {
+    let (cell, depth) = {
+        let mut q = shared.shards[w].runq.lock().expect("runq");
+        let cell = q.pop_front();
+        (cell, q.len())
+    };
+    if cell.is_some() {
+        shared.stats[w].runq_depth.set(depth as f64);
+    }
+    cell
 }
 
 fn steal(shared: &ExecShared, w: usize) -> Option<Arc<Cell>> {
     let n = shared.shards.len();
     for i in 1..n {
-        let victim = &shared.shards[(w + i) % n];
-        if let Some(cell) = victim.runq.lock().expect("runq").pop_back() {
-            return Some(cell);
+        let v = (w + i) % n;
+        let (cell, depth) = {
+            let mut q = shared.shards[v].runq.lock().expect("runq");
+            let cell = q.pop_back();
+            (cell, q.len())
+        };
+        if cell.is_some() {
+            shared.stats[v].runq_depth.set(depth as f64);
+            shared.stats[w].steals.inc(1);
+            return cell;
         }
     }
     None
@@ -539,10 +637,26 @@ fn run_cell(shared: &ExecShared, w: usize, cell: &Arc<Cell>) {
         return;
     }
 
+    let turn_start = shared.now_ns();
     let mut node = cell.node.lock();
-    let panicked = catch_unwind(AssertUnwindSafe(|| drive(shared, cell, &mut node))).is_err();
+    let outcome = catch_unwind(AssertUnwindSafe(|| drive(shared, cell, &mut node)));
     let next_deadline = node.timers.peek().map(|std::cmp::Reverse((d, _))| *d);
     drop(node);
+    let panicked = outcome.is_err();
+    let handled = outcome.unwrap_or(0);
+    shared.stats[w].dispatch_batch.observe(handled as f64);
+    if handled > 0 {
+        if let Some(ring) = &cell.ring {
+            ring.record(FlightEvent {
+                at_ns: turn_start,
+                dur_ns: shared.now_ns().saturating_sub(turn_start),
+                label: "turn",
+                node: cell.id.0 as u64,
+                a: handled as u64,
+                b: cell.mail_hwm.load(Ordering::Relaxed),
+            });
+        }
+    }
 
     if panicked {
         // Poison only this cell: unroute it, drop its mail, count it. The
@@ -580,7 +694,8 @@ fn run_cell(shared: &ExecShared, w: usize, cell: &Arc<Cell>) {
     }
 }
 
-fn drive(shared: &ExecShared, cell: &Arc<Cell>, node: &mut NodeState) {
+/// Returns the number of envelopes handled this turn.
+fn drive(shared: &ExecShared, cell: &Arc<Cell>, node: &mut NodeState) -> usize {
     let NodeState { kind, timers, rng, started } = node;
     if !*started {
         *started = true;
@@ -619,6 +734,7 @@ fn drive(shared: &ExecShared, cell: &Arc<Cell>, node: &mut NodeState) {
             break; // Yield the worker; run_cell re-queues us at the back.
         }
     }
+    handled
 }
 
 fn fire_due_timers(

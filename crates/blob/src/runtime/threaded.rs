@@ -19,7 +19,8 @@ use bytes::Bytes;
 use crossbeam::channel::bounded;
 use parking_lot::Mutex;
 use sads_sim::{
-    MetricSink, NodeId, Registry as TelemetryRegistry, SimTime, SpanSink, TraceCtx,
+    FlightRecorder, MetricSink, NodeId, ProcSampler, Registry as TelemetryRegistry, SimDuration,
+    SimTime, SpanSink, TraceCtx,
 };
 
 use super::executor::{Envelope, ExecShared, Executor, NodeKind};
@@ -28,11 +29,48 @@ use crate::model::{BlobError, BlobId, BlobSpec, ClientId, Payload, VersionId};
 use crate::pmanager::AllocationStrategy;
 use crate::rpc::Msg;
 use crate::services::{
-    DataProviderService, MetaProviderService, ProviderManagerService, Service, ServiceConfig,
+    DataProviderService, Env, MetaProviderService, ProviderManagerService, Service, ServiceConfig,
     VersionManagerService,
 };
 use crate::storage::{BackendConfig, BackendSpec};
 use crate::vmanager::WriteKind;
+
+/// Timer token of the process-telemetry sampler cell.
+pub const TOKEN_PROC_SAMPLE: u64 = u64::MAX - 60;
+
+/// One cell per cluster that reads `/proc/self` on a heartbeat cadence and
+/// exports the `proc.*` gauge family (RSS + high-water, page faults,
+/// mapped bytes) into the cluster's registry. Threaded-runtime only: in
+/// the simulator the hosting process's memory says nothing about the
+/// simulated deployment.
+struct ProcSamplerService {
+    sampler: ProcSampler,
+    every: SimDuration,
+}
+
+impl Service for ProcSamplerService {
+    fn name(&self) -> &'static str {
+        "procsampler"
+    }
+
+    fn on_start(&mut self, env: &mut dyn Env) {
+        if let Some(reg) = env.telemetry() {
+            self.sampler.sample_into(&reg);
+        }
+        env.set_timer(self.every, TOKEN_PROC_SAMPLE);
+    }
+
+    fn on_msg(&mut self, _env: &mut dyn Env, _from: NodeId, _msg: Msg) {}
+
+    fn on_timer(&mut self, env: &mut dyn Env, token: u64) {
+        if token == TOKEN_PROC_SAMPLE {
+            if let Some(reg) = env.telemetry() {
+                self.sampler.sample_into(&reg);
+            }
+            env.set_timer(self.every, TOKEN_PROC_SAMPLE);
+        }
+    }
+}
 
 /// Handle to a client cell: a blocking BlobSeer API over real bytes.
 ///
@@ -272,6 +310,7 @@ pub struct ClusterBuilder {
     telemetry: Option<Arc<TelemetryRegistry>>,
     executor_shards: usize,
     backend: BackendSpec,
+    flight_recorder: bool,
 }
 
 impl Default for ClusterBuilder {
@@ -287,6 +326,7 @@ impl Default for ClusterBuilder {
             telemetry: None,
             executor_shards: 0,
             backend: BackendSpec::Memory,
+            flight_recorder: true,
         }
     }
 }
@@ -369,17 +409,28 @@ impl ClusterBuilder {
         self
     }
 
+    /// Whether the always-on flight recorder is attached (default `true`).
+    /// `false` exists for the recorder-overhead A/B gate in `exp_perf`
+    /// and for embedders that want the last few bytes of scheduler
+    /// overhead back.
+    pub fn flight_recorder(mut self, on: bool) -> Self {
+        self.flight_recorder = on;
+        self
+    }
+
     /// Spawn the executor workers and return the running cluster.
     pub fn start(self) -> Cluster {
         let metrics = Arc::new(Mutex::new(MetricSink::new()));
         let start = Instant::now();
         let telemetry = self.telemetry.unwrap_or_else(|| Arc::new(TelemetryRegistry::new()));
+        let flight_recorder = self.flight_recorder.then(|| Arc::new(FlightRecorder::new()));
         let exec = Executor::start(
             self.executor_shards,
             start,
             Arc::clone(&metrics),
             Arc::clone(&telemetry),
             self.span_sink.clone(),
+            flight_recorder.clone(),
         );
         let mut cluster = Cluster {
             exec,
@@ -394,6 +445,7 @@ impl ClusterBuilder {
             next_seed: 1,
             span_sink: self.span_sink,
             telemetry,
+            flight_recorder,
             backend: self.backend,
             provider_backends: std::collections::HashMap::new(),
             next_backend_ordinal: 0,
@@ -414,6 +466,12 @@ impl ClusterBuilder {
             let n = cluster.add_data_provider(self.provider_capacity);
             cluster.data.push(n);
         }
+        // Added last so manager/provider NodeIds stay where tests and
+        // embedders learned to find them.
+        cluster.add_service(Box::new(ProcSamplerService {
+            sampler: ProcSampler::new(),
+            every: cluster.service_cfg.heartbeat_every,
+        }));
         cluster
     }
 }
@@ -436,6 +494,7 @@ pub struct Cluster {
     next_seed: u64,
     span_sink: Option<Arc<SpanSink>>,
     telemetry: Arc<TelemetryRegistry>,
+    flight_recorder: Option<Arc<FlightRecorder>>,
     /// Deployment-wide backend selection for data providers.
     backend: BackendSpec,
     /// Which backend each data provider was opened with — consulted by
@@ -456,6 +515,11 @@ impl Cluster {
     /// runs.
     pub fn telemetry(&self) -> &Arc<TelemetryRegistry> {
         &self.telemetry
+    }
+
+    /// The always-on flight recorder, unless disabled at build time.
+    pub fn flight_recorder(&self) -> Option<&Arc<FlightRecorder>> {
+        self.flight_recorder.as_ref()
     }
 
     /// How many executor shards (worker threads) this cluster runs on.

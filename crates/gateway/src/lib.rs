@@ -26,8 +26,11 @@ use parking_lot::Mutex;
 use sads_blob::runtime::threaded::ClientHandle;
 use sads_blob::stream::BlobReadHandle;
 use sads_blob::{BlobError, BlobId, BlobSpec, ClientId, VersionId, WriteKind};
-use sads_sim::{SpanClass, SpanKind, SpanRecord, SpanSink, TraceCtx};
-use sads_telemetry::{Registry as TelemetryRegistry, Snapshot};
+use sads_sim::{FlightRecorder, SpanClass, SpanKind, SpanRecord, SpanSink, TraceCtx};
+use sads_telemetry::{
+    derive_health, HealthPolicy, HealthState, Registry as TelemetryRegistry, SampleValue, Snapshot,
+    HEARTBEAT_GAUGE,
+};
 
 /// Bucket-level access control, after S3's canned ACLs.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -175,6 +178,10 @@ pub struct ObjectGateway {
     /// histograms, plus whatever the backing cluster writes when the
     /// registry is shared via [`set_telemetry`](ObjectGateway::set_telemetry).
     telemetry: Arc<TelemetryRegistry>,
+    /// Flight recorder shared with the backing cluster, when attached —
+    /// lets [`statusz`](ObjectGateway::statusz) report ring occupancy and
+    /// recent dumps next to the health verdicts.
+    flight_recorder: Option<Arc<FlightRecorder>>,
     /// Wall-clock origin for gateway span timestamps.
     started: Instant,
 }
@@ -351,6 +358,7 @@ impl ObjectGateway {
             next_upload: std::sync::atomic::AtomicU64::new(1),
             span_sink: None,
             telemetry: Arc::new(TelemetryRegistry::new()),
+            flight_recorder: None,
             started: Instant::now(),
         }
     }
@@ -377,6 +385,15 @@ impl ObjectGateway {
     /// The live metrics registry backing [`get_metrics`](ObjectGateway::get_metrics).
     pub fn telemetry(&self) -> &Arc<TelemetryRegistry> {
         &self.telemetry
+    }
+
+    /// Share the cluster's flight recorder
+    /// ([`Cluster::flight_recorder`]) so `statusz` reports ring occupancy
+    /// and triggered dumps alongside the health verdicts.
+    ///
+    /// [`Cluster::flight_recorder`]: sads_blob::runtime::threaded::Cluster::flight_recorder
+    pub fn set_flight_recorder(&mut self, recorder: Arc<FlightRecorder>) {
+        self.flight_recorder = Some(recorder);
     }
 
     /// Count and time one S3 operation: `gateway.requests{op=..}`,
@@ -416,6 +433,117 @@ impl ObjectGateway {
         self.telemetry.snapshot()
     }
 
+    /// Render the plain-text `/statusz` page: uptime, per-node health
+    /// verdicts, active and fired alerts, flight-recorder occupancy and
+    /// the busiest counters. One fact per line — the page an operator
+    /// reads first when paged, before reaching for the full `/metrics`
+    /// firehose.
+    pub fn statusz(&self) -> String {
+        let snap = self.metrics_snapshot();
+        let mut out = String::with_capacity(1024);
+        out.push_str("=== gateway statusz ===\n");
+        out.push_str(&format!("uptime_s: {:.3}\n", self.started.elapsed().as_secs_f64()));
+
+        // Health. Heartbeat gauges carry the cluster's own clock, so the
+        // freshest beat is the best "now" available to a reader that must
+        // not assume which runtime (sim or threaded) wrote them.
+        let now_s = snap
+            .family(HEARTBEAT_GAUGE)
+            .filter_map(|s| match s.value {
+                SampleValue::Gauge(g) => Some(g),
+                _ => None,
+            })
+            .fold(f64::NEG_INFINITY, f64::max);
+        if now_s.is_finite() {
+            let health = derive_health(&snap, now_s, &HealthPolicy::default());
+            let ok = health.iter().filter(|h| h.state == HealthState::Ok).count();
+            let degraded = health.iter().filter(|h| h.state == HealthState::Degraded).count();
+            let down = health.iter().filter(|h| h.state == HealthState::Down).count();
+            out.push_str(&format!(
+                "health: {} nodes ok={ok} degraded={degraded} down={down}\n",
+                health.len()
+            ));
+            for h in health.iter().filter(|h| h.state != HealthState::Ok) {
+                out.push_str(&format!(
+                    "  node {}: {:?} (last heartbeat {:.3}s, now {:.3}s)\n",
+                    h.node, h.state, h.last_heartbeat_s, now_s
+                ));
+            }
+        } else {
+            out.push_str("health: no heartbeats recorded\n");
+        }
+
+        // Alerts: which burn-rate rules are burning right now, and how
+        // often each has fired since startup.
+        let mut active: Vec<&str> = snap
+            .family("alerts.active")
+            .filter(|s| matches!(s.value, SampleValue::Gauge(g) if g > 0.0))
+            .filter_map(|s| s.labels.iter().find(|(k, _)| k == "rule").map(|(_, v)| v.as_str()))
+            .collect();
+        active.sort_unstable();
+        out.push_str(&format!(
+            "alerts: active=[{}] fired_total={}\n",
+            active.join(","),
+            snap.counter_total("alerts.fired").unwrap_or(0)
+        ));
+        for s in snap.family("alerts.fired") {
+            if let SampleValue::Counter(c) = s.value {
+                let rule = s
+                    .labels
+                    .iter()
+                    .find(|(k, _)| k == "rule")
+                    .map(|(_, v)| v.as_str())
+                    .unwrap_or("?");
+                out.push_str(&format!("  fired {rule}: {c}\n"));
+            }
+        }
+
+        // Flight recorder: ring occupancy plus the reason and time of the
+        // most recent auto-capture, if any fired.
+        match &self.flight_recorder {
+            Some(rec) => {
+                out.push_str(&rec.summary());
+                if let Some(dump) = rec.last_dump() {
+                    out.push_str(&format!(
+                        "  last dump #{}: {} at {}ns\n",
+                        dump.seq, dump.reason, dump.at_ns
+                    ));
+                }
+            }
+            None => out.push_str("flight recorder: detached\n"),
+        }
+
+        // The busiest counters — a ten-line traffic sketch of the whole
+        // deployment (requests, chunk ops, steals, faults, …).
+        let mut counters: Vec<(String, u64)> = snap
+            .samples
+            .iter()
+            .filter_map(|s| match s.value {
+                SampleValue::Counter(c) => {
+                    let labels = s
+                        .labels
+                        .iter()
+                        .map(|(k, v)| format!("{k}={v}"))
+                        .collect::<Vec<_>>()
+                        .join(",");
+                    let key = if labels.is_empty() {
+                        s.name.clone()
+                    } else {
+                        format!("{}{{{labels}}}", s.name)
+                    };
+                    Some((key, c))
+                }
+                _ => None,
+            })
+            .collect();
+        counters.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        out.push_str("top counters:\n");
+        for (key, v) in counters.iter().take(10) {
+            out.push_str(&format!("  {key} {v}\n"));
+        }
+        out
+    }
+
     fn client(&self) -> &ClientHandle {
         let i = self.next_client.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         &self.clients[i % self.clients.len()]
@@ -430,9 +558,15 @@ impl ObjectGateway {
         Some((sink, TraceCtx { trace_id, span_id, parent: 0 }, start_ns))
     }
 
-    /// Close a per-request trace root opened by `begin_request`.
+    /// Close a per-request trace root opened by `begin_request`. Besides
+    /// recording the root span, the request's latency is attached to the
+    /// `gateway.op_seconds{op=..}` histogram as an exemplar: the same
+    /// trace id the client received in `x-sads-trace-id` shows up on the
+    /// bucket its latency landed in, so "what was one of the slow ones?"
+    /// is answerable straight from a `/metrics` scrape.
     fn end_request(&self, req: &(Arc<SpanSink>, TraceCtx, u64), op: &'static str) {
         let (sink, tc, start_ns) = req;
+        let end_ns = self.started.elapsed().as_nanos() as u64;
         sink.record(SpanRecord {
             trace: tc.trace_id,
             span: tc.span_id,
@@ -441,13 +575,21 @@ impl ObjectGateway {
             op,
             node: u64::MAX,
             start_ns: *start_ns,
-            end_ns: self.started.elapsed().as_nanos() as u64,
+            end_ns,
             kind: SpanKind::Op,
             class: SpanClass::Control,
             queue_ns: 0,
             xfer_ns: 0,
             wire_ns: 0,
         });
+        // `track` already counted this observation; only decorate it.
+        let elapsed_s = end_ns.saturating_sub(*start_ns) as f64 / 1e9;
+        self.telemetry.attach_exemplar(
+            "gateway.op_seconds",
+            &[("op", op)],
+            elapsed_s,
+            tc.trace_id,
+        );
     }
 
     /// Create a bucket owned by `principal`.
@@ -1079,6 +1221,69 @@ mod tests {
         assert!(spans
             .iter()
             .any(|s| s.trace == got.trace_id && s.service == "client" && s.op == "read"));
+    }
+
+    #[test]
+    fn traced_latencies_surface_as_metrics_exemplars() {
+        let sink = Arc::new(SpanSink::new());
+        let (cluster, mut gw) = cluster_and_gateway();
+        gw.set_span_sink(Arc::clone(&sink));
+        gw.create_bucket(ALICE, "x", Acl::Private).unwrap();
+        let put = gw.put_object_traced(ALICE, "x", "k", body(10_000, 4)).unwrap();
+        let get = gw.get_object_traced(ALICE, "x", "k").unwrap();
+        let text = gw.get_metrics();
+        // The trace ids echoed to the client reappear on the op_seconds
+        // buckets their latencies landed in.
+        assert!(
+            text.contains(&format!("trace_id=\"{:x}\"", put.trace_id)),
+            "put exemplar missing:\n{text}"
+        );
+        assert!(
+            text.contains(&format!("trace_id=\"{:x}\"", get.trace_id)),
+            "get exemplar missing:\n{text}"
+        );
+        // And the exposition round-trips through the parser, exemplars
+        // included.
+        let parsed = sads_telemetry::parse_prometheus(&text).expect("exposition parses");
+        assert!(parsed
+            .iter()
+            .any(|s| s.exemplar.as_ref().is_some_and(|(tid, _)| *tid == format!("{:x}", put.trace_id))));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn statusz_renders_health_alerts_recorder_and_top_counters() {
+        let (cluster, mut gw) = cluster_and_gateway();
+        let reg = Arc::clone(cluster.telemetry());
+        gw.set_telemetry(Arc::clone(&reg));
+        let rec = Arc::clone(cluster.flight_recorder().expect("recorder is on by default"));
+        gw.set_flight_recorder(Arc::clone(&rec));
+
+        gw.create_bucket(ALICE, "s", Acl::Private).unwrap();
+        gw.put_object(ALICE, "s", "k", body(4096, 7)).unwrap();
+
+        // Paint a known health/alert picture over whatever the cluster
+        // heartbeats wrote: one fresh node, one long-silent node, one
+        // burning rule.
+        reg.set(HEARTBEAT_GAUGE, &[("node", "9001")], 1_000_000.0);
+        reg.set(HEARTBEAT_GAUGE, &[("node", "9002")], 10.0);
+        reg.set("alerts.active", &[("rule", "read_rate_burn")], 1.0);
+        reg.inc("alerts.fired", &[("rule", "read_rate_burn")], 3);
+        rec.trigger_dump("statusz-test", "synthetic", 123);
+
+        let page = gw.statusz();
+        assert!(page.contains("uptime_s:"), "{page}");
+        assert!(page.contains("health:"), "{page}");
+        assert!(page.contains("node 9002: Down"), "{page}");
+        assert!(page.contains("active=[read_rate_burn]"), "{page}");
+        assert!(page.contains("fired read_rate_burn: 3"), "{page}");
+        assert!(page.contains("flight recorder:"), "{page}");
+        assert!(page.contains("last dump #1: statusz-test"), "{page}");
+        // The PUT left request counters behind; the busiest-counter
+        // sketch must include the gateway family.
+        assert!(page.contains("top counters:"), "{page}");
+        assert!(page.contains("gateway.requests{op=put_object}"), "{page}");
+        cluster.shutdown();
     }
 
     #[test]

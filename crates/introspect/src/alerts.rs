@@ -18,7 +18,7 @@ use std::sync::Arc;
 
 use sads_blob::services::{Env, Service};
 use sads_blob::{impl_ext_payload, rpc::Msg};
-use sads_sim::{NodeId, Registry, SampleValue, SimDuration, SimTime, Snapshot};
+use sads_sim::{FlightRecorder, NodeId, Registry, SampleValue, SimDuration, SimTime, Snapshot};
 
 use crate::timeseries::TimeSeries;
 
@@ -114,6 +114,7 @@ pub struct SloAlertService {
     every: SimDuration,
     state: Vec<RuleState>,
     history: Vec<Alert>,
+    recorder: Option<Arc<FlightRecorder>>,
 }
 
 impl SloAlertService {
@@ -134,7 +135,23 @@ impl SloAlertService {
                 last_fired: None,
             })
             .collect();
-        SloAlertService { registry, rules, subscribers, every, state, history: Vec::new() }
+        SloAlertService {
+            registry,
+            rules,
+            subscribers,
+            every,
+            state,
+            history: Vec::new(),
+            recorder: None,
+        }
+    }
+
+    /// Attach a flight recorder: every rule firing triggers a dump whose
+    /// reason names the rule, freezing the last few seconds of runtime
+    /// events alongside the alert.
+    pub fn with_recorder(mut self, recorder: Arc<FlightRecorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
     }
 
     /// Every alert fired so far, in firing order.
@@ -212,6 +229,16 @@ impl SloAlertService {
         for alert in fired {
             self.registry.inc("alerts.fired", &[("rule", alert.rule)], 1);
             env.incr("alerts.fired", 1);
+            if let Some(rec) = &self.recorder {
+                rec.trigger_dump(
+                    &format!("slo-alert:{}", alert.rule),
+                    &format!(
+                        "metric={} short_burn={:.3} long_burn={:.3} threshold={:.3}",
+                        alert.metric, alert.short_burn, alert.long_burn, alert.threshold
+                    ),
+                    now.as_nanos(),
+                );
+            }
             for sub in self.subscribers.clone() {
                 env.send(sub, alert_msg(AlertMsg::Fire { alert: alert.clone() }));
             }

@@ -1,0 +1,127 @@
+//! EWMA throughput-anomaly detection.
+//!
+//! The SLO alert engine ([`crate::alerts`]) catches sustained burn over
+//! declared thresholds; it cannot catch the ROADMAP's read@256×32
+//! bistability, where a round runs at *half* its usual throughput while
+//! still above any absolute floor an operator would dare declare. The
+//! [`EwmaAnomalyDetector`] learns the workload's own baseline — an
+//! exponentially weighted moving average of per-round throughput — and
+//! trips when an observation drops a configured fraction below it, which
+//! is exactly the "this round is unlike the last N" judgement a human
+//! makes scanning a bench log. Trips are what arm the flight-recorder
+//! dump in `exp_e16_introspect`.
+
+/// One detected throughput anomaly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Anomaly {
+    /// The anomalous observation.
+    pub observed: f64,
+    /// The EWMA baseline it was judged against.
+    pub expected: f64,
+    /// `observed / expected` (< `1 - drop_frac` by definition of a trip).
+    pub ratio: f64,
+    /// 0-based index of the observation that tripped.
+    pub sample: u64,
+}
+
+/// Low-side EWMA anomaly detector for throughput-like signals (bigger is
+/// better). Not a [`crate::TimeSeries`] consumer on purpose: it holds one
+/// float of state and is cheap enough to call per bench round.
+#[derive(Debug, Clone)]
+pub struct EwmaAnomalyDetector {
+    alpha: f64,
+    drop_frac: f64,
+    warmup: u64,
+    ewma: Option<f64>,
+    seen: u64,
+}
+
+impl EwmaAnomalyDetector {
+    /// `alpha` is the EWMA smoothing weight of the newest sample (0..1],
+    /// `drop_frac` the relative drop that trips (0.5 = "half the usual
+    /// throughput"), `warmup` how many samples seed the baseline before
+    /// any trip is possible.
+    pub fn new(alpha: f64, drop_frac: f64, warmup: u64) -> Self {
+        EwmaAnomalyDetector {
+            alpha: alpha.clamp(1e-6, 1.0),
+            drop_frac: drop_frac.clamp(0.0, 1.0),
+            warmup: warmup.max(1),
+            ewma: None,
+            seen: 0,
+        }
+    }
+
+    /// The current baseline, once at least one sample was folded in.
+    pub fn expected(&self) -> Option<f64> {
+        self.ewma
+    }
+
+    /// Samples observed so far (anomalous ones included).
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Feed one observation. Returns the anomaly if the sample is past
+    /// warmup and more than `drop_frac` below the baseline. Anomalous
+    /// samples are **not** folded into the EWMA — a bistable slow state
+    /// must not teach the detector that slow is normal.
+    pub fn observe(&mut self, v: f64) -> Option<Anomaly> {
+        let sample = self.seen;
+        self.seen += 1;
+        let Some(ewma) = self.ewma else {
+            self.ewma = Some(v);
+            return None;
+        };
+        if sample >= self.warmup && v < (1.0 - self.drop_frac) * ewma {
+            return Some(Anomaly { observed: v, expected: ewma, ratio: v / ewma, sample });
+        }
+        self.ewma = Some(ewma + self.alpha * (v - ewma));
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_signal_never_trips() {
+        let mut d = EwmaAnomalyDetector::new(0.3, 0.3, 3);
+        for i in 0..100 {
+            let v = 5.0 + 0.1 * ((i % 7) as f64 - 3.0); // ±6% jitter
+            assert!(d.observe(v).is_none(), "sample {i} must not trip");
+        }
+        let e = d.expected().unwrap();
+        assert!((e - 5.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn bistable_drop_trips_after_warmup() {
+        let mut d = EwmaAnomalyDetector::new(0.3, 0.3, 3);
+        for _ in 0..5 {
+            assert!(d.observe(4.8).is_none());
+        }
+        // The ROADMAP shape: ~4.8 GB/s fast state, ~2.0 GB/s slow state.
+        let a = d.observe(2.0).expect("a 58% drop must trip");
+        assert!((a.expected - 4.8).abs() < 1e-9);
+        assert_eq!(a.observed, 2.0);
+        assert!(a.ratio < 0.5);
+        assert_eq!(a.sample, 5);
+        // The anomaly did not poison the baseline: the next fast round
+        // is normal, the next slow round trips again.
+        assert!(d.observe(4.7).is_none());
+        assert!(d.observe(2.1).is_some());
+    }
+
+    #[test]
+    fn warmup_suppresses_early_trips() {
+        let mut d = EwmaAnomalyDetector::new(0.5, 0.3, 4);
+        assert!(d.observe(10.0).is_none());
+        // Would be a 80% drop, but samples 1..3 are still warmup.
+        assert!(d.observe(2.0).is_none());
+        assert!(d.observe(2.0).is_none());
+        assert!(d.observe(2.0).is_none());
+        // Baseline has absorbed the 2.0s by now; no false memory of 10.
+        assert!(d.expected().unwrap() < 4.0);
+    }
+}

@@ -12,6 +12,9 @@
 //! * [`SloAlertService`] — multi-window burn-rate rules over live
 //!   telemetry registry snapshots, pushing [`Alert`]s to the self-*
 //!   components,
+//! * [`EwmaAnomalyDetector`] — learns a workload's own throughput
+//!   baseline and trips on relative drops an absolute SLO threshold
+//!   would miss (the bistable-round detector behind `exp_e16_introspect`),
 //! * [`TimeSeries`] — downsampling/smoothing utilities,
 //! * [`viz`] — the §IV-A visualization tool (ASCII charts + CSV of the
 //!   physical parameters, storage distribution, BLOB access patterns and
@@ -20,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod alerts;
+pub mod anomaly;
 pub mod service;
 pub mod snapshot;
 pub mod timeseries;
@@ -29,6 +33,7 @@ pub use alerts::{
     alert_msg, into_alert, Alert, AlertMsg, BurnRateRule, RuleSource, SloAlertService,
     TOKEN_ALERT_TICK,
 };
+pub use anomaly::{Anomaly, EwmaAnomalyDetector};
 pub use service::{IntrospectionService, TOKEN_INTRO_POLL};
 pub use snapshot::{intro_msg, into_intro, BlobView, IntroMsg, ProviderView, SystemSnapshot};
 pub use timeseries::TimeSeries;

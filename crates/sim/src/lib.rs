@@ -56,11 +56,14 @@ pub use world::{Actor, Ctx, RunOutcome, World};
 
 // Re-exported so runtimes built on the simulator can speak tracing
 // vocabulary without a separate dependency declaration.
-pub use sads_trace::{SpanClass, SpanKind, SpanRecord, SpanSink, TraceCtx};
+pub use sads_trace::{
+    FlightDump, FlightEvent, FlightRecorder, Ring as FlightRing, SpanClass, SpanKind, SpanRecord,
+    SpanSink, TraceCtx,
+};
 
 /// Re-exported so runtimes and services name telemetry types through the
 /// sim crate they already depend on, mirroring the tracing re-exports.
 pub use sads_telemetry::{
-    derive_health, Counter, Gauge, HealthPolicy, HealthState, Histogram, NodeHealth, Registry,
-    Sample as TelemetrySample, SampleValue, Snapshot, HEARTBEAT_GAUGE,
+    derive_health, Counter, Gauge, HealthPolicy, HealthState, Histogram, NodeHealth, ProcSample,
+    ProcSampler, Registry, Sample as TelemetrySample, SampleValue, Snapshot, HEARTBEAT_GAUGE,
 };

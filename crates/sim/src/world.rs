@@ -13,7 +13,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use sads_telemetry::Registry;
-use sads_trace::{SpanKind, SpanRecord, SpanSink, TraceCtx};
+use sads_trace::{FlightEvent, FlightRecorder, SpanKind, SpanRecord, SpanSink, TraceCtx};
 
 use crate::equeue::CalendarQueue;
 use crate::message::Message;
@@ -121,6 +121,11 @@ pub struct World {
     /// never schedule events or draw RNG — so the event schedule is
     /// identical with the registry present or absent.
     telemetry: Option<Arc<Registry>>,
+    /// Flight recorder, when attached: every dispatched event is mirrored
+    /// into the recorder's `"sim"` ring (a cached `Arc` so the per-event
+    /// cost is one short mutex hold). Purely observational like the span
+    /// sink — the event schedule is byte-identical with it on or off.
+    flight: Option<(Arc<FlightRecorder>, Arc<sads_trace::Ring>)>,
     /// Running FNV-style fold over every dispatched event's
     /// `(time, seq, target, kind)`. Always on (a few integer ops per
     /// event); lets tests assert two runs executed byte-identical event
@@ -144,6 +149,7 @@ impl World {
             loss: None,
             span_sink: None,
             telemetry: None,
+            flight: None,
             digest: 0xcbf2_9ce4_8422_2325,
         }
     }
@@ -194,6 +200,20 @@ impl World {
     /// The installed telemetry registry, if any.
     pub fn telemetry(&self) -> Option<&Arc<Registry>> {
         self.telemetry.as_ref()
+    }
+
+    /// Attach a flight recorder: every dispatched event is mirrored into
+    /// its `"sim"` ring as a [`FlightEvent`] (`a` = event seq, `b` = event
+    /// kind tag). Recording never perturbs the event schedule — see
+    /// [`World::event_digest`].
+    pub fn set_flight_recorder(&mut self, recorder: Arc<FlightRecorder>) {
+        let ring = recorder.ring("sim");
+        self.flight = Some((recorder, ring));
+    }
+
+    /// The attached flight recorder, if any.
+    pub fn flight_recorder(&self) -> Option<&Arc<FlightRecorder>> {
+        self.flight.as_ref().map(|(r, _)| r)
     }
 
     /// Add a node running `actor` with NIC config `cfg`. Its
@@ -343,6 +363,20 @@ impl World {
             self.events_processed += 1;
             for v in [ev.at.as_nanos(), ev.seq, ev.kind.target().0 as u64, ev.kind.tag()] {
                 self.digest = (self.digest ^ v).wrapping_mul(0x1000_0000_01b3);
+            }
+            if let Some((_, ring)) = &self.flight {
+                ring.record(FlightEvent {
+                    at_ns: ev.at.as_nanos(),
+                    dur_ns: 0,
+                    label: match ev.kind.tag() {
+                        1 => "start",
+                        2 => "deliver",
+                        _ => "timer",
+                    },
+                    node: ev.kind.target().0 as u64,
+                    a: ev.seq,
+                    b: ev.kind.tag(),
+                });
             }
             if ev.epoch != self.epoch_of(ev.kind.target()) {
                 // Addressed to a crashed incarnation: dead on arrival.

@@ -38,7 +38,12 @@ fn fmt_labels(labels: &[(String, String)], extra: Option<(&str, String)>) -> Str
     }
     let mut parts: Vec<String> = labels
         .iter()
-        .map(|(k, v)| format!("{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+        .map(|(k, v)| {
+            format!(
+                "{k}=\"{}\"",
+                v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+            )
+        })
         .collect();
     if let Some((k, v)) = extra {
         parts.push(format!("{k}=\"{v}\""));
@@ -77,11 +82,21 @@ fn render_sample(out: &mut String, pname: &str, s: &Sample) {
             out.push_str(&format!("{pname}{} {}\n", fmt_labels(&s.labels, None), fmt_value(*g)));
         }
         SampleValue::Histogram(h) => {
-            for (bound, cum) in &h.buckets {
+            for (i, (bound, cum)) in h.buckets.iter().enumerate() {
                 out.push_str(&format!(
-                    "{pname}_bucket{} {cum}\n",
+                    "{pname}_bucket{} {cum}",
                     fmt_labels(&s.labels, Some(("le", fmt_value(*bound))))
                 ));
+                // OpenMetrics exemplar: `… # {trace_id="…"} value`, linking
+                // the bucket to one concrete (dumpable) trace.
+                if let Some(ex) = h.exemplars.get(i).copied().flatten() {
+                    out.push_str(&format!(
+                        " # {{trace_id=\"{:x}\"}} {}",
+                        ex.trace_id,
+                        fmt_value(ex.value)
+                    ));
+                }
+                out.push('\n');
             }
             out.push_str(&format!("{pname}_sum{} {}\n", fmt_labels(&s.labels, None), h.sum));
             out.push_str(&format!("{pname}_count{} {}\n", fmt_labels(&s.labels, None), h.count));
@@ -99,6 +114,8 @@ pub struct ParsedSample {
     pub labels: Vec<(String, String)>,
     /// Sample value.
     pub value: f64,
+    /// OpenMetrics exemplar trailer, if present: `(trace_id, value)`.
+    pub exemplar: Option<(String, f64)>,
 }
 
 /// Parse Prometheus text exposition back into samples. Comment (`# …`) and
@@ -117,25 +134,54 @@ pub fn parse_prometheus(text: &str) -> Result<Vec<ParsedSample>, String> {
     Ok(out)
 }
 
+/// Index of the first `}` in `body` that is outside a quoted label value
+/// (label values may legally contain `}`; quotes may contain `\"`).
+fn find_close_brace(body: &str) -> Option<usize> {
+    let mut in_str = false;
+    let mut esc = false;
+    for (i, c) in body.char_indices() {
+        if in_str {
+            if esc {
+                esc = false;
+            } else if c == '\\' {
+                esc = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+        } else if c == '"' {
+            in_str = true;
+        } else if c == '}' {
+            return Some(i);
+        }
+    }
+    None
+}
+
+fn parse_value(tok: &str) -> Option<f64> {
+    match tok {
+        "+Inf" => Some(f64::INFINITY),
+        "-Inf" => Some(f64::NEG_INFINITY),
+        v => v.parse().ok(),
+    }
+}
+
 fn parse_line(line: &str) -> Option<ParsedSample> {
-    let (name_and_labels, value) = match line.find('{') {
+    let (name, mut labels, rest) = match line.find('{') {
         Some(open) => {
-            let close = line.rfind('}')?;
-            let name = &line[..open];
-            let labels = parse_labels(&line[open + 1..close])?;
+            let body = &line[open + 1..];
+            let close = find_close_brace(body)?;
             (
-                (name.to_string(), labels),
-                line[close + 1..].trim(),
+                line[..open].to_string(),
+                parse_labels(&body[..close])?,
+                body[close + 1..].trim_start(),
             )
         }
         None => {
-            let mut it = line.split_whitespace();
+            let mut it = line.splitn(2, char::is_whitespace);
             let name = it.next()?;
-            let value = it.next()?;
-            ((name.to_string(), Vec::new()), value)
+            (name.to_string(), Vec::new(), it.next()?.trim_start())
         }
     };
-    let (name, mut labels) = name_and_labels;
     if name.is_empty()
         || !name
             .chars()
@@ -144,13 +190,25 @@ fn parse_line(line: &str) -> Option<ParsedSample> {
     {
         return None;
     }
-    let value = match value {
-        "+Inf" => f64::INFINITY,
-        "-Inf" => f64::NEG_INFINITY,
-        v => v.parse().ok()?,
+    let mut parts = rest.splitn(2, char::is_whitespace);
+    let value = parse_value(parts.next()?)?;
+    let trailer = parts.next().map(str::trim).unwrap_or("");
+    let exemplar = if trailer.is_empty() {
+        None
+    } else {
+        // OpenMetrics exemplar trailer: `# {labels} value`.
+        let ex = trailer.strip_prefix('#')?.trim_start().strip_prefix('{')?;
+        let close = find_close_brace(ex)?;
+        let ex_labels = parse_labels(&ex[..close])?;
+        let ex_value = parse_value(ex[close + 1..].trim())?;
+        let trace_id = ex_labels
+            .iter()
+            .find(|(k, _)| k == "trace_id")
+            .map(|(_, v)| v.clone())?;
+        Some((trace_id, ex_value))
     };
     labels.sort();
-    Some(ParsedSample { name, labels, value })
+    Some(ParsedSample { name, labels, value, exemplar })
 }
 
 fn parse_labels(body: &str) -> Option<Vec<(String, String)>> {
@@ -170,6 +228,9 @@ fn parse_labels(body: &str) -> Option<Vec<(String, String)>> {
         while let Some((i, c)) = chars.next() {
             match c {
                 '\\' => match chars.next() {
+                    // The exposition format's escapes: `\\`, `\"`, `\n`.
+                    // Anything else keeps the escaped char literally.
+                    Some((_, 'n')) => value.push('\n'),
                     Some((_, escaped)) => value.push(escaped),
                     None => return None,
                 },
@@ -243,5 +304,65 @@ mod tests {
         let ok = parse_prometheus("m{k=\"a\\\"b\"} 1\n# comment\n\n").unwrap();
         assert_eq!(ok[0].labels, vec![("k".to_string(), "a\"b".to_string())]);
         assert!(parse_prometheus("3bad 1").is_err());
+    }
+
+    #[test]
+    fn hostile_label_values_roundtrip() {
+        // Every escape-relevant char the exposition format defines —
+        // quote, newline, backslash — plus mixes of them.
+        let hostile = [
+            "plain",
+            "has \"quotes\"",
+            "line\nbreak",
+            "back\\slash",
+            "all\\of\"them\ntogether",
+            "trailing\\",
+            "\n",
+            "\\n", // a literal backslash-n, distinct from a newline
+        ];
+        let reg = Registry::new();
+        for (i, v) in hostile.iter().enumerate() {
+            reg.inc("scan.paths", &[("path", v), ("i", &i.to_string())], i as u64 + 1);
+        }
+        let text = reg.render();
+        let parsed = parse_prometheus(&text).expect("hostile labels must stay parseable");
+        for (i, v) in hostile.iter().enumerate() {
+            let want_i = i.to_string();
+            let hit = parsed
+                .iter()
+                .find(|p| p.labels.iter().any(|(k, val)| k == "i" && val == &want_i))
+                .unwrap_or_else(|| panic!("sample {i} missing"));
+            let path = hit.labels.iter().find(|(k, _)| k == "path").map(|(_, v)| v.as_str());
+            assert_eq!(path, Some(*v), "label value {i} must round-trip exactly");
+            assert_eq!(hit.value, i as f64 + 1.0);
+        }
+    }
+
+    #[test]
+    fn exemplars_render_and_roundtrip() {
+        let reg = Registry::new();
+        let h = reg.histogram("gateway.op_seconds", &[("op", "get")]);
+        h.observe(0.0005);
+        h.observe_traced(42.0, 0xdead_beef);
+        let text = reg.render();
+        assert!(
+            text.contains("# {trace_id=\"deadbeef\"} 42"),
+            "exemplar must render in OpenMetrics syntax:\n{text}"
+        );
+        let parsed = parse_prometheus(&text).expect("exemplar lines must stay parseable");
+        let bucket = parsed
+            .iter()
+            .find(|p| p.name == "sads_gateway_op_seconds_bucket" && p.exemplar.is_some())
+            .expect("one bucket line carries the exemplar");
+        assert_eq!(bucket.exemplar, Some(("deadbeef".to_string(), 42.0)));
+        // Non-exemplar lines parse with exemplar == None.
+        assert!(parsed.iter().any(|p| p.exemplar.is_none()));
+    }
+
+    #[test]
+    fn label_values_containing_braces_parse() {
+        let ok = parse_prometheus("m{k=\"a}b\"} 7").unwrap();
+        assert_eq!(ok[0].labels, vec![("k".to_string(), "a}b".to_string())]);
+        assert_eq!(ok[0].value, 7.0);
     }
 }

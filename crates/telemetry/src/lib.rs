@@ -15,6 +15,10 @@
 //! * [`render_prometheus`] / [`parse_prometheus`] — Prometheus text
 //!   exposition (served by the object gateway's `get_metrics()`), plus a
 //!   small parser so tests can round-trip the format.
+//! * [`ProcSampler`] — `/proc/self/{stat,statm,smaps_rollup}` readings
+//!   exported as `proc.*` gauges (RSS + software high-water, page faults,
+//!   mapped bytes), the memory-state attribution the read@256×32
+//!   bistability diagnosis needed.
 //! * [`HealthState`] and [`derive_health`] — per-node Ok/Degraded/Down
 //!   derived from heartbeat gauges, the shared health model of the sim and
 //!   threaded runtimes.
@@ -30,12 +34,17 @@
 
 mod expose;
 mod health;
+mod procstat;
 mod registry;
 
 pub use expose::{parse_prometheus, render_prometheus, sanitize_metric_name, ParsedSample};
 pub use health::{derive_health, HealthPolicy, HealthState, NodeHealth, HEARTBEAT_GAUGE};
+pub use procstat::{
+    parse_proc_stat, parse_proc_statm, parse_smaps_rollup_rss, ProcSample, ProcSampler,
+};
 pub use registry::{
-    Counter, Gauge, Histogram, HistogramSnapshot, Registry, Sample, SampleValue, Snapshot,
+    Counter, Exemplar, Gauge, Histogram, HistogramSnapshot, Registry, Sample, SampleValue,
+    Snapshot,
 };
 
 use sads_trace::SpanSink;

@@ -1,0 +1,176 @@
+//! Process memory/scheduler telemetry from `/proc/self`.
+//!
+//! The read@256×32 bistability (ROADMAP) is host-memory-state dependent —
+//! THP coalescing and page-cache layout, visible only through page-fault
+//! and RSS counters. This module samples `/proc/self/stat`,
+//! `/proc/self/statm` and (when present) `/proc/self/smaps_rollup` and
+//! exports the result as `proc.*` gauges, so a slow round carries its
+//! memory attribution in the same snapshot the flight recorder dumps.
+//!
+//! Absolute values are exported (gauges); consumers that want per-round
+//! deltas (e.g. `exp_perf`) subtract successive samples themselves.
+
+use crate::registry::Registry;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Conventional Linux page size; /proc counters are page-denominated.
+const PAGE_BYTES: u64 = 4096;
+
+/// One point-in-time reading of the process's memory counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProcSample {
+    /// Resident set size, bytes.
+    pub rss_bytes: u64,
+    /// Minor page faults (no I/O) since process start.
+    pub minflt: u64,
+    /// Major page faults (I/O required) since process start.
+    pub majflt: u64,
+    /// Total mapped address space, bytes.
+    pub mapped_bytes: u64,
+    /// Kernel thread count.
+    pub threads: u64,
+}
+
+/// Parse the post-`comm` tail of `/proc/self/stat`. The `comm` field may
+/// itself contain spaces and parens, so fields are indexed from the byte
+/// after the *last* `)`: state=0, minflt=7, majflt=9, num_threads=17,
+/// rss(pages)=21.
+pub fn parse_proc_stat(stat: &str) -> Option<ProcSample> {
+    let tail = &stat[stat.rfind(')')? + 1..];
+    let fields: Vec<&str> = tail.split_whitespace().collect();
+    Some(ProcSample {
+        minflt: fields.get(7)?.parse().ok()?,
+        majflt: fields.get(9)?.parse().ok()?,
+        threads: fields.get(17)?.parse().ok()?,
+        rss_bytes: fields.get(21)?.parse::<u64>().ok()? * PAGE_BYTES,
+        mapped_bytes: 0,
+    })
+}
+
+/// Parse `/proc/self/statm`: `size resident …` in pages. Returns
+/// `(mapped_bytes, rss_bytes)`.
+pub fn parse_proc_statm(statm: &str) -> Option<(u64, u64)> {
+    let mut it = statm.split_whitespace();
+    let size: u64 = it.next()?.parse().ok()?;
+    let resident: u64 = it.next()?.parse().ok()?;
+    Some((size * PAGE_BYTES, resident * PAGE_BYTES))
+}
+
+/// Parse `/proc/self/smaps_rollup`'s `Rss: N kB` line, bytes. The file
+/// needs a kernel ≥ 4.14 and may be absent in minimal containers.
+pub fn parse_smaps_rollup_rss(rollup: &str) -> Option<u64> {
+    for line in rollup.lines() {
+        if let Some(rest) = line.strip_prefix("Rss:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
+/// Samples `/proc/self` and exports `proc.*` gauges. Keeps a software
+/// RSS high-water mark across samples (monotone since sampler creation),
+/// because a slow round's peak footprint is often gone by the time the
+/// next heartbeat reads `/proc`.
+#[derive(Default)]
+pub struct ProcSampler {
+    rss_hwm: AtomicU64,
+}
+
+impl ProcSampler {
+    /// Fresh sampler with a zero high-water mark.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Read `/proc/self/{stat,statm,smaps_rollup}`. `None` on platforms
+    /// without procfs (the telemetry plane then simply lacks `proc.*`).
+    pub fn sample(&self) -> Option<ProcSample> {
+        let stat = std::fs::read_to_string("/proc/self/stat").ok()?;
+        let mut s = parse_proc_stat(&stat)?;
+        if let Ok(statm) = std::fs::read_to_string("/proc/self/statm") {
+            if let Some((mapped, rss)) = parse_proc_statm(&statm) {
+                s.mapped_bytes = mapped;
+                s.rss_bytes = rss;
+            }
+        }
+        // smaps_rollup's Rss accounts huge pages correctly where statm
+        // can lag; prefer it when the kernel provides the file.
+        if let Ok(rollup) = std::fs::read_to_string("/proc/self/smaps_rollup") {
+            if let Some(rss) = parse_smaps_rollup_rss(&rollup) {
+                s.rss_bytes = rss;
+            }
+        }
+        self.rss_hwm.fetch_max(s.rss_bytes, Ordering::Relaxed);
+        Some(s)
+    }
+
+    /// RSS high-water observed across this sampler's lifetime, bytes.
+    pub fn rss_hwm_bytes(&self) -> u64 {
+        self.rss_hwm.load(Ordering::Relaxed)
+    }
+
+    /// Sample and export the `proc.*` gauge family into `reg`:
+    /// `proc.rss_bytes`, `proc.rss_hwm_bytes`, `proc.minflt`,
+    /// `proc.majflt`, `proc.mapped_bytes`, `proc.threads`.
+    pub fn sample_into(&self, reg: &Registry) -> Option<ProcSample> {
+        let s = self.sample()?;
+        reg.set("proc.rss_bytes", &[], s.rss_bytes as f64);
+        reg.set("proc.rss_hwm_bytes", &[], self.rss_hwm_bytes() as f64);
+        reg.set("proc.minflt", &[], s.minflt as f64);
+        reg.set("proc.majflt", &[], s.majflt as f64);
+        reg.set("proc.mapped_bytes", &[], s.mapped_bytes as f64);
+        reg.set("proc.threads", &[], s.threads as f64);
+        Some(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stat_parses_past_hostile_comm() {
+        // comm contains spaces and a close-paren; fields follow the LAST ')'.
+        let stat = "1234 (a (we)ird name) S 1 1 1 0 -1 4194560 9001 0 7 0 \
+                    12 4 0 0 20 0 3 0 100 222822400 4096 18446744073709551615 \
+                    0 0 0 0 0 0 0 0 0 0 0 0 17 0 0 0 0 0 0";
+        let s = parse_proc_stat(stat).unwrap();
+        assert_eq!(s.minflt, 9001);
+        assert_eq!(s.majflt, 7);
+        assert_eq!(s.threads, 3);
+        assert_eq!(s.rss_bytes, 4096 * PAGE_BYTES);
+    }
+
+    #[test]
+    fn statm_and_rollup_parse() {
+        assert_eq!(parse_proc_statm("54411 2861 1479 6 0 4873 0\n"), Some((54411 * 4096, 2861 * 4096)));
+        let rollup = "00400000-7fff Rollup\nRss:            11444 kB\nPss: 9000 kB\n";
+        assert_eq!(parse_smaps_rollup_rss(rollup), Some(11444 * 1024));
+        assert_eq!(parse_smaps_rollup_rss("nothing here"), None);
+    }
+
+    #[test]
+    fn live_sample_exports_gauges() {
+        // The test host is Linux; a missing procfs would be a real signal.
+        let sampler = ProcSampler::new();
+        let reg = Registry::new();
+        let s = sampler.sample_into(&reg).expect("/proc/self must be readable");
+        assert!(s.rss_bytes > 0);
+        assert!(s.threads >= 1);
+        let snap = reg.snapshot();
+        assert!(snap.gauge("proc.rss_bytes", &[]).unwrap() > 0.0);
+        assert!(
+            snap.gauge("proc.rss_hwm_bytes", &[]).unwrap()
+                >= snap.gauge("proc.rss_bytes", &[]).unwrap()
+        );
+        assert!(snap.gauge("proc.minflt", &[]).is_some());
+        assert!(snap.gauge("proc.majflt", &[]).is_some());
+        // Touch some memory: the HWM can only grow.
+        let before = sampler.rss_hwm_bytes();
+        let big = vec![7u8; 8 << 20];
+        std::hint::black_box(&big);
+        sampler.sample();
+        assert!(sampler.rss_hwm_bytes() >= before);
+    }
+}

@@ -30,11 +30,25 @@ impl Cell {
     }
 }
 
+/// A latency exemplar: the trace id of one observation that landed in a
+/// bucket, so a slow percentile links straight to a dumpable trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exemplar {
+    /// The exemplified observation's value.
+    pub value: f64,
+    /// Trace id of the request that produced it.
+    pub trace_id: u64,
+}
+
 pub(crate) struct HistCell {
     bounds: Vec<f64>,
     counts: Vec<AtomicU64>,
     count: AtomicU64,
     sum_bits: AtomicU64,
+    /// Latest exemplar per bucket (incl. +Inf). Updated only on traced
+    /// observations — rare relative to plain `observe` — so the mutex is
+    /// off the hot path entirely.
+    exemplars: Mutex<Vec<Option<Exemplar>>>,
 }
 
 impl HistCell {
@@ -45,6 +59,7 @@ impl HistCell {
             counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
             count: AtomicU64::new(0),
             sum_bits: AtomicU64::new(0f64.to_bits()),
+            exemplars: Mutex::new(vec![None; bounds.len() + 1]),
         }
     }
 
@@ -53,6 +68,18 @@ impl HistCell {
         self.counts[idx].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         atomic_f64_add(&self.sum_bits, v);
+    }
+
+    /// Remember `trace_id` as the exemplar for the bucket `v` falls in
+    /// (does not count the observation — pair with `observe` when the
+    /// value was not already counted).
+    fn attach(&self, v: f64, trace_id: u64) {
+        if trace_id == 0 {
+            return;
+        }
+        let idx = self.bounds.partition_point(|b| *b < v);
+        let mut ex = self.exemplars.lock().expect("exemplar slots poisoned");
+        ex[idx] = Some(Exemplar { value: v, trace_id });
     }
 
     fn snapshot(&self) -> HistogramSnapshot {
@@ -68,6 +95,7 @@ impl HistCell {
             count: self.count.load(Ordering::Relaxed),
             sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
             buckets,
+            exemplars: self.exemplars.lock().expect("exemplar slots poisoned").clone(),
         }
     }
 }
@@ -128,6 +156,21 @@ impl Histogram {
     /// Record one observation.
     pub fn observe(&self, v: f64) {
         self.0.observe(v);
+    }
+
+    /// Record one observation and remember `trace_id` as the exemplar of
+    /// the bucket it lands in.
+    pub fn observe_traced(&self, v: f64, trace_id: u64) {
+        self.0.observe(v);
+        self.0.attach(v, trace_id);
+    }
+
+    /// Attach an exemplar for an observation that was **already counted**
+    /// via [`Histogram::observe`] (e.g. a request timed by generic
+    /// instrumentation whose trace id only becomes known later). A
+    /// `trace_id` of 0 is ignored.
+    pub fn attach_exemplar(&self, v: f64, trace_id: u64) {
+        self.0.attach(v, trace_id);
     }
 
     /// Observations recorded so far.
@@ -207,9 +250,30 @@ impl Registry {
         self.gauge(name, labels).set(v);
     }
 
+    /// Get-or-create a histogram with explicit bucket upper bounds (for
+    /// count-flavored distributions like dispatch batch sizes where the
+    /// seconds-flavored defaults are meaningless). If the `(name, labels)`
+    /// key already exists as a histogram its original bounds are kept.
+    pub fn histogram_with_bounds(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        bounds: &[f64],
+    ) -> Histogram {
+        match self.cell(name, labels, || Cell::Histogram(Arc::new(HistCell::new(bounds)))) {
+            Cell::Histogram(h) => Histogram(h),
+            other => panic!("{name} already registered as {}", other.kind()),
+        }
+    }
+
     /// One-shot histogram observation.
     pub fn observe(&self, name: &str, labels: &[(&str, &str)], v: f64) {
         self.histogram(name, labels).observe(v);
+    }
+
+    /// One-shot exemplar attach (see [`Histogram::attach_exemplar`]).
+    pub fn attach_exemplar(&self, name: &str, labels: &[(&str, &str)], v: f64, trace_id: u64) {
+        self.histogram(name, labels).attach_exemplar(v, trace_id);
     }
 
     /// Structured point-in-time copy, sorted by `(name, labels)` for
@@ -272,6 +336,8 @@ pub struct HistogramSnapshot {
     pub sum: f64,
     /// `(upper_bound, cumulative_count)` pairs ending with `+Inf`.
     pub buckets: Vec<(f64, u64)>,
+    /// Latest exemplar per bucket, aligned with `buckets`.
+    pub exemplars: Vec<Option<Exemplar>>,
 }
 
 /// Structured registry snapshot: every sample, sorted by `(name, labels)`.
@@ -379,6 +445,67 @@ mod tests {
                 assert_eq!(inf.1, 2);
                 // Buckets are cumulative and monotone.
                 assert!(hs.buckets.windows(2).all(|w| w[0].1 <= w[1].1));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn exemplars_land_in_the_right_bucket() {
+        let reg = Registry::new();
+        let h = reg.histogram("gateway.op_seconds", &[("op", "get")]);
+        h.observe(0.0004);
+        h.observe_traced(0.03, 0xabcd);
+        // Attach-only must not change the count.
+        h.attach_exemplar(0.0004, 0x1111);
+        reg.attach_exemplar("gateway.op_seconds", &[("op", "get")], 999.0, 0x2222);
+
+        let snap = reg.snapshot();
+        match snap.find("gateway.op_seconds", &[("op", "get")]).unwrap() {
+            SampleValue::Histogram(hs) => {
+                assert_eq!(hs.count, 2, "attach_exemplar must not count");
+                assert_eq!(hs.exemplars.len(), hs.buckets.len());
+                // 0.03 → the le=0.05 bucket; 0.0004 → le=0.001; 999 → +Inf.
+                let at = |bound: f64| {
+                    let i = hs.buckets.iter().position(|(b, _)| *b == bound).unwrap();
+                    hs.exemplars[i].unwrap()
+                };
+                assert_eq!(at(0.05).trace_id, 0xabcd);
+                assert_eq!(at(0.001).trace_id, 0x1111);
+                let inf = hs.exemplars.last().unwrap().unwrap();
+                assert_eq!(inf.trace_id, 0x2222);
+                assert_eq!(inf.value, 999.0);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn custom_bounds_histograms_bucket_counts() {
+        let reg = Registry::new();
+        let h = reg.histogram_with_bounds("runtime.dispatch_batch", &[("shard", "0")], &[1.0, 4.0]);
+        h.observe(1.0);
+        h.observe(3.0);
+        h.observe(100.0);
+        let snap = reg.snapshot();
+        match snap.find("runtime.dispatch_batch", &[("shard", "0")]).unwrap() {
+            SampleValue::Histogram(hs) => {
+                assert_eq!(hs.buckets, vec![(1.0, 1), (4.0, 2), (f64::INFINITY, 3)]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_trace_ids_never_become_exemplars() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat", &[]);
+        h.observe_traced(0.01, 0);
+        let snap = reg.snapshot();
+        match snap.find("lat", &[]).unwrap() {
+            SampleValue::Histogram(hs) => {
+                assert!(hs.exemplars.iter().all(Option::is_none));
+                assert_eq!(hs.count, 1);
             }
             other => panic!("{other:?}"),
         }

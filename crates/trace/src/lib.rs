@@ -15,6 +15,10 @@
 //!   (p50/p90/p99/p999 and counts).
 //! * [`chrome_trace_json`] / [`spans_csv`] — exporters (the JSON loads
 //!   directly into `chrome://tracing` / Perfetto).
+//! * [`FlightRecorder`] — always-on bounded per-service rings of recent
+//!   runtime events ([`FlightEvent`]), frozen into [`FlightDump`]s
+//!   (chrome://tracing JSON + `statusz` text) when an anomaly detector
+//!   or SLO alert fires.
 //! * [`critical_paths`] — given a span forest, attributes each traced
 //!   operation's latency to queueing vs. wire vs. store vs. metadata
 //!   and names the dominant stage.
@@ -36,10 +40,15 @@
 mod critical;
 mod export;
 mod hist;
+mod recorder;
 
 pub use critical::{critical_paths, CriticalPath};
 pub use export::{chrome_trace_json, spans_csv};
 pub use hist::{Histogram, HistogramSummary};
+pub use recorder::{
+    FlightDump, FlightEvent, FlightRecorder, Ring, RingDump, DEFAULT_RING_BYTES, DUMP_CAP,
+    EVENT_BYTES,
+};
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
